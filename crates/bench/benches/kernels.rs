@@ -1,0 +1,137 @@
+//! Microbenchmarks of the functional kernels: the FPGA updater arithmetic,
+//! the Top-K compressor/decompressor, half-precision conversion and the
+//! discrete-event engine itself. These measure the *real* Rust implementations
+//! (the functional layer), complementing the modelled throughputs of Fig. 14.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gradcomp::Compressor;
+use optim::{HyperParams, Optimizer, OptimizerKind};
+use simkit::{FlowSpec, Simulation};
+use std::hint::black_box;
+use tensorlib::{Dtype, FlatTensor};
+
+const KERNEL_ELEMS: usize = 1 << 20;
+
+fn bench_updater_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("updater_kernels");
+    g.throughput(Throughput::Bytes((KERNEL_ELEMS * 16) as u64));
+    let grads = FlatTensor::randn(KERNEL_ELEMS, 0.01, 1);
+    for kind in [
+        OptimizerKind::Adam,
+        OptimizerKind::AdamW,
+        OptimizerKind::SgdMomentum,
+        OptimizerKind::AdaGrad,
+    ] {
+        let optimizer = Optimizer::new(kind, HyperParams::default());
+        g.bench_with_input(BenchmarkId::new("step", format!("{kind:?}")), &kind, |b, _| {
+            let mut params = FlatTensor::randn(KERNEL_ELEMS, 0.02, 2);
+            let mut aux = optimizer.init_aux(KERNEL_ELEMS);
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 1;
+                optimizer.step(params.as_mut_slice(), &grads, &mut aux, t);
+                black_box(params.as_slice()[0]);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gradient_compression");
+    g.throughput(Throughput::Bytes((KERNEL_ELEMS * 4) as u64));
+    let grads = FlatTensor::randn(KERNEL_ELEMS, 0.01, 3);
+    for keep in [0.01f64, 0.05] {
+        g.bench_with_input(BenchmarkId::new("topk_exact", keep), &keep, |b, &keep| {
+            let compressor = Compressor::top_k(keep);
+            b.iter(|| black_box(compressor.compress(&grads)));
+        });
+        g.bench_with_input(BenchmarkId::new("topk_threshold", keep), &keep, |b, &keep| {
+            let compressor = Compressor::threshold_top_k(keep, 4096);
+            b.iter(|| black_box(compressor.compress(&grads)));
+        });
+    }
+    let compressed = Compressor::top_k(0.01).compress(&grads);
+    let decompressor = csd::Decompressor::default();
+    g.bench_function("fpga_decompressor", |b| {
+        let mut out = vec![0.0f32; KERNEL_ELEMS];
+        b.iter(|| {
+            decompressor.decompress_into(&compressed, &mut out);
+            black_box(out[0]);
+        });
+    });
+    g.finish();
+}
+
+fn bench_half_precision(c: &mut Criterion) {
+    let mut g = c.benchmark_group("half_precision");
+    let t = FlatTensor::randn(KERNEL_ELEMS, 1.0, 4);
+    g.throughput(Throughput::Bytes((KERNEL_ELEMS * 4) as u64));
+    g.bench_function("f32_to_f16_bytes", |b| b.iter(|| black_box(t.to_bytes(Dtype::F16))));
+    let bytes = t.to_bytes(Dtype::F16);
+    g.bench_function("f16_bytes_to_f32", |b| {
+        b.iter(|| black_box(FlatTensor::from_bytes(&bytes, Dtype::F16)))
+    });
+    g.finish();
+}
+
+fn bench_simulation_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("discrete_event_engine");
+    g.bench_function("thousand_contending_flows", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let shared = sim.add_link("shared", 16e9);
+            let mut prev = None;
+            for i in 0..1000usize {
+                let dev = sim.add_link(format!("dev{}", i % 10), 3e9);
+                let mut spec = FlowSpec::new(vec![shared, dev], 1e8);
+                if let Some(p) = prev {
+                    if i % 3 == 0 {
+                        spec = spec.after(&[p]);
+                    }
+                }
+                prev = Some(sim.flow(spec));
+            }
+            black_box(sim.run().expect("simulation").makespan())
+        });
+    });
+    g.finish();
+}
+
+fn bench_functional_trainers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("functional_trainers");
+    let n = 200_000;
+    let initial = FlatTensor::randn(n, 0.02, 5);
+    let grads = FlatTensor::randn(n, 0.01, 6);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("baseline_storage_offload_step", |b| {
+        let mut trainer =
+            ztrain::StorageOffloadTrainer::new(&initial, Optimizer::adam_default(), 4, 50_000)
+                .expect("trainer");
+        b.iter(|| trainer.train_step_with_grads(&grads).expect("step"));
+    });
+    g.bench_function("smart_infinity_step", |b| {
+        let mut trainer =
+            smart_infinity::SmartInfinityTrainer::new(&initial, Optimizer::adam_default(), 4, 50_000)
+                .expect("trainer");
+        b.iter(|| trainer.train_step_with_grads(&grads).expect("step"));
+    });
+    g.bench_function("smart_infinity_compressed_step", |b| {
+        let mut trainer =
+            smart_infinity::SmartInfinityTrainer::new(&initial, Optimizer::adam_default(), 4, 50_000)
+                .expect("trainer")
+                .with_compression(0.01);
+        b.iter(|| trainer.train_step_with_grads(&grads).expect("step"));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_updater_kernels,
+    bench_compression,
+    bench_half_precision,
+    bench_simulation_engine,
+    bench_functional_trainers
+);
+criterion_main!(kernels);

@@ -1,0 +1,233 @@
+//! Regenerates every table and figure of the Smart-Infinity evaluation.
+//!
+//! ```text
+//! cargo run -p bench --release --bin figures -- all
+//! cargo run -p bench --release --bin figures -- fig9 fig11 tab4
+//! cargo run -p bench --release --bin figures -- --json results/ all
+//! ```
+//!
+//! Each experiment prints a text table; with `--json DIR` the raw data is also
+//! written as one JSON file per experiment (used to fill in EXPERIMENTS.md).
+
+use bench::harness;
+use serde::Serialize;
+use std::path::PathBuf;
+
+const ALL: &[&str] = &[
+    "fig3a", "fig3b", "tab1", "tab3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "fig15", "tab4", "fig16", "fig17",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_dir: Option<PathBuf> = None;
+    let mut selected: Vec<String> = Vec::new();
+    let mut quick = false;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => {
+                let dir = iter.next().unwrap_or_else(|| {
+                    eprintln!("--json requires a directory argument");
+                    std::process::exit(2);
+                });
+                json_dir = Some(PathBuf::from(dir));
+            }
+            "--quick" => quick = true,
+            "all" => selected.extend(ALL.iter().map(|s| s.to_string())),
+            other => selected.push(other.to_string()),
+        }
+    }
+    if selected.is_empty() {
+        eprintln!("usage: figures [--json DIR] [--quick] <all | fig3a fig3b tab1 tab3 fig9 fig10 fig11 fig12 fig13 fig14 fig15 tab4 fig16 fig17>");
+        std::process::exit(2);
+    }
+    if let Some(dir) = &json_dir {
+        std::fs::create_dir_all(dir).expect("create json output directory");
+    }
+    for id in selected {
+        run_one(&id, quick, json_dir.as_deref());
+    }
+}
+
+fn write_json<T: Serialize>(dir: Option<&std::path::Path>, id: &str, value: &T) {
+    if let Some(dir) = dir {
+        let path = dir.join(format!("{id}.json"));
+        let json = serde_json::to_string_pretty(value).expect("serialise result");
+        std::fs::write(&path, json).expect("write json result");
+    }
+}
+
+fn run_one(id: &str, quick: bool, json: Option<&std::path::Path>) {
+    match id {
+        "fig3a" => {
+            let rows = harness::fig3a();
+            println!(
+                "{}",
+                harness::render_breakdown(
+                    "Figure 3(a): baseline breakdown, 1 SSD (update dominates)",
+                    &rows
+                )
+            );
+            write_json(json, id, &rows);
+        }
+        "fig3b" => {
+            let points = harness::fig3b();
+            println!("Figure 3(b): RAID0 normalised speedup (GPT-2 4.0B)");
+            println!("{:>6} {:>10} {:>10}", "#SSDs", "time (s)", "speedup");
+            for p in &points {
+                println!("{:>6} {:>10.2} {:>9.2}x", p.num_devices, p.total_s, p.normalized_speedup);
+            }
+            println!();
+            write_json(json, id, &points);
+        }
+        "tab1" => {
+            let rows = harness::tab1();
+            println!("Table I: system-interconnect traffic per iteration (in M units)");
+            println!(
+                "{:<16} {:>9} {:>9} {:>10} {:>10} {:>9}",
+                "method", "opt read", "opt write", "grad read", "grad write", "param up"
+            );
+            for r in &rows {
+                println!(
+                    "{:<16} {:>8.2}M {:>8.2}M {:>9.2}M {:>9.2}M {:>8.2}M",
+                    r.method, r.opt_read_m, r.opt_write_m, r.grad_read_m, r.grad_write_m, r.param_up_m
+                );
+            }
+            println!();
+            write_json(json, id, &rows);
+        }
+        "tab3" => {
+            let rows = harness::tab3();
+            println!("Table III: FPGA resource utilisation (KU15P)");
+            println!("{:<16} {:>8} {:>8} {:>8} {:>8}", "module", "LUT%", "BRAM%", "URAM%", "DSP%");
+            for r in &rows {
+                println!(
+                    "{:<16} {:>7.2} {:>8.2} {:>8.2} {:>8.2}",
+                    r.module, r.lut_pct, r.bram_pct, r.uram_pct, r.dsp_pct
+                );
+            }
+            println!();
+            write_json(json, id, &rows);
+        }
+        "fig9" => {
+            let rows = harness::fig9();
+            println!(
+                "{}",
+                harness::render_breakdown("Figure 9: ablation ladder (GPT-2 / BERT, 6 & 10 SSDs)", &rows)
+            );
+            write_json(json, id, &rows);
+        }
+        "fig10" => {
+            let rows = harness::fig10();
+            println!(
+                "{}",
+                harness::render_breakdown("Figure 10: larger models (16.6B - 33.0B)", &rows)
+            );
+            write_json(json, id, &rows);
+        }
+        "fig11" => {
+            let points = harness::fig11a();
+            println!("Figure 11(a): scalability with #CSDs (normalised to 1-SSD baseline)");
+            println!("{:<8} {:<12} {:>6} {:>10}", "GPU", "method", "#SSDs", "speedup");
+            for p in &points {
+                println!(
+                    "{:<8} {:<12} {:>6} {:>9.2}x",
+                    p.gpu, p.method, p.num_devices, p.normalized_speedup
+                );
+            }
+            println!();
+            let rows = harness::fig11b();
+            println!("{}", harness::render_breakdown("Figure 11(b): breakdown at 10 SSDs", &rows));
+            write_json(json, "fig11a", &points);
+            write_json(json, "fig11b", &rows);
+        }
+        "fig12" => {
+            let rows = harness::fig12();
+            println!("{}", harness::render_breakdown("Figure 12: other optimizers (SGD, AdaGrad)", &rows));
+            write_json(json, id, &rows);
+        }
+        "fig13" => {
+            let rows = harness::fig13();
+            println!("{}", harness::render_breakdown("Figure 13: BLOOM and ViT", &rows));
+            write_json(json, id, &rows);
+        }
+        "fig14" => {
+            let rows = harness::fig14();
+            println!("Figure 14: kernel throughput vs SSD bandwidth (GB/s)");
+            println!(
+                "{:<12} {:>9} {:>14} {:>9} {:>9}",
+                "model", "updater", "decomp+update", "SSD read", "SSD write"
+            );
+            for r in &rows {
+                println!(
+                    "{:<12} {:>9.2} {:>14.2} {:>9.2} {:>9.2}",
+                    r.model, r.updater_gbps, r.decompress_update_gbps, r.ssd_read_gbps, r.ssd_write_gbps
+                );
+            }
+            println!();
+            write_json(json, id, &rows);
+        }
+        "fig15" => {
+            let points = harness::fig15();
+            println!("Figure 15: cost efficiency (GFLOPS/$), GPT-2 4.0B");
+            println!("{:<8} {:<10} {:>6} {:>12}", "GPU", "method", "#SSDs", "GFLOPS/$");
+            for p in &points {
+                println!(
+                    "{:<8} {:<10} {:>6} {:>12.4}",
+                    p.gpu, p.method, p.num_devices, p.gflops_per_dollar
+                );
+            }
+            println!();
+            write_json(json, id, &points);
+        }
+        "tab4" => {
+            let epochs = if quick { 1 } else { 3 };
+            let rows = harness::tab4(epochs);
+            println!("Table IV: fine-tuning accuracy (GLUE-like suite) and speedup (#SSDs=6)");
+            println!(
+                "{:<12} {:<16} {:>8} {:>10} {:>9} {:>10} {:>10}",
+                "model", "method", "speedup", "MNLI-like", "QQP-like", "SST2-like", "QNLI-like"
+            );
+            for r in &rows {
+                println!(
+                    "{:<12} {:<16} {:>7.2}x {:>9.2} {:>9.2} {:>10.2} {:>10.2}",
+                    r.model,
+                    r.method,
+                    r.speedup,
+                    r.accuracies_pct[0],
+                    r.accuracies_pct[1],
+                    r.accuracies_pct[2],
+                    r.accuracies_pct[3]
+                );
+            }
+            println!();
+            write_json(json, id, &rows);
+        }
+        "fig16" => {
+            let points = harness::fig16();
+            println!("Figure 16: iteration-time sensitivity to compression ratio");
+            println!("{:<12} {:>6} {:<8} {:>10}", "model", "#SSDs", "ratio", "time (s)");
+            for p in &points {
+                println!("{:<12} {:>6} {:<8} {:>10.2}", p.model, p.num_devices, p.setting, p.total_s);
+            }
+            println!();
+            write_json(json, id, &points);
+        }
+        "fig17" => {
+            let rows = harness::fig17();
+            println!(
+                "{}",
+                harness::render_breakdown(
+                    "Figure 17: congested multi-GPU topology (GPT-2 1.16B, 10 CSDs)",
+                    &rows
+                )
+            );
+            write_json(json, id, &rows);
+        }
+        other => {
+            eprintln!("unknown experiment id: {other}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! The timed Smart-Infinity engine: SmartUpdate, the internal data-transfer
+//! handler and SmartComp on the discrete-event platform.
+
+use llm::Workload;
+use optim::OptimizerKind;
+use serde::{Deserialize, Serialize};
+use simkit::{PhaseId, SimError, TaskId};
+use tensorlib::{Chunker, Partitioner};
+use ztrain::{build_backward_compute, build_forward, IterationReport, MachineConfig, TimedPlatform};
+
+/// How the CSD-internal data transfer handler schedules tasklets
+/// (paper Section IV-B, Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HandlerMode {
+    /// Naive: each subgroup's load → update → write-back → upstream runs
+    /// strictly sequentially, because a fresh device buffer is allocated per
+    /// tasklet and must be released before the next one starts.
+    Naive,
+    /// Optimized: buffers are pre-allocated once and reused. The next
+    /// subgroup's load starts as soon as the previous update finishes, the
+    /// parameter write-back (urgent) proceeds immediately, and the remaining
+    /// optimizer-state write-back is deferred and overlapped.
+    Optimized,
+}
+
+/// The timed model of a Smart-Infinity training iteration.
+///
+/// Construct with [`SmartInfinityEngine::new`], optionally select the naive
+/// handler or enable SmartComp, then call
+/// [`simulate_iteration`](SmartInfinityEngine::simulate_iteration).
+#[derive(Debug, Clone)]
+pub struct SmartInfinityEngine {
+    machine: MachineConfig,
+    workload: Workload,
+    optimizer: OptimizerKind,
+    handler: HandlerMode,
+    /// Top-K keep ratio when SmartComp is enabled.
+    keep_ratio: Option<f64>,
+    /// Maximum number of parameters per FPGA subgroup (tasklet).
+    subgroup_elems: usize,
+}
+
+impl SmartInfinityEngine {
+    /// Default subgroup capacity: the largest parameter count whose working
+    /// set (gradient + master + momentum + variance, 20 B/param with the FP16
+    /// copy) fits comfortably in the SmartSSD's 4 GB FPGA DRAM.
+    pub const DEFAULT_SUBGROUP_ELEMS: usize = 100_000_000;
+
+    /// Per-tasklet overhead of the naive handler: OpenCL buffer allocation,
+    /// registration for P2P and kernel launch before any byte can move
+    /// (eliminated by the pre-allocating optimized handler).
+    pub const NAIVE_TASKLET_OVERHEAD_S: f64 = 0.02;
+
+    /// Creates an engine with the optimized handler and no compression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine's storage devices are not CSDs.
+    pub fn new(machine: MachineConfig, workload: Workload, optimizer: OptimizerKind) -> Self {
+        assert!(machine.is_csd(), "Smart-Infinity requires CSD storage devices");
+        Self {
+            machine,
+            workload,
+            optimizer,
+            handler: HandlerMode::Optimized,
+            keep_ratio: None,
+            subgroup_elems: Self::DEFAULT_SUBGROUP_ELEMS,
+        }
+    }
+
+    /// Selects the handler mode (naive corresponds to the paper's plain "SU").
+    pub fn with_handler(mut self, handler: HandlerMode) -> Self {
+        self.handler = handler;
+        self
+    }
+
+    /// Enables SmartComp with the given Top-K keep ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep_ratio` is not in `(0, 1]`.
+    pub fn with_compression(mut self, keep_ratio: f64) -> Self {
+        assert!(keep_ratio > 0.0 && keep_ratio <= 1.0, "keep ratio must be in (0, 1]");
+        self.keep_ratio = Some(keep_ratio);
+        self
+    }
+
+    /// Overrides the subgroup (tasklet) capacity in parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elems` is zero.
+    pub fn with_subgroup_elems(mut self, elems: usize) -> Self {
+        assert!(elems > 0, "subgroup capacity must be positive");
+        self.subgroup_elems = elems;
+        self
+    }
+
+    /// The machine description.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// The workload description.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The handler mode in use.
+    pub fn handler(&self) -> HandlerMode {
+        self.handler
+    }
+
+    /// The SmartComp keep ratio, if compression is enabled.
+    pub fn keep_ratio(&self) -> Option<f64> {
+        self.keep_ratio
+    }
+
+    /// Simulates one training iteration and returns the phase breakdown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the simulation kernel.
+    pub fn simulate_iteration(&self) -> Result<IterationReport, SimError> {
+        let mut plat = TimedPlatform::new(&self.machine);
+        let fw_phase = plat.add_phase("forward");
+        let bw_phase = plat.add_phase("backward+grad_offload");
+        let up_phase = plat.add_phase("update+opt_transfer");
+
+        let fw_end = build_forward(&mut plat, &self.workload, fw_phase, &[]);
+        let bw_end = self.build_backward_with_csd_offload(&mut plat, bw_phase, &[fw_end]);
+        let up_end = self.build_smart_update(&mut plat, up_phase, &[bw_end]);
+
+        let timeline = plat.run()?;
+        let t_fw = timeline.finish_time(fw_end);
+        let t_bw = timeline.finish_time(bw_end);
+        let t_up = timeline.finish_time(up_end);
+        Ok(IterationReport::new(t_fw, t_bw - t_fw, t_up - t_bw))
+    }
+
+    /// Fraction of the dense gradient volume that crosses the interconnect
+    /// during gradient offload (1.0 without SmartComp, `2·keep_ratio` with it).
+    fn gradient_transfer_ratio(&self) -> f64 {
+        self.keep_ratio.map_or(1.0, |k| (2.0 * k).min(1.0))
+    }
+
+    /// Backward pass with gradient offload to the owner CSDs. With SmartComp
+    /// the GPU first compresses each block's gradients (a GPU compute task)
+    /// and only the compressed stream is offloaded.
+    fn build_backward_with_csd_offload(
+        &self,
+        plat: &mut TimedPlatform,
+        phase: PhaseId,
+        deps: &[TaskId],
+    ) -> TaskId {
+        let compute_end = build_backward_compute(plat, &self.workload, phase, deps);
+        let n_dev = plat.num_devices();
+        let transfer_ratio = self.gradient_transfer_ratio();
+        let blocks = self.workload.block_bytes_fp16();
+        let mut prev: Option<TaskId> = None;
+        let mut all = vec![compute_end];
+        for block_m in blocks {
+            let block_m = block_m as f64;
+            let dense_grad_bytes = 2.0 * block_m;
+            let mut stage_deps: Vec<TaskId> = deps.to_vec();
+            if let Some(p) = prev {
+                stage_deps.push(p);
+            }
+            // SmartComp: sort/select on the GPU before offloading. The cost is
+            // modelled as a few extra passes over the block's gradients at the
+            // GPU's effective throughput.
+            let stage_src = if self.keep_ratio.is_some() {
+                let sort_flops = 16.0 * (block_m / 2.0);
+                let compress = plat.gpu_compute(0, sort_flops, &stage_deps, phase);
+                plat.gpu_to_host(0, block_m * transfer_ratio.max(0.02), &[compress], phase)
+            } else {
+                plat.gpu_to_host(0, block_m, &stage_deps, phase)
+            };
+            // The (possibly compressed) gradients are scattered to the CSDs
+            // that own the corresponding flattened parameters.
+            let writes: Vec<TaskId> = (0..n_dev)
+                .map(|d| {
+                    plat.host_to_ssd(
+                        d,
+                        dense_grad_bytes * transfer_ratio / n_dev as f64,
+                        &[stage_src],
+                        phase,
+                    )
+                })
+                .collect();
+            let done = plat.barrier(&writes);
+            prev = Some(done);
+            all.push(done);
+        }
+        plat.barrier(&all)
+    }
+
+    /// The SmartUpdate phase: every CSD updates its shard of the flattened
+    /// parameters subgroup by subgroup using CSD-internal P2P transfers, and
+    /// streams the refreshed FP16 parameters upstream to host memory.
+    fn build_smart_update(
+        &self,
+        plat: &mut TimedPlatform,
+        phase: PhaseId,
+        deps: &[TaskId],
+    ) -> TaskId {
+        let n_dev = plat.num_devices();
+        let total_params = self.workload.model().num_params() as usize;
+        let partitioner = Partitioner::contiguous(total_params, n_dev);
+        let state_bytes_per_param = self.optimizer.state_bytes_per_param() as f64;
+        let transfer_ratio = self.gradient_transfer_ratio();
+        let mut phase_end_tasks: Vec<TaskId> = Vec::new();
+
+        for dev in 0..n_dev {
+            let shard = partitioner.shard(dev);
+            if shard.len == 0 {
+                continue;
+            }
+            let chunker = Chunker::new(shard.len, self.subgroup_elems);
+            let mut prev_update: Option<TaskId> = None;
+            let mut prev_chain_end: Option<TaskId> = None;
+            for subgroup in chunker.subgroups() {
+                let elems = subgroup.len as f64;
+                let state_bytes = elems * state_bytes_per_param;
+                let grad_load_bytes = elems * 4.0 * transfer_ratio;
+                let dense_grad_bytes = elems * 4.0;
+                let param_writeback_bytes = elems * 4.0; // FP32 master copy (urgent)
+                let deferred_state_bytes = state_bytes - param_writeback_bytes; // momentum, variance, ...
+                let upstream_bytes = elems * 2.0; // FP16 parameters to host memory
+
+                // When can this subgroup's load start?
+                let mut load_deps: Vec<TaskId> = deps.to_vec();
+                match self.handler {
+                    HandlerMode::Optimized => {
+                        // Buffer reuse: load as soon as the previous update freed the buffers.
+                        if let Some(p) = prev_update {
+                            load_deps.push(p);
+                        }
+                    }
+                    HandlerMode::Naive => {
+                        // Fresh buffers per tasklet: wait for the whole previous
+                        // chain to drain, then pay the device-buffer
+                        // (re)allocation and kernel-launch overhead.
+                        let mut alloc_deps: Vec<TaskId> = deps.to_vec();
+                        if let Some(p) = prev_chain_end {
+                            alloc_deps.push(p);
+                        }
+                        let alloc =
+                            plat.delay(Self::NAIVE_TASKLET_OVERHEAD_S, &alloc_deps, phase);
+                        load_deps.push(alloc);
+                    }
+                }
+
+                // 1. P2P load of gradients + optimizer states (SSD -> FPGA).
+                let load =
+                    plat.ssd_to_fpga(dev, state_bytes + grad_load_bytes, &load_deps, phase);
+                // 2. Decompression (SmartComp only), then the update kernel.
+                let update_dep = if self.keep_ratio.is_some() {
+                    plat.fpga_decompress(dev, dense_grad_bytes, &[load], phase)
+                } else {
+                    load
+                };
+                let update = plat.fpga_update(
+                    dev,
+                    state_bytes + dense_grad_bytes,
+                    &[update_dep],
+                    phase,
+                );
+                // 3. Urgent write-back of the parameters, then upstream to host.
+                let wb_param = plat.fpga_to_ssd(dev, param_writeback_bytes, &[update], phase);
+                let upstream = plat.ssd_to_host(dev, upstream_bytes, &[wb_param], phase);
+                // 4. Deferred write-back of the remaining optimizer states.
+                let wb_state_deps = match self.handler {
+                    HandlerMode::Optimized => vec![update],
+                    HandlerMode::Naive => vec![wb_param],
+                };
+                let wb_state = plat.fpga_to_ssd(dev, deferred_state_bytes, &wb_state_deps, phase);
+
+                let chain_end = plat.barrier(&[upstream, wb_state]);
+                prev_update = Some(update);
+                prev_chain_end = Some(chain_end);
+                phase_end_tasks.push(chain_end);
+            }
+        }
+        plat.barrier(&phase_end_tasks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm::ModelConfig;
+    use ztrain::BaselineEngine;
+
+    fn workload() -> Workload {
+        Workload::paper_default(ModelConfig::gpt2_4b())
+    }
+
+    fn engine(n_csds: usize) -> SmartInfinityEngine {
+        SmartInfinityEngine::new(MachineConfig::smart_infinity(n_csds), workload(), OptimizerKind::Adam)
+    }
+
+    #[test]
+    #[should_panic(expected = "requires CSD storage")]
+    fn plain_ssd_machine_is_rejected() {
+        SmartInfinityEngine::new(MachineConfig::baseline_raid0(4), workload(), OptimizerKind::Adam);
+    }
+
+    #[test]
+    fn builders_record_configuration() {
+        let e = engine(4)
+            .with_handler(HandlerMode::Naive)
+            .with_compression(0.05);
+        assert_eq!(e.handler(), HandlerMode::Naive);
+        assert_eq!(e.keep_ratio(), Some(0.05));
+        assert_eq!(e.machine().num_devices, 4);
+        assert_eq!(e.workload().batch_size(), 4);
+    }
+
+    #[test]
+    fn optimized_handler_is_at_least_as_fast_as_naive() {
+        let naive = engine(6).with_handler(HandlerMode::Naive).simulate_iteration().unwrap();
+        let optimized =
+            engine(6).with_handler(HandlerMode::Optimized).simulate_iteration().unwrap();
+        assert!(optimized.update_s <= naive.update_s * 1.001);
+        assert!(optimized.update_s < naive.update_s, "overlap must buy something");
+    }
+
+    #[test]
+    fn compression_shrinks_the_backward_offload() {
+        let plain = engine(10).simulate_iteration().unwrap();
+        let compressed = engine(10).with_compression(0.01).simulate_iteration().unwrap();
+        assert!(compressed.backward_s < plain.backward_s);
+        assert!(compressed.total_s() < plain.total_s());
+    }
+
+    #[test]
+    fn smart_infinity_scales_with_csds_while_baseline_does_not() {
+        let total = |n: usize| engine(n).simulate_iteration().unwrap().total_s();
+        let t2 = total(2);
+        let t4 = total(4);
+        let t8 = total(8);
+        assert!(t2 / t4 > 1.25, "2 -> 4 CSDs: {t2:.2} vs {t4:.2}");
+        assert!(t4 / t8 > 1.15, "4 -> 8 CSDs: {t4:.2} vs {t8:.2}");
+    }
+
+    #[test]
+    fn single_csd_is_not_faster_than_the_single_ssd_baseline() {
+        // Paper Section VII-E: with one CSD there is no aggregate-bandwidth
+        // benefit and a slight slowdown is expected.
+        let base = BaselineEngine::new(MachineConfig::baseline_raid0(1), workload(), OptimizerKind::Adam)
+            .simulate_iteration()
+            .unwrap();
+        let smart = engine(1).simulate_iteration().unwrap();
+        let speedup = smart.speedup_over(&base);
+        assert!(speedup <= 1.02, "single-CSD speedup should not exceed ~1x, got {speedup:.2}");
+        assert!(speedup > 0.6, "the slowdown should be bounded, got {speedup:.2}");
+    }
+
+    #[test]
+    fn update_phase_no_longer_dominates_with_many_csds() {
+        let report = engine(10).with_compression(0.01).simulate_iteration().unwrap();
+        assert!(
+            report.update_fraction() < 0.7,
+            "update should no longer take >70% of the iteration, got {:.2}",
+            report.update_fraction()
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! The experiment front-end: the paper's method ladder and sweep helpers used
+//! by the benchmark harness, the examples and the integration tests.
+
+use crate::engine_timed::{HandlerMode, SmartInfinityEngine};
+use fabric::StorageKind;
+use llm::Workload;
+use optim::OptimizerKind;
+use serde::{Deserialize, Serialize};
+use simkit::SimError;
+use ztrain::{BaselineEngine, IterationReport, MachineConfig};
+
+/// The methods compared throughout the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Method {
+    /// `BASE`: ZeRO-Infinity with software RAID0 and CPU updates.
+    Baseline,
+    /// `SU`: SmartUpdate with the naive per-tasklet buffer handling.
+    SmartUpdate,
+    /// `SU+O`: SmartUpdate with the optimized internal data transfer handler.
+    SmartUpdateOptimized,
+    /// `SU+O+C`: optimized SmartUpdate plus SmartComp gradient compression.
+    SmartComp {
+        /// Fraction of gradient elements kept by the Top-K selection
+        /// (the paper's default is 0.01, i.e. a "2%" transfer ratio).
+        keep_ratio: f64,
+    },
+}
+
+impl Method {
+    /// The label used in the paper's figures.
+    pub fn label(&self) -> String {
+        match self {
+            Method::Baseline => "BASE".to_string(),
+            Method::SmartUpdate => "SU".to_string(),
+            Method::SmartUpdateOptimized => "SU+O".to_string(),
+            Method::SmartComp { keep_ratio } => {
+                format!("SU+O+C({}%)", (keep_ratio * 2.0 * 100.0).round())
+            }
+        }
+    }
+
+    /// The paper's default ablation ladder: BASE, SU, SU+O, SU+O+C (2%).
+    pub fn ladder() -> Vec<Method> {
+        vec![
+            Method::Baseline,
+            Method::SmartUpdate,
+            Method::SmartUpdateOptimized,
+            Method::SmartComp { keep_ratio: 0.01 },
+        ]
+    }
+}
+
+/// One method's result within an experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodReport {
+    /// The method's figure label.
+    pub label: String,
+    /// The per-phase breakdown.
+    pub report: IterationReport,
+    /// Speedup over the experiment's baseline.
+    pub speedup: f64,
+}
+
+/// A single experimental setting: one machine and one workload.
+///
+/// The baseline always runs against the same number of storage devices as
+/// Smart-Infinity, using them as plain RAID0 SSDs (the paper uses the NVMe
+/// SSD inside each SmartSSD for its baseline, so the device count and media
+/// bandwidths are identical by construction).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Experiment {
+    /// The machine configuration (storage devices are treated as CSDs for
+    /// Smart-Infinity methods and as plain SSDs for the baseline).
+    pub machine: MachineConfig,
+    /// The training workload.
+    pub workload: Workload,
+    /// The optimizer (Adam unless overridden).
+    pub optimizer: OptimizerKind,
+    /// Subgroup (tasklet) capacity override for the Smart-Infinity engines.
+    pub subgroup_elems: usize,
+}
+
+impl Experiment {
+    /// Creates an experiment with the Adam optimizer.
+    pub fn new(machine: MachineConfig, workload: Workload) -> Self {
+        Self {
+            machine,
+            workload,
+            optimizer: OptimizerKind::Adam,
+            subgroup_elems: SmartInfinityEngine::DEFAULT_SUBGROUP_ELEMS,
+        }
+    }
+
+    /// Overrides the optimizer (Section VII-F).
+    pub fn with_optimizer(mut self, optimizer: OptimizerKind) -> Self {
+        self.optimizer = optimizer;
+        self
+    }
+
+    /// Overrides the subgroup capacity used by the Smart-Infinity engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elems` is zero.
+    pub fn with_subgroup_elems(mut self, elems: usize) -> Self {
+        assert!(elems > 0, "subgroup capacity must be positive");
+        self.subgroup_elems = elems;
+        self
+    }
+
+    fn baseline_machine(&self) -> MachineConfig {
+        MachineConfig { storage: StorageKind::PlainSsd, ..self.machine.clone() }
+    }
+
+    fn smart_machine(&self) -> MachineConfig {
+        MachineConfig { storage: StorageKind::Csd, ..self.machine.clone() }
+    }
+
+    /// Simulates one iteration with the given method.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the simulation kernel.
+    pub fn run(&self, method: Method) -> Result<IterationReport, SimError> {
+        match method {
+            Method::Baseline => {
+                BaselineEngine::new(self.baseline_machine(), self.workload.clone(), self.optimizer)
+                    .simulate_iteration()
+            }
+            Method::SmartUpdate => self.smart_engine().with_handler(HandlerMode::Naive).simulate_iteration(),
+            Method::SmartUpdateOptimized => {
+                self.smart_engine().with_handler(HandlerMode::Optimized).simulate_iteration()
+            }
+            Method::SmartComp { keep_ratio } => self
+                .smart_engine()
+                .with_handler(HandlerMode::Optimized)
+                .with_compression(keep_ratio)
+                .simulate_iteration(),
+        }
+    }
+
+    fn smart_engine(&self) -> SmartInfinityEngine {
+        SmartInfinityEngine::new(self.smart_machine(), self.workload.clone(), self.optimizer)
+            .with_subgroup_elems(self.subgroup_elems)
+    }
+
+    /// Runs a list of methods and reports each with its speedup over the first
+    /// ([`Method::Baseline`] in the standard ladder).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the simulation kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `methods` is empty.
+    pub fn compare(&self, methods: &[Method]) -> Result<Vec<MethodReport>, SimError> {
+        assert!(!methods.is_empty(), "at least one method is required");
+        let baseline = self.run(methods[0])?;
+        methods
+            .iter()
+            .map(|&m| {
+                let report = self.run(m)?;
+                Ok(MethodReport {
+                    label: m.label(),
+                    speedup: report.speedup_over(&baseline),
+                    report,
+                })
+            })
+            .collect()
+    }
+
+    /// Convenience: the full paper ladder (BASE / SU / SU+O / SU+O+C at 2%).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the simulation kernel.
+    pub fn ladder(&self) -> Result<Vec<MethodReport>, SimError> {
+        self.compare(&Method::ladder())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm::ModelConfig;
+
+    fn experiment(n: usize) -> Experiment {
+        Experiment::new(
+            MachineConfig::smart_infinity(n),
+            Workload::paper_default(ModelConfig::gpt2_4b()),
+        )
+    }
+
+    #[test]
+    fn labels_match_the_paper() {
+        assert_eq!(Method::Baseline.label(), "BASE");
+        assert_eq!(Method::SmartUpdate.label(), "SU");
+        assert_eq!(Method::SmartUpdateOptimized.label(), "SU+O");
+        assert_eq!(Method::SmartComp { keep_ratio: 0.01 }.label(), "SU+O+C(2%)");
+        assert_eq!(Method::ladder().len(), 4);
+    }
+
+    #[test]
+    fn ladder_reports_baseline_speedup_of_one() {
+        let reports = experiment(6).ladder().unwrap();
+        assert_eq!(reports.len(), 4);
+        assert!((reports[0].speedup - 1.0).abs() < 1e-9);
+        assert!(reports.iter().skip(1).all(|r| r.speedup > 1.0));
+    }
+
+    #[test]
+    fn optimizer_override_affects_the_baseline_state_volume() {
+        let adam = experiment(6).run(Method::Baseline).unwrap();
+        let sgd = experiment(6).with_optimizer(OptimizerKind::SgdMomentum).run(Method::Baseline).unwrap();
+        assert!(sgd.update_s < adam.update_s);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one method")]
+    fn empty_compare_panics() {
+        let _ = experiment(2).compare(&[]);
+    }
+}

@@ -1,0 +1,492 @@
+//! The assembled SmartSSD device: SSD + FPGA DRAM + kernels + internal P2P
+//! traffic accounting.
+
+use crate::decompressor::Decompressor;
+use crate::dram::{DeviceDram, DramError};
+use crate::updater::Updater;
+use gradcomp::CompressedGradient;
+use optim::Optimizer;
+use serde::{Deserialize, Serialize};
+use ssd::{SsdDevice, SsdError};
+use std::error::Error;
+use std::fmt;
+use tensorlib::{Dtype, FlatTensor};
+
+/// Errors produced by the functional CSD update path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CsdError {
+    /// An SSD operation failed.
+    Ssd(SsdError),
+    /// The FPGA device memory could not hold the working set.
+    Dram(DramError),
+    /// A shard was used before its optimizer state was initialised.
+    MissingShard {
+        /// The shard name.
+        shard: String,
+    },
+}
+
+impl fmt::Display for CsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsdError::Ssd(e) => write!(f, "ssd error: {e}"),
+            CsdError::Dram(e) => write!(f, "device memory error: {e}"),
+            CsdError::MissingShard { shard } => {
+                write!(f, "shard {shard} has no initialised optimizer state")
+            }
+        }
+    }
+}
+
+impl Error for CsdError {}
+
+impl From<SsdError> for CsdError {
+    fn from(e: SsdError) -> Self {
+        CsdError::Ssd(e)
+    }
+}
+
+impl From<DramError> for CsdError {
+    fn from(e: DramError) -> Self {
+        CsdError::Dram(e)
+    }
+}
+
+/// Internal peer-to-peer traffic counters of one CSD.
+///
+/// These are the bytes that cross the CSD-internal switch (SSD ↔ FPGA) and
+/// therefore *not* the shared system interconnect — the quantity whose
+/// aggregate bandwidth scales linearly with the number of CSDs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsdTrafficStats {
+    /// Bytes read from the SSD into the FPGA over the internal switch.
+    pub p2p_read_bytes: u64,
+    /// Bytes written from the FPGA back to the SSD over the internal switch.
+    pub p2p_write_bytes: u64,
+    /// Number of subgroup updates executed by the updater kernel.
+    pub updates_run: u64,
+    /// Total parameters updated.
+    pub elements_updated: u64,
+}
+
+/// One subgroup-update request against a [`CsdDevice`].
+#[derive(Debug, Clone, Copy)]
+pub struct SubgroupUpdate<'a> {
+    /// Name of the parameter shard owned by this device.
+    pub shard: &'a str,
+    /// Element offset of the subgroup within the shard.
+    pub offset: usize,
+    /// Number of elements in the subgroup.
+    pub len: usize,
+    /// The optimizer to apply.
+    pub optimizer: Optimizer,
+    /// 1-based global step count (Adam bias correction).
+    pub step: u64,
+    /// If present, the shard's gradients arrive compressed and the FPGA
+    /// decompressor reconstructs the subgroup's dense gradient from it;
+    /// otherwise the dense gradient region on the SSD is read.
+    pub compressed: Option<&'a CompressedGradient>,
+}
+
+/// A SmartSSD: NVMe SSD, FPGA device memory and the updater/decompressor
+/// kernels, connected by an internal PCIe switch.
+#[derive(Debug, Clone)]
+pub struct CsdDevice {
+    name: String,
+    ssd: SsdDevice,
+    dram: DeviceDram,
+    updater: Updater,
+    decompressor: Decompressor,
+    stats: CsdTrafficStats,
+}
+
+impl CsdDevice {
+    /// Creates a CSD with the given SSD and FPGA-DRAM capacities in bytes.
+    pub fn new(name: impl Into<String>, ssd_capacity: u64, dram_capacity: u64) -> Self {
+        let name = name.into();
+        Self {
+            ssd: SsdDevice::new(format!("{name}-ssd"), ssd_capacity),
+            dram: DeviceDram::new(dram_capacity),
+            updater: Updater::default(),
+            decompressor: Decompressor::default(),
+            stats: CsdTrafficStats::default(),
+            name,
+        }
+    }
+
+    /// A SmartSSD with its production capacities (4 TB SSD, 4 GB FPGA DRAM).
+    pub fn smartssd(name: impl Into<String>) -> Self {
+        Self::new(name, 4_000_000_000_000, 4 * (1 << 30))
+    }
+
+    /// Device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying SSD.
+    pub fn ssd(&self) -> &SsdDevice {
+        &self.ssd
+    }
+
+    /// The FPGA device memory.
+    pub fn dram(&self) -> &DeviceDram {
+        &self.dram
+    }
+
+    /// The updater kernel configuration.
+    pub fn updater(&self) -> &Updater {
+        &self.updater
+    }
+
+    /// The decompressor kernel configuration.
+    pub fn decompressor(&self) -> &Decompressor {
+        &self.decompressor
+    }
+
+    /// Internal traffic statistics.
+    pub fn stats(&self) -> CsdTrafficStats {
+        self.stats
+    }
+
+    /// Resets the internal traffic statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = CsdTrafficStats::default();
+        self.ssd.reset_stats();
+    }
+
+    fn master_region(shard: &str) -> String {
+        format!("{shard}/master")
+    }
+
+    fn aux_region(shard: &str, index: usize) -> String {
+        format!("{shard}/aux{index}")
+    }
+
+    fn grad_region(shard: &str) -> String {
+        format!("{shard}/grad")
+    }
+
+    /// Initialises a shard on this device: the FP32 master copy of the
+    /// parameters and zeroed auxiliary optimizer state, all stored on the SSD
+    /// (this is the one-time setup before training starts).
+    ///
+    /// # Errors
+    ///
+    /// Returns a capacity error if the SSD cannot hold the optimizer state.
+    pub fn store_initial_state(
+        &mut self,
+        shard: &str,
+        params: &FlatTensor,
+        optimizer: &Optimizer,
+    ) -> Result<(), CsdError> {
+        self.ssd.write_region(Self::master_region(shard), params.to_bytes(Dtype::F32))?;
+        for i in 0..optimizer.kind().num_aux() {
+            let zeros = FlatTensor::zeros(params.len());
+            self.ssd.write_region(Self::aux_region(shard, i), zeros.to_bytes(Dtype::F32))?;
+        }
+        Ok(())
+    }
+
+    /// Stores the dense FP32 gradients for a shard (the backward pass offloads
+    /// gradients to the CSD that owns the corresponding parameters).
+    ///
+    /// # Errors
+    ///
+    /// Returns a capacity error if the SSD cannot hold the gradients.
+    pub fn store_gradients(&mut self, shard: &str, grads: &FlatTensor) -> Result<(), CsdError> {
+        self.ssd.write_region(Self::grad_region(shard), grads.to_bytes(Dtype::F32))?;
+        Ok(())
+    }
+
+    /// Reads back a range of the FP32 master parameters (what gets sent
+    /// upstream to the host after the update).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsdError::MissingShard`] if the shard was never initialised.
+    pub fn load_parameters(
+        &mut self,
+        shard: &str,
+        offset: usize,
+        len: usize,
+    ) -> Result<FlatTensor, CsdError> {
+        let region = Self::master_region(shard);
+        if !self.ssd.has_region(&region) {
+            return Err(CsdError::MissingShard { shard: shard.to_string() });
+        }
+        let bytes = self.ssd.read_at(&region, offset * 4, len * 4)?;
+        Ok(FlatTensor::from_bytes(&bytes, Dtype::F32))
+    }
+
+    /// Executes one subgroup update entirely inside the CSD: P2P-load the
+    /// gradients and optimizer state from the SSD into FPGA memory, run the
+    /// decompressor (if the gradients are compressed) and the updater, then
+    /// P2P-write the new state back to the SSD.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsdError::MissingShard`] if the shard is uninitialised,
+    /// [`CsdError::Dram`] if the working set does not fit in device memory,
+    /// or an [`CsdError::Ssd`] error for out-of-range accesses.
+    pub fn update_subgroup(&mut self, request: SubgroupUpdate<'_>) -> Result<(), CsdError> {
+        let SubgroupUpdate { shard, offset, len, optimizer, step, compressed } = request;
+        let master_region = Self::master_region(shard);
+        if !self.ssd.has_region(&master_region) {
+            return Err(CsdError::MissingShard { shard: shard.to_string() });
+        }
+        let num_aux = optimizer.kind().num_aux();
+        let subgroup_bytes = (len * 4) as u64;
+
+        // Allocate the working-set buffers in FPGA DRAM (gradient + master +
+        // every auxiliary state tensor).
+        let mut buffers = Vec::with_capacity(2 + num_aux);
+        buffers.push(self.dram.allocate(format!("{shard}/grad-buf"), subgroup_bytes)?);
+        buffers.push(self.dram.allocate(format!("{shard}/master-buf"), subgroup_bytes)?);
+        for i in 0..num_aux {
+            buffers.push(self.dram.allocate(format!("{shard}/aux{i}-buf"), subgroup_bytes)?);
+        }
+        let result = self.update_subgroup_inner(
+            shard, offset, len, optimizer, step, compressed,
+        );
+        for buf in buffers {
+            // Freeing a buffer we just allocated cannot fail.
+            self.dram.free(buf).expect("freshly allocated buffer must be live");
+        }
+        result
+    }
+
+    fn update_subgroup_inner(
+        &mut self,
+        shard: &str,
+        offset: usize,
+        len: usize,
+        optimizer: Optimizer,
+        step: u64,
+        compressed: Option<&CompressedGradient>,
+    ) -> Result<(), CsdError> {
+        let num_aux = optimizer.kind().num_aux();
+        let byte_off = offset * 4;
+        let byte_len = len * 4;
+
+        // 1. P2P load: master copy and auxiliary states.
+        let master_bytes = self.ssd.read_at(&Self::master_region(shard), byte_off, byte_len)?;
+        let mut master = FlatTensor::from_bytes(&master_bytes, Dtype::F32);
+        self.stats.p2p_read_bytes += byte_len as u64;
+        let mut aux = Vec::with_capacity(num_aux);
+        for i in 0..num_aux {
+            let bytes = self.ssd.read_at(&Self::aux_region(shard, i), byte_off, byte_len)?;
+            aux.push(FlatTensor::from_bytes(&bytes, Dtype::F32));
+            self.stats.p2p_read_bytes += byte_len as u64;
+        }
+
+        // 2. Gradients: either decompress the compressed stream or load dense.
+        let grads = match compressed {
+            Some(c) => {
+                let mut buf = vec![0.0f32; len];
+                self.decompressor.decompress_subgroup(c, offset, &mut buf);
+                // Only the subgroup's share of the compressed stream crosses the switch.
+                let share = if c.original_len() == 0 {
+                    0
+                } else {
+                    (c.compressed_bytes() as u128 * len as u128 / c.original_len() as u128) as u64
+                };
+                self.stats.p2p_read_bytes += share;
+                FlatTensor::from_vec(buf)
+            }
+            None => {
+                let bytes = self.ssd.read_at(&Self::grad_region(shard), byte_off, byte_len)?;
+                self.stats.p2p_read_bytes += byte_len as u64;
+                FlatTensor::from_bytes(&bytes, Dtype::F32)
+            }
+        };
+
+        // 3. Update on the FPGA.
+        self.updater.run(&optimizer, master.as_mut_slice(), &grads, &mut aux, step);
+        self.stats.updates_run += 1;
+        self.stats.elements_updated += len as u64;
+
+        // 4. P2P write-back: master first (needed upstream), then auxiliaries.
+        self.ssd.write_at(&Self::master_region(shard), byte_off, &master.to_bytes(Dtype::F32))?;
+        self.stats.p2p_write_bytes += byte_len as u64;
+        for (i, aux_tensor) in aux.iter().enumerate() {
+            self.ssd.write_at(
+                &Self::aux_region(shard, i),
+                byte_off,
+                &aux_tensor.to_bytes(Dtype::F32),
+            )?;
+            self.stats.p2p_write_bytes += byte_len as u64;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gradcomp::Compressor;
+    use optim::{HyperParams, OptimizerKind};
+
+    fn device() -> CsdDevice {
+        CsdDevice::new("csd0", 1 << 26, 1 << 22)
+    }
+
+    #[test]
+    fn accessors_and_constructors() {
+        let csd = CsdDevice::smartssd("csd7");
+        assert_eq!(csd.name(), "csd7");
+        assert_eq!(csd.dram().capacity(), 4 * (1 << 30));
+        assert_eq!(csd.ssd().capacity(), 4_000_000_000_000);
+        assert_eq!(csd.stats(), CsdTrafficStats::default());
+        assert!(csd.updater().num_pes > 0);
+        assert!(csd.decompressor().chunk_pairs > 0);
+    }
+
+    #[test]
+    fn update_on_uninitialised_shard_fails() {
+        let mut csd = device();
+        let err = csd
+            .update_subgroup(SubgroupUpdate {
+                shard: "nope",
+                offset: 0,
+                len: 16,
+                optimizer: Optimizer::adam_default(),
+                step: 1,
+                compressed: None,
+            })
+            .unwrap_err();
+        assert!(matches!(err, CsdError::MissingShard { .. }));
+        assert!(csd.load_parameters("nope", 0, 1).is_err());
+    }
+
+    #[test]
+    fn multi_subgroup_update_matches_single_host_update() {
+        let n = 1000;
+        let optimizer = Optimizer::new(OptimizerKind::AdamW, HyperParams::default());
+        let params = FlatTensor::randn(n, 0.02, 9);
+        let grads = FlatTensor::randn(n, 0.01, 10);
+
+        let mut host_params = params.clone();
+        let mut host_aux = optimizer.init_aux(n);
+        optimizer.step(host_params.as_mut_slice(), &grads, &mut host_aux, 1);
+
+        let mut csd = device();
+        csd.store_initial_state("s", &params, &optimizer).unwrap();
+        csd.store_gradients("s", &grads).unwrap();
+        // Process in three uneven subgroups, as the tasklet chunker would.
+        for (offset, len) in [(0usize, 400usize), (400, 350), (750, 250)] {
+            csd.update_subgroup(SubgroupUpdate {
+                shard: "s",
+                offset,
+                len,
+                optimizer,
+                step: 1,
+                compressed: None,
+            })
+            .unwrap();
+        }
+        let updated = csd.load_parameters("s", 0, n).unwrap();
+        assert_eq!(updated.as_slice(), host_params.as_slice());
+        let stats = csd.stats();
+        assert_eq!(stats.updates_run, 3);
+        assert_eq!(stats.elements_updated, n as u64);
+        // Adam: read grad + master + 2 aux = 16 B/elem, write master + 2 aux = 12 B/elem.
+        assert_eq!(stats.p2p_read_bytes, 16 * n as u64);
+        assert_eq!(stats.p2p_write_bytes, 12 * n as u64);
+    }
+
+    #[test]
+    fn compressed_update_matches_decompressed_dense_update() {
+        let n = 2048;
+        let optimizer = Optimizer::adam_default();
+        let params = FlatTensor::randn(n, 0.02, 21);
+        let grads = FlatTensor::randn(n, 0.01, 22);
+        let compressed = Compressor::top_k(0.05).compress(&grads);
+        let dense_equivalent = compressed.decompress();
+
+        // Reference: host update using the *decompressed* gradients.
+        let mut host_params = params.clone();
+        let mut host_aux = optimizer.init_aux(n);
+        optimizer.step(host_params.as_mut_slice(), &dense_equivalent, &mut host_aux, 1);
+
+        let mut csd = device();
+        csd.store_initial_state("s", &params, &optimizer).unwrap();
+        csd.update_subgroup(SubgroupUpdate {
+            shard: "s",
+            offset: 0,
+            len: n,
+            optimizer,
+            step: 1,
+            compressed: Some(&compressed),
+        })
+        .unwrap();
+        let updated = csd.load_parameters("s", 0, n).unwrap();
+        assert_eq!(updated.as_slice(), host_params.as_slice());
+        // Compressed gradients move far fewer bytes over the internal switch
+        // than the dense 4·n gradient would.
+        assert!(csd.stats().p2p_read_bytes < (16 * n as u64));
+    }
+
+    #[test]
+    fn dram_capacity_limits_the_subgroup_size() {
+        // 1 KiB of device DRAM cannot hold four 4 KiB buffers.
+        let mut csd = CsdDevice::new("tiny", 1 << 26, 1024);
+        let optimizer = Optimizer::adam_default();
+        let params = FlatTensor::zeros(1024);
+        csd.store_initial_state("s", &params, &optimizer).unwrap();
+        csd.store_gradients("s", &FlatTensor::zeros(1024)).unwrap();
+        let err = csd
+            .update_subgroup(SubgroupUpdate {
+                shard: "s",
+                offset: 0,
+                len: 1024,
+                optimizer,
+                step: 1,
+                compressed: None,
+            })
+            .unwrap_err();
+        assert!(matches!(err, CsdError::Dram(DramError::OutOfMemory { .. })));
+        // No leaked buffers after the failure.
+        assert_eq!(csd.dram().used_bytes(), 0);
+        // A subgroup that fits succeeds.
+        csd.update_subgroup(SubgroupUpdate {
+            shard: "s",
+            offset: 0,
+            len: 32,
+            optimizer,
+            step: 1,
+            compressed: None,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let mut csd = device();
+        let optimizer = Optimizer::adam_default();
+        csd.store_initial_state("s", &FlatTensor::zeros(64), &optimizer).unwrap();
+        csd.store_gradients("s", &FlatTensor::zeros(64)).unwrap();
+        csd.update_subgroup(SubgroupUpdate {
+            shard: "s",
+            offset: 0,
+            len: 64,
+            optimizer,
+            step: 1,
+            compressed: None,
+        })
+        .unwrap();
+        assert!(csd.stats().p2p_read_bytes > 0);
+        csd.reset_stats();
+        assert_eq!(csd.stats(), CsdTrafficStats::default());
+    }
+
+    #[test]
+    fn error_display_and_conversions() {
+        let e: CsdError = SsdError::EmptyArray.into();
+        assert!(e.to_string().contains("ssd error"));
+        let e: CsdError = DramError::UnknownBuffer { id: 3 }.into();
+        assert!(e.to_string().contains("device memory"));
+        let e = CsdError::MissingShard { shard: "x".into() };
+        assert!(e.to_string().contains("x"));
+    }
+}

@@ -1,0 +1,386 @@
+//! Topology graph, shortest-path routing and installation into a simulation.
+
+use crate::error::FabricError;
+use serde::{Deserialize, Serialize};
+use simkit::{LinkId, Simulation};
+use std::collections::VecDeque;
+
+/// Identifier of a node (endpoint or switch) in a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Raw index of the node.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of an edge (PCIe link) in a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(usize);
+
+impl EdgeId {
+    /// Raw index of the edge.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The role a node plays in the platform. Roles are informational: routing
+/// treats every node identically, but platform builders and engines use the
+/// role to find "the GPU" or "the third SSD".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Host root complex / host memory attachment point.
+    Host,
+    /// A GPU endpoint.
+    Gpu,
+    /// A PCIe switch (expansion chassis switch or CSD-internal switch).
+    Switch,
+    /// The NVMe SSD controller endpoint of a (Smart)SSD.
+    SsdPort,
+    /// The FPGA endpoint of a computational storage device.
+    FpgaPort,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node {
+    name: String,
+    kind: NodeKind,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Edge {
+    a: NodeId,
+    b: NodeId,
+    bandwidth: f64,
+    name: String,
+}
+
+/// An undirected graph of PCIe endpoints, switches and links.
+///
+/// Links are undirected and full-duplex is *not* modeled separately: the paper's
+/// contention effects (shared uplink saturation) are per-direction dominated by
+/// one direction at a time in each training phase, so a single shared capacity
+/// per link is sufficient and conservative. Direction-specific device limits
+/// (SSD read vs. write bandwidth) are modeled by the `ssd` crate as additional
+/// media links appended to flow paths.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    adjacency: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node with the given display name and role.
+    pub fn add_node(&mut self, name: impl Into<String>, kind: NodeKind) -> NodeId {
+        self.nodes.push(Node { name: name.into(), kind });
+        self.adjacency.push(Vec::new());
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Connects two nodes with a link of `bandwidth` bytes per second.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::UnknownNode`] if either node id is invalid and
+    /// [`FabricError::InvalidEdge`] for self-loops or non-positive bandwidth.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, bandwidth: f64) -> Result<EdgeId, FabricError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if a == b {
+            return Err(FabricError::InvalidEdge { message: "self loop".into() });
+        }
+        if !(bandwidth.is_finite() && bandwidth > 0.0) {
+            return Err(FabricError::InvalidEdge {
+                message: format!("bandwidth must be positive, got {bandwidth}"),
+            });
+        }
+        let name = format!("{}<->{}", self.nodes[a.0].name, self.nodes[b.0].name);
+        self.edges.push(Edge { a, b, bandwidth, name });
+        let id = EdgeId(self.edges.len() - 1);
+        self.adjacency[a.0].push((b, id));
+        self.adjacency[b.0].push((a, id));
+        Ok(id)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Display name of a node.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.nodes[node.0].name
+    }
+
+    /// Role of a node.
+    pub fn node_kind(&self, node: NodeId) -> NodeKind {
+        self.nodes[node.0].kind
+    }
+
+    /// Bandwidth of an edge in bytes per second (per direction).
+    pub fn edge_bandwidth(&self, edge: EdgeId) -> f64 {
+        self.edges[edge.0].bandwidth
+    }
+
+    /// The two endpoints of an edge, in the order they were connected.
+    pub fn edge_endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
+        let e = &self.edges[edge.0];
+        (e.a, e.b)
+    }
+
+    /// All nodes of a given kind, in creation order.
+    pub fn nodes_of_kind(&self, kind: NodeKind) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.kind == kind)
+            .map(|(i, _)| NodeId(i))
+            .collect()
+    }
+
+    /// Shortest path (fewest hops) between two nodes, as a list of edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::UnknownNode`] for invalid ids and
+    /// [`FabricError::NoRoute`] if the nodes are disconnected.
+    pub fn route(&self, from: NodeId, to: NodeId) -> Result<Vec<EdgeId>, FabricError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        if from == to {
+            return Ok(Vec::new());
+        }
+        let mut prev: Vec<Option<(NodeId, EdgeId)>> = vec![None; self.nodes.len()];
+        let mut visited = vec![false; self.nodes.len()];
+        let mut queue = VecDeque::new();
+        visited[from.0] = true;
+        queue.push_back(from);
+        while let Some(cur) = queue.pop_front() {
+            if cur == to {
+                break;
+            }
+            for &(next, edge) in &self.adjacency[cur.0] {
+                if !visited[next.0] {
+                    visited[next.0] = true;
+                    prev[next.0] = Some((cur, edge));
+                    queue.push_back(next);
+                }
+            }
+        }
+        if !visited[to.0] {
+            return Err(FabricError::NoRoute { from: from.0, to: to.0 });
+        }
+        let mut path = Vec::new();
+        let mut cur = to;
+        while cur != from {
+            let (p, e) = prev[cur.0].expect("BFS predecessor must exist on reached node");
+            path.push(e);
+            cur = p;
+        }
+        path.reverse();
+        Ok(path)
+    }
+
+    /// Registers every edge of the topology in `sim` and returns the mapping
+    /// used to translate routes into flow paths.
+    ///
+    /// PCIe links are full duplex, so each edge is installed as *two* shared
+    /// capacities — one per direction. [`InstalledFabric::path`] picks the
+    /// directional capacity matching the traversal direction, so traffic
+    /// flowing host→SSD does not contend with traffic flowing SSD→host on the
+    /// same physical link, while same-direction transfers do share it.
+    pub fn install(&self, sim: &mut Simulation) -> InstalledFabric {
+        let links = self
+            .edges
+            .iter()
+            .map(|e| {
+                let fwd = sim.add_link(format!("{}:fwd", e.name), e.bandwidth);
+                let rev = sim.add_link(format!("{}:rev", e.name), e.bandwidth);
+                (fwd, rev)
+            })
+            .collect();
+        InstalledFabric { topology: self.clone(), links }
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), FabricError> {
+        if node.0 < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(FabricError::UnknownNode { index: node.0 })
+        }
+    }
+}
+
+/// A topology whose edges have been registered with a [`Simulation`].
+///
+/// Produced by [`Topology::install`]; translates endpoint pairs into
+/// [`simkit::LinkId`] paths suitable for [`simkit::FlowSpec`]. Every edge is
+/// backed by two directional capacities (PCIe full duplex).
+#[derive(Debug, Clone)]
+pub struct InstalledFabric {
+    topology: Topology,
+    links: Vec<(LinkId, LinkId)>,
+}
+
+impl InstalledFabric {
+    /// The shortest-hop path between two endpoints as simulation link ids,
+    /// using the directional capacity of each traversed edge that matches the
+    /// `from` → `to` direction.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Topology::route`].
+    pub fn path(&self, from: NodeId, to: NodeId) -> Result<Vec<LinkId>, FabricError> {
+        let edges = self.topology.route(from, to)?;
+        let mut current = from;
+        let mut path = Vec::with_capacity(edges.len());
+        for edge in edges {
+            let (a, b) = self.topology.edge_endpoints(edge);
+            let (fwd, rev) = self.links[edge.index()];
+            if current == a {
+                path.push(fwd);
+                current = b;
+            } else {
+                path.push(rev);
+                current = a;
+            }
+        }
+        Ok(path)
+    }
+
+    /// The pair of directional simulation links backing a topology edge
+    /// (`(a→b, b→a)` in the order the edge was connected).
+    pub fn links_of_edge(&self, edge: EdgeId) -> (LinkId, LinkId) {
+        self.links[edge.index()]
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_topology() -> (Topology, NodeId, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node("a", NodeKind::Host);
+        let b = t.add_node("b", NodeKind::Switch);
+        let c = t.add_node("c", NodeKind::SsdPort);
+        t.connect(a, b, 10.0).unwrap();
+        t.connect(b, c, 5.0).unwrap();
+        (t, a, b, c)
+    }
+
+    #[test]
+    fn route_finds_multi_hop_path() {
+        let (t, a, _b, c) = line_topology();
+        let path = t.route(a, c).unwrap();
+        assert_eq!(path.len(), 2);
+        assert_eq!(t.edge_bandwidth(path[0]), 10.0);
+        assert_eq!(t.edge_bandwidth(path[1]), 5.0);
+    }
+
+    #[test]
+    fn route_to_self_is_empty() {
+        let (t, a, _, _) = line_topology();
+        assert!(t.route(a, a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn route_prefers_fewest_hops() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", NodeKind::Host);
+        let b = t.add_node("b", NodeKind::Switch);
+        let c = t.add_node("c", NodeKind::Switch);
+        let d = t.add_node("d", NodeKind::SsdPort);
+        // Long path a-b-c-d and a direct shortcut a-d.
+        t.connect(a, b, 1.0).unwrap();
+        t.connect(b, c, 1.0).unwrap();
+        t.connect(c, d, 1.0).unwrap();
+        let direct = t.connect(a, d, 1.0).unwrap();
+        assert_eq!(t.route(a, d).unwrap(), vec![direct]);
+    }
+
+    #[test]
+    fn disconnected_nodes_have_no_route() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", NodeKind::Host);
+        let b = t.add_node("b", NodeKind::SsdPort);
+        assert_eq!(t.route(a, b), Err(FabricError::NoRoute { from: 0, to: 1 }));
+    }
+
+    #[test]
+    fn invalid_edges_are_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", NodeKind::Host);
+        let b = t.add_node("b", NodeKind::SsdPort);
+        assert!(matches!(t.connect(a, a, 1.0), Err(FabricError::InvalidEdge { .. })));
+        assert!(matches!(t.connect(a, b, 0.0), Err(FabricError::InvalidEdge { .. })));
+        assert!(matches!(t.connect(a, b, f64::NAN), Err(FabricError::InvalidEdge { .. })));
+        assert!(matches!(
+            t.connect(a, NodeId(77), 1.0),
+            Err(FabricError::UnknownNode { index: 77 })
+        ));
+    }
+
+    #[test]
+    fn nodes_of_kind_filters_by_role() {
+        let (t, _a, b, c) = line_topology();
+        assert_eq!(t.nodes_of_kind(NodeKind::Switch), vec![b]);
+        assert_eq!(t.nodes_of_kind(NodeKind::SsdPort), vec![c]);
+        assert_eq!(t.nodes_of_kind(NodeKind::Gpu), Vec::<NodeId>::new());
+        assert_eq!(t.node_kind(b), NodeKind::Switch);
+        assert_eq!(t.node_name(c), "c");
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.edge_count(), 2);
+    }
+
+    #[test]
+    fn installed_fabric_maps_edges_to_directional_links() {
+        let (t, a, _b, c) = line_topology();
+        let mut sim = Simulation::new();
+        let inst = t.install(&mut sim);
+        // Two directional capacities per edge.
+        assert_eq!(sim.link_count(), 4);
+        let down = inst.path(a, c).unwrap();
+        let up = inst.path(c, a).unwrap();
+        assert_eq!(down.len(), 2);
+        assert_eq!(up.len(), 2);
+        assert_eq!(sim.link_bandwidth(down[0]), 10.0);
+        assert_eq!(sim.link_bandwidth(down[1]), 5.0);
+        // Opposite directions of the same edge use different capacities.
+        assert!(down.iter().all(|l| !up.contains(l)));
+        assert_eq!(inst.topology().node_count(), 3);
+        assert_eq!(t.edge_endpoints(t.route(a, c).unwrap()[0]).0, a);
+    }
+
+    #[test]
+    fn opposite_direction_flows_do_not_contend() {
+        let (t, a, _b, c) = line_topology();
+        let mut sim = Simulation::new();
+        let inst = t.install(&mut sim);
+        let down = sim.flow(simkit::FlowSpec::new(inst.path(a, c).unwrap(), 50.0));
+        let up = sim.flow(simkit::FlowSpec::new(inst.path(c, a).unwrap(), 50.0));
+        let tl = sim.run().unwrap();
+        // Each direction gets the full 5 B/s of the bottleneck edge.
+        assert!((tl.finish_time(down) - 10.0).abs() < 1e-9);
+        assert!((tl.finish_time(up) - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,170 @@
+//! The compressed gradient container: parallel index and value lists.
+
+use serde::{Deserialize, Serialize};
+use tensorlib::FlatTensor;
+
+/// A sparsified gradient: the positions and values of the selected elements
+/// of a flat gradient vector of length `original_len`.
+///
+/// This is exactly the representation the SmartComp decompressor consumes
+/// (paper Fig. 7, upper half): the FPGA walks the index list and scatters the
+/// values into a zero-initialised gradient buffer.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CompressedGradient {
+    indices: Vec<u32>,
+    values: Vec<f32>,
+    original_len: usize,
+}
+
+impl CompressedGradient {
+    /// Creates a compressed gradient from parallel index/value lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lists have different lengths, if any index is out of
+    /// range, or if `original_len` exceeds `u32::MAX`.
+    pub fn new(indices: Vec<u32>, values: Vec<f32>, original_len: usize) -> Self {
+        assert_eq!(indices.len(), values.len(), "index/value length mismatch");
+        assert!(original_len <= u32::MAX as usize, "original length exceeds u32 index space");
+        for &i in &indices {
+            assert!((i as usize) < original_len, "index {i} out of range {original_len}");
+        }
+        Self { indices, values, original_len }
+    }
+
+    /// Number of selected (non-zero) elements.
+    pub fn num_selected(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Length of the original dense gradient.
+    pub fn original_len(&self) -> usize {
+        self.original_len
+    }
+
+    /// The selected indices.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// The selected values.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Bytes transferred for this compressed gradient: a 4-byte index plus a
+    /// 4-byte value per selected element.
+    pub fn compressed_bytes(&self) -> usize {
+        self.num_selected() * 8
+    }
+
+    /// Bytes of the original dense FP32 gradient.
+    pub fn dense_bytes(&self) -> usize {
+        self.original_len * 4
+    }
+
+    /// Transferred bytes as a fraction of the dense gradient (the paper's
+    /// "compression ratio c%"; 1.0 or more means compression is not helping).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.original_len == 0 {
+            return 0.0;
+        }
+        self.compressed_bytes() as f64 / self.dense_bytes() as f64
+    }
+
+    /// Scatters the values into a new dense tensor (zeros elsewhere). This is
+    /// the reference semantics the FPGA decompressor must match.
+    pub fn decompress(&self) -> FlatTensor {
+        let mut out = FlatTensor::zeros(self.original_len);
+        self.decompress_into(out.as_mut_slice());
+        out
+    }
+
+    /// Scatters the values into an existing buffer, zeroing it first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != original_len`.
+    pub fn decompress_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.original_len, "output buffer length mismatch");
+        out.fill(0.0);
+        for (&i, &v) in self.indices.iter().zip(self.values.iter()) {
+            out[i as usize] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn decompress_scatters_values_and_zeroes_the_rest() {
+        let c = CompressedGradient::new(vec![1, 3], vec![5.0, -2.0], 5);
+        let d = c.decompress();
+        assert_eq!(d.as_slice(), &[0.0, 5.0, 0.0, -2.0, 0.0]);
+        assert_eq!(c.num_selected(), 2);
+        assert_eq!(c.original_len(), 5);
+        assert_eq!(c.indices(), &[1, 3]);
+        assert_eq!(c.values(), &[5.0, -2.0]);
+    }
+
+    #[test]
+    fn byte_accounting_matches_index_value_pairs() {
+        let c = CompressedGradient::new(vec![0, 1, 2], vec![1.0, 2.0, 3.0], 300);
+        assert_eq!(c.compressed_bytes(), 24);
+        assert_eq!(c.dense_bytes(), 1200);
+        assert!((c.compression_ratio() - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_compression_is_all_zeros() {
+        let c = CompressedGradient::new(vec![], vec![], 4);
+        assert_eq!(c.decompress().as_slice(), &[0.0; 4]);
+        assert_eq!(c.compression_ratio(), 0.0);
+        let empty = CompressedGradient::default();
+        assert_eq!(empty.original_len(), 0);
+        assert_eq!(empty.compression_ratio(), 0.0);
+    }
+
+    #[test]
+    fn decompress_into_overwrites_previous_contents() {
+        let c = CompressedGradient::new(vec![0], vec![9.0], 3);
+        let mut buf = vec![7.0f32; 3];
+        c.decompress_into(&mut buf);
+        assert_eq!(buf, vec![9.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lists_panic() {
+        CompressedGradient::new(vec![0, 1], vec![1.0], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        CompressedGradient::new(vec![4], vec![1.0], 4);
+    }
+
+    proptest! {
+        /// decompress followed by re-reading the selected indices returns the values.
+        #[test]
+        fn roundtrip_preserves_selected_values(
+            pairs in proptest::collection::btree_map(0u32..1000, -100.0f32..100.0, 0..50),
+            extra in 0usize..100,
+        ) {
+            let original_len = 1000 + extra;
+            let indices: Vec<u32> = pairs.keys().copied().collect();
+            let values: Vec<f32> = pairs.values().copied().collect();
+            let c = CompressedGradient::new(indices.clone(), values.clone(), original_len);
+            let dense = c.decompress();
+            for (i, v) in indices.iter().zip(values.iter()) {
+                prop_assert_eq!(dense.as_slice()[*i as usize], *v);
+            }
+            let nonzero = dense.as_slice().iter().filter(|&&x| x != 0.0).count();
+            prop_assert!(nonzero <= indices.len());
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Gradient selection strategies: exact Top-K, threshold-estimated Top-K and
+//! Random-K.
+
+use crate::compressed::CompressedGradient;
+use serde::{Deserialize, Serialize};
+use tensorlib::FlatTensor;
+
+/// How the kept coordinates are selected.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SelectionMethod {
+    /// Exact Top-K by magnitude (full sort / selection). This is what the
+    /// paper's GPU-side compressor does (Section IV-C).
+    TopK,
+    /// Top-K with a magnitude threshold estimated from a strided sample.
+    /// Cheaper than the exact selection, used as an ablation of the GPU-side
+    /// cost; the number of kept elements can deviate slightly from the target.
+    ThresholdTopK {
+        /// Number of elements sampled to estimate the threshold.
+        sample_size: usize,
+    },
+    /// Uniformly random selection with a deterministic seed (baseline from the
+    /// sparsification literature; much worse for accuracy at the same ratio).
+    RandomK {
+        /// Seed for the deterministic pseudo-random selection.
+        seed: u64,
+    },
+}
+
+/// A gradient compressor: a selection method plus the fraction of elements kept.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Compressor {
+    keep_ratio: f64,
+    method: SelectionMethod,
+}
+
+impl Compressor {
+    /// Exact Top-K keeping `keep_ratio` of the elements (e.g. `0.01` keeps the
+    /// top 1% by magnitude, which the paper reports as "2% compression"
+    /// because every kept element carries an index and a value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep_ratio` is not in `(0, 1]`.
+    pub fn top_k(keep_ratio: f64) -> Self {
+        Self::new(keep_ratio, SelectionMethod::TopK)
+    }
+
+    /// Threshold-estimating Top-K (see [`SelectionMethod::ThresholdTopK`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep_ratio` is not in `(0, 1]` or `sample_size` is zero.
+    pub fn threshold_top_k(keep_ratio: f64, sample_size: usize) -> Self {
+        assert!(sample_size > 0, "sample size must be positive");
+        Self::new(keep_ratio, SelectionMethod::ThresholdTopK { sample_size })
+    }
+
+    /// Random-K selection with the given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep_ratio` is not in `(0, 1]`.
+    pub fn random_k(keep_ratio: f64, seed: u64) -> Self {
+        Self::new(keep_ratio, SelectionMethod::RandomK { seed })
+    }
+
+    /// Creates a compressor with an explicit method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep_ratio` is not in `(0, 1]`.
+    pub fn new(keep_ratio: f64, method: SelectionMethod) -> Self {
+        assert!(
+            keep_ratio > 0.0 && keep_ratio <= 1.0,
+            "keep ratio must be in (0, 1], got {keep_ratio}"
+        );
+        Self { keep_ratio, method }
+    }
+
+    /// Fraction of elements kept.
+    pub fn keep_ratio(&self) -> f64 {
+        self.keep_ratio
+    }
+
+    /// The selection method.
+    pub fn method(&self) -> SelectionMethod {
+        self.method
+    }
+
+    /// Fraction of the dense volume actually transferred (index + value per
+    /// kept element → twice the keep ratio, capped at 1).
+    pub fn transfer_ratio(&self) -> f64 {
+        (2.0 * self.keep_ratio).min(1.0)
+    }
+
+    /// Number of elements kept for a gradient of length `n` (at least 1 for a
+    /// non-empty gradient).
+    pub fn num_kept(&self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            ((n as f64 * self.keep_ratio).round() as usize).clamp(1, n)
+        }
+    }
+
+    /// Compresses a dense gradient.
+    pub fn compress(&self, grads: &FlatTensor) -> CompressedGradient {
+        let n = grads.len();
+        let k = self.num_kept(n);
+        if n == 0 {
+            return CompressedGradient::default();
+        }
+        let selected: Vec<u32> = match self.method {
+            SelectionMethod::TopK => exact_top_k(grads.as_slice(), k),
+            SelectionMethod::ThresholdTopK { sample_size } => {
+                threshold_top_k(grads.as_slice(), k, sample_size)
+            }
+            SelectionMethod::RandomK { seed } => random_k(n, k, seed),
+        };
+        let values = selected.iter().map(|&i| grads.as_slice()[i as usize]).collect();
+        CompressedGradient::new(selected, values, n)
+    }
+}
+
+/// Exact Top-K selection by magnitude; ties broken by index for determinism.
+fn exact_top_k(grads: &[f32], k: usize) -> Vec<u32> {
+    let mut indices: Vec<u32> = (0..grads.len() as u32).collect();
+    // Partial selection: the k largest magnitudes first.
+    indices.select_nth_unstable_by(k.saturating_sub(1), |&a, &b| {
+        let ma = grads[a as usize].abs();
+        let mb = grads[b as usize].abs();
+        mb.partial_cmp(&ma).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    let mut top: Vec<u32> = indices[..k].to_vec();
+    top.sort_unstable();
+    top
+}
+
+/// Threshold-based approximate Top-K: estimate the k-th magnitude from a
+/// strided sample, then take everything above the threshold (capped at k).
+fn threshold_top_k(grads: &[f32], k: usize, sample_size: usize) -> Vec<u32> {
+    let n = grads.len();
+    let stride = (n / sample_size.min(n)).max(1);
+    let mut sample: Vec<f32> = grads.iter().step_by(stride).map(|v| v.abs()).collect();
+    sample.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let target_rank =
+        ((k as f64 / n as f64) * sample.len() as f64).round() as usize;
+    let threshold = sample[target_rank.min(sample.len() - 1)];
+    let mut selected: Vec<u32> = Vec::with_capacity(k * 2);
+    for (i, v) in grads.iter().enumerate() {
+        if v.abs() >= threshold {
+            selected.push(i as u32);
+            if selected.len() >= k.saturating_mul(2).max(16) {
+                break; // never allow the estimate to blow up the transfer
+            }
+        }
+    }
+    if selected.is_empty() {
+        selected = exact_top_k(grads, k.min(n));
+    }
+    selected
+}
+
+/// Deterministic pseudo-random selection of k distinct indices.
+fn random_k(n: usize, k: usize, seed: u64) -> Vec<u32> {
+    // SplitMix64-based index shuffle: pick k distinct pseudo-random positions.
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut picked = std::collections::BTreeSet::new();
+    while picked.len() < k {
+        picked.insert((next() % n as u64) as u32);
+    }
+    picked.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn top_k_keeps_the_largest_magnitudes() {
+        let grads = FlatTensor::from_vec(vec![0.1, -5.0, 0.2, 3.0, -0.05, 4.0]);
+        let c = Compressor::top_k(0.5).compress(&grads);
+        assert_eq!(c.indices(), &[1, 3, 5]);
+        assert_eq!(c.values(), &[-5.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn keep_ratio_of_one_keeps_everything() {
+        let grads = FlatTensor::from_vec(vec![1.0, 2.0, 3.0]);
+        let c = Compressor::top_k(1.0).compress(&grads);
+        assert_eq!(c.num_selected(), 3);
+        assert_eq!(c.decompress(), grads);
+        assert_eq!(Compressor::top_k(1.0).transfer_ratio(), 1.0);
+    }
+
+    #[test]
+    fn at_least_one_element_is_always_kept() {
+        let grads = FlatTensor::from_vec(vec![1.0, 2.0, 3.0]);
+        let c = Compressor::top_k(0.0001).compress(&grads);
+        assert_eq!(c.num_selected(), 1);
+        assert_eq!(c.indices(), &[2]);
+    }
+
+    #[test]
+    fn default_paper_ratio_transfers_two_percent() {
+        let c = Compressor::top_k(0.01);
+        assert!((c.transfer_ratio() - 0.02).abs() < 1e-12);
+        assert_eq!(c.num_kept(10_000), 100);
+        assert_eq!(c.keep_ratio(), 0.01);
+        assert_eq!(c.method(), SelectionMethod::TopK);
+    }
+
+    #[test]
+    fn empty_gradient_compresses_to_empty() {
+        let c = Compressor::top_k(0.1).compress(&FlatTensor::zeros(0));
+        assert_eq!(c.num_selected(), 0);
+        assert_eq!(Compressor::top_k(0.1).num_kept(0), 0);
+    }
+
+    #[test]
+    fn random_k_is_deterministic_and_distinct() {
+        let grads = FlatTensor::randn(1000, 1.0, 7);
+        let a = Compressor::random_k(0.1, 99).compress(&grads);
+        let b = Compressor::random_k(0.1, 99).compress(&grads);
+        let c = Compressor::random_k(0.1, 100).compress(&grads);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.num_selected(), 100);
+        let mut sorted = a.indices().to_vec();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 100, "indices must be distinct");
+    }
+
+    #[test]
+    fn threshold_top_k_approximates_exact_selection() {
+        let grads = FlatTensor::randn(10_000, 1.0, 3);
+        let exact = Compressor::top_k(0.01).compress(&grads);
+        let approx = Compressor::threshold_top_k(0.01, 512).compress(&grads);
+        // The approximate selection keeps a similar number of elements...
+        let ratio = approx.num_selected() as f64 / exact.num_selected() as f64;
+        assert!(ratio > 0.3 && ratio < 3.0, "ratio {ratio}");
+        // ...and its smallest kept magnitude is not far below the exact threshold.
+        let exact_min =
+            exact.values().iter().map(|v| v.abs()).fold(f32::INFINITY, f32::min);
+        let approx_min =
+            approx.values().iter().map(|v| v.abs()).fold(f32::INFINITY, f32::min);
+        assert!(approx_min >= exact_min * 0.5, "{approx_min} vs {exact_min}");
+    }
+
+    #[test]
+    #[should_panic(expected = "keep ratio")]
+    fn zero_ratio_panics() {
+        Compressor::top_k(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep ratio")]
+    fn ratio_above_one_panics() {
+        Compressor::top_k(1.5);
+    }
+
+    proptest! {
+        /// Top-K selection keeps exactly k elements and every kept magnitude is
+        /// at least as large as every dropped magnitude.
+        #[test]
+        fn top_k_is_a_valid_selection(
+            values in proptest::collection::vec(-100.0f32..100.0, 1..300),
+            ratio in 0.01f64..1.0,
+        ) {
+            let grads = FlatTensor::from_vec(values.clone());
+            let compressor = Compressor::top_k(ratio);
+            let c = compressor.compress(&grads);
+            prop_assert_eq!(c.num_selected(), compressor.num_kept(values.len()));
+            let kept: std::collections::HashSet<u32> = c.indices().iter().copied().collect();
+            let min_kept = c.values().iter().map(|v| v.abs()).fold(f32::INFINITY, f32::min);
+            for (i, v) in values.iter().enumerate() {
+                if !kept.contains(&(i as u32)) {
+                    prop_assert!(v.abs() <= min_kept + 1e-6);
+                }
+            }
+        }
+
+        /// Decompressed Top-K error is never larger than dropping everything.
+        #[test]
+        fn top_k_reduces_error_vs_zero(
+            values in proptest::collection::vec(-10.0f32..10.0, 2..200),
+        ) {
+            let grads = FlatTensor::from_vec(values);
+            let c = Compressor::top_k(0.25).compress(&grads);
+            let approx = c.decompress();
+            let err = approx.mse(&grads);
+            let zero_err = FlatTensor::zeros(grads.len()).mse(&grads);
+            prop_assert!(err <= zero_err + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Error feedback (residual accumulation) for sparsified gradients.
+//!
+//! Standard practice in gradient-sparsification training (Lin et al., 2018;
+//! paper Section IX-B): the mass dropped by Top-K at step `t` is remembered
+//! and added back to the gradient at step `t+1`, so that every coordinate is
+//! eventually communicated and convergence is preserved.
+
+use crate::compressed::CompressedGradient;
+use serde::{Deserialize, Serialize};
+use tensorlib::FlatTensor;
+
+/// Residual accumulator for one flat gradient buffer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorFeedback {
+    residual: FlatTensor,
+}
+
+impl ErrorFeedback {
+    /// Creates a zero residual for gradients of length `len`.
+    pub fn new(len: usize) -> Self {
+        Self { residual: FlatTensor::zeros(len) }
+    }
+
+    /// Length of the gradient this accumulator tracks.
+    pub fn len(&self) -> usize {
+        self.residual.len()
+    }
+
+    /// Whether the accumulator tracks an empty gradient.
+    pub fn is_empty(&self) -> bool {
+        self.residual.is_empty()
+    }
+
+    /// The current residual.
+    pub fn residual(&self) -> &FlatTensor {
+        &self.residual
+    }
+
+    /// Returns `grads + residual`: the corrected gradient that should be fed
+    /// to the compressor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads.len()` differs from the accumulator length.
+    pub fn apply(&self, grads: &FlatTensor) -> FlatTensor {
+        assert_eq!(grads.len(), self.residual.len(), "gradient length mismatch");
+        let mut corrected = grads.clone();
+        corrected.axpby(1.0, 1.0, &self.residual);
+        corrected
+    }
+
+    /// Updates the residual after compression: the new residual is the part of
+    /// the *corrected* gradient that was not transmitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corrected gradient or the compressed gradient have a
+    /// different length than the accumulator.
+    pub fn update(&mut self, corrected: &FlatTensor, transmitted: &CompressedGradient) {
+        assert_eq!(corrected.len(), self.residual.len(), "gradient length mismatch");
+        assert_eq!(transmitted.original_len(), self.residual.len(), "compressed length mismatch");
+        self.residual = corrected.clone();
+        for &i in transmitted.indices() {
+            self.residual.as_mut_slice()[i as usize] = 0.0;
+        }
+    }
+
+    /// Clears the residual (used when a step is skipped due to overflow).
+    pub fn reset(&mut self) {
+        self.residual.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compressor::Compressor;
+    use proptest::prelude::*;
+
+    #[test]
+    fn residual_holds_exactly_the_untransmitted_part() {
+        let grads = FlatTensor::from_vec(vec![1.0, 10.0, 2.0, 20.0]);
+        let compressor = Compressor::top_k(0.5);
+        let mut fb = ErrorFeedback::new(4);
+        let corrected = fb.apply(&grads);
+        assert_eq!(corrected, grads); // residual starts at zero
+        let compressed = compressor.compress(&corrected);
+        fb.update(&corrected, &compressed);
+        assert_eq!(fb.residual().as_slice(), &[1.0, 0.0, 2.0, 0.0]);
+        assert_eq!(fb.len(), 4);
+        assert!(!fb.is_empty());
+    }
+
+    #[test]
+    fn next_step_reinjects_the_residual() {
+        let grads = FlatTensor::from_vec(vec![1.0, 10.0, 2.0, 20.0]);
+        let compressor = Compressor::top_k(0.5);
+        let mut fb = ErrorFeedback::new(4);
+        let corrected = fb.apply(&grads);
+        let compressed = compressor.compress(&corrected);
+        fb.update(&corrected, &compressed);
+        // Next step with zero new gradient: the residual alone should now win.
+        let corrected2 = fb.apply(&FlatTensor::zeros(4));
+        assert_eq!(corrected2.as_slice(), &[1.0, 0.0, 2.0, 0.0]);
+        let compressed2 = compressor.compress(&corrected2);
+        assert_eq!(compressed2.indices(), &[0, 2]);
+    }
+
+    #[test]
+    fn reset_clears_the_residual() {
+        let mut fb = ErrorFeedback::new(2);
+        let g = FlatTensor::from_vec(vec![5.0, 6.0]);
+        let c = Compressor::top_k(0.5).compress(&g);
+        fb.update(&g, &c);
+        assert!(fb.residual().l2_norm() > 0.0);
+        fb.reset();
+        assert_eq!(fb.residual().l2_norm(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_gradient_length_panics() {
+        let fb = ErrorFeedback::new(3);
+        fb.apply(&FlatTensor::zeros(4));
+    }
+
+    proptest! {
+        /// Transmitted + residual always reconstructs the corrected gradient exactly.
+        #[test]
+        fn transmitted_plus_residual_equals_corrected(
+            values in proptest::collection::vec(-50.0f32..50.0, 1..200),
+            ratio in 0.05f64..1.0,
+        ) {
+            let grads = FlatTensor::from_vec(values);
+            let compressor = Compressor::top_k(ratio);
+            let mut fb = ErrorFeedback::new(grads.len());
+            let corrected = fb.apply(&grads);
+            let compressed = compressor.compress(&corrected);
+            fb.update(&corrected, &compressed);
+            let mut reconstructed = compressed.decompress();
+            reconstructed.axpby(1.0, 1.0, fb.residual());
+            for (a, b) in reconstructed.as_slice().iter().zip(corrected.as_slice()) {
+                prop_assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+}

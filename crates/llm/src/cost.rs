@@ -1,0 +1,77 @@
+//! System cost model for the GFLOPS/$ efficiency study (paper Fig. 15).
+
+use crate::machine::GpuSpec;
+use serde::{Deserialize, Serialize};
+
+/// Component price list and system-cost computation.
+///
+/// Prices follow Section VII-I: ~$45,000 for the server (CPU, RAM, PCIe
+/// expansion chassis), ~$2,400 per SmartSSD, ~$400 for a plain SSD of the
+/// same capacity, and the GPU price from its [`GpuSpec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Server cost (CPU, memory, chassis, PCIe expansion), USD.
+    pub server_usd: f64,
+    /// Price of one SmartSSD (CSD), USD.
+    pub smartssd_usd: f64,
+    /// Price of one plain NVMe SSD of the same capacity, USD.
+    pub plain_ssd_usd: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self { server_usd: 45_000.0, smartssd_usd: 2_400.0, plain_ssd_usd: 400.0 }
+    }
+}
+
+impl CostModel {
+    /// Total system cost for a baseline system with `num_ssds` plain SSDs.
+    pub fn baseline_system_usd(&self, gpu: &GpuSpec, num_ssds: usize) -> f64 {
+        self.server_usd + gpu.price_usd + self.plain_ssd_usd * num_ssds as f64
+    }
+
+    /// Total system cost for a Smart-Infinity system with `num_csds` SmartSSDs.
+    pub fn smart_infinity_system_usd(&self, gpu: &GpuSpec, num_csds: usize) -> f64 {
+        self.server_usd + gpu.price_usd + self.smartssd_usd * num_csds as f64
+    }
+
+    /// Cost efficiency in GFLOPS per dollar given an achieved training
+    /// throughput (FLOP/s) and a total system cost.
+    pub fn gflops_per_dollar(achieved_flops_per_sec: f64, system_usd: f64) -> f64 {
+        assert!(system_usd > 0.0, "system cost must be positive");
+        achieved_flops_per_sec / 1e9 / system_usd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smartssd_premium_is_six_times_the_plain_ssd() {
+        let c = CostModel::default();
+        assert!((c.smartssd_usd / c.plain_ssd_usd - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn system_costs_grow_linearly_with_devices() {
+        let c = CostModel::default();
+        let gpu = GpuSpec::a5000();
+        let one = c.smart_infinity_system_usd(&gpu, 1);
+        let ten = c.smart_infinity_system_usd(&gpu, 10);
+        assert!((ten - one - 9.0 * c.smartssd_usd).abs() < 1e-9);
+        assert!(c.baseline_system_usd(&gpu, 4) < c.smart_infinity_system_usd(&gpu, 4));
+    }
+
+    #[test]
+    fn gflops_per_dollar_is_throughput_over_cost() {
+        let v = CostModel::gflops_per_dollar(50e12, 50_000.0);
+        assert!((v - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cost_panics() {
+        CostModel::gflops_per_dollar(1e12, 0.0);
+    }
+}

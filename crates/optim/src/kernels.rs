@@ -1,0 +1,238 @@
+//! Element-wise optimizer update kernels.
+//!
+//! Each kernel operates on flat slices and is written as a composition of
+//! "moving average" (AXPBY-style) operations, mirroring the structure of the
+//! FPGA updater PE (paper Section V-A, Fig. 7): the accelerator is a bank of
+//! SIMD AXPBY units plus a final element-wise update, and every supported
+//! optimizer is expressed through them.
+
+/// One Adam step (Kingma & Ba, 2015) with bias correction.
+///
+/// `t` is the 1-based step count used for bias correction.
+///
+/// # Panics
+///
+/// Panics if the slices have mismatched lengths or `t == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn adam_step(
+    params: &mut [f32],
+    momentum: &mut [f32],
+    variance: &mut [f32],
+    grads: &[f32],
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+) {
+    assert!(t > 0, "Adam step count is 1-based");
+    let n = params.len();
+    assert_eq!(n, momentum.len(), "momentum length mismatch");
+    assert_eq!(n, variance.len(), "variance length mismatch");
+    assert_eq!(n, grads.len(), "gradient length mismatch");
+    let bias1 = 1.0 - beta1.powi(t as i32);
+    let bias2 = 1.0 - beta2.powi(t as i32);
+    for i in 0..n {
+        let g = grads[i];
+        // AXPBY: m = beta1 * m + (1 - beta1) * g
+        momentum[i] = beta1 * momentum[i] + (1.0 - beta1) * g;
+        // AXPBY: v = beta2 * v + (1 - beta2) * g^2
+        variance[i] = beta2 * variance[i] + (1.0 - beta2) * g * g;
+        let m_hat = momentum[i] / bias1;
+        let v_hat = variance[i] / bias2;
+        params[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+    }
+}
+
+/// One AdamW step (Loshchilov & Hutter, 2019): Adam with decoupled weight decay.
+///
+/// # Panics
+///
+/// Panics if the slices have mismatched lengths or `t == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn adamw_step(
+    params: &mut [f32],
+    momentum: &mut [f32],
+    variance: &mut [f32],
+    grads: &[f32],
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+) {
+    assert!(t > 0, "AdamW step count is 1-based");
+    let n = params.len();
+    assert_eq!(n, momentum.len(), "momentum length mismatch");
+    assert_eq!(n, variance.len(), "variance length mismatch");
+    assert_eq!(n, grads.len(), "gradient length mismatch");
+    let bias1 = 1.0 - beta1.powi(t as i32);
+    let bias2 = 1.0 - beta2.powi(t as i32);
+    for i in 0..n {
+        let g = grads[i];
+        momentum[i] = beta1 * momentum[i] + (1.0 - beta1) * g;
+        variance[i] = beta2 * variance[i] + (1.0 - beta2) * g * g;
+        let m_hat = momentum[i] / bias1;
+        let v_hat = variance[i] / bias2;
+        // Decoupled weight decay applied directly to the parameter.
+        params[i] -= lr * (m_hat / (v_hat.sqrt() + eps) + weight_decay * params[i]);
+    }
+}
+
+/// One SGD-with-momentum step.
+///
+/// # Panics
+///
+/// Panics if the slices have mismatched lengths.
+pub fn sgd_momentum_step(
+    params: &mut [f32],
+    momentum_buf: &mut [f32],
+    grads: &[f32],
+    lr: f32,
+    momentum: f32,
+) {
+    let n = params.len();
+    assert_eq!(n, momentum_buf.len(), "momentum length mismatch");
+    assert_eq!(n, grads.len(), "gradient length mismatch");
+    for i in 0..n {
+        // AXPBY: buf = momentum * buf + g
+        momentum_buf[i] = momentum * momentum_buf[i] + grads[i];
+        params[i] -= lr * momentum_buf[i];
+    }
+}
+
+/// One AdaGrad step (Duchi et al., 2011).
+///
+/// # Panics
+///
+/// Panics if the slices have mismatched lengths.
+pub fn adagrad_step(
+    params: &mut [f32],
+    accumulator: &mut [f32],
+    grads: &[f32],
+    lr: f32,
+    eps: f32,
+) {
+    let n = params.len();
+    assert_eq!(n, accumulator.len(), "accumulator length mismatch");
+    assert_eq!(n, grads.len(), "gradient length mismatch");
+    for i in 0..n {
+        let g = grads[i];
+        accumulator[i] += g * g;
+        params[i] -= lr * g / (accumulator[i].sqrt() + eps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn adam_first_step_matches_closed_form() {
+        // With zero-initialized states, after one step m_hat = g and
+        // v_hat = g^2, so the update is lr * g / (|g| + eps) ~= lr * sign(g).
+        let mut p = vec![0.0f32; 3];
+        let mut m = vec![0.0f32; 3];
+        let mut v = vec![0.0f32; 3];
+        let g = vec![0.5f32, -2.0, 0.0];
+        adam_step(&mut p, &mut m, &mut v, &g, 0.1, 0.9, 0.999, 1e-8, 1);
+        assert!((p[0] + 0.1).abs() < 1e-4);
+        assert!((p[1] - 0.1).abs() < 1e-4);
+        assert_eq!(p[2], 0.0);
+        assert!((m[0] - 0.05).abs() < 1e-7);
+        assert!((v[1] - 0.004).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adamw_decays_weights_even_with_zero_gradient() {
+        let mut p = vec![1.0f32];
+        let mut m = vec![0.0f32];
+        let mut v = vec![0.0f32];
+        adamw_step(&mut p, &mut m, &mut v, &[0.0], 0.1, 0.9, 0.999, 1e-8, 0.1, 1);
+        assert!((p[0] - (1.0 - 0.1 * 0.1)).abs() < 1e-6);
+        // Plain Adam leaves the parameter untouched under a zero gradient.
+        let mut p2 = vec![1.0f32];
+        adam_step(&mut p2, &mut [0.0], &mut [0.0], &[0.0], 0.1, 0.9, 0.999, 1e-8, 1);
+        assert_eq!(p2[0], 1.0);
+    }
+
+    #[test]
+    fn sgd_without_momentum_is_plain_gradient_descent() {
+        let mut p = vec![1.0f32, 2.0];
+        let mut buf = vec![0.0f32; 2];
+        sgd_momentum_step(&mut p, &mut buf, &[0.5, -0.5], 0.1, 0.0);
+        assert_eq!(p, vec![0.95, 2.05]);
+    }
+
+    #[test]
+    fn sgd_momentum_accumulates_velocity() {
+        let mut p = vec![0.0f32];
+        let mut buf = vec![0.0f32];
+        sgd_momentum_step(&mut p, &mut buf, &[1.0], 1.0, 0.9);
+        sgd_momentum_step(&mut p, &mut buf, &[1.0], 1.0, 0.9);
+        // buf after two steps: 1, then 1.9 -> total displacement 2.9.
+        assert!((p[0] + 2.9).abs() < 1e-6);
+        assert!((buf[0] - 1.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adagrad_learning_rate_shrinks_with_accumulated_gradient() {
+        let mut p = vec![0.0f32];
+        let mut acc = vec![0.0f32];
+        adagrad_step(&mut p, &mut acc, &[1.0], 0.1, 0.0);
+        let first = -p[0];
+        adagrad_step(&mut p, &mut acc, &[1.0], 0.1, 0.0);
+        let second = -p[0] - first;
+        assert!(second < first, "later steps must be smaller: {first} vs {second}");
+        assert!((acc[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        adam_step(&mut [0.0; 2], &mut [0.0; 2], &mut [0.0; 2], &[0.0; 3], 0.1, 0.9, 0.999, 1e-8, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn adam_step_zero_panics() {
+        adam_step(&mut [0.0], &mut [0.0], &mut [0.0], &[0.0], 0.1, 0.9, 0.999, 1e-8, 0);
+    }
+
+    proptest! {
+        /// Adam updates are bounded by roughly lr per step regardless of gradient scale
+        /// (the trust-ratio property that makes it robust to loss-scale choices).
+        #[test]
+        fn adam_step_size_is_bounded(g in -1000.0f32..1000.0, lr in 0.001f32..0.5) {
+            let mut p = vec![0.0f32];
+            let mut m = vec![0.0f32];
+            let mut v = vec![0.0f32];
+            adam_step(&mut p, &mut m, &mut v, &[g], lr, 0.9, 0.999, 1e-8, 1);
+            prop_assert!(p[0].abs() <= lr * 1.01 + 1e-6);
+        }
+
+        /// SGD with momentum=0 moves exactly by -lr * g.
+        #[test]
+        fn sgd_is_exact_without_momentum(g in -100.0f32..100.0, lr in 0.0f32..1.0) {
+            let mut p = vec![1.0f32];
+            let mut buf = vec![0.0f32];
+            sgd_momentum_step(&mut p, &mut buf, &[g], lr, 0.0);
+            prop_assert!((p[0] - (1.0 - lr * g)).abs() < 1e-4);
+        }
+
+        /// AdaGrad never increases the accumulator by less than g^2 and never decreases it.
+        #[test]
+        fn adagrad_accumulator_is_monotone(grads in proptest::collection::vec(-10.0f32..10.0, 1..20)) {
+            let mut p = vec![0.0f32];
+            let mut acc = vec![0.0f32];
+            let mut prev = 0.0f32;
+            for g in grads {
+                adagrad_step(&mut p, &mut acc, &[g], 0.01, 1e-10);
+                prop_assert!(acc[0] >= prev);
+                prev = acc[0];
+            }
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Mixed-precision training support: dynamic loss scaling, overflow
+//! detection and global-norm gradient clipping.
+//!
+//! These are the mechanisms the paper cites as the reason gradient offloading
+//! cannot simply be overlapped with the update step (Section IV-C): before
+//! any parameter can be updated, *all* gradients must have been produced and
+//! scanned for NaN/Inf (loss scaling) and their global norm must be known
+//! (clipping).
+
+use serde::{Deserialize, Serialize};
+use tensorlib::FlatTensor;
+
+/// Result of an overflow scan over a set of gradients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OverflowStatus {
+    /// All gradients are finite; the step may proceed.
+    Finite,
+    /// At least one gradient is NaN or infinite; the step must be skipped and
+    /// the loss scale reduced.
+    Overflow,
+}
+
+/// Dynamic loss scaler for FP16 mixed-precision training.
+///
+/// Mirrors the standard scheme (Micikevicius et al., 2018, as used by
+/// DeepSpeed): the loss is multiplied by `scale` before the backward pass;
+/// if the resulting gradients contain NaN/Inf the step is skipped and the
+/// scale halved, otherwise after `growth_interval` consecutive good steps the
+/// scale is doubled.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GradScaler {
+    scale: f32,
+    growth_factor: f32,
+    backoff_factor: f32,
+    growth_interval: u32,
+    good_steps: u32,
+    min_scale: f32,
+    max_scale: f32,
+}
+
+impl Default for GradScaler {
+    fn default() -> Self {
+        Self::new(65536.0)
+    }
+}
+
+impl GradScaler {
+    /// Creates a scaler with the given initial loss scale and standard
+    /// growth/backoff behaviour (x2 / ÷2, growth interval 2000).
+    pub fn new(initial_scale: f32) -> Self {
+        Self {
+            scale: initial_scale,
+            growth_factor: 2.0,
+            backoff_factor: 0.5,
+            growth_interval: 2000,
+            good_steps: 0,
+            min_scale: 1.0,
+            max_scale: 2.0f32.powi(24),
+        }
+    }
+
+    /// Overrides the growth interval (number of consecutive finite steps
+    /// before the scale is increased).
+    pub fn with_growth_interval(mut self, interval: u32) -> Self {
+        self.growth_interval = interval.max(1);
+        self
+    }
+
+    /// The current loss scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Multiplies a loss value by the current scale.
+    pub fn scale_loss(&self, loss: f32) -> f32 {
+        loss * self.scale
+    }
+
+    /// Divides gradients by the current scale in place (unscaling before the
+    /// optimizer step).
+    pub fn unscale(&self, grads: &mut FlatTensor) {
+        grads.scale(1.0 / self.scale);
+    }
+
+    /// Scans gradient blocks for NaN/Inf.
+    pub fn check_overflow<'a>(
+        &self,
+        grads: impl IntoIterator<Item = &'a FlatTensor>,
+    ) -> OverflowStatus {
+        for g in grads {
+            if g.has_nan_or_inf() {
+                return OverflowStatus::Overflow;
+            }
+        }
+        OverflowStatus::Finite
+    }
+
+    /// Updates the scale after a step: halves it on overflow, doubles it after
+    /// `growth_interval` consecutive finite steps. Returns `true` if the
+    /// optimizer step should be applied (i.e. no overflow occurred).
+    pub fn update(&mut self, status: OverflowStatus) -> bool {
+        match status {
+            OverflowStatus::Overflow => {
+                self.scale = (self.scale * self.backoff_factor).max(self.min_scale);
+                self.good_steps = 0;
+                false
+            }
+            OverflowStatus::Finite => {
+                self.good_steps += 1;
+                if self.good_steps >= self.growth_interval {
+                    self.scale = (self.scale * self.growth_factor).min(self.max_scale);
+                    self.good_steps = 0;
+                }
+                true
+            }
+        }
+    }
+}
+
+/// Clips a set of gradient blocks to a maximum global L2 norm.
+///
+/// Returns the global norm *before* clipping. If the norm is below
+/// `max_norm` (or `max_norm` is non-positive) the gradients are unchanged.
+pub fn clip_global_norm(grads: &mut [FlatTensor], max_norm: f32) -> f32 {
+    let total_sq: f64 = grads.iter().map(FlatTensor::sum_of_squares).sum();
+    let norm = total_sq.sqrt() as f32;
+    if max_norm > 0.0 && norm > max_norm {
+        let factor = max_norm / (norm + 1e-6);
+        for g in grads.iter_mut() {
+            g.scale(factor);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn overflow_halves_the_scale_and_skips_the_step() {
+        let mut scaler = GradScaler::new(1024.0);
+        let bad = FlatTensor::from_vec(vec![1.0, f32::INFINITY]);
+        let status = scaler.check_overflow([&bad]);
+        assert_eq!(status, OverflowStatus::Overflow);
+        let apply = scaler.update(status);
+        assert!(!apply);
+        assert_eq!(scaler.scale(), 512.0);
+    }
+
+    #[test]
+    fn scale_grows_after_enough_good_steps() {
+        let mut scaler = GradScaler::new(8.0).with_growth_interval(3);
+        let good = FlatTensor::from_vec(vec![0.1, -0.2]);
+        for _ in 0..2 {
+            let s = scaler.check_overflow([&good]);
+            assert!(scaler.update(s));
+            assert_eq!(scaler.scale(), 8.0);
+        }
+        let s = scaler.check_overflow([&good]);
+        assert!(scaler.update(s));
+        assert_eq!(scaler.scale(), 16.0);
+    }
+
+    #[test]
+    fn scale_never_drops_below_one() {
+        let mut scaler = GradScaler::new(2.0);
+        for _ in 0..10 {
+            scaler.update(OverflowStatus::Overflow);
+        }
+        assert_eq!(scaler.scale(), 1.0);
+    }
+
+    #[test]
+    fn scale_and_unscale_are_inverse() {
+        let scaler = GradScaler::new(4096.0);
+        assert_eq!(scaler.scale_loss(2.0), 8192.0);
+        let mut g = FlatTensor::from_vec(vec![4096.0, -8192.0]);
+        scaler.unscale(&mut g);
+        assert_eq!(g.as_slice(), &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn nan_is_detected_like_inf() {
+        let scaler = GradScaler::default();
+        let nan = FlatTensor::from_vec(vec![f32::NAN]);
+        assert_eq!(scaler.check_overflow([&nan]), OverflowStatus::Overflow);
+        let fine = FlatTensor::from_vec(vec![1.0]);
+        assert_eq!(scaler.check_overflow([&fine]), OverflowStatus::Finite);
+        assert_eq!(scaler.check_overflow(std::iter::empty()), OverflowStatus::Finite);
+    }
+
+    #[test]
+    fn clipping_caps_the_global_norm() {
+        let mut grads = vec![
+            FlatTensor::from_vec(vec![3.0, 0.0]),
+            FlatTensor::from_vec(vec![0.0, 4.0]),
+        ];
+        let norm = clip_global_norm(&mut grads, 1.0);
+        assert!((norm - 5.0).abs() < 1e-6);
+        let new_norm: f32 =
+            (grads.iter().map(FlatTensor::sum_of_squares).sum::<f64>() as f32).sqrt();
+        assert!((new_norm - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn clipping_leaves_small_gradients_untouched() {
+        let mut grads = vec![FlatTensor::from_vec(vec![0.1, 0.2])];
+        let before = grads[0].clone();
+        let norm = clip_global_norm(&mut grads, 10.0);
+        assert!(norm < 1.0);
+        assert_eq!(grads[0], before);
+        // Non-positive max_norm disables clipping entirely.
+        let norm2 = clip_global_norm(&mut grads, 0.0);
+        assert_eq!(grads[0], before);
+        assert!((norm2 - norm).abs() < 1e-9);
+    }
+
+    proptest! {
+        /// After clipping, the global norm never exceeds max_norm (within tolerance).
+        #[test]
+        fn clipped_norm_is_bounded(
+            values in proptest::collection::vec(-100.0f32..100.0, 1..64),
+            max_norm in 0.1f32..10.0,
+        ) {
+            let mut grads = vec![FlatTensor::from_vec(values)];
+            clip_global_norm(&mut grads, max_norm);
+            let norm = grads[0].l2_norm();
+            prop_assert!(norm <= max_norm * 1.001 + 1e-4);
+        }
+
+        /// The scaler always stays within [min_scale, max_scale].
+        #[test]
+        fn scaler_stays_in_bounds(events in proptest::collection::vec(proptest::bool::ANY, 0..200)) {
+            let mut scaler = GradScaler::new(65536.0).with_growth_interval(2);
+            for overflow in events {
+                let status = if overflow { OverflowStatus::Overflow } else { OverflowStatus::Finite };
+                scaler.update(status);
+                prop_assert!(scaler.scale() >= 1.0);
+                prop_assert!(scaler.scale() <= 2.0f32.powi(24));
+            }
+        }
+    }
+}

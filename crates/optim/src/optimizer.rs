@@ -1,0 +1,253 @@
+//! The [`Optimizer`] front-end: hyper-parameters, auxiliary-state layout and
+//! per-parameter byte accounting used by the traffic model.
+
+use crate::kernels;
+use serde::{Deserialize, Serialize};
+use tensorlib::FlatTensor;
+
+/// Which optimizer algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// Adam (the paper's default).
+    Adam,
+    /// AdamW (decoupled weight decay).
+    AdamW,
+    /// SGD with momentum.
+    SgdMomentum,
+    /// AdaGrad.
+    AdaGrad,
+}
+
+impl OptimizerKind {
+    /// Number of auxiliary FP32 state tensors (excluding the FP32 master copy
+    /// of the parameters): 2 for Adam/AdamW (momentum + variance), 1 for SGD
+    /// momentum and AdaGrad.
+    pub fn num_aux(self) -> usize {
+        match self {
+            OptimizerKind::Adam | OptimizerKind::AdamW => 2,
+            OptimizerKind::SgdMomentum | OptimizerKind::AdaGrad => 1,
+        }
+    }
+
+    /// Names of the auxiliary state tensors, in the order `init_aux` creates them.
+    pub fn aux_names(self) -> &'static [&'static str] {
+        match self {
+            OptimizerKind::Adam | OptimizerKind::AdamW => &["momentum", "variance"],
+            OptimizerKind::SgdMomentum => &["momentum"],
+            OptimizerKind::AdaGrad => &["variance"],
+        }
+    }
+
+    /// Bytes of optimizer state stored per parameter: FP32 master copy plus
+    /// every auxiliary FP32 tensor. Adam: 12 B = "6M" in the paper's unit
+    /// where M is the FP16 parameter size (2 B per parameter).
+    pub fn state_bytes_per_param(self) -> usize {
+        4 * (1 + self.num_aux())
+    }
+
+    /// The paper's "xM" traffic coefficient for the optimizer states (the
+    /// FP16 parameter size being 1M = 2 bytes/param). Adam: 6, SGD/AdaGrad: 4.
+    pub fn state_size_in_m(self) -> f64 {
+        self.state_bytes_per_param() as f64 / 2.0
+    }
+}
+
+/// Hyper-parameters shared by every optimizer (unused fields are ignored by
+/// optimizers that do not need them).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HyperParams {
+    /// Learning rate.
+    pub lr: f32,
+    /// Adam/AdamW beta1.
+    pub beta1: f32,
+    /// Adam/AdamW beta2.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// AdamW decoupled weight decay.
+    pub weight_decay: f32,
+    /// SGD momentum coefficient.
+    pub momentum: f32,
+}
+
+impl Default for HyperParams {
+    fn default() -> Self {
+        Self { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.01, momentum: 0.9 }
+    }
+}
+
+/// An optimizer: an algorithm choice plus its hyper-parameters.
+///
+/// The optimizer itself is stateless; auxiliary state lives in tensors owned
+/// by the caller (`init_aux`), because in storage-offloaded training that
+/// state physically lives on the SSD / CSD, not with the optimizer object.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Optimizer {
+    kind: OptimizerKind,
+    hp: HyperParams,
+}
+
+impl Optimizer {
+    /// Creates an optimizer of the given kind with the given hyper-parameters.
+    pub fn new(kind: OptimizerKind, hp: HyperParams) -> Self {
+        Self { kind, hp }
+    }
+
+    /// Adam with default hyper-parameters (the paper's default configuration).
+    pub fn adam_default() -> Self {
+        Self::new(OptimizerKind::Adam, HyperParams::default())
+    }
+
+    /// The algorithm this optimizer runs.
+    pub fn kind(&self) -> OptimizerKind {
+        self.kind
+    }
+
+    /// The hyper-parameters.
+    pub fn hyper_params(&self) -> HyperParams {
+        self.hp
+    }
+
+    /// Allocates zero-initialised auxiliary state for `num_params` parameters.
+    pub fn init_aux(&self, num_params: usize) -> Vec<FlatTensor> {
+        (0..self.kind.num_aux()).map(|_| FlatTensor::zeros(num_params)).collect()
+    }
+
+    /// Applies one update step in place.
+    ///
+    /// `t` is the 1-based global step count (used by Adam bias correction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aux` does not contain exactly [`OptimizerKind::num_aux`]
+    /// tensors of the same length as `params`, or if `grads` has a different
+    /// length, or if `t == 0` for Adam-family optimizers.
+    pub fn step(&self, params: &mut [f32], grads: &FlatTensor, aux: &mut [FlatTensor], t: u64) {
+        assert_eq!(
+            aux.len(),
+            self.kind.num_aux(),
+            "expected {} auxiliary tensors for {:?}",
+            self.kind.num_aux(),
+            self.kind
+        );
+        let hp = &self.hp;
+        match self.kind {
+            OptimizerKind::Adam => {
+                let (m, v) = aux.split_at_mut(1);
+                kernels::adam_step(
+                    params,
+                    m[0].as_mut_slice(),
+                    v[0].as_mut_slice(),
+                    grads.as_slice(),
+                    hp.lr,
+                    hp.beta1,
+                    hp.beta2,
+                    hp.eps,
+                    t,
+                );
+            }
+            OptimizerKind::AdamW => {
+                let (m, v) = aux.split_at_mut(1);
+                kernels::adamw_step(
+                    params,
+                    m[0].as_mut_slice(),
+                    v[0].as_mut_slice(),
+                    grads.as_slice(),
+                    hp.lr,
+                    hp.beta1,
+                    hp.beta2,
+                    hp.eps,
+                    hp.weight_decay,
+                    t,
+                );
+            }
+            OptimizerKind::SgdMomentum => {
+                kernels::sgd_momentum_step(
+                    params,
+                    aux[0].as_mut_slice(),
+                    grads.as_slice(),
+                    hp.lr,
+                    hp.momentum,
+                );
+            }
+            OptimizerKind::AdaGrad => {
+                kernels::adagrad_step(
+                    params,
+                    aux[0].as_mut_slice(),
+                    grads.as_slice(),
+                    hp.lr,
+                    hp.eps,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aux_layout_matches_algorithm() {
+        assert_eq!(OptimizerKind::Adam.num_aux(), 2);
+        assert_eq!(OptimizerKind::AdamW.num_aux(), 2);
+        assert_eq!(OptimizerKind::SgdMomentum.num_aux(), 1);
+        assert_eq!(OptimizerKind::AdaGrad.num_aux(), 1);
+        assert_eq!(OptimizerKind::Adam.aux_names(), &["momentum", "variance"]);
+        assert_eq!(OptimizerKind::AdaGrad.aux_names(), &["variance"]);
+    }
+
+    #[test]
+    fn state_bytes_match_the_papers_6m_accounting() {
+        // Adam: FP32 master + momentum + variance = 12 B/param = 6M where M = 2 B/param.
+        assert_eq!(OptimizerKind::Adam.state_bytes_per_param(), 12);
+        assert_eq!(OptimizerKind::Adam.state_size_in_m(), 6.0);
+        // SGD / AdaGrad: 3/4 of Adam's state (paper Section VII-F).
+        assert_eq!(OptimizerKind::SgdMomentum.state_size_in_m(), 4.0);
+        assert_eq!(OptimizerKind::AdaGrad.state_size_in_m(), 4.0);
+    }
+
+    #[test]
+    fn optimizer_step_dispatch_matches_kernels() {
+        let hp = HyperParams { lr: 0.1, ..HyperParams::default() };
+        let opt = Optimizer::new(OptimizerKind::Adam, hp);
+        assert_eq!(opt.kind(), OptimizerKind::Adam);
+        assert_eq!(opt.hyper_params(), hp);
+        let mut params = FlatTensor::from_vec(vec![0.0, 0.0]);
+        let mut aux = opt.init_aux(2);
+        assert_eq!(aux.len(), 2);
+        let grads = FlatTensor::from_vec(vec![1.0, -1.0]);
+        opt.step(params.as_mut_slice(), &grads, &mut aux, 1);
+
+        let mut expect = vec![0.0f32, 0.0];
+        let mut m = vec![0.0f32; 2];
+        let mut v = vec![0.0f32; 2];
+        crate::kernels::adam_step(
+            &mut expect,
+            &mut m,
+            &mut v,
+            &[1.0, -1.0],
+            0.1,
+            hp.beta1,
+            hp.beta2,
+            hp.eps,
+            1,
+        );
+        assert_eq!(params.as_slice(), expect.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 auxiliary tensors")]
+    fn wrong_aux_count_panics() {
+        let opt = Optimizer::adam_default();
+        let mut params = FlatTensor::zeros(2);
+        let grads = FlatTensor::zeros(2);
+        let mut aux = vec![FlatTensor::zeros(2)];
+        opt.step(params.as_mut_slice(), &grads, &mut aux, 1);
+    }
+
+    #[test]
+    fn default_constructor_is_adam() {
+        assert_eq!(Optimizer::adam_default().kind(), OptimizerKind::Adam);
+    }
+}

@@ -1,0 +1,163 @@
+//! # simkit — discrete-event simulation kernel for Smart-Infinity
+//!
+//! This crate provides the virtual-time execution substrate used by every
+//! performance model in the workspace. It knows nothing about PCIe, SSDs or
+//! LLM training; it only understands three primitives:
+//!
+//! * **Links** — capacities (bytes/second) that are *shared* among the flows
+//!   crossing them. Bandwidth is divided with max-min fairness, recomputed at
+//!   every flow arrival and completion (progressive filling).
+//! * **Resources** — serial processing units (a CPU core doing AVX updates, a
+//!   GPU running a forward pass, an FPGA updater kernel). Tasks queue FIFO and
+//!   the head of the queue proceeds at the resource's configured rate.
+//! * **Tasks** — nodes of a dependency DAG. A task may be a [`TaskKind::Flow`]
+//!   over a path of links, a [`TaskKind::Compute`] on a resource, a fixed
+//!   [`TaskKind::Delay`], or a zero-duration [`TaskKind::Barrier`].
+//!
+//! Engines in `ztrain` / `smart_infinity` build a task DAG for one (or more)
+//! training iterations, run it, and read the resulting [`Timeline`]: per-task
+//! start/finish times, the makespan, and per-phase busy time.
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::{Simulation, FlowSpec, ComputeSpec};
+//!
+//! # fn main() -> Result<(), simkit::SimError> {
+//! let mut sim = Simulation::new();
+//! let pcie = sim.add_link("pcie", 16e9);
+//! let gpu = sim.add_resource("gpu", 100e12);
+//! let fw = sim.add_phase("forward");
+//!
+//! // Load 2 GB of parameters over PCIe, then run 10 TFLOP of forward compute.
+//! let load = sim.flow(FlowSpec::new(vec![pcie], 2e9).phase(fw));
+//! let compute = sim.compute(ComputeSpec::new(gpu, 10e12).phase(fw).after(&[load]));
+//! let timeline = sim.run()?;
+//! assert!(timeline.finish_time(compute) > timeline.finish_time(load));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+mod task;
+mod timeline;
+
+pub use engine::Simulation;
+pub use error::SimError;
+pub use task::{ComputeSpec, DelaySpec, FlowSpec, LinkId, PhaseId, ResourceId, TaskId, TaskKind};
+pub use timeline::{PhaseBreakdown, TaskRecord, Timeline};
+
+/// Convenience constant: one gigabyte in bytes.
+pub const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+/// Convenience constant: one gigabyte (decimal, as used for bandwidths) in bytes.
+pub const GB: f64 = 1e9;
+/// Convenience constant: one megabyte (decimal) in bytes.
+pub const MB: f64 = 1e6;
+
+/// Floating point tolerance used when comparing simulated times.
+pub const TIME_EPS: f64 = 1e-9;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flow_takes_bytes_over_bandwidth() {
+        let mut sim = Simulation::new();
+        let link = sim.add_link("l", 10.0);
+        let t = sim.flow(FlowSpec::new(vec![link], 100.0));
+        let tl = sim.run().unwrap();
+        assert!((tl.finish_time(t) - 10.0).abs() < 1e-9);
+        assert!((tl.makespan() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_flows_share_a_link_fairly() {
+        let mut sim = Simulation::new();
+        let link = sim.add_link("l", 10.0);
+        let a = sim.flow(FlowSpec::new(vec![link], 100.0));
+        let b = sim.flow(FlowSpec::new(vec![link], 100.0));
+        let tl = sim.run().unwrap();
+        // Each gets 5 B/s while both are active -> both finish at t=20.
+        assert!((tl.finish_time(a) - 20.0).abs() < 1e-9);
+        assert!((tl.finish_time(b) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shorter_flow_frees_bandwidth_for_the_longer_one() {
+        let mut sim = Simulation::new();
+        let link = sim.add_link("l", 10.0);
+        let short = sim.flow(FlowSpec::new(vec![link], 50.0));
+        let long = sim.flow(FlowSpec::new(vec![link], 150.0));
+        let tl = sim.run().unwrap();
+        // Phase 1: both share 5 B/s. Short (50 B) finishes at t=10, long has 100 B left.
+        // Phase 2: long gets full 10 B/s, finishes 10 s later at t=20.
+        assert!((tl.finish_time(short) - 10.0).abs() < 1e-9);
+        assert!((tl.finish_time(long) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_tasks_are_serialized_fifo() {
+        let mut sim = Simulation::new();
+        let cpu = sim.add_resource("cpu", 10.0);
+        let a = sim.compute(ComputeSpec::new(cpu, 100.0));
+        let b = sim.compute(ComputeSpec::new(cpu, 50.0));
+        let tl = sim.run().unwrap();
+        assert!((tl.finish_time(a) - 10.0).abs() < 1e-9);
+        assert!((tl.finish_time(b) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dependencies_are_respected() {
+        let mut sim = Simulation::new();
+        let link = sim.add_link("l", 10.0);
+        let cpu = sim.add_resource("cpu", 10.0);
+        let a = sim.flow(FlowSpec::new(vec![link], 100.0));
+        let b = sim.compute(ComputeSpec::new(cpu, 100.0).after(&[a]));
+        let c = sim.flow(FlowSpec::new(vec![link], 100.0).after(&[b]));
+        let tl = sim.run().unwrap();
+        assert!((tl.start_time(b) - 10.0).abs() < 1e-9);
+        assert!((tl.start_time(c) - 20.0).abs() < 1e-9);
+        assert!((tl.makespan() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_and_barrier() {
+        let mut sim = Simulation::new();
+        let d = sim.delay(DelaySpec::new(2.5));
+        let b = sim.barrier(&[d]);
+        let tl = sim.run().unwrap();
+        assert!((tl.finish_time(b) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_breakdown_accumulates_busy_time() {
+        let mut sim = Simulation::new();
+        let link = sim.add_link("l", 10.0);
+        let fw = sim.add_phase("fw");
+        let bw = sim.add_phase("bw");
+        let a = sim.flow(FlowSpec::new(vec![link], 100.0).phase(fw));
+        let _b = sim.flow(FlowSpec::new(vec![link], 100.0).phase(bw).after(&[a]));
+        let tl = sim.run().unwrap();
+        let breakdown = tl.phase_breakdown();
+        assert!((breakdown.busy_time(fw) - 10.0).abs() < 1e-9);
+        assert!((breakdown.busy_time(bw) - 10.0).abs() < 1e-9);
+        assert!((breakdown.total() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycle_is_reported_as_error() {
+        let mut sim = Simulation::new();
+        let cpu = sim.add_resource("cpu", 1.0);
+        let a = sim.compute(ComputeSpec::new(cpu, 1.0));
+        let b = sim.compute(ComputeSpec::new(cpu, 1.0).after(&[a]));
+        // Manually create a cycle a -> b -> a.
+        sim.add_dependency(a, b).unwrap();
+        let err = sim.run().unwrap_err();
+        assert!(matches!(err, SimError::DependencyCycle { .. }));
+    }
+}

@@ -1,0 +1,216 @@
+//! Task, link, resource and phase identifiers plus the task specification
+//! builders used to populate a [`crate::Simulation`].
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a task inside one [`crate::Simulation`].
+pub type TaskId = usize;
+
+/// Identifier of a shared-bandwidth link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub(crate) usize);
+
+impl LinkId {
+    /// Returns the raw index of the link within its simulation.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of a serial compute resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ResourceId(pub(crate) usize);
+
+impl ResourceId {
+    /// Returns the raw index of the resource within its simulation.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of a phase label used for timeline breakdowns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PhaseId(pub(crate) usize);
+
+impl PhaseId {
+    /// Returns the raw index of the phase within its simulation.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// What a task does while it is active.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskKind {
+    /// Moves `bytes` across every link of `path` simultaneously; the rate is
+    /// the max-min fair share of the most contended link on the path.
+    Flow {
+        /// Links traversed by the flow. Order is irrelevant.
+        path: Vec<LinkId>,
+        /// Payload size in bytes.
+        bytes: f64,
+    },
+    /// Performs `work` units of computation on a serial resource.
+    Compute {
+        /// The resource the task runs on (FIFO order).
+        resource: ResourceId,
+        /// Work amount, in the resource's rate unit (e.g. FLOPs or bytes).
+        work: f64,
+    },
+    /// Waits a fixed amount of virtual time.
+    Delay {
+        /// Duration in seconds.
+        seconds: f64,
+    },
+    /// Completes instantly once all dependencies have completed.
+    Barrier,
+}
+
+/// Specification of a bandwidth-sharing flow task.
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    pub(crate) path: Vec<LinkId>,
+    pub(crate) bytes: f64,
+    pub(crate) deps: Vec<TaskId>,
+    pub(crate) phase: Option<PhaseId>,
+    pub(crate) label: Option<String>,
+}
+
+impl FlowSpec {
+    /// Creates a flow moving `bytes` across the given link path.
+    ///
+    /// A zero-byte flow completes instantly (after its dependencies).
+    pub fn new(path: Vec<LinkId>, bytes: f64) -> Self {
+        Self { path, bytes, deps: Vec::new(), phase: None, label: None }
+    }
+
+    /// Adds dependencies that must complete before the flow starts.
+    pub fn after(mut self, deps: &[TaskId]) -> Self {
+        self.deps.extend_from_slice(deps);
+        self
+    }
+
+    /// Tags the flow with a phase for breakdown reporting.
+    pub fn phase(mut self, phase: PhaseId) -> Self {
+        self.phase = Some(phase);
+        self
+    }
+
+    /// Attaches a human-readable label (shown in debugging dumps).
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+}
+
+/// Specification of a serial compute task.
+#[derive(Debug, Clone)]
+pub struct ComputeSpec {
+    pub(crate) resource: ResourceId,
+    pub(crate) work: f64,
+    pub(crate) deps: Vec<TaskId>,
+    pub(crate) phase: Option<PhaseId>,
+    pub(crate) label: Option<String>,
+}
+
+impl ComputeSpec {
+    /// Creates a compute task performing `work` units on `resource`.
+    pub fn new(resource: ResourceId, work: f64) -> Self {
+        Self { resource, work, deps: Vec::new(), phase: None, label: None }
+    }
+
+    /// Adds dependencies that must complete before the task is enqueued.
+    pub fn after(mut self, deps: &[TaskId]) -> Self {
+        self.deps.extend_from_slice(deps);
+        self
+    }
+
+    /// Tags the task with a phase for breakdown reporting.
+    pub fn phase(mut self, phase: PhaseId) -> Self {
+        self.phase = Some(phase);
+        self
+    }
+
+    /// Attaches a human-readable label (shown in debugging dumps).
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+}
+
+/// Specification of a fixed virtual-time delay.
+#[derive(Debug, Clone)]
+pub struct DelaySpec {
+    pub(crate) seconds: f64,
+    pub(crate) deps: Vec<TaskId>,
+    pub(crate) phase: Option<PhaseId>,
+    pub(crate) label: Option<String>,
+}
+
+impl DelaySpec {
+    /// Creates a delay of `seconds` virtual seconds.
+    pub fn new(seconds: f64) -> Self {
+        Self { seconds, deps: Vec::new(), phase: None, label: None }
+    }
+
+    /// Adds dependencies that must complete before the delay starts.
+    pub fn after(mut self, deps: &[TaskId]) -> Self {
+        self.deps.extend_from_slice(deps);
+        self
+    }
+
+    /// Tags the delay with a phase for breakdown reporting.
+    pub fn phase(mut self, phase: PhaseId) -> Self {
+        self.phase = Some(phase);
+        self
+    }
+
+    /// Attaches a human-readable label (shown in debugging dumps).
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+}
+
+/// Internal task representation stored by the simulation.
+#[derive(Debug, Clone)]
+pub(crate) struct Task {
+    pub(crate) kind: TaskKind,
+    pub(crate) deps: Vec<TaskId>,
+    pub(crate) phase: Option<PhaseId>,
+    pub(crate) label: Option<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_spec_builder_collects_fields() {
+        let spec = FlowSpec::new(vec![LinkId(0), LinkId(3)], 42.0)
+            .after(&[1, 2])
+            .phase(PhaseId(7))
+            .label("grad offload");
+        assert_eq!(spec.path, vec![LinkId(0), LinkId(3)]);
+        assert_eq!(spec.bytes, 42.0);
+        assert_eq!(spec.deps, vec![1, 2]);
+        assert_eq!(spec.phase, Some(PhaseId(7)));
+        assert_eq!(spec.label.as_deref(), Some("grad offload"));
+    }
+
+    #[test]
+    fn compute_spec_builder_collects_fields() {
+        let spec = ComputeSpec::new(ResourceId(2), 1e9).after(&[0]).phase(PhaseId(1));
+        assert_eq!(spec.resource, ResourceId(2));
+        assert_eq!(spec.work, 1e9);
+        assert_eq!(spec.deps, vec![0]);
+        assert_eq!(spec.phase, Some(PhaseId(1)));
+    }
+
+    #[test]
+    fn ids_expose_indices() {
+        assert_eq!(LinkId(5).index(), 5);
+        assert_eq!(ResourceId(6).index(), 6);
+        assert_eq!(PhaseId(7).index(), 7);
+    }
+}

@@ -1,0 +1,212 @@
+//! Simulation results: per-task records, makespan and per-phase breakdowns.
+
+use crate::task::{PhaseId, TaskId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Start and finish time of one completed task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// Virtual time at which the task began executing.
+    pub start: f64,
+    /// Virtual time at which the task completed.
+    pub finish: f64,
+    /// Phase the task was tagged with, if any.
+    pub phase: Option<PhaseId>,
+}
+
+impl TaskRecord {
+    /// Duration of the task in virtual seconds.
+    pub fn duration(&self) -> f64 {
+        self.finish - self.start
+    }
+}
+
+/// Per-phase busy time: the measure of the union of execution intervals of all
+/// tasks tagged with that phase. Overlapping tasks of the same phase are not
+/// double counted.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    busy: BTreeMap<usize, f64>,
+    names: BTreeMap<usize, String>,
+}
+
+impl PhaseBreakdown {
+    /// Busy time of a phase in virtual seconds (0 if the phase saw no work).
+    pub fn busy_time(&self, phase: PhaseId) -> f64 {
+        self.busy.get(&phase.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Busy time looked up by phase name (0 if unknown).
+    pub fn busy_time_by_name(&self, name: &str) -> f64 {
+        for (idx, n) in &self.names {
+            if n == name {
+                return self.busy.get(idx).copied().unwrap_or(0.0);
+            }
+        }
+        0.0
+    }
+
+    /// Sum of all phase busy times.
+    pub fn total(&self) -> f64 {
+        self.busy.values().sum()
+    }
+
+    /// Iterates over `(phase name, busy seconds)` pairs in phase-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.busy.iter().map(move |(idx, busy)| {
+            let name = self.names.get(idx).map(String::as_str).unwrap_or("<unnamed>");
+            (name, *busy)
+        })
+    }
+
+    pub(crate) fn insert(&mut self, phase: usize, name: String, busy: f64) {
+        self.busy.insert(phase, busy);
+        self.names.insert(phase, name);
+    }
+}
+
+/// The complete result of a simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Timeline {
+    records: Vec<TaskRecord>,
+    makespan: f64,
+    phase_names: Vec<String>,
+}
+
+impl Timeline {
+    pub(crate) fn new(records: Vec<TaskRecord>, makespan: f64, phase_names: Vec<String>) -> Self {
+        Self { records, makespan, phase_names }
+    }
+
+    /// Virtual time at which the task started.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is not a valid task id of the simulation that produced
+    /// this timeline.
+    pub fn start_time(&self, task: TaskId) -> f64 {
+        self.records[task].start
+    }
+
+    /// Virtual time at which the task finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is not a valid task id of the simulation that produced
+    /// this timeline.
+    pub fn finish_time(&self, task: TaskId) -> f64 {
+        self.records[task].finish
+    }
+
+    /// The record of a single task, if it exists.
+    pub fn record(&self, task: TaskId) -> Option<&TaskRecord> {
+        self.records.get(task)
+    }
+
+    /// All task records in task-id order.
+    pub fn records(&self) -> &[TaskRecord] {
+        &self.records
+    }
+
+    /// Completion time of the whole DAG.
+    pub fn makespan(&self) -> f64 {
+        self.makespan
+    }
+
+    /// Latest finish time among the given tasks (0 when empty).
+    pub fn finish_of(&self, tasks: &[TaskId]) -> f64 {
+        tasks.iter().map(|&t| self.finish_time(t)).fold(0.0, f64::max)
+    }
+
+    /// Computes the per-phase breakdown (union of execution intervals per phase).
+    pub fn phase_breakdown(&self) -> PhaseBreakdown {
+        let mut per_phase: BTreeMap<usize, Vec<(f64, f64)>> = BTreeMap::new();
+        for rec in &self.records {
+            if let Some(phase) = rec.phase {
+                if rec.finish > rec.start {
+                    per_phase.entry(phase.index()).or_default().push((rec.start, rec.finish));
+                }
+            }
+        }
+        let mut breakdown = PhaseBreakdown::default();
+        for (phase, mut intervals) in per_phase {
+            intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            let mut busy = 0.0;
+            let mut cur: Option<(f64, f64)> = None;
+            for (s, f) in intervals {
+                match cur {
+                    None => cur = Some((s, f)),
+                    Some((cs, cf)) => {
+                        if s <= cf {
+                            cur = Some((cs, cf.max(f)));
+                        } else {
+                            busy += cf - cs;
+                            cur = Some((s, f));
+                        }
+                    }
+                }
+            }
+            if let Some((cs, cf)) = cur {
+                busy += cf - cs;
+            }
+            let name =
+                self.phase_names.get(phase).cloned().unwrap_or_else(|| format!("phase{phase}"));
+            breakdown.insert(phase, name, busy);
+        }
+        breakdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(start: f64, finish: f64, phase: Option<usize>) -> TaskRecord {
+        TaskRecord { start, finish, phase: phase.map(PhaseId) }
+    }
+
+    #[test]
+    fn breakdown_merges_overlapping_intervals() {
+        let tl = Timeline::new(
+            vec![rec(0.0, 5.0, Some(0)), rec(3.0, 8.0, Some(0)), rec(10.0, 12.0, Some(0))],
+            12.0,
+            vec!["update".to_string()],
+        );
+        let b = tl.phase_breakdown();
+        assert!((b.busy_time(PhaseId(0)) - 10.0).abs() < 1e-12);
+        assert!((b.busy_time_by_name("update") - 10.0).abs() < 1e-12);
+        assert_eq!(b.busy_time_by_name("missing"), 0.0);
+    }
+
+    #[test]
+    fn breakdown_separates_phases() {
+        let tl = Timeline::new(
+            vec![rec(0.0, 4.0, Some(0)), rec(4.0, 6.0, Some(1)), rec(6.0, 7.0, None)],
+            7.0,
+            vec!["fw".to_string(), "bw".to_string()],
+        );
+        let b = tl.phase_breakdown();
+        assert!((b.busy_time(PhaseId(0)) - 4.0).abs() < 1e-12);
+        assert!((b.busy_time(PhaseId(1)) - 2.0).abs() < 1e-12);
+        assert!((b.total() - 6.0).abs() < 1e-12);
+        let pairs: Vec<_> = b.iter().collect();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].0, "fw");
+    }
+
+    #[test]
+    fn task_record_duration() {
+        assert!((rec(1.0, 3.5, None).duration() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finish_of_takes_max() {
+        let tl = Timeline::new(vec![rec(0.0, 1.0, None), rec(0.0, 5.0, None)], 5.0, vec![]);
+        assert!((tl.finish_of(&[0, 1]) - 5.0).abs() < 1e-12);
+        assert_eq!(tl.finish_of(&[]), 0.0);
+        assert!(tl.record(0).is_some());
+        assert!(tl.record(7).is_none());
+        assert_eq!(tl.records().len(), 2);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for SSD operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the functional SSD store and RAID array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SsdError {
+    /// Writing the region would exceed the device capacity.
+    CapacityExceeded {
+        /// Device name.
+        device: String,
+        /// Bytes that would be used after the write.
+        requested: u64,
+        /// Device capacity in bytes.
+        capacity: u64,
+    },
+    /// The named region does not exist on the device.
+    UnknownRegion {
+        /// Device name.
+        device: String,
+        /// Region name that was requested.
+        region: String,
+    },
+    /// A read or write addressed bytes beyond the end of a region.
+    OutOfBounds {
+        /// Region name.
+        region: String,
+        /// Offset of the access.
+        offset: usize,
+        /// Length of the access.
+        len: usize,
+        /// Size of the region.
+        region_len: usize,
+    },
+    /// The RAID array was configured with zero member devices.
+    EmptyArray,
+}
+
+impl fmt::Display for SsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsdError::CapacityExceeded { device, requested, capacity } => write!(
+                f,
+                "capacity exceeded on {device}: requested {requested} bytes of {capacity}"
+            ),
+            SsdError::UnknownRegion { device, region } => {
+                write!(f, "unknown region {region} on device {device}")
+            }
+            SsdError::OutOfBounds { region, offset, len, region_len } => write!(
+                f,
+                "access [{offset}, {}) out of bounds for region {region} of {region_len} bytes",
+                offset + len
+            ),
+            SsdError::EmptyArray => write!(f, "RAID array must contain at least one device"),
+        }
+    }
+}
+
+impl Error for SsdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = SsdError::CapacityExceeded { device: "ssd0".into(), requested: 10, capacity: 5 };
+        assert!(e.to_string().contains("ssd0"));
+        let e = SsdError::UnknownRegion { device: "ssd1".into(), region: "grad".into() };
+        assert!(e.to_string().contains("grad"));
+        let e = SsdError::OutOfBounds { region: "p".into(), offset: 4, len: 8, region_len: 6 };
+        assert!(e.to_string().contains("out of bounds"));
+        assert!(SsdError::EmptyArray.to_string().contains("at least one"));
+    }
+}

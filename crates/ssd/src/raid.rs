@@ -1,0 +1,200 @@
+//! RAID0 striping across multiple SSD devices.
+//!
+//! The paper's baseline combines SSDs with Linux software RAID0 (mdadm). The
+//! useful properties for this reproduction are (a) the striping function —
+//! how a logical byte range maps to per-device ranges — and (b) the byte
+//! accounting: a B-byte logical transfer becomes ~B/N bytes on each of the N
+//! devices, which is what makes the aggregate bandwidth scale until the
+//! shared host interconnect saturates (Fig. 3b).
+
+use crate::error::SsdError;
+use crate::store::SsdDevice;
+
+/// A RAID0 array: a stripe layout over a set of member devices.
+#[derive(Debug, Clone)]
+pub struct RaidArray {
+    devices: Vec<SsdDevice>,
+    stripe_bytes: usize,
+}
+
+impl RaidArray {
+    /// Creates an array over the given member devices with the given stripe
+    /// (chunk) size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsdError::EmptyArray`] if `devices` is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stripe_bytes` is zero.
+    pub fn new(devices: Vec<SsdDevice>, stripe_bytes: usize) -> Result<Self, SsdError> {
+        if devices.is_empty() {
+            return Err(SsdError::EmptyArray);
+        }
+        assert!(stripe_bytes > 0, "stripe size must be positive");
+        Ok(Self { devices, stripe_bytes })
+    }
+
+    /// Number of member devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Stripe (chunk) size in bytes.
+    pub fn stripe_bytes(&self) -> usize {
+        self.stripe_bytes
+    }
+
+    /// Immutable access to the member devices.
+    pub fn devices(&self) -> &[SsdDevice] {
+        &self.devices
+    }
+
+    /// How many bytes of a `total`-byte logical region land on each device.
+    pub fn bytes_per_device(&self, total: usize) -> Vec<usize> {
+        let n = self.devices.len();
+        let full_stripes = total / self.stripe_bytes;
+        let remainder = total % self.stripe_bytes;
+        let mut per_device = vec![(full_stripes / n) * self.stripe_bytes; n];
+        for d in per_device.iter_mut().take(full_stripes % n) {
+            *d += self.stripe_bytes;
+        }
+        if remainder > 0 {
+            per_device[full_stripes % n] += remainder;
+        }
+        per_device
+    }
+
+    /// Writes a logical region, striping it across the member devices.
+    ///
+    /// # Errors
+    ///
+    /// Propagates capacity errors from the member devices.
+    pub fn write_region(&mut self, region: &str, data: &[u8]) -> Result<(), SsdError> {
+        let n = self.devices.len();
+        let mut per_device: Vec<Vec<u8>> = vec![Vec::new(); n];
+        for (i, chunk) in data.chunks(self.stripe_bytes).enumerate() {
+            per_device[i % n].extend_from_slice(chunk);
+        }
+        for (device, shard) in self.devices.iter_mut().zip(per_device) {
+            device.write_region(region, shard)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a logical region back, reassembling the stripes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsdError::UnknownRegion`] if any member lacks the region.
+    pub fn read_region(&mut self, region: &str) -> Result<Vec<u8>, SsdError> {
+        let n = self.devices.len();
+        let shards: Vec<Vec<u8>> = self
+            .devices
+            .iter_mut()
+            .map(|d| d.read_region(region))
+            .collect::<Result<_, _>>()?;
+        let total: usize = shards.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        let mut offsets = vec![0usize; n];
+        let mut device = 0usize;
+        while out.len() < total {
+            let shard = &shards[device];
+            let off = offsets[device];
+            if off < shard.len() {
+                let take = self.stripe_bytes.min(shard.len() - off);
+                out.extend_from_slice(&shard[off..off + take]);
+                offsets[device] += take;
+            }
+            device = (device + 1) % n;
+        }
+        Ok(out)
+    }
+
+    /// Total bytes written across all members (for traffic accounting).
+    pub fn total_bytes_written(&self) -> u64 {
+        self.devices.iter().map(SsdDevice::bytes_written).sum()
+    }
+
+    /// Total bytes read across all members.
+    pub fn total_bytes_read(&self) -> u64 {
+        self.devices.iter().map(SsdDevice::bytes_read).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn array(n: usize, stripe: usize) -> RaidArray {
+        let devices = (0..n).map(|i| SsdDevice::new(format!("ssd{i}"), 1 << 24)).collect();
+        RaidArray::new(devices, stripe).unwrap()
+    }
+
+    #[test]
+    fn empty_array_is_rejected() {
+        assert_eq!(RaidArray::new(vec![], 64).unwrap_err(), SsdError::EmptyArray);
+    }
+
+    #[test]
+    fn roundtrip_reassembles_the_original_data() {
+        let mut raid = array(3, 4);
+        let data: Vec<u8> = (0..103u8).collect();
+        raid.write_region("r", &data).unwrap();
+        assert_eq!(raid.read_region("r").unwrap(), data);
+        assert_eq!(raid.num_devices(), 3);
+        assert_eq!(raid.stripe_bytes(), 4);
+    }
+
+    #[test]
+    fn striping_balances_bytes_across_devices() {
+        let raid = array(4, 10);
+        let per = raid.bytes_per_device(100);
+        assert_eq!(per.iter().sum::<usize>(), 100);
+        assert_eq!(per, vec![30, 30, 20, 20]);
+        let per = raid.bytes_per_device(7);
+        assert_eq!(per, vec![7, 0, 0, 0]);
+    }
+
+    #[test]
+    fn traffic_counters_aggregate_members() {
+        let mut raid = array(2, 8);
+        raid.write_region("x", &[0u8; 64]).unwrap();
+        raid.read_region("x").unwrap();
+        assert_eq!(raid.total_bytes_written(), 64);
+        assert_eq!(raid.total_bytes_read(), 64);
+        assert!(raid.devices().iter().all(|d| d.bytes_written() == 32));
+    }
+
+    #[test]
+    fn single_device_array_degenerates_to_the_device() {
+        let mut raid = array(1, 16);
+        let data: Vec<u8> = (0..50u8).collect();
+        raid.write_region("r", &data).unwrap();
+        assert_eq!(raid.read_region("r").unwrap(), data);
+        assert_eq!(raid.bytes_per_device(50), vec![50]);
+    }
+
+    proptest! {
+        /// Write/read round-trips through any array shape preserve the data,
+        /// and the per-device byte split always sums to the total.
+        #[test]
+        fn striping_roundtrip(
+            data in proptest::collection::vec(any::<u8>(), 0..2000),
+            n in 1usize..8,
+            stripe in 1usize..128,
+        ) {
+            let mut raid = array(n, stripe);
+            raid.write_region("r", &data).unwrap();
+            prop_assert_eq!(raid.read_region("r").unwrap(), data.clone());
+            let per = raid.bytes_per_device(data.len());
+            prop_assert_eq!(per.iter().sum::<usize>(), data.len());
+            // Balanced within one stripe.
+            let max = per.iter().max().copied().unwrap_or(0);
+            let min = per.iter().min().copied().unwrap_or(0);
+            prop_assert!(max - min <= stripe);
+        }
+    }
+}

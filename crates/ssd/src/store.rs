@@ -1,0 +1,258 @@
+//! Functional SSD model: a named-region byte store with capacity accounting.
+
+use crate::error::SsdError;
+use std::collections::BTreeMap;
+
+/// A byte-accurate model of one NVMe SSD.
+///
+/// Data is organised into named regions (one region per optimizer-state
+/// tensor per parameter subgroup in the training engines). The device tracks
+/// used capacity and rejects writes that would exceed it, mirroring the
+/// pre-allocation the real system performs before training starts.
+#[derive(Debug, Clone, Default)]
+pub struct SsdDevice {
+    name: String,
+    capacity: u64,
+    regions: BTreeMap<String, Vec<u8>>,
+    reads: u64,
+    writes: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+}
+
+impl SsdDevice {
+    /// Creates an empty device with the given capacity in bytes.
+    pub fn new(name: impl Into<String>, capacity: u64) -> Self {
+        Self { name: name.into(), capacity, ..Self::default() }
+    }
+
+    /// Device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently stored across all regions.
+    pub fn used_bytes(&self) -> u64 {
+        self.regions.values().map(|v| v.len() as u64).sum()
+    }
+
+    /// Number of read operations served.
+    pub fn read_ops(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of write operations served.
+    pub fn write_ops(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total bytes read since creation.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Total bytes written since creation.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Whether the named region exists.
+    pub fn has_region(&self, region: &str) -> bool {
+        self.regions.contains_key(region)
+    }
+
+    /// Names of all regions in sorted order.
+    pub fn region_names(&self) -> Vec<String> {
+        self.regions.keys().cloned().collect()
+    }
+
+    /// Writes (creates or replaces) an entire region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsdError::CapacityExceeded`] if the device would overflow.
+    pub fn write_region(&mut self, region: impl Into<String>, data: Vec<u8>) -> Result<(), SsdError> {
+        let region = region.into();
+        let existing = self.regions.get(&region).map_or(0, |v| v.len() as u64);
+        let new_used = self.used_bytes() - existing + data.len() as u64;
+        if new_used > self.capacity {
+            return Err(SsdError::CapacityExceeded {
+                device: self.name.clone(),
+                requested: new_used,
+                capacity: self.capacity,
+            });
+        }
+        self.writes += 1;
+        self.bytes_written += data.len() as u64;
+        self.regions.insert(region, data);
+        Ok(())
+    }
+
+    /// Overwrites a byte range inside an existing region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsdError::UnknownRegion`] or [`SsdError::OutOfBounds`].
+    pub fn write_at(&mut self, region: &str, offset: usize, data: &[u8]) -> Result<(), SsdError> {
+        let buf = self.regions.get_mut(region).ok_or_else(|| SsdError::UnknownRegion {
+            device: self.name.clone(),
+            region: region.to_string(),
+        })?;
+        if offset + data.len() > buf.len() {
+            return Err(SsdError::OutOfBounds {
+                region: region.to_string(),
+                offset,
+                len: data.len(),
+                region_len: buf.len(),
+            });
+        }
+        buf[offset..offset + data.len()].copy_from_slice(data);
+        self.writes += 1;
+        self.bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    /// Reads an entire region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsdError::UnknownRegion`] if the region does not exist.
+    pub fn read_region(&mut self, region: &str) -> Result<Vec<u8>, SsdError> {
+        let data = self.regions.get(region).ok_or_else(|| SsdError::UnknownRegion {
+            device: self.name.clone(),
+            region: region.to_string(),
+        })?;
+        self.reads += 1;
+        self.bytes_read += data.len() as u64;
+        Ok(data.clone())
+    }
+
+    /// Reads a byte range from a region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsdError::UnknownRegion`] or [`SsdError::OutOfBounds`].
+    pub fn read_at(&mut self, region: &str, offset: usize, len: usize) -> Result<Vec<u8>, SsdError> {
+        let data = self.regions.get(region).ok_or_else(|| SsdError::UnknownRegion {
+            device: self.name.clone(),
+            region: region.to_string(),
+        })?;
+        if offset + len > data.len() {
+            return Err(SsdError::OutOfBounds {
+                region: region.to_string(),
+                offset,
+                len,
+                region_len: data.len(),
+            });
+        }
+        self.reads += 1;
+        self.bytes_read += len as u64;
+        Ok(data[offset..offset + len].to_vec())
+    }
+
+    /// Deletes a region, returning whether it existed.
+    pub fn delete_region(&mut self, region: &str) -> bool {
+        self.regions.remove(region).is_some()
+    }
+
+    /// Resets the read/write statistics (not the stored data).
+    pub fn reset_stats(&mut self) {
+        self.reads = 0;
+        self.writes = 0;
+        self.bytes_read = 0;
+        self.bytes_written = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn write_then_read_returns_the_same_bytes() {
+        let mut ssd = SsdDevice::new("ssd0", 1024);
+        ssd.write_region("a", vec![1, 2, 3]).unwrap();
+        assert_eq!(ssd.read_region("a").unwrap(), vec![1, 2, 3]);
+        assert!(ssd.has_region("a"));
+        assert!(!ssd.has_region("b"));
+        assert_eq!(ssd.region_names(), vec!["a".to_string()]);
+        assert_eq!(ssd.name(), "ssd0");
+        assert_eq!(ssd.capacity(), 1024);
+    }
+
+    #[test]
+    fn capacity_is_enforced_across_regions() {
+        let mut ssd = SsdDevice::new("ssd0", 10);
+        ssd.write_region("a", vec![0; 6]).unwrap();
+        assert!(matches!(
+            ssd.write_region("b", vec![0; 5]),
+            Err(SsdError::CapacityExceeded { .. })
+        ));
+        // Replacing an existing region reuses its space.
+        ssd.write_region("a", vec![0; 10]).unwrap();
+        assert_eq!(ssd.used_bytes(), 10);
+    }
+
+    #[test]
+    fn partial_reads_and_writes_address_correct_bytes() {
+        let mut ssd = SsdDevice::new("ssd0", 100);
+        ssd.write_region("p", (0u8..10).collect()).unwrap();
+        assert_eq!(ssd.read_at("p", 2, 3).unwrap(), vec![2, 3, 4]);
+        ssd.write_at("p", 8, &[99, 100]).unwrap();
+        assert_eq!(ssd.read_at("p", 8, 2).unwrap(), vec![99, 100]);
+        assert!(matches!(ssd.read_at("p", 9, 5), Err(SsdError::OutOfBounds { .. })));
+        assert!(matches!(ssd.write_at("p", 9, &[0; 5]), Err(SsdError::OutOfBounds { .. })));
+        assert!(matches!(ssd.read_at("q", 0, 1), Err(SsdError::UnknownRegion { .. })));
+        assert!(matches!(ssd.write_at("q", 0, &[1]), Err(SsdError::UnknownRegion { .. })));
+    }
+
+    #[test]
+    fn statistics_track_traffic() {
+        let mut ssd = SsdDevice::new("ssd0", 1000);
+        ssd.write_region("a", vec![0; 100]).unwrap();
+        ssd.read_region("a").unwrap();
+        ssd.read_at("a", 0, 10).unwrap();
+        assert_eq!(ssd.write_ops(), 1);
+        assert_eq!(ssd.read_ops(), 2);
+        assert_eq!(ssd.bytes_written(), 100);
+        assert_eq!(ssd.bytes_read(), 110);
+        ssd.reset_stats();
+        assert_eq!(ssd.bytes_read(), 0);
+        assert_eq!(ssd.read_ops(), 0);
+    }
+
+    #[test]
+    fn delete_frees_space() {
+        let mut ssd = SsdDevice::new("ssd0", 10);
+        ssd.write_region("a", vec![0; 10]).unwrap();
+        assert!(ssd.delete_region("a"));
+        assert!(!ssd.delete_region("a"));
+        assert_eq!(ssd.used_bytes(), 0);
+        ssd.write_region("b", vec![0; 10]).unwrap();
+    }
+
+    proptest! {
+        /// Any sequence of whole-region writes followed by reads returns the
+        /// most recently written data for every region.
+        #[test]
+        fn last_write_wins(
+            writes in proptest::collection::vec((0u8..4, proptest::collection::vec(any::<u8>(), 0..64)), 1..40)
+        ) {
+            let mut ssd = SsdDevice::new("ssd", 1 << 20);
+            let mut expected: std::collections::BTreeMap<u8, Vec<u8>> = Default::default();
+            for (region, data) in writes {
+                ssd.write_region(format!("r{region}"), data.clone()).unwrap();
+                expected.insert(region, data);
+            }
+            for (region, data) in expected {
+                prop_assert_eq!(ssd.read_region(&format!("r{region}")).unwrap(), data);
+            }
+        }
+    }
+}

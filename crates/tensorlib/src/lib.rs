@@ -1,0 +1,59 @@
+//! # tensorlib — flat tensors, half precision and parameter partitioning
+//!
+//! Storage-offloaded training (ZeRO-Infinity and Smart-Infinity alike) treats
+//! a model as one *flattened* parameter vector: partitioning across devices,
+//! subgroup chunking for the accelerator DRAM, and mixed-precision
+//! conversions are all performed on flat `f32`/`f16` buffers, agnostic of the
+//! model architecture (paper Section IV-D). This crate provides those
+//! primitives:
+//!
+//! * [`f16`] — IEEE 754 binary16 emulation with round-to-nearest-even,
+//!   matching what the GPU and the FPGA updater exchange.
+//! * [`FlatTensor`] — an owned flat `f32` vector with the element-wise
+//!   operations the rest of the workspace needs (AXPBY, norms, NaN/Inf scans,
+//!   byte-level serialization in either precision).
+//! * [`Chunker`] — splits a flat range into fixed-size subgroups ("tasklets")
+//!   sized to the accelerator device memory.
+//! * [`Partitioner`] — splits the flattened model across multiple devices
+//!   (the multi-CSD workload distribution).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chunk;
+mod half;
+mod partition;
+mod tensor;
+
+pub use chunk::{Chunker, Subgroup};
+pub use half::f16;
+pub use partition::{Partitioner, Shard};
+pub use tensor::{Dtype, FlatTensor};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_level_roundtrip_f16_through_bytes() {
+        let t = FlatTensor::from_vec(vec![0.5, -1.25, 3.0, 65504.0]);
+        let bytes = t.to_bytes(Dtype::F16);
+        let back = FlatTensor::from_bytes(&bytes, Dtype::F16);
+        assert_eq!(back.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn partition_then_chunk_covers_every_element_once() {
+        let n = 10_007;
+        let parts = Partitioner::contiguous(n, 3);
+        let mut seen = vec![0u8; n];
+        for shard in parts.shards() {
+            for sg in Chunker::new(shard.len, 1000).subgroups() {
+                for i in 0..sg.len {
+                    seen[shard.offset + sg.offset + i] += 1;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+}

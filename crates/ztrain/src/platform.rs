@@ -1,0 +1,357 @@
+//! The discrete-event scaffold shared by the baseline and Smart-Infinity
+//! timed engines.
+
+use crate::machine::MachineConfig;
+use fabric::{InstalledFabric, Platform};
+use simkit::{
+    ComputeSpec, FlowSpec, LinkId, PhaseId, ResourceId, SimError, Simulation, TaskId, Timeline,
+};
+use ssd::MediaLinks;
+
+/// A [`simkit::Simulation`] pre-populated with the machine's PCIe fabric,
+/// per-device SSD media links, GPU compute resources, the host-CPU update
+/// resource, and (for CSD platforms) per-device FPGA updater/decompressor
+/// resources.
+///
+/// Engines add flows and compute tasks through the helper methods below; the
+/// helpers translate "who talks to whom" into link paths, so engine code reads
+/// like the paper's dataflow description.
+#[derive(Debug)]
+pub struct TimedPlatform {
+    sim: Simulation,
+    fabric: InstalledFabric,
+    platform: Platform,
+    media: Vec<MediaLinks>,
+    gpu_resources: Vec<ResourceId>,
+    cpu_update: ResourceId,
+    fpga_update: Vec<ResourceId>,
+    fpga_decompress: Vec<ResourceId>,
+    config: MachineConfig,
+}
+
+impl TimedPlatform {
+    /// Builds the simulation scaffold for a machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine's platform spec cannot be built (which only
+    /// happens for non-positive link bandwidths).
+    pub fn new(config: &MachineConfig) -> Self {
+        let platform =
+            config.platform_spec().build().expect("machine link rates must be positive");
+        let mut sim = Simulation::new();
+        let fabric = platform.topology.install(&mut sim);
+        let media = (0..config.num_devices)
+            .map(|d| config.ssd.install(&mut sim, &format!("dev{d}")))
+            .collect();
+        let gpu_resources = (0..config.num_gpus)
+            .map(|g| sim.add_resource(format!("gpu{g}"), config.gpu.effective_flops))
+            .collect();
+        let cpu_update = sim.add_resource("cpu-update", config.cpu.update_bytes_per_sec);
+        let (fpga_update, fpga_decompress) = if config.is_csd() {
+            (
+                (0..config.num_devices)
+                    .map(|d| {
+                        sim.add_resource(format!("fpga{d}-updater"), config.fpga_update_bytes_per_sec)
+                    })
+                    .collect(),
+                (0..config.num_devices)
+                    .map(|d| {
+                        sim.add_resource(
+                            format!("fpga{d}-decompressor"),
+                            config.fpga_decompress_bytes_per_sec,
+                        )
+                    })
+                    .collect(),
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        Self {
+            sim,
+            fabric,
+            platform,
+            media,
+            gpu_resources,
+            cpu_update,
+            fpga_update,
+            fpga_decompress,
+            config: config.clone(),
+        }
+    }
+
+    /// The machine this platform was built from.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Number of storage devices.
+    pub fn num_devices(&self) -> usize {
+        self.config.num_devices
+    }
+
+    /// Number of GPUs.
+    pub fn num_gpus(&self) -> usize {
+        self.config.num_gpus
+    }
+
+    /// Registers a named phase for breakdown reporting.
+    pub fn add_phase(&mut self, name: &str) -> PhaseId {
+        self.sim.add_phase(name)
+    }
+
+    /// Adds a barrier completing after all `deps`.
+    pub fn barrier(&mut self, deps: &[TaskId]) -> TaskId {
+        self.sim.barrier(deps)
+    }
+
+    /// Adds a fixed delay (software/setup overhead such as device buffer
+    /// allocation or kernel launch latency).
+    pub fn delay(&mut self, seconds: f64, deps: &[TaskId], phase: PhaseId) -> TaskId {
+        self.sim.delay(simkit::DelaySpec::new(seconds).after(deps).phase(phase))
+    }
+
+    /// Runs the simulation and returns the timeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the simulation kernel.
+    pub fn run(&mut self) -> Result<Timeline, SimError> {
+        self.sim.run()
+    }
+
+    // ---- compute helpers ---------------------------------------------------
+
+    /// GPU compute task (`flops` floating point operations on GPU `gpu`).
+    pub fn gpu_compute(&mut self, gpu: usize, flops: f64, deps: &[TaskId], phase: PhaseId) -> TaskId {
+        let spec = ComputeSpec::new(self.gpu_resources[gpu], flops).after(deps).phase(phase);
+        self.sim.compute(spec)
+    }
+
+    /// Host-CPU optimizer update over `bytes` of state+gradient.
+    pub fn cpu_update(&mut self, bytes: f64, deps: &[TaskId], phase: PhaseId) -> TaskId {
+        let spec = ComputeSpec::new(self.cpu_update, bytes).after(deps).phase(phase);
+        self.sim.compute(spec)
+    }
+
+    /// FPGA updater kernel on device `dev` over `bytes` of state+gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the platform was built with plain SSDs.
+    pub fn fpga_update(&mut self, dev: usize, bytes: f64, deps: &[TaskId], phase: PhaseId) -> TaskId {
+        let spec = ComputeSpec::new(self.fpga_update[dev], bytes).after(deps).phase(phase);
+        self.sim.compute(spec)
+    }
+
+    /// FPGA decompressor kernel on device `dev` producing `bytes` of dense gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the platform was built with plain SSDs.
+    pub fn fpga_decompress(
+        &mut self,
+        dev: usize,
+        bytes: f64,
+        deps: &[TaskId],
+        phase: PhaseId,
+    ) -> TaskId {
+        let spec = ComputeSpec::new(self.fpga_decompress[dev], bytes).after(deps).phase(phase);
+        self.sim.compute(spec)
+    }
+
+    // ---- transfer helpers --------------------------------------------------
+
+    fn flow(&mut self, path: Vec<LinkId>, bytes: f64, deps: &[TaskId], phase: PhaseId) -> TaskId {
+        self.sim.flow(FlowSpec::new(path, bytes).after(deps).phase(phase))
+    }
+
+    /// Host memory → GPU transfer (parameter/activation upload).
+    pub fn host_to_gpu(&mut self, gpu: usize, bytes: f64, deps: &[TaskId], phase: PhaseId) -> TaskId {
+        let path = self
+            .fabric
+            .path(self.platform.host, self.platform.gpus[gpu])
+            .expect("host and GPU are always connected");
+        self.flow(path, bytes, deps, phase)
+    }
+
+    /// GPU → host memory transfer (activation checkpoint / gradient staging).
+    pub fn gpu_to_host(&mut self, gpu: usize, bytes: f64, deps: &[TaskId], phase: PhaseId) -> TaskId {
+        let path = self
+            .fabric
+            .path(self.platform.gpus[gpu], self.platform.host)
+            .expect("host and GPU are always connected");
+        self.flow(path, bytes, deps, phase)
+    }
+
+    /// GPU ↔ GPU transfer (tensor-parallel activation exchange).
+    pub fn gpu_to_gpu(
+        &mut self,
+        from: usize,
+        to: usize,
+        bytes: f64,
+        deps: &[TaskId],
+        phase: PhaseId,
+    ) -> TaskId {
+        let path = self
+            .fabric
+            .path(self.platform.gpus[from], self.platform.gpus[to])
+            .expect("GPUs are always connected");
+        self.flow(path, bytes, deps, phase)
+    }
+
+    /// Host memory → SSD write on device `dev` (limited by the PCIe path and
+    /// the device's write media bandwidth).
+    pub fn host_to_ssd(&mut self, dev: usize, bytes: f64, deps: &[TaskId], phase: PhaseId) -> TaskId {
+        let mut path = self
+            .fabric
+            .path(self.platform.host, self.platform.devices[dev].ssd)
+            .expect("host and SSD are always connected");
+        path.push(self.media[dev].write);
+        self.flow(path, bytes, deps, phase)
+    }
+
+    /// SSD → host memory read on device `dev`.
+    pub fn ssd_to_host(&mut self, dev: usize, bytes: f64, deps: &[TaskId], phase: PhaseId) -> TaskId {
+        let mut path = self
+            .fabric
+            .path(self.platform.devices[dev].ssd, self.platform.host)
+            .expect("host and SSD are always connected");
+        path.push(self.media[dev].read);
+        self.flow(path, bytes, deps, phase)
+    }
+
+    /// CSD-internal P2P read: SSD → FPGA on device `dev`, never touching the
+    /// shared host interconnect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the platform was built with plain SSDs.
+    pub fn ssd_to_fpga(&mut self, dev: usize, bytes: f64, deps: &[TaskId], phase: PhaseId) -> TaskId {
+        let ports = &self.platform.devices[dev];
+        let fpga = ports.fpga.expect("ssd_to_fpga requires a CSD platform");
+        let mut path = self.fabric.path(ports.ssd, fpga).expect("CSD internal ports are connected");
+        path.push(self.media[dev].read);
+        self.flow(path, bytes, deps, phase)
+    }
+
+    /// CSD-internal P2P write: FPGA → SSD on device `dev`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the platform was built with plain SSDs.
+    pub fn fpga_to_ssd(&mut self, dev: usize, bytes: f64, deps: &[TaskId], phase: PhaseId) -> TaskId {
+        let ports = &self.platform.devices[dev];
+        let fpga = ports.fpga.expect("fpga_to_ssd requires a CSD platform");
+        let mut path = self.fabric.path(fpga, ports.ssd).expect("CSD internal ports are connected");
+        path.push(self.media[dev].write);
+        self.flow(path, bytes, deps, phase)
+    }
+
+    /// GPU → SSD transfer (gradient offload path in the congested topology,
+    /// where the GPU and the device share the expansion switch).
+    pub fn gpu_to_ssd(
+        &mut self,
+        gpu: usize,
+        dev: usize,
+        bytes: f64,
+        deps: &[TaskId],
+        phase: PhaseId,
+    ) -> TaskId {
+        let mut path = self
+            .fabric
+            .path(self.platform.gpus[gpu], self.platform.devices[dev].ssd)
+            .expect("GPU and SSD are always connected");
+        path.push(self.media[dev].write);
+        self.flow(path, bytes, deps, phase)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(plat: &mut TimedPlatform) -> PhaseId {
+        plat.add_phase("test")
+    }
+
+    #[test]
+    fn baseline_platform_has_no_fpga_resources() {
+        let mut plat = TimedPlatform::new(&MachineConfig::baseline_raid0(2));
+        assert_eq!(plat.num_devices(), 2);
+        assert_eq!(plat.num_gpus(), 1);
+        assert!(!plat.config().is_csd());
+        let p = phase(&mut plat);
+        let a = plat.host_to_ssd(0, 1e9, &[], p);
+        let b = plat.ssd_to_host(1, 1e9, &[a], p);
+        let tl = plat.run().unwrap();
+        assert!(tl.finish_time(b) > tl.finish_time(a));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a CSD platform")]
+    fn internal_p2p_on_plain_ssd_panics() {
+        let mut plat = TimedPlatform::new(&MachineConfig::baseline_raid0(1));
+        let p = phase(&mut plat);
+        plat.ssd_to_fpga(0, 1.0, &[], p);
+    }
+
+    #[test]
+    fn csd_internal_p2p_scales_with_device_count_while_host_path_does_not() {
+        // 8 CSDs all stream 3 GB internally: finishes in ~1 s because each CSD
+        // has its own 3.2 GB/s path. The same aggregate volume host->SSDs is
+        // limited by the 16 GB/s shared uplink.
+        let config = MachineConfig::smart_infinity(8);
+        let mut internal = TimedPlatform::new(&config);
+        let p = internal.add_phase("p2p");
+        for d in 0..8 {
+            internal.ssd_to_fpga(d, 3.0e9, &[], p);
+        }
+        let t_internal = internal.run().unwrap().makespan();
+
+        let mut host_side = TimedPlatform::new(&config);
+        let p = host_side.add_phase("host");
+        for d in 0..8 {
+            host_side.ssd_to_host(d, 3.0e9, &[], p);
+        }
+        let t_host = host_side.run().unwrap().makespan();
+        assert!(t_internal < 1.05, "internal: {t_internal}");
+        assert!(t_host > 1.4, "host side should saturate the uplink: {t_host}");
+    }
+
+    #[test]
+    fn gpu_compute_and_transfers_compose() {
+        let mut plat = TimedPlatform::new(&MachineConfig::smart_infinity(2));
+        let p = plat.add_phase("fw");
+        let load = plat.host_to_gpu(0, 16.0e9, &[], p);
+        let compute = plat.gpu_compute(0, 50.0e12, &[load], p);
+        let store = plat.gpu_to_host(0, 1.0e9, &[compute], p);
+        let upd = plat.fpga_update(0, 7.3e9, &[store], p);
+        let dec = plat.fpga_decompress(1, 3.8e9, &[], p);
+        let cpu = plat.cpu_update(6.0e9, &[], p);
+        let tl = plat.run().unwrap();
+        // load: 1 s, compute: 1 s, store: ~0.06 s, update: 1 s.
+        assert!((tl.finish_time(load) - 1.0).abs() < 0.05);
+        assert!((tl.finish_time(compute) - 2.0).abs() < 0.1);
+        assert!(tl.finish_time(upd) > tl.finish_time(store));
+        assert!((tl.finish_time(dec) - 1.0).abs() < 0.05);
+        assert!((tl.finish_time(cpu) - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn congested_topology_gpu_traffic_shares_the_uplink() {
+        // In the congested topology a GPU->host transfer crosses the shared
+        // uplink and contends with SSD->host traffic; in the default topology
+        // it does not.
+        let run = |config: MachineConfig| {
+            let mut plat = TimedPlatform::new(&config);
+            let p = plat.add_phase("x");
+            plat.gpu_to_host(0, 16.0e9, &[], p);
+            plat.ssd_to_host(0, 3.0e9, &[], p);
+            plat.run().unwrap().makespan()
+        };
+        let default_t = run(MachineConfig::smart_infinity(1));
+        let congested_t = run(MachineConfig::congested_multi_gpu(1, 1));
+        assert!(congested_t > default_t * 1.05, "{congested_t} vs {default_t}");
+    }
+}

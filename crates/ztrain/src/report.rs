@@ -1,0 +1,99 @@
+//! Per-iteration timing reports (the unit of every speedup figure).
+
+use serde::{Deserialize, Serialize};
+
+/// The wall-clock breakdown of one training iteration, split the same way the
+/// paper splits it: forward, backward including gradient offload, and update
+/// including optimizer-state upload/offload.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct IterationReport {
+    /// Forward-pass seconds.
+    pub forward_s: f64,
+    /// Backward-pass seconds, including gradient offload to storage.
+    pub backward_s: f64,
+    /// Update seconds, including optimizer-state upload/offload (baseline) or
+    /// CSD-internal transfers and parameter upstreaming (Smart-Infinity).
+    pub update_s: f64,
+}
+
+impl IterationReport {
+    /// Creates a report from the three phase durations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any duration is negative or not finite.
+    pub fn new(forward_s: f64, backward_s: f64, update_s: f64) -> Self {
+        for (name, v) in [("forward", forward_s), ("backward", backward_s), ("update", update_s)] {
+            assert!(v.is_finite() && v >= 0.0, "{name} duration must be non-negative, got {v}");
+        }
+        Self { forward_s, backward_s, update_s }
+    }
+
+    /// Total iteration time in seconds.
+    pub fn total_s(&self) -> f64 {
+        self.forward_s + self.backward_s + self.update_s
+    }
+
+    /// Fraction of the iteration spent in the update phase.
+    pub fn update_fraction(&self) -> f64 {
+        if self.total_s() == 0.0 {
+            0.0
+        } else {
+            self.update_s / self.total_s()
+        }
+    }
+
+    /// Speedup of `self` relative to a baseline report (baseline time divided
+    /// by this report's time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this report's total time is zero.
+    pub fn speedup_over(&self, baseline: &IterationReport) -> f64 {
+        assert!(self.total_s() > 0.0, "cannot compute speedup of a zero-time iteration");
+        baseline.total_s() / self.total_s()
+    }
+
+    /// The three phases as `(label, seconds)` pairs, in paper order.
+    pub fn phases(&self) -> [(&'static str, f64); 3] {
+        [
+            ("FW", self.forward_s),
+            ("BW+Grad. Offload", self.backward_s),
+            ("Update+Opt. Upload/Offload", self.update_s),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_fractions() {
+        let r = IterationReport::new(1.0, 2.0, 7.0);
+        assert_eq!(r.total_s(), 10.0);
+        assert!((r.update_fraction() - 0.7).abs() < 1e-12);
+        assert_eq!(r.phases()[2].1, 7.0);
+        assert_eq!(IterationReport::default().update_fraction(), 0.0);
+    }
+
+    #[test]
+    fn speedup_is_baseline_over_self() {
+        let base = IterationReport::new(1.0, 2.0, 7.0);
+        let fast = IterationReport::new(1.0, 2.0, 2.0);
+        assert!((fast.speedup_over(&base) - 2.0).abs() < 1e-12);
+        assert!((base.speedup_over(&base) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_panics() {
+        IterationReport::new(-1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-time")]
+    fn zero_time_speedup_panics() {
+        IterationReport::default().speedup_over(&IterationReport::new(1.0, 1.0, 1.0));
+    }
+}

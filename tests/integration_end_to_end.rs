@@ -1,0 +1,152 @@
+//! End-to-end integration: the full Smart-Infinity stack — model zoo,
+//! machine configuration, timed engines, functional engines and real
+//! gradients — working together through the public API.
+
+use smart_infinity::{
+    Experiment, HandlerMode, MachineConfig, Method, ModelConfig, Optimizer, OptimizerKind,
+    SmartInfinityEngine, SmartInfinityTrainer, Workload,
+};
+use ztrain::realtrain::{Dataset, MlpGradientSource, MlpModel};
+use ztrain::{BaselineEngine, StorageOffloadTrainer};
+
+#[test]
+fn full_ladder_reproduces_the_headline_speedups() {
+    let workload = Workload::paper_default(ModelConfig::gpt2_4b());
+    let experiment = Experiment::new(MachineConfig::smart_infinity(10), workload);
+    let reports = experiment.ladder().expect("simulation");
+    assert_eq!(reports.len(), 4);
+    // BASE, SU, SU+O, SU+O+C in increasing speedup order.
+    for pair in reports.windows(2) {
+        assert!(
+            pair[1].speedup >= pair[0].speedup,
+            "{} ({:.2}x) should not be slower than {} ({:.2}x)",
+            pair[1].label,
+            pair[1].speedup,
+            pair[0].label,
+            pair[0].speedup
+        );
+    }
+    let final_speedup = reports.last().unwrap().speedup;
+    assert!(
+        final_speedup > 1.5 && final_speedup < 3.0,
+        "SU+O+C speedup at 10 CSDs: {final_speedup:.2}"
+    );
+}
+
+#[test]
+fn breakdown_phases_follow_the_paper_shape() {
+    // Baseline: update dominates. Smart-Infinity: it no longer does.
+    let workload = Workload::paper_default(ModelConfig::gpt2_8_4b());
+    let base = BaselineEngine::new(
+        MachineConfig::baseline_raid0(6),
+        workload.clone(),
+        OptimizerKind::Adam,
+    )
+    .simulate_iteration()
+    .expect("simulation");
+    assert!(base.update_fraction() > 0.6, "baseline update fraction {:.2}", base.update_fraction());
+
+    let smart = SmartInfinityEngine::new(
+        MachineConfig::smart_infinity(10),
+        workload,
+        OptimizerKind::Adam,
+    )
+    .with_compression(0.01)
+    .simulate_iteration()
+    .expect("simulation");
+    assert!(smart.update_fraction() < base.update_fraction());
+    assert!(smart.total_s() < base.total_s());
+}
+
+#[test]
+fn handler_modes_and_compression_compose_through_the_builder() {
+    let workload = Workload::paper_default(ModelConfig::bert_4b());
+    let engine = SmartInfinityEngine::new(
+        MachineConfig::smart_infinity(6),
+        workload,
+        OptimizerKind::AdamW,
+    )
+    .with_handler(HandlerMode::Naive)
+    .with_compression(0.05)
+    .with_subgroup_elems(50_000_000);
+    assert_eq!(engine.handler(), HandlerMode::Naive);
+    assert_eq!(engine.keep_ratio(), Some(0.05));
+    let report = engine.simulate_iteration().expect("simulation");
+    assert!(report.total_s() > 0.0);
+}
+
+#[test]
+fn training_a_real_model_through_the_offload_engines_learns() {
+    // Drive both functional engines with genuine MLP gradients and verify the
+    // loss-bearing classifier actually improves.
+    let dataset = Dataset::gaussian_blobs("e2e", 200, 12, 3, 0.35, 99);
+    let model = MlpModel::new(12, 16, 3);
+    let initial = model.init_params(1);
+    let optimizer = Optimizer::adam_default();
+
+    let accuracy_before =
+        model.accuracy(&initial, &dataset.test_x, &dataset.test_y);
+
+    let mut smart = SmartInfinityTrainer::new(&initial, optimizer, 3, 200).expect("trainer");
+    let mut baseline = StorageOffloadTrainer::new(&initial, optimizer, 2, 300).expect("trainer");
+    let mut source_a = MlpGradientSource::new(model, dataset.clone(), 16, 5);
+    let mut source_b = MlpGradientSource::new(model, dataset.clone(), 16, 5);
+    for _ in 0..150 {
+        smart.train_step(&mut source_a).expect("step");
+        baseline.train_step(&mut source_b).expect("step");
+    }
+    let smart_params = smart.master_params().expect("params");
+    let baseline_params = baseline.master_params().expect("params");
+    // Identical gradient streams -> identical trained parameters.
+    assert_eq!(smart_params.as_slice(), baseline_params.as_slice());
+
+    let accuracy_after = model.accuracy(&smart_params, &dataset.test_x, &dataset.test_y);
+    assert!(
+        accuracy_after > accuracy_before + 0.2,
+        "training through the CSD path must actually learn: {accuracy_before:.2} -> {accuracy_after:.2}"
+    );
+    assert!(accuracy_after > 0.85, "final accuracy {accuracy_after:.2}");
+
+    // The near-storage update generated internal traffic but the gradients it
+    // consumed came from the host side exactly once per step.
+    let stats = smart.aggregate_stats();
+    assert_eq!(stats.elements_updated, 150 * initial.len() as u64);
+}
+
+#[test]
+fn other_optimizers_and_models_run_through_the_same_api() {
+    for optimizer in [OptimizerKind::SgdMomentum, OptimizerKind::AdaGrad] {
+        let experiment = Experiment::new(
+            MachineConfig::smart_infinity(6),
+            Workload::paper_default(ModelConfig::bloom_3b()),
+        )
+        .with_optimizer(optimizer);
+        let base = experiment.run(Method::Baseline).expect("simulation");
+        let smart = experiment.run(Method::SmartUpdateOptimized).expect("simulation");
+        assert!(
+            smart.speedup_over(&base) > 1.2,
+            "{optimizer:?}: speedup {:.2}",
+            smart.speedup_over(&base)
+        );
+    }
+}
+
+#[test]
+fn congested_multi_gpu_topology_is_supported_end_to_end() {
+    let experiment = Experiment::new(
+        MachineConfig::congested_multi_gpu(10, 3),
+        Workload::paper_default(ModelConfig::gpt2_1_16b()),
+    );
+    let base = experiment.run(Method::Baseline).expect("simulation");
+    let smart = experiment.run(Method::SmartComp { keep_ratio: 0.01 }).expect("simulation");
+    let speedup = smart.speedup_over(&base);
+    assert!(speedup > 1.3, "congested-topology speedup {speedup:.2}");
+    // Multi-GPU tensor parallelism shortens forward compute vs a single GPU.
+    let single = Experiment::new(
+        MachineConfig::congested_multi_gpu(10, 1),
+        Workload::paper_default(ModelConfig::gpt2_1_16b()),
+    )
+    .run(Method::Baseline)
+    .expect("simulation");
+    assert!(base.forward_s < single.forward_s);
+}

@@ -1,0 +1,143 @@
+//! Property-based integration tests across crate boundaries: invariants of
+//! the full compression → decompression → update pipeline, the partitioning
+//! machinery, and the discrete-event timing model, for randomly generated
+//! configurations.
+
+use gradcomp::Compressor;
+use optim::{HyperParams, Optimizer, OptimizerKind};
+use proptest::prelude::*;
+use smart_infinity::{
+    Experiment, MachineConfig, Method, ModelConfig, SmartInfinityTrainer, Workload,
+};
+use tensorlib::FlatTensor;
+use ztrain::StorageOffloadTrainer;
+
+fn arb_optimizer() -> impl Strategy<Value = OptimizerKind> {
+    prop_oneof![
+        Just(OptimizerKind::Adam),
+        Just(OptimizerKind::AdamW),
+        Just(OptimizerKind::SgdMomentum),
+        Just(OptimizerKind::AdaGrad),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// SmartUpdate equals the baseline for any size, shard count, subgroup
+    /// size and optimizer — the bit-equivalence claim as a property.
+    #[test]
+    fn smartupdate_matches_baseline_for_any_configuration(
+        n in 64usize..3000,
+        csds in 1usize..8,
+        subgroup in 16usize..800,
+        block in 16usize..800,
+        kind in arb_optimizer(),
+        seed in 0u64..1000,
+    ) {
+        let optimizer = Optimizer::new(kind, HyperParams::default());
+        let initial = FlatTensor::randn(n, 0.05, seed);
+        let grads = FlatTensor::randn(n, 0.01, seed + 1);
+
+        let mut baseline = StorageOffloadTrainer::new(&initial, optimizer, 2, block).unwrap();
+        let mut smart = SmartInfinityTrainer::new(&initial, optimizer, csds, subgroup).unwrap();
+        baseline.train_step_with_grads(&grads).unwrap();
+        smart.train_step_with_grads(&grads).unwrap();
+        let baseline_params = baseline.master_params().unwrap();
+        let smart_params = smart.master_params().unwrap();
+        prop_assert_eq!(baseline_params.as_slice(), smart_params.as_slice());
+    }
+
+    /// The compression pipeline conserves "mass": transmitted + residual
+    /// always reconstructs the corrected gradient, for any keep ratio.
+    #[test]
+    fn compression_pipeline_conserves_gradient_mass(
+        n in 1usize..2000,
+        keep in 0.001f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let grads = FlatTensor::randn(n, 1.0, seed);
+        let compressor = Compressor::top_k(keep);
+        let mut feedback = gradcomp::ErrorFeedback::new(n);
+        let corrected = feedback.apply(&grads);
+        let compressed = compressor.compress(&corrected);
+        feedback.update(&corrected, &compressed);
+        let mut reconstructed = compressed.decompress();
+        reconstructed.axpby(1.0, 1.0, feedback.residual());
+        for (a, b) in reconstructed.as_slice().iter().zip(corrected.as_slice()) {
+            prop_assert!((a - b).abs() <= 1e-5 * (1.0 + b.abs()));
+        }
+        // The transferred volume never exceeds the dense gradient.
+        prop_assert!(compressed.compressed_bytes() <= 2 * compressed.dense_bytes());
+    }
+
+    /// The CSD decompressor agrees with the reference scatter on any subgroup
+    /// tiling of any compressed gradient.
+    #[test]
+    fn decompressor_subgroup_tiling_is_exact(
+        n in 1usize..3000,
+        keep in 0.01f64..0.5,
+        subgroup in 1usize..512,
+        seed in 0u64..1000,
+    ) {
+        let grads = FlatTensor::randn(n, 1.0, seed);
+        let compressed = Compressor::top_k(keep).compress(&grads);
+        let reference = compressed.decompress();
+        let decompressor = csd::Decompressor::default();
+        let mut stitched = vec![0.0f32; n];
+        let mut offset = 0;
+        while offset < n {
+            let len = subgroup.min(n - offset);
+            let mut buf = vec![0.0f32; len];
+            decompressor.decompress_subgroup(&compressed, offset, &mut buf);
+            stitched[offset..offset + len].copy_from_slice(&buf);
+            offset += len;
+        }
+        prop_assert_eq!(stitched.as_slice(), reference.as_slice());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Timed-model sanity for arbitrary model sizes and device counts:
+    /// phases are positive, more CSDs never slow Smart-Infinity down, and the
+    /// speedup over the baseline stays within a physically plausible band.
+    #[test]
+    fn timed_model_is_well_behaved(
+        billions in 1.0f64..20.0,
+        devices in 2usize..10,
+    ) {
+        let workload = Workload::paper_default(ModelConfig::gpt2_scaled(billions * 1e9));
+        let experiment = Experiment::new(MachineConfig::smart_infinity(devices), workload.clone());
+        let base = experiment.run(Method::Baseline).unwrap();
+        let smart = experiment.run(Method::SmartComp { keep_ratio: 0.01 }).unwrap();
+        prop_assert!(base.forward_s > 0.0 && base.backward_s > 0.0 && base.update_s > 0.0);
+        prop_assert!(smart.forward_s > 0.0 && smart.backward_s > 0.0 && smart.update_s > 0.0);
+        let speedup = smart.speedup_over(&base);
+        prop_assert!(speedup > 0.8 && speedup < 4.0, "speedup {speedup:.2}");
+
+        let more = Experiment::new(MachineConfig::smart_infinity(devices + 1), workload)
+            .run(Method::SmartComp { keep_ratio: 0.01 })
+            .unwrap();
+        prop_assert!(more.total_s() <= smart.total_s() * 1.02, "adding a CSD must not hurt");
+    }
+
+    /// Interconnect-traffic accounting is internally consistent for any
+    /// optimizer and compression ratio.
+    #[test]
+    fn traffic_model_is_consistent(
+        keep in 0.001f64..0.5,
+        kind in arb_optimizer(),
+    ) {
+        use smart_infinity::{TrafficMethod, TrafficModel};
+        let workload = Workload::paper_default(ModelConfig::gpt2_4b());
+        let model = TrafficModel::new(workload, kind);
+        let base = model.per_iteration(TrafficMethod::ZeroInfinity).total();
+        let su = model.per_iteration(TrafficMethod::SmartUpdate).total();
+        let comp = model.per_iteration(TrafficMethod::SmartComp { keep_ratio: keep }).total();
+        prop_assert!(su < base);
+        prop_assert!(comp <= su + 1e-6);
+        prop_assert!(model.reduction_over_baseline(TrafficMethod::SmartUpdate) > 1.0);
+    }
+}
