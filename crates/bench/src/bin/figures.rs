@@ -14,8 +14,8 @@ use serde::Serialize;
 use std::path::PathBuf;
 
 const ALL: &[&str] = &[
-    "fig3a", "fig3b", "tab1", "tab3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-    "fig15", "tab4", "fig16", "fig17",
+    "fig3a", "fig3b", "tab1", "tab3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+    "tab4", "fig16", "fig17",
 ];
 
 fn main() {
@@ -91,7 +91,12 @@ fn run_one(id: &str, quick: bool, json: Option<&std::path::Path>) {
             for r in &rows {
                 println!(
                     "{:<16} {:>8.2}M {:>8.2}M {:>9.2}M {:>9.2}M {:>8.2}M",
-                    r.method, r.opt_read_m, r.opt_write_m, r.grad_read_m, r.grad_write_m, r.param_up_m
+                    r.method,
+                    r.opt_read_m,
+                    r.opt_write_m,
+                    r.grad_read_m,
+                    r.grad_write_m,
+                    r.param_up_m
                 );
             }
             println!();
@@ -114,7 +119,10 @@ fn run_one(id: &str, quick: bool, json: Option<&std::path::Path>) {
             let rows = harness::fig9();
             println!(
                 "{}",
-                harness::render_breakdown("Figure 9: ablation ladder (GPT-2 / BERT, 6 & 10 SSDs)", &rows)
+                harness::render_breakdown(
+                    "Figure 9: ablation ladder (GPT-2 / BERT, 6 & 10 SSDs)",
+                    &rows
+                )
             );
             write_json(json, id, &rows);
         }
@@ -144,7 +152,10 @@ fn run_one(id: &str, quick: bool, json: Option<&std::path::Path>) {
         }
         "fig12" => {
             let rows = harness::fig12();
-            println!("{}", harness::render_breakdown("Figure 12: other optimizers (SGD, AdaGrad)", &rows));
+            println!(
+                "{}",
+                harness::render_breakdown("Figure 12: other optimizers (SGD, AdaGrad)", &rows)
+            );
             write_json(json, id, &rows);
         }
         "fig13" => {
@@ -162,7 +173,11 @@ fn run_one(id: &str, quick: bool, json: Option<&std::path::Path>) {
             for r in &rows {
                 println!(
                     "{:<12} {:>9.2} {:>14.2} {:>9.2} {:>9.2}",
-                    r.model, r.updater_gbps, r.decompress_update_gbps, r.ssd_read_gbps, r.ssd_write_gbps
+                    r.model,
+                    r.updater_gbps,
+                    r.decompress_update_gbps,
+                    r.ssd_read_gbps,
+                    r.ssd_write_gbps
                 );
             }
             println!();
@@ -209,7 +224,10 @@ fn run_one(id: &str, quick: bool, json: Option<&std::path::Path>) {
             println!("Figure 16: iteration-time sensitivity to compression ratio");
             println!("{:<12} {:>6} {:<8} {:>10}", "model", "#SSDs", "ratio", "time (s)");
             for p in &points {
-                println!("{:<12} {:>6} {:<8} {:>10.2}", p.model, p.num_devices, p.setting, p.total_s);
+                println!(
+                    "{:<12} {:>6} {:<8} {:>10.2}",
+                    p.model, p.num_devices, p.setting, p.total_s
+                );
             }
             println!();
             write_json(json, id, &points);

@@ -6,9 +6,7 @@
 use llm::{CostModel, GpuSpec, ModelConfig, Workload};
 use optim::OptimizerKind;
 use serde::Serialize;
-use smart_infinity::{
-    Experiment, Method, TrafficMethod, TrafficModel,
-};
+use smart_infinity::{Experiment, Method, TrafficMethod, TrafficModel};
 use ztrain::realtrain::{train_classifier, Dataset, MlpModel, TrainConfig};
 use ztrain::{BaselineEngine, IterationReport, MachineConfig};
 
@@ -242,11 +240,8 @@ pub fn fig9() -> Vec<BreakdownRow> {
 /// 10 devices, comparing BASE, SU+O and SU+O+C.
 pub fn fig10() -> Vec<BreakdownRow> {
     let mut rows = Vec::new();
-    let methods = [
-        Method::Baseline,
-        Method::SmartUpdateOptimized,
-        Method::SmartComp { keep_ratio: 0.01 },
-    ];
+    let methods =
+        [Method::Baseline, Method::SmartUpdateOptimized, Method::SmartComp { keep_ratio: 0.01 }];
     for model in [ModelConfig::gpt2_16_6b(), ModelConfig::gpt2_24_8b(), ModelConfig::gpt2_33b()] {
         for n in [6usize, 10] {
             rows.extend(ladder_rows(
@@ -531,8 +526,7 @@ pub fn tab4(epochs: usize) -> Vec<FinetuneRow> {
             .collect()
     };
 
-    let models =
-        [ModelConfig::bert_0_34b(), ModelConfig::gpt2_0_77b(), ModelConfig::gpt2_1_6b()];
+    let models = [ModelConfig::bert_0_34b(), ModelConfig::gpt2_0_77b(), ModelConfig::gpt2_1_6b()];
     let mut rows = Vec::new();
     for model in models {
         let experiment = Experiment::new(
@@ -700,10 +694,8 @@ mod tests {
     #[test]
     fn fig16_times_decrease_with_stronger_compression() {
         let points = fig16();
-        let gpt_10: Vec<&CompressionSensitivityPoint> = points
-            .iter()
-            .filter(|p| p.model == "GPT2-4.0B" && p.num_devices == 10)
-            .collect();
+        let gpt_10: Vec<&CompressionSensitivityPoint> =
+            points.iter().filter(|p| p.model == "GPT2-4.0B" && p.num_devices == 10).collect();
         let su_o = gpt_10.iter().find(|p| p.setting == "SU+O").unwrap().total_s;
         let one_pct = gpt_10.iter().find(|p| p.setting == "1%").unwrap().total_s;
         assert!(one_pct < su_o);

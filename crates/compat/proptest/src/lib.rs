@@ -1,0 +1,445 @@
+//! Offline stand-in for the crates.io `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace uses: the [`proptest!`]
+//! macro with `#![proptest_config(...)]`, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!`/`prop_oneof!`, range / vec / btree_map / tuple / `any`
+//! strategies and [`strategy::Just`]. Cases are drawn from a deterministic
+//! per-test RNG. Unlike real proptest there is **no shrinking** and no
+//! persistence of failing cases: a failure reports the sampled inputs via the
+//! assertion message only. That trade-off keeps the shim tiny while the
+//! properties themselves stay exactly as written.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Test-runner types: configuration, case errors and the deterministic RNG.
+pub mod test_runner {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) cases to run per property.
+        pub cases: u32,
+        /// Abort the property after this many `prop_assume!` rejections.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64, max_global_rejects: 4096 }
+        }
+    }
+
+    /// Outcome of one property-test case body.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!` and is not counted.
+        Reject,
+        /// The property failed with the given message.
+        Fail(String),
+    }
+
+    /// Deterministic RNG seeding each property from its test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates the RNG for the named test. Deterministic across runs.
+        pub fn for_test(name: &str) -> Self {
+            let mut hasher = DefaultHasher::new();
+            name.hash(&mut hasher);
+            Self { state: hasher.finish() | 1 }
+        }
+    }
+
+    impl rand::RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64: full 64-bit period, excellent equidistribution.
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::distributions::uniform::SampleRange;
+    use rand::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of an output type.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Draws one value. (The shim has no shrink trees.)
+        fn sample_value(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Strategy producing a constant value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn sample_value(&self, rng: &mut TestRng) -> $ty {
+                    self.clone().sample_single(rng)
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! range_inclusive_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn sample_value(&self, rng: &mut TestRng) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample from an empty range");
+                    let span = (end as u128) - (start as u128) + 1;
+                    start.wrapping_add((rng.next_u64() as u128 % span) as $ty)
+                }
+            }
+        )*};
+    }
+    range_inclusive_strategy!(u8, u16, u32, u64, usize);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+
+        fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample_value(rng), self.1.sample_value(rng))
+        }
+    }
+
+    /// Uniform choice among same-typed strategies (backs [`prop_oneof!`]).
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof!
+    #[derive(Debug, Clone)]
+    pub struct OneOf<S: Strategy>(Vec<S>);
+
+    impl<S: Strategy> Strategy for OneOf<S> {
+        type Value = S::Value;
+
+        fn sample_value(&self, rng: &mut TestRng) -> S::Value {
+            let idx = (rng.next_u64() % self.0.len() as u64) as usize;
+            self.0[idx].sample_value(rng)
+        }
+    }
+
+    /// Builds a [`OneOf`] from a non-empty list of arms.
+    pub fn one_of<S: Strategy>(arms: Vec<S>) -> OneOf<S> {
+        assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+        OneOf(arms)
+    }
+}
+
+/// The `any::<T>()` entry point and the [`Arbitrary`](arbitrary::Arbitrary) trait.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngCore;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The strategy of all values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngCore;
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// Strategy for vectors with sampled length.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S: Strategy> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    fn sample_len(size: &Range<usize>, rng: &mut TestRng) -> usize {
+        assert!(size.start < size.end, "cannot sample from an empty size range");
+        size.start + (rng.next_u64() as usize) % (size.end - size.start)
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = sample_len(&self.size, rng);
+            (0..len).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+
+    /// Strategy for ordered maps with sampled size.
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K: Strategy, V: Strategy> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    /// A map with up to `size` entries (duplicate sampled keys collapse, as in
+    /// real proptest).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = sample_len(&self.size, rng);
+            (0..len).map(|_| (self.key.sample_value(rng), self.value.sample_value(rng))).collect()
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngCore;
+
+    /// Strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+
+        fn sample_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy of both boolean values.
+    pub const ANY: BoolAny = BoolAny;
+}
+
+/// The conventional glob-import surface.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }` item
+/// becomes a `#[test]` that samples its arguments `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let mut __rng = $crate::test_runner::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                let mut __accepted: u32 = 0;
+                let mut __attempts: u32 = 0;
+                while __accepted < __config.cases {
+                    __attempts += 1;
+                    assert!(
+                        __attempts <= __config.cases.saturating_add(__config.max_global_rejects),
+                        "proptest: too many rejected cases in {}",
+                        stringify!($name)
+                    );
+                    $(let $arg = $crate::strategy::Strategy::sample_value(&($strat), &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => __accepted += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                            panic!("property {} failed: {}", stringify!($name), __msg)
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property body, failing the case (not the
+/// whole process) so the runner can report the sampled inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Discards the current case without counting it against `cases`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies of the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![$($arm),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// Ranges, vecs, tuples, maps and oneof all stay within bounds.
+        #[test]
+        fn strategies_stay_in_bounds(
+            x in 3usize..10,
+            f in -1.0f32..1.0,
+            bits in 0u16..=0xFFFF,
+            v in crate::collection::vec(any::<u8>(), 0..5),
+            pair in (0u8..4, 1usize..3),
+            m in crate::collection::btree_map(0u32..10, -1.0f32..1.0, 0..4),
+            choice in prop_oneof![Just(1u8), Just(2u8)],
+            b in crate::bool::ANY,
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+            let _ = bits;
+            prop_assert!(v.len() < 5);
+            prop_assert!(pair.0 < 4 && (1..3).contains(&pair.1));
+            prop_assert!(m.len() < 4);
+            prop_assert!(choice == 1 || choice == 2);
+            let _ = b;
+            prop_assume!(x != 5); // exercises the Reject path without exhausting it
+            prop_assert!(x != 5);
+            prop_assert_eq!(x, x);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Offline stand-in for the crates.io `rand` crate.
+//!
+//! The workspace must build without network access, so the handful of `rand`
+//! APIs the simulation actually uses are reimplemented here with the same
+//! module paths and signatures: [`RngCore`] / [`Rng`] / [`SeedableRng`],
+//! `gen_range` over half-open ranges, [`seq::SliceRandom::shuffle`] and
+//! [`distributions::Distribution`]. Streams are deterministic per seed but do
+//! not match upstream `rand` bit-for-bit; nothing in this repository depends
+//! on the exact stream, only on determinism and reasonable statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing random-value methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from a half-open range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Distributions over random sources (`rand::distributions`).
+pub mod distributions {
+    use super::Rng;
+
+    /// A distribution that can produce values of type `T` from any RNG.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform range sampling (`rand::distributions::uniform`).
+    pub mod uniform {
+        use crate::RngCore;
+        use std::ops::Range;
+
+        /// A range that supports drawing a single uniform sample.
+        pub trait SampleRange<T> {
+            /// Draws one value from the range.
+            fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+        }
+
+        macro_rules! int_sample_range {
+            ($($ty:ty),*) => {$(
+                impl SampleRange<$ty> for Range<$ty> {
+                    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> $ty {
+                        assert!(self.start < self.end, "cannot sample from an empty range");
+                        let span = (self.end as u128).wrapping_sub(self.start as u128);
+                        // Modulo bias is negligible for the spans used here and
+                        // irrelevant to the deterministic simulations.
+                        self.start.wrapping_add((rng.next_u64() as u128 % span) as $ty)
+                    }
+                }
+            )*};
+        }
+        int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        impl SampleRange<f32> for Range<f32> {
+            fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> f32 {
+                let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+                self.start + (self.end - self.start) * unit
+            }
+        }
+
+        impl SampleRange<f64> for Range<f64> {
+            fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> f64 {
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                self.start + (self.end - self.start) * unit
+            }
+        }
+    }
+}
+
+/// Sequence-related helpers (`rand::seq`).
+pub mod seq {
+    use super::Rng;
+
+    /// In-place random reordering of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::uniform::SampleRange;
+    use super::seq::SliceRandom;
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let f: f32 = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let d = (0.25f64..0.75).sample_single(&mut rng);
+            assert!((0.25..0.75).contains(&d));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Counter(1);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle virtually never is the identity");
+    }
+}

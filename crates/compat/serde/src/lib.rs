@@ -1,0 +1,229 @@
+//! Offline stand-in for the crates.io `serde` crate.
+//!
+//! The workspace must build without network access, so this crate provides
+//! the subset of serde the repository relies on: a [`Serialize`] trait that
+//! renders JSON directly, `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! re-exported from the companion `serde_derive` shim, and impls for the
+//! primitive / container types that appear in derived structs. The derive
+//! for `Deserialize` is a no-op marker (nothing in the repo deserializes);
+//! the derive for `Serialize` generates a real [`Serialize`] impl with
+//! serde-compatible external tagging for enums.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// The derive macro emits `::serde::Serialize` paths; alias this crate under
+// that name so the derives also work from inside this crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can render themselves as JSON.
+///
+/// This intentionally skips real serde's serializer abstraction: every user
+/// in this workspace ultimately wants JSON text (see the `figures` binary),
+/// so the trait writes JSON straight into a string buffer.
+pub trait Serialize {
+    /// Appends the JSON representation of `self` to `out`.
+    fn write_json(&self, out: &mut String);
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+macro_rules! serialize_display_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+serialize_display_int!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize);
+
+macro_rules! serialize_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn write_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    out.push_str(&self.to_string());
+                } else {
+                    // JSON has no NaN/Infinity literals; serde_json emits null.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn write_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    self.$idx.write_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )+};
+}
+serialize_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(&k.to_string(), out);
+            out.push(':');
+            v.write_json(out);
+        }
+        out.push('}');
+    }
+}
+
+/// Writes `s` as a JSON string literal, escaping as required by RFC 8259.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_render_as_json() {
+        let mut out = String::new();
+        42u64.write_json(&mut out);
+        out.push(',');
+        (-1.5f64).write_json(&mut out);
+        out.push(',');
+        f32::NAN.write_json(&mut out);
+        out.push(',');
+        true.write_json(&mut out);
+        out.push(',');
+        "a\"b\n".write_json(&mut out);
+        assert_eq!(out, r#"42,-1.5,null,true,"a\"b\n""#);
+    }
+
+    #[test]
+    fn containers_render_as_json() {
+        let mut out = String::new();
+        vec![1u32, 2, 3].write_json(&mut out);
+        out.push(',');
+        Option::<u32>::None.write_json(&mut out);
+        out.push(',');
+        Some("x".to_string()).write_json(&mut out);
+        assert_eq!(out, r#"[1,2,3],null,"x""#);
+    }
+
+    #[derive(Serialize)]
+    struct Row {
+        label: String,
+        value: f64,
+        tags: Vec<u32>,
+    }
+
+    #[derive(Serialize)]
+    enum Kind {
+        Plain,
+        Weighted { factor: f64 },
+        Pair(u8, u8),
+    }
+
+    #[test]
+    fn derived_struct_and_enum_render_as_json() {
+        let mut out = String::new();
+        Row { label: "r".into(), value: 0.5, tags: vec![7] }.write_json(&mut out);
+        assert_eq!(out, r#"{"label":"r","value":0.5,"tags":[7]}"#);
+
+        let mut out = String::new();
+        Kind::Plain.write_json(&mut out);
+        out.push(',');
+        Kind::Weighted { factor: 2.0 }.write_json(&mut out);
+        out.push(',');
+        Kind::Pair(1, 2).write_json(&mut out);
+        assert_eq!(out, r#""Plain",{"Weighted":{"factor":2}},{"Pair":[1,2]}"#);
+    }
+}

@@ -1,0 +1,267 @@
+//! Offline stand-in for the crates.io `serde_derive` crate.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` without
+//! `syn`/`quote` by walking the raw token stream. `Serialize` generates an
+//! impl of the JSON-writing trait in the companion `serde` shim, using
+//! serde-compatible shapes: structs become objects, newtype structs are
+//! transparent, enums use external tagging. `Deserialize` is accepted and
+//! expands to nothing (nothing in this workspace deserializes); it exists so
+//! that the ubiquitous `#[derive(Serialize, Deserialize)]` lines compile.
+//!
+//! Items the parser does not understand (generic types, unions, enums with
+//! discriminants) silently get no impl, which surfaces as a regular trait
+//! error only if something actually needs to serialize them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the JSON-writing `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate_impl(input) {
+        Some(code) => code.parse().unwrap_or_default(),
+        None => TokenStream::new(),
+    }
+}
+
+/// Accepted for source compatibility; expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+enum Variant {
+    Unit(String),
+    Named(String, Vec<String>),
+    Tuple(String, usize),
+}
+
+fn generate_impl(input: TokenStream) -> Option<String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes_and_visibility(&tokens, &mut i);
+    let keyword = ident_at(&tokens, i)?;
+    i += 1;
+    let name = ident_at(&tokens, i)?;
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return None; // generic types are out of scope for the shim
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Some(named_struct_impl(&name, &fields))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                Some(tuple_struct_impl(&name, arity))
+            }
+            _ => None,
+        },
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => return None,
+            };
+            let variants = parse_variants(body)?;
+            if variants.is_empty() {
+                return None;
+            }
+            Some(enum_impl(&name, &variants))
+        }
+        _ => None,
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match (tokens.get(*i), tokens.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            (Some(TokenTree::Ident(id)), next) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(next, Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Advances past a type, stopping after the `,` (if any) that terminates it.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i64;
+    while *i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Option<Vec<String>> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        let name = ident_at(&tokens, i)?;
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return None,
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+    }
+    Some(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        skip_type(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Option<Vec<Variant>> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        let name = ident_at(&tokens, i)?;
+        i += 1;
+        let variant = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Variant::Named(name, parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Variant::Tuple(name, count_tuple_fields(g.stream()))
+            }
+            _ => Variant::Unit(name),
+        };
+        variants.push(variant);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            _ => return None, // discriminants etc. are out of scope
+        }
+    }
+    Some(variants)
+}
+
+fn impl_header(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn write_json(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n}}"
+    )
+}
+
+fn write_fields(target: &mut String, fields: &[String], accessor: &str) {
+    target.push_str("out.push('{');\n");
+    for (idx, field) in fields.iter().enumerate() {
+        let comma = if idx == 0 { "" } else { "," };
+        target.push_str(&format!(
+            "out.push_str(\"{comma}\\\"{field}\\\":\");\n\
+             ::serde::Serialize::write_json({accessor}{field}, out);\n"
+        ));
+    }
+    target.push_str("out.push('}');");
+}
+
+fn named_struct_impl(name: &str, fields: &[String]) -> String {
+    let mut body = String::new();
+    write_fields(&mut body, fields, "&self.");
+    impl_header(name, &body)
+}
+
+fn tuple_struct_impl(name: &str, arity: usize) -> String {
+    let mut body = String::new();
+    match arity {
+        0 => body.push_str("out.push_str(\"null\");"),
+        1 => body.push_str("::serde::Serialize::write_json(&self.0, out);"),
+        n => {
+            body.push_str("out.push('[');\n");
+            for idx in 0..n {
+                if idx > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!("::serde::Serialize::write_json(&self.{idx}, out);\n"));
+            }
+            body.push_str("out.push(']');");
+        }
+    }
+    impl_header(name, &body)
+}
+
+fn enum_impl(name: &str, variants: &[Variant]) -> String {
+    let mut body = String::from("match self {\n");
+    for variant in variants {
+        match variant {
+            Variant::Unit(v) => {
+                body.push_str(&format!("{name}::{v} => out.push_str(\"\\\"{v}\\\"\"),\n"));
+            }
+            Variant::Named(v, fields) => {
+                let bindings = fields.join(", ");
+                body.push_str(&format!(
+                    "{name}::{v} {{ {bindings} }} => {{\nout.push_str(\"{{\\\"{v}\\\":\");\n"
+                ));
+                write_fields(&mut body, fields, "");
+                body.push_str("\nout.push('}');\n}\n");
+            }
+            Variant::Tuple(v, arity) => {
+                let bindings: Vec<String> = (0..*arity).map(|k| format!("__v{k}")).collect();
+                body.push_str(&format!(
+                    "{name}::{v}({}) => {{\nout.push_str(\"{{\\\"{v}\\\":\");\n",
+                    bindings.join(", ")
+                ));
+                if *arity == 1 {
+                    body.push_str("::serde::Serialize::write_json(__v0, out);\n");
+                } else {
+                    body.push_str("out.push('[');\n");
+                    for (k, b) in bindings.iter().enumerate() {
+                        if k > 0 {
+                            body.push_str("out.push(',');\n");
+                        }
+                        body.push_str(&format!("::serde::Serialize::write_json({b}, out);\n"));
+                    }
+                    body.push_str("out.push(']');\n");
+                }
+                body.push_str("out.push('}');\n}\n");
+            }
+        }
+    }
+    body.push('}');
+    impl_header(name, &body)
+}

@@ -1,0 +1,112 @@
+//! Offline stand-in for the crates.io `serde_json` crate.
+//!
+//! Renders any [`serde::Serialize`] value (from the companion `serde` shim,
+//! whose trait writes JSON directly) to a compact or pretty JSON string.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Serialization error. The shim's serializer is infallible, so this exists
+/// only to keep `serde_json`-shaped signatures.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(pretty(&to_string(value)?))
+}
+
+fn pretty(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let chars: Vec<char> = compact.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            i += 1;
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                // Keep empty containers on one line.
+                if let Some(&close) = chars.get(i + 1) {
+                    if (c == '{' && close == '}') || (c == '[' && close == ']') {
+                        out.push(c);
+                        out.push(close);
+                        i += 2;
+                        continue;
+                    }
+                }
+                indent += 1;
+                out.push(c);
+                newline(&mut out, indent);
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                newline(&mut out, indent);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                newline(&mut out, indent);
+            }
+            ':' => out.push_str(": "),
+            c => out.push(c),
+        }
+        i += 1;
+    }
+    out
+}
+
+fn newline(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn compact_and_pretty_roundtrip_shapes() {
+        let compact = super::to_string(&vec![1u32, 2]).unwrap();
+        assert_eq!(compact, "[1,2]");
+        let pretty = super::pretty(r#"{"a":[1,2],"b":"x{,}","c":{}}"#);
+        assert_eq!(
+            pretty,
+            "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": \"x{,}\",\n  \"c\": {}\n}"
+        );
+    }
+}

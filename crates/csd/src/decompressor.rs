@@ -27,7 +27,12 @@ pub struct Decompressor {
 
 impl Default for Decompressor {
     fn default() -> Self {
-        Self { chunk_pairs: 4096, clock_hz: 250.0e6, pairs_per_cycle: 2.0, dram_bytes_per_sec: 3.8e9 }
+        Self {
+            chunk_pairs: 4096,
+            clock_hz: 250.0e6,
+            pairs_per_cycle: 2.0,
+            dram_bytes_per_sec: 3.8e9,
+        }
     }
 }
 

@@ -246,9 +246,7 @@ impl CsdDevice {
         for i in 0..num_aux {
             buffers.push(self.dram.allocate(format!("{shard}/aux{i}-buf"), subgroup_bytes)?);
         }
-        let result = self.update_subgroup_inner(
-            shard, offset, len, optimizer, step, compressed,
-        );
+        let result = self.update_subgroup_inner(shard, offset, len, optimizer, step, compressed);
         for buf in buffers {
             // Freeing a buffer we just allocated cannot fail.
             self.dram.free(buf).expect("freshly allocated buffer must be live");

@@ -37,7 +37,10 @@ impl fmt::Display for DramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DramError::OutOfMemory { requested, available } => {
-                write!(f, "device memory exhausted: requested {requested} bytes, {available} available")
+                write!(
+                    f,
+                    "device memory exhausted: requested {requested} bytes, {available} available"
+                )
             }
             DramError::UnknownBuffer { id } => write!(f, "unknown device buffer id {id}"),
         }
@@ -119,10 +122,7 @@ impl DeviceDram {
     /// Returns [`DramError::UnknownBuffer`] if the id was never allocated or
     /// has already been freed.
     pub fn free(&mut self, buffer: BufferId) -> Result<(), DramError> {
-        self.buffers
-            .remove(&buffer.0)
-            .map(|_| ())
-            .ok_or(DramError::UnknownBuffer { id: buffer.0 })
+        self.buffers.remove(&buffer.0).map(|_| ()).ok_or(DramError::UnknownBuffer { id: buffer.0 })
     }
 
     /// Size of a live buffer in bytes.

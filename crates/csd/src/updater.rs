@@ -112,8 +112,7 @@ mod tests {
             OptimizerKind::SgdMomentum,
             OptimizerKind::AdaGrad,
         ] {
-            let compute =
-                updater.compute_elements_per_sec(kind) * Updater::bytes_per_element(kind);
+            let compute = updater.compute_elements_per_sec(kind) * Updater::bytes_per_element(kind);
             assert!(
                 compute >= updater.dram_bytes_per_sec,
                 "{kind:?}: compute-bound at {compute:.2e} B/s"
@@ -125,9 +124,7 @@ mod tests {
     #[test]
     fn a_tiny_pe_array_becomes_compute_bound() {
         let updater = Updater { num_pes: 1, axpby_per_pe: 1, ..Updater::default() };
-        assert!(
-            updater.throughput_bytes_per_sec(OptimizerKind::Adam) < updater.dram_bytes_per_sec
-        );
+        assert!(updater.throughput_bytes_per_sec(OptimizerKind::Adam) < updater.dram_bytes_per_sec);
     }
 
     #[test]
@@ -144,11 +141,10 @@ mod tests {
     #[test]
     fn functional_run_delegates_to_the_optimizer() {
         let updater = Updater::default();
-        let optimizer = Optimizer::new(OptimizerKind::SgdMomentum, HyperParams {
-            lr: 0.5,
-            momentum: 0.0,
-            ..HyperParams::default()
-        });
+        let optimizer = Optimizer::new(
+            OptimizerKind::SgdMomentum,
+            HyperParams { lr: 0.5, momentum: 0.0, ..HyperParams::default() },
+        );
         let mut params = vec![1.0f32, 2.0];
         let mut aux = optimizer.init_aux(2);
         let grads = FlatTensor::from_vec(vec![1.0, -1.0]);

@@ -198,9 +198,8 @@ mod tests {
 
     #[test]
     fn default_platform_counts_nodes_correctly() {
-        let platform = PlatformSpec::default_smart_infinity(4, StorageKind::PlainSsd)
-            .build()
-            .unwrap();
+        let platform =
+            PlatformSpec::default_smart_infinity(4, StorageKind::PlainSsd).build().unwrap();
         assert_eq!(platform.num_devices(), 4);
         assert!(!platform.is_csd());
         assert_eq!(platform.gpus.len(), 1);
@@ -211,8 +210,7 @@ mod tests {
 
     #[test]
     fn csd_platform_has_fpga_ports_and_internal_switches() {
-        let platform =
-            PlatformSpec::default_smart_infinity(3, StorageKind::Csd).build().unwrap();
+        let platform = PlatformSpec::default_smart_infinity(3, StorageKind::Csd).build().unwrap();
         assert!(platform.is_csd());
         assert_eq!(platform.num_devices(), 3);
         for dev in &platform.devices {
@@ -225,14 +223,14 @@ mod tests {
 
     #[test]
     fn csd_internal_p2p_avoids_the_shared_uplink() {
-        let platform =
-            PlatformSpec::default_smart_infinity(2, StorageKind::Csd).build().unwrap();
+        let platform = PlatformSpec::default_smart_infinity(2, StorageKind::Csd).build().unwrap();
         let dev = &platform.devices[0];
         let p2p = platform.topology.route(dev.ssd, dev.fpga.unwrap()).unwrap();
         // ssd -> internal switch -> fpga: 2 hops, never leaving the CSD.
         assert_eq!(p2p.len(), 2);
         let host_path = platform.topology.route(platform.host, dev.ssd).unwrap();
-        assert_eq!(host_path.len(), 3); // host -> expansion -> internal switch -> ssd
+        // host -> expansion -> internal switch -> ssd.
+        assert_eq!(host_path.len(), 3);
         // The uplink edge (host<->expansion) must not be in the P2P path.
         assert!(!p2p.contains(&host_path[0]));
     }
@@ -251,9 +249,8 @@ mod tests {
     #[test]
     fn default_topology_gpu_traffic_does_not_contend_with_storage_uplink() {
         // In the default topology GPU<->host and host<->SSD traffic use disjoint links.
-        let platform = PlatformSpec::default_smart_infinity(1, StorageKind::PlainSsd)
-            .build()
-            .unwrap();
+        let platform =
+            PlatformSpec::default_smart_infinity(1, StorageKind::PlainSsd).build().unwrap();
         let mut sim = Simulation::new();
         let inst = platform.topology.install(&mut sim);
         let gpu_path = inst.path(platform.host, platform.gpus[0]).unwrap();
@@ -268,8 +265,7 @@ mod tests {
 
     #[test]
     fn rates_can_be_overridden() {
-        let mut rates = LinkRates::default();
-        rates.host_uplink = 1.0e9;
+        let rates = LinkRates { host_uplink: 1.0e9, ..LinkRates::default() };
         let platform = PlatformSpec::default_smart_infinity(1, StorageKind::PlainSsd)
             .with_rates(rates)
             .build()

@@ -143,8 +143,7 @@ fn threshold_top_k(grads: &[f32], k: usize, sample_size: usize) -> Vec<u32> {
     let stride = (n / sample_size.min(n)).max(1);
     let mut sample: Vec<f32> = grads.iter().step_by(stride).map(|v| v.abs()).collect();
     sample.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
-    let target_rank =
-        ((k as f64 / n as f64) * sample.len() as f64).round() as usize;
+    let target_rank = ((k as f64 / n as f64) * sample.len() as f64).round() as usize;
     let threshold = sample[target_rank.min(sample.len() - 1)];
     let mut selected: Vec<u32> = Vec::with_capacity(k * 2);
     for (i, v) in grads.iter().enumerate() {
@@ -248,10 +247,8 @@ mod tests {
         let ratio = approx.num_selected() as f64 / exact.num_selected() as f64;
         assert!(ratio > 0.3 && ratio < 3.0, "ratio {ratio}");
         // ...and its smallest kept magnitude is not far below the exact threshold.
-        let exact_min =
-            exact.values().iter().map(|v| v.abs()).fold(f32::INFINITY, f32::min);
-        let approx_min =
-            approx.values().iter().map(|v| v.abs()).fold(f32::INFINITY, f32::min);
+        let exact_min = exact.values().iter().map(|v| v.abs()).fold(f32::INFINITY, f32::min);
+        let approx_min = approx.values().iter().map(|v| v.abs()).fold(f32::INFINITY, f32::min);
         assert!(approx_min >= exact_min * 0.5, "{approx_min} vs {exact_min}");
     }
 

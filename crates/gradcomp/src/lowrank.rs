@@ -224,8 +224,7 @@ mod tests {
         let cols = 32;
         let u: Vec<f32> = (0..rows).map(|i| (i as f32 * 0.37).sin()).collect();
         let v: Vec<f32> = (0..cols).map(|j| (j as f32 * 0.11).cos()).collect();
-        let dense: Vec<f32> =
-            (0..rows * cols).map(|idx| u[idx / cols] * v[idx % cols]).collect();
+        let dense: Vec<f32> = (0..rows * cols).map(|idx| u[idx / cols] * v[idx % cols]).collect();
         let grads = FlatTensor::from_vec(dense);
         let mut compressor = LowRankCompressor::new(2);
         let compressed = compressor.compress(&grads);

@@ -56,7 +56,9 @@ mod tests {
         let w = Workload::new(model, 4, 1024);
         // Optimizer states (Adam): 6M; gradients: 2M, in units of M = 2 bytes/param.
         let m = w.model_bytes_fp16() as f64;
-        assert!((w.optimizer_state_bytes(optim::OptimizerKind::Adam) as f64 / m - 6.0).abs() < 1e-9);
+        assert!(
+            (w.optimizer_state_bytes(optim::OptimizerKind::Adam) as f64 / m - 6.0).abs() < 1e-9
+        );
         assert!((w.gradient_bytes() as f64 / m - 2.0).abs() < 1e-9);
     }
 }

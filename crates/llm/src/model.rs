@@ -246,8 +246,7 @@ impl ModelConfig {
     /// layers plus the attention score/context computation.
     pub fn flops_per_token_forward(&self, seq_len: usize) -> f64 {
         let dense = 2.0 * (self.params_per_layer() * self.num_layers as u64) as f64;
-        let attention =
-            4.0 * self.num_layers as f64 * seq_len as f64 * self.hidden_size as f64;
+        let attention = 4.0 * self.num_layers as f64 * seq_len as f64 * self.hidden_size as f64;
         let embedding = 2.0 * self.hidden_size as f64 * self.vocab_size as f64;
         dense + attention + embedding
     }
@@ -298,7 +297,12 @@ mod tests {
         for (cfg, nominal) in cases {
             let billions = cfg.num_params() as f64 / 1e9;
             let rel = (billions - nominal).abs() / nominal;
-            assert!(rel < 0.06, "{}: {billions:.3}B vs {nominal}B ({:.1}%)", cfg.name(), rel * 100.0);
+            assert!(
+                rel < 0.06,
+                "{}: {billions:.3}B vs {nominal}B ({:.1}%)",
+                cfg.name(),
+                rel * 100.0
+            );
         }
     }
 

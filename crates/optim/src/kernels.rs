@@ -107,13 +107,7 @@ pub fn sgd_momentum_step(
 /// # Panics
 ///
 /// Panics if the slices have mismatched lengths.
-pub fn adagrad_step(
-    params: &mut [f32],
-    accumulator: &mut [f32],
-    grads: &[f32],
-    lr: f32,
-    eps: f32,
-) {
+pub fn adagrad_step(params: &mut [f32], accumulator: &mut [f32], grads: &[f32], lr: f32, eps: f32) {
     let n = params.len();
     assert_eq!(n, accumulator.len(), "accumulator length mismatch");
     assert_eq!(n, grads.len(), "gradient length mismatch");

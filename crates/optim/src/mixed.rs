@@ -193,10 +193,8 @@ mod tests {
 
     #[test]
     fn clipping_caps_the_global_norm() {
-        let mut grads = vec![
-            FlatTensor::from_vec(vec![3.0, 0.0]),
-            FlatTensor::from_vec(vec![0.0, 4.0]),
-        ];
+        let mut grads =
+            vec![FlatTensor::from_vec(vec![3.0, 0.0]), FlatTensor::from_vec(vec![0.0, 4.0])];
         let norm = clip_global_norm(&mut grads, 1.0);
         assert!((norm - 5.0).abs() < 1e-6);
         let new_norm: f32 =

@@ -269,9 +269,8 @@ impl<'a> Runner<'a> {
 
     fn run(mut self) -> Result<Timeline, SimError> {
         // Start every task with no dependencies.
-        let mut newly_ready: VecDeque<TaskId> = (0..self.sim.tasks.len())
-            .filter(|&id| self.progress[id].unmet_deps == 0)
-            .collect();
+        let mut newly_ready: VecDeque<TaskId> =
+            (0..self.sim.tasks.len()).filter(|&id| self.progress[id].unmet_deps == 0).collect();
         loop {
             // Make ready tasks runnable (may complete zero-work tasks immediately).
             while let Some(id) = newly_ready.pop_front() {
@@ -393,8 +392,7 @@ impl<'a> Runner<'a> {
         let n = self.active_flows.len();
         let mut rate = vec![f64::INFINITY; n];
         let mut frozen = vec![false; n];
-        let mut unfrozen_on_link: Vec<usize> =
-            link_users.iter().map(|users| users.len()).collect();
+        let mut unfrozen_on_link: Vec<usize> = link_users.iter().map(|users| users.len()).collect();
         loop {
             // Find the bottleneck link: smallest fair share among links with unfrozen users.
             let mut best: Option<(usize, f64)> = None;
@@ -409,11 +407,8 @@ impl<'a> Runner<'a> {
             }
             let Some((bottleneck, share)) = best else { break };
             // Freeze every unfrozen flow on that link at the fair share.
-            let users: Vec<usize> = link_users[bottleneck]
-                .iter()
-                .copied()
-                .filter(|&fi| !frozen[fi])
-                .collect();
+            let users: Vec<usize> =
+                link_users[bottleneck].iter().copied().filter(|&fi| !frozen[fi]).collect();
             for fi in users {
                 frozen[fi] = true;
                 rate[fi] = share;

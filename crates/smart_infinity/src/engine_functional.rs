@@ -52,15 +52,14 @@ impl SmartInfinityTrainer {
         let partitioner = Partitioner::contiguous(initial_params.len(), num_csds);
         let mut csds = Vec::with_capacity(num_csds);
         for shard in partitioner.shards() {
-            let mut csd = CsdDevice::new(format!("csd{}", shard.device), u64::MAX / 4, u64::MAX / 4);
+            let mut csd =
+                CsdDevice::new(format!("csd{}", shard.device), u64::MAX / 4, u64::MAX / 4);
             let shard_params = initial_params.slice(shard.offset, shard.len);
             csd.store_initial_state("shard", &shard_params, &optimizer)?;
             csds.push(csd);
         }
-        let params_fp16 =
-            FlatTensor::from_bytes(&initial_params.to_bytes(Dtype::F16), Dtype::F16);
-        let feedback =
-            partitioner.shards().iter().map(|s| ErrorFeedback::new(s.len)).collect();
+        let params_fp16 = FlatTensor::from_bytes(&initial_params.to_bytes(Dtype::F16), Dtype::F16);
+        let feedback = partitioner.shards().iter().map(|s| ErrorFeedback::new(s.len)).collect();
         Ok(Self {
             csds,
             partitioner,

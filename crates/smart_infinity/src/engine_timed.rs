@@ -6,7 +6,9 @@ use optim::OptimizerKind;
 use serde::{Deserialize, Serialize};
 use simkit::{PhaseId, SimError, TaskId};
 use tensorlib::{Chunker, Partitioner};
-use ztrain::{build_backward_compute, build_forward, IterationReport, MachineConfig, TimedPlatform};
+use ztrain::{
+    build_backward_compute, build_forward, IterationReport, MachineConfig, TimedPlatform,
+};
 
 /// How the CSD-internal data transfer handler schedules tasklets
 /// (paper Section IV-B, Fig. 5).
@@ -245,27 +247,21 @@ impl SmartInfinityEngine {
                         if let Some(p) = prev_chain_end {
                             alloc_deps.push(p);
                         }
-                        let alloc =
-                            plat.delay(Self::NAIVE_TASKLET_OVERHEAD_S, &alloc_deps, phase);
+                        let alloc = plat.delay(Self::NAIVE_TASKLET_OVERHEAD_S, &alloc_deps, phase);
                         load_deps.push(alloc);
                     }
                 }
 
                 // 1. P2P load of gradients + optimizer states (SSD -> FPGA).
-                let load =
-                    plat.ssd_to_fpga(dev, state_bytes + grad_load_bytes, &load_deps, phase);
+                let load = plat.ssd_to_fpga(dev, state_bytes + grad_load_bytes, &load_deps, phase);
                 // 2. Decompression (SmartComp only), then the update kernel.
                 let update_dep = if self.keep_ratio.is_some() {
                     plat.fpga_decompress(dev, dense_grad_bytes, &[load], phase)
                 } else {
                     load
                 };
-                let update = plat.fpga_update(
-                    dev,
-                    state_bytes + dense_grad_bytes,
-                    &[update_dep],
-                    phase,
-                );
+                let update =
+                    plat.fpga_update(dev, state_bytes + dense_grad_bytes, &[update_dep], phase);
                 // 3. Urgent write-back of the parameters, then upstream to host.
                 let wb_param = plat.fpga_to_ssd(dev, param_writeback_bytes, &[update], phase);
                 let upstream = plat.ssd_to_host(dev, upstream_bytes, &[wb_param], phase);
@@ -297,7 +293,11 @@ mod tests {
     }
 
     fn engine(n_csds: usize) -> SmartInfinityEngine {
-        SmartInfinityEngine::new(MachineConfig::smart_infinity(n_csds), workload(), OptimizerKind::Adam)
+        SmartInfinityEngine::new(
+            MachineConfig::smart_infinity(n_csds),
+            workload(),
+            OptimizerKind::Adam,
+        )
     }
 
     #[test]
@@ -308,9 +308,7 @@ mod tests {
 
     #[test]
     fn builders_record_configuration() {
-        let e = engine(4)
-            .with_handler(HandlerMode::Naive)
-            .with_compression(0.05);
+        let e = engine(4).with_handler(HandlerMode::Naive).with_compression(0.05);
         assert_eq!(e.handler(), HandlerMode::Naive);
         assert_eq!(e.keep_ratio(), Some(0.05));
         assert_eq!(e.machine().num_devices, 4);
@@ -348,9 +346,10 @@ mod tests {
     fn single_csd_is_not_faster_than_the_single_ssd_baseline() {
         // Paper Section VII-E: with one CSD there is no aggregate-bandwidth
         // benefit and a slight slowdown is expected.
-        let base = BaselineEngine::new(MachineConfig::baseline_raid0(1), workload(), OptimizerKind::Adam)
-            .simulate_iteration()
-            .unwrap();
+        let base =
+            BaselineEngine::new(MachineConfig::baseline_raid0(1), workload(), OptimizerKind::Adam)
+                .simulate_iteration()
+                .unwrap();
         let smart = engine(1).simulate_iteration().unwrap();
         let speedup = smart.speedup_over(&base);
         assert!(speedup <= 1.02, "single-CSD speedup should not exceed ~1x, got {speedup:.2}");

@@ -127,7 +127,9 @@ impl Experiment {
                 BaselineEngine::new(self.baseline_machine(), self.workload.clone(), self.optimizer)
                     .simulate_iteration()
             }
-            Method::SmartUpdate => self.smart_engine().with_handler(HandlerMode::Naive).simulate_iteration(),
+            Method::SmartUpdate => {
+                self.smart_engine().with_handler(HandlerMode::Naive).simulate_iteration()
+            }
             Method::SmartUpdateOptimized => {
                 self.smart_engine().with_handler(HandlerMode::Optimized).simulate_iteration()
             }
@@ -212,7 +214,8 @@ mod tests {
     #[test]
     fn optimizer_override_affects_the_baseline_state_volume() {
         let adam = experiment(6).run(Method::Baseline).unwrap();
-        let sgd = experiment(6).with_optimizer(OptimizerKind::SgdMomentum).run(Method::Baseline).unwrap();
+        let sgd =
+            experiment(6).with_optimizer(OptimizerKind::SgdMomentum).run(Method::Baseline).unwrap();
         assert!(sgd.update_s < adam.update_s);
     }
 

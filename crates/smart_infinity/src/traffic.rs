@@ -123,10 +123,7 @@ mod tests {
     use llm::ModelConfig;
 
     fn model() -> TrafficModel {
-        TrafficModel::new(
-            Workload::paper_default(ModelConfig::gpt2_4b()),
-            OptimizerKind::Adam,
-        )
+        TrafficModel::new(Workload::paper_default(ModelConfig::gpt2_4b()), OptimizerKind::Adam)
     }
 
     #[test]

@@ -90,11 +90,8 @@ impl RaidArray {
     /// Returns [`SsdError::UnknownRegion`] if any member lacks the region.
     pub fn read_region(&mut self, region: &str) -> Result<Vec<u8>, SsdError> {
         let n = self.devices.len();
-        let shards: Vec<Vec<u8>> = self
-            .devices
-            .iter_mut()
-            .map(|d| d.read_region(region))
-            .collect::<Result<_, _>>()?;
+        let shards: Vec<Vec<u8>> =
+            self.devices.iter_mut().map(|d| d.read_region(region)).collect::<Result<_, _>>()?;
         let total: usize = shards.iter().map(Vec::len).sum();
         let mut out = Vec::with_capacity(total);
         let mut offsets = vec![0usize; n];

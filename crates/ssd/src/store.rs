@@ -76,7 +76,11 @@ impl SsdDevice {
     /// # Errors
     ///
     /// Returns [`SsdError::CapacityExceeded`] if the device would overflow.
-    pub fn write_region(&mut self, region: impl Into<String>, data: Vec<u8>) -> Result<(), SsdError> {
+    pub fn write_region(
+        &mut self,
+        region: impl Into<String>,
+        data: Vec<u8>,
+    ) -> Result<(), SsdError> {
         let region = region.into();
         let existing = self.regions.get(&region).map_or(0, |v| v.len() as u64);
         let new_used = self.used_bytes() - existing + data.len() as u64;
@@ -137,7 +141,12 @@ impl SsdDevice {
     /// # Errors
     ///
     /// Returns [`SsdError::UnknownRegion`] or [`SsdError::OutOfBounds`].
-    pub fn read_at(&mut self, region: &str, offset: usize, len: usize) -> Result<Vec<u8>, SsdError> {
+    pub fn read_at(
+        &mut self,
+        region: &str,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, SsdError> {
         let data = self.regions.get(region).ok_or_else(|| SsdError::UnknownRegion {
             device: self.name.clone(),
             region: region.to_string(),

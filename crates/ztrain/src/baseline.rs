@@ -47,7 +47,8 @@ impl BaselineEngine {
         let up_phase = plat.add_phase("update+opt_transfer");
 
         let fw_end = build_forward(&mut plat, &self.workload, fw_phase, &[]);
-        let bw_end = build_backward_with_raid_offload(&mut plat, &self.workload, bw_phase, &[fw_end]);
+        let bw_end =
+            build_backward_with_raid_offload(&mut plat, &self.workload, bw_phase, &[fw_end]);
         let up_end = self.build_update(&mut plat, up_phase, &[bw_end]);
 
         let timeline = plat.run()?;
@@ -154,8 +155,7 @@ fn build_pass(
             if let Some(p) = prev_compute[gpu] {
                 compute_deps.push(p);
             }
-            let compute =
-                plat.gpu_compute(gpu, block_flops / n_gpus as f64, &compute_deps, phase);
+            let compute = plat.gpu_compute(gpu, block_flops / n_gpus as f64, &compute_deps, phase);
             prev_compute[gpu] = Some(compute);
             block_tasks.push(compute);
             // Tensor-parallel activation exchange with GPU 0 after the block.
@@ -188,7 +188,8 @@ pub fn build_backward_with_raid_offload(
     let mut prev: Option<TaskId> = None;
     let mut all = vec![compute_end];
     for block_m in blocks {
-        let grad_bytes = 2.0 * block_m as f64; // FP32 gradients = 2 × FP16 block bytes
+        // FP32 gradients = 2 x FP16 block bytes.
+        let grad_bytes = 2.0 * block_m as f64;
         // Stage from GPU to host memory (FP16 on the wire), then stripe to SSDs.
         let mut stage_deps: Vec<TaskId> = deps.to_vec();
         if let Some(p) = prev {
@@ -216,8 +217,11 @@ mod tests {
 
     #[test]
     fn report_phases_are_positive_and_ordered() {
-        let engine =
-            BaselineEngine::new(MachineConfig::baseline_raid0(2), small_workload(), OptimizerKind::Adam);
+        let engine = BaselineEngine::new(
+            MachineConfig::baseline_raid0(2),
+            small_workload(),
+            OptimizerKind::Adam,
+        );
         let report = engine.simulate_iteration().unwrap();
         assert!(report.forward_s > 0.0);
         assert!(report.backward_s > 0.0);
@@ -231,10 +235,14 @@ mod tests {
     #[test]
     fn update_time_shrinks_with_more_ssds_until_saturation() {
         let time_update = |n: usize| {
-            BaselineEngine::new(MachineConfig::baseline_raid0(n), small_workload(), OptimizerKind::Adam)
-                .simulate_iteration()
-                .unwrap()
-                .update_s
+            BaselineEngine::new(
+                MachineConfig::baseline_raid0(n),
+                small_workload(),
+                OptimizerKind::Adam,
+            )
+            .simulate_iteration()
+            .unwrap()
+            .update_s
         };
         let u1 = time_update(1);
         let u2 = time_update(2);

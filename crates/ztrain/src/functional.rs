@@ -92,9 +92,8 @@ impl StorageOffloadTrainer {
         num_ssds: usize,
         block_elems: usize,
     ) -> Result<Self, SsdError> {
-        let devices: Vec<SsdDevice> = (0..num_ssds.max(1))
-            .map(|i| SsdDevice::new(format!("ssd{i}"), u64::MAX / 4))
-            .collect();
+        let devices: Vec<SsdDevice> =
+            (0..num_ssds.max(1)).map(|i| SsdDevice::new(format!("ssd{i}"), u64::MAX / 4)).collect();
         let mut raid = RaidArray::new(devices, 1 << 20)?;
         let chunker = Chunker::new(initial_params.len(), block_elems.max(1));
         for block in chunker.subgroups() {
@@ -110,8 +109,7 @@ impl StorageOffloadTrainer {
         }
         // The FP16 working copy is derived from the master copy, exactly as
         // mixed-precision training does.
-        let params_fp16 =
-            FlatTensor::from_bytes(&initial_params.to_bytes(Dtype::F16), Dtype::F16);
+        let params_fp16 = FlatTensor::from_bytes(&initial_params.to_bytes(Dtype::F16), Dtype::F16);
         Ok(Self { raid, params_fp16, optimizer, chunker, step: 0 })
     }
 
@@ -245,8 +243,7 @@ mod tests {
         let n = 3000;
         let optimizer = Optimizer::adam_default();
         let initial = FlatTensor::randn(n, 0.05, 100);
-        let grads: Vec<FlatTensor> =
-            (0..5).map(|s| FlatTensor::randn(n, 0.01, 200 + s)).collect();
+        let grads: Vec<FlatTensor> = (0..5).map(|s| FlatTensor::randn(n, 0.01, 200 + s)).collect();
 
         let reference = reference_training(&initial, optimizer, &grads);
 
@@ -263,8 +260,10 @@ mod tests {
     #[test]
     fn block_count_does_not_change_the_result() {
         let n = 1024;
-        let optimizer =
-            Optimizer::new(OptimizerKind::SgdMomentum, HyperParams { lr: 0.1, ..Default::default() });
+        let optimizer = Optimizer::new(
+            OptimizerKind::SgdMomentum,
+            HyperParams { lr: 0.1, ..Default::default() },
+        );
         let initial = FlatTensor::randn(n, 0.05, 7);
         let grads = FlatTensor::randn(n, 0.01, 8);
         let mut small_blocks = StorageOffloadTrainer::new(&initial, optimizer, 2, 64).unwrap();

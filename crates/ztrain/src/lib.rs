@@ -33,7 +33,9 @@ mod platform;
 pub mod realtrain;
 mod report;
 
-pub use baseline::{build_backward_compute, build_backward_with_raid_offload, build_forward, BaselineEngine};
+pub use baseline::{
+    build_backward_compute, build_backward_with_raid_offload, build_forward, BaselineEngine,
+};
 pub use functional::{GradientSource, StorageOffloadTrainer, SyntheticGradients};
 pub use machine::MachineConfig;
 pub use platform::TimedPlatform;
@@ -52,8 +54,9 @@ mod tests {
     fn update_phase_dominates_baseline_training() {
         let machine = MachineConfig::baseline_raid0(1);
         let workload = Workload::paper_default(ModelConfig::gpt2_2_5b());
-        let report =
-            BaselineEngine::new(machine, workload, OptimizerKind::Adam).simulate_iteration().unwrap();
+        let report = BaselineEngine::new(machine, workload, OptimizerKind::Adam)
+            .simulate_iteration()
+            .unwrap();
         assert!(
             report.update_s / report.total_s() > 0.6,
             "update fraction {:.2}",
@@ -67,10 +70,14 @@ mod tests {
     fn raid0_speedup_saturates_beyond_four_ssds() {
         let workload = Workload::paper_default(ModelConfig::gpt2_4b());
         let time = |n: usize| {
-            BaselineEngine::new(MachineConfig::baseline_raid0(n), workload.clone(), OptimizerKind::Adam)
-                .simulate_iteration()
-                .unwrap()
-                .total_s()
+            BaselineEngine::new(
+                MachineConfig::baseline_raid0(n),
+                workload.clone(),
+                OptimizerKind::Adam,
+            )
+            .simulate_iteration()
+            .unwrap()
+            .total_s()
         };
         let t1 = time(1);
         let t2 = time(2);

@@ -37,8 +37,7 @@ impl TimedPlatform {
     /// Panics if the machine's platform spec cannot be built (which only
     /// happens for non-positive link bandwidths).
     pub fn new(config: &MachineConfig) -> Self {
-        let platform =
-            config.platform_spec().build().expect("machine link rates must be positive");
+        let platform = config.platform_spec().build().expect("machine link rates must be positive");
         let mut sim = Simulation::new();
         let fabric = platform.topology.install(&mut sim);
         let media = (0..config.num_devices)
@@ -52,7 +51,10 @@ impl TimedPlatform {
             (
                 (0..config.num_devices)
                     .map(|d| {
-                        sim.add_resource(format!("fpga{d}-updater"), config.fpga_update_bytes_per_sec)
+                        sim.add_resource(
+                            format!("fpga{d}-updater"),
+                            config.fpga_update_bytes_per_sec,
+                        )
                     })
                     .collect(),
                 (0..config.num_devices)
@@ -123,7 +125,13 @@ impl TimedPlatform {
     // ---- compute helpers ---------------------------------------------------
 
     /// GPU compute task (`flops` floating point operations on GPU `gpu`).
-    pub fn gpu_compute(&mut self, gpu: usize, flops: f64, deps: &[TaskId], phase: PhaseId) -> TaskId {
+    pub fn gpu_compute(
+        &mut self,
+        gpu: usize,
+        flops: f64,
+        deps: &[TaskId],
+        phase: PhaseId,
+    ) -> TaskId {
         let spec = ComputeSpec::new(self.gpu_resources[gpu], flops).after(deps).phase(phase);
         self.sim.compute(spec)
     }
@@ -139,7 +147,13 @@ impl TimedPlatform {
     /// # Panics
     ///
     /// Panics if the platform was built with plain SSDs.
-    pub fn fpga_update(&mut self, dev: usize, bytes: f64, deps: &[TaskId], phase: PhaseId) -> TaskId {
+    pub fn fpga_update(
+        &mut self,
+        dev: usize,
+        bytes: f64,
+        deps: &[TaskId],
+        phase: PhaseId,
+    ) -> TaskId {
         let spec = ComputeSpec::new(self.fpga_update[dev], bytes).after(deps).phase(phase);
         self.sim.compute(spec)
     }
@@ -167,7 +181,13 @@ impl TimedPlatform {
     }
 
     /// Host memory → GPU transfer (parameter/activation upload).
-    pub fn host_to_gpu(&mut self, gpu: usize, bytes: f64, deps: &[TaskId], phase: PhaseId) -> TaskId {
+    pub fn host_to_gpu(
+        &mut self,
+        gpu: usize,
+        bytes: f64,
+        deps: &[TaskId],
+        phase: PhaseId,
+    ) -> TaskId {
         let path = self
             .fabric
             .path(self.platform.host, self.platform.gpus[gpu])
@@ -176,7 +196,13 @@ impl TimedPlatform {
     }
 
     /// GPU → host memory transfer (activation checkpoint / gradient staging).
-    pub fn gpu_to_host(&mut self, gpu: usize, bytes: f64, deps: &[TaskId], phase: PhaseId) -> TaskId {
+    pub fn gpu_to_host(
+        &mut self,
+        gpu: usize,
+        bytes: f64,
+        deps: &[TaskId],
+        phase: PhaseId,
+    ) -> TaskId {
         let path = self
             .fabric
             .path(self.platform.gpus[gpu], self.platform.host)
@@ -202,7 +228,13 @@ impl TimedPlatform {
 
     /// Host memory → SSD write on device `dev` (limited by the PCIe path and
     /// the device's write media bandwidth).
-    pub fn host_to_ssd(&mut self, dev: usize, bytes: f64, deps: &[TaskId], phase: PhaseId) -> TaskId {
+    pub fn host_to_ssd(
+        &mut self,
+        dev: usize,
+        bytes: f64,
+        deps: &[TaskId],
+        phase: PhaseId,
+    ) -> TaskId {
         let mut path = self
             .fabric
             .path(self.platform.host, self.platform.devices[dev].ssd)
@@ -212,7 +244,13 @@ impl TimedPlatform {
     }
 
     /// SSD → host memory read on device `dev`.
-    pub fn ssd_to_host(&mut self, dev: usize, bytes: f64, deps: &[TaskId], phase: PhaseId) -> TaskId {
+    pub fn ssd_to_host(
+        &mut self,
+        dev: usize,
+        bytes: f64,
+        deps: &[TaskId],
+        phase: PhaseId,
+    ) -> TaskId {
         let mut path = self
             .fabric
             .path(self.platform.devices[dev].ssd, self.platform.host)
@@ -227,7 +265,13 @@ impl TimedPlatform {
     /// # Panics
     ///
     /// Panics if the platform was built with plain SSDs.
-    pub fn ssd_to_fpga(&mut self, dev: usize, bytes: f64, deps: &[TaskId], phase: PhaseId) -> TaskId {
+    pub fn ssd_to_fpga(
+        &mut self,
+        dev: usize,
+        bytes: f64,
+        deps: &[TaskId],
+        phase: PhaseId,
+    ) -> TaskId {
         let ports = &self.platform.devices[dev];
         let fpga = ports.fpga.expect("ssd_to_fpga requires a CSD platform");
         let mut path = self.fabric.path(ports.ssd, fpga).expect("CSD internal ports are connected");
@@ -240,7 +284,13 @@ impl TimedPlatform {
     /// # Panics
     ///
     /// Panics if the platform was built with plain SSDs.
-    pub fn fpga_to_ssd(&mut self, dev: usize, bytes: f64, deps: &[TaskId], phase: PhaseId) -> TaskId {
+    pub fn fpga_to_ssd(
+        &mut self,
+        dev: usize,
+        bytes: f64,
+        deps: &[TaskId],
+        phase: PhaseId,
+    ) -> TaskId {
         let ports = &self.platform.devices[dev];
         let fpga = ports.fpga.expect("fpga_to_ssd requires a CSD platform");
         let mut path = self.fabric.path(fpga, ports.ssd).expect("CSD internal ports are connected");

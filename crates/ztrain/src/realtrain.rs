@@ -111,12 +111,7 @@ impl MlpModel {
     /// # Panics
     ///
     /// Panics if the batch is empty or shapes are inconsistent.
-    pub fn loss_and_grad(
-        &self,
-        params: &FlatTensor,
-        x: &[f32],
-        y: &[usize],
-    ) -> (f32, FlatTensor) {
+    pub fn loss_and_grad(&self, params: &FlatTensor, x: &[f32], y: &[usize]) -> (f32, FlatTensor) {
         let n = y.len();
         assert!(n > 0, "batch must be non-empty");
         assert_eq!(x.len(), n * self.input_dim, "feature shape mismatch");
@@ -240,9 +235,8 @@ impl Dataset {
         seed: u64,
     ) -> Self {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let centres: Vec<f32> = (0..num_classes * input_dim)
-            .map(|_| rng.gen_range(-1.0f32..1.0))
-            .collect();
+        let centres: Vec<f32> =
+            (0..num_classes * input_dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
         let mut samples: Vec<(Vec<f32>, usize)> = Vec::new();
         for class in 0..num_classes {
             for _ in 0..samples_per_class {
@@ -349,7 +343,8 @@ pub struct TrainResult {
 pub fn train_classifier(model: &MlpModel, dataset: &Dataset, config: &TrainConfig) -> TrainResult {
     assert_eq!(model.input_dim, dataset.input_dim, "model/dataset input dimension mismatch");
     assert_eq!(model.num_classes, dataset.num_classes, "model/dataset class count mismatch");
-    let optimizer = Optimizer::new(config.optimizer, HyperParams { lr: config.lr, ..Default::default() });
+    let optimizer =
+        Optimizer::new(config.optimizer, HyperParams { lr: config.lr, ..Default::default() });
     let mut params = model.init_params(config.seed);
     let mut aux = optimizer.init_aux(params.len());
     let compressor = config.keep_ratio.map(Compressor::top_k);

@@ -42,11 +42,7 @@ fn main() {
     for transfer in transfer_ratios {
         let accs = run_suite(Some(transfer / 2.0));
         print_row(&format!("SU+O+C ({:.0}%)", transfer * 100.0), &accs);
-        let max_drop = baseline_acc
-            .iter()
-            .zip(&accs)
-            .map(|(b, a)| b - a)
-            .fold(f64::MIN, f64::max);
+        let max_drop = baseline_acc.iter().zip(&accs).map(|(b, a)| b - a).fold(f64::MIN, f64::max);
         assert!(
             max_drop < 5.0,
             "compression at {transfer} should not cost more than a few accuracy points"

@@ -27,7 +27,10 @@ fn main() {
     let experiment = Experiment::new(MachineConfig::smart_infinity(10), workload);
     let reports = experiment.ladder().expect("simulation");
     println!("\nOne training iteration with 10 storage devices:");
-    println!("{:<12} {:>8} {:>12} {:>10} {:>10} {:>9}", "method", "FW (s)", "BW+Grad (s)", "Update (s)", "Total (s)", "speedup");
+    println!(
+        "{:<12} {:>8} {:>12} {:>10} {:>10} {:>9}",
+        "method", "FW (s)", "BW+Grad (s)", "Update (s)", "Total (s)", "speedup"
+    );
     for r in &reports {
         println!(
             "{:<12} {:>8.2} {:>12.2} {:>10.2} {:>10.2} {:>8.2}x",
@@ -48,10 +51,10 @@ fn main() {
     let optimizer = Optimizer::adam_default();
     let initial = FlatTensor::randn(n, 0.02, 7);
 
-    let mut baseline = StorageOffloadTrainer::new(&initial, optimizer, 4, 25_000)
-        .expect("baseline trainer");
-    let mut smart = SmartInfinityTrainer::new(&initial, optimizer, 4, 25_000)
-        .expect("smart-infinity trainer");
+    let mut baseline =
+        StorageOffloadTrainer::new(&initial, optimizer, 4, 25_000).expect("baseline trainer");
+    let mut smart =
+        SmartInfinityTrainer::new(&initial, optimizer, 4, 25_000).expect("smart-infinity trainer");
 
     for step in 0..3u64 {
         let grads = FlatTensor::randn(n, 0.01, 1000 + step);
@@ -74,10 +77,12 @@ fn main() {
         Workload::paper_default(ModelConfig::gpt2_4b()),
         smart_infinity::OptimizerKind::Adam,
     );
-    let reduction =
-        traffic.reduction_over_baseline(smart_infinity::TrafficMethod::SmartComp { keep_ratio: 0.01 });
+    let reduction = traffic
+        .reduction_over_baseline(smart_infinity::TrafficMethod::SmartComp { keep_ratio: 0.01 });
     println!("  Interconnect traffic reduction with SmartComp (2%): {reduction:.1}x");
 
-    println!("\nDone. See `cargo run -p bench --release --bin figures -- all` for every paper figure.");
+    println!(
+        "\nDone. See `cargo run -p bench --release --bin figures -- all` for every paper figure."
+    );
     let _ = Method::ladder();
 }

@@ -14,9 +14,8 @@ fn main() {
     // ------------------------------------------------------------------
     // 1. Inspect the default Smart-Infinity platform topology.
     // ------------------------------------------------------------------
-    let platform = PlatformSpec::default_smart_infinity(4, StorageKind::Csd)
-        .build()
-        .expect("platform");
+    let platform =
+        PlatformSpec::default_smart_infinity(4, StorageKind::Csd).build().expect("platform");
     let topo = &platform.topology;
     println!("Default platform: {} nodes, {} PCIe links", topo.node_count(), topo.edge_count());
     for (kind, label) in [
@@ -32,7 +31,10 @@ fn main() {
     let dev = &platform.devices[0];
     let host_to_ssd = topo.route(platform.host, dev.ssd).expect("route");
     let p2p = topo.route(dev.ssd, dev.fpga.expect("CSD has an FPGA")).expect("route");
-    println!("\nRoute host -> CSD0 SSD crosses {} links (incl. the shared uplink):", host_to_ssd.len());
+    println!(
+        "\nRoute host -> CSD0 SSD crosses {} links (incl. the shared uplink):",
+        host_to_ssd.len()
+    );
     for edge in &host_to_ssd {
         println!("  - {:>6.1} GB/s", topo.edge_bandwidth(*edge) / 1e9);
     }

@@ -46,14 +46,11 @@ fn breakdown_phases_follow_the_paper_shape() {
     .expect("simulation");
     assert!(base.update_fraction() > 0.6, "baseline update fraction {:.2}", base.update_fraction());
 
-    let smart = SmartInfinityEngine::new(
-        MachineConfig::smart_infinity(10),
-        workload,
-        OptimizerKind::Adam,
-    )
-    .with_compression(0.01)
-    .simulate_iteration()
-    .expect("simulation");
+    let smart =
+        SmartInfinityEngine::new(MachineConfig::smart_infinity(10), workload, OptimizerKind::Adam)
+            .with_compression(0.01)
+            .simulate_iteration()
+            .expect("simulation");
     assert!(smart.update_fraction() < base.update_fraction());
     assert!(smart.total_s() < base.total_s());
 }
@@ -61,14 +58,11 @@ fn breakdown_phases_follow_the_paper_shape() {
 #[test]
 fn handler_modes_and_compression_compose_through_the_builder() {
     let workload = Workload::paper_default(ModelConfig::bert_4b());
-    let engine = SmartInfinityEngine::new(
-        MachineConfig::smart_infinity(6),
-        workload,
-        OptimizerKind::AdamW,
-    )
-    .with_handler(HandlerMode::Naive)
-    .with_compression(0.05)
-    .with_subgroup_elems(50_000_000);
+    let engine =
+        SmartInfinityEngine::new(MachineConfig::smart_infinity(6), workload, OptimizerKind::AdamW)
+            .with_handler(HandlerMode::Naive)
+            .with_compression(0.05)
+            .with_subgroup_elems(50_000_000);
     assert_eq!(engine.handler(), HandlerMode::Naive);
     assert_eq!(engine.keep_ratio(), Some(0.05));
     let report = engine.simulate_iteration().expect("simulation");
@@ -84,8 +78,7 @@ fn training_a_real_model_through_the_offload_engines_learns() {
     let initial = model.init_params(1);
     let optimizer = Optimizer::adam_default();
 
-    let accuracy_before =
-        model.accuracy(&initial, &dataset.test_x, &dataset.test_y);
+    let accuracy_before = model.accuracy(&initial, &dataset.test_x, &dataset.test_y);
 
     let mut smart = SmartInfinityTrainer::new(&initial, optimizer, 3, 200).expect("trainer");
     let mut baseline = StorageOffloadTrainer::new(&initial, optimizer, 2, 300).expect("trainer");

@@ -46,8 +46,8 @@ fn every_engine_produces_identical_parameters_for_every_optimizer() {
         let optimizer = Optimizer::new(kind, HyperParams::default());
         let reference = in_memory_reference(&initial, optimizer, &grads);
 
-        let mut baseline = StorageOffloadTrainer::new(&initial, optimizer, 3, 2_500)
-            .expect("baseline trainer");
+        let mut baseline =
+            StorageOffloadTrainer::new(&initial, optimizer, 3, 2_500).expect("baseline trainer");
         let mut smart =
             SmartInfinityTrainer::new(&initial, optimizer, 5, 1_111).expect("smart trainer");
         for g in &grads {

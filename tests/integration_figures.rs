@@ -54,12 +54,12 @@ fn fig3b_raid0_saturates() {
 /// ~1.04M (SmartComp at 2%).
 #[test]
 fn tab1_traffic_reductions() {
-    let model = TrafficModel::new(
-        Workload::paper_default(ModelConfig::gpt2_4b()),
-        OptimizerKind::Adam,
-    );
-    let m = |method| model.per_iteration(method).total()
-        / Workload::paper_default(ModelConfig::gpt2_4b()).model_bytes_fp16() as f64;
+    let model =
+        TrafficModel::new(Workload::paper_default(ModelConfig::gpt2_4b()), OptimizerKind::Adam);
+    let m = |method| {
+        model.per_iteration(method).total()
+            / Workload::paper_default(ModelConfig::gpt2_4b()).model_bytes_fp16() as f64
+    };
     assert!((m(TrafficMethod::ZeroInfinity) - 16.0).abs() < 1e-9);
     assert!((m(TrafficMethod::SmartUpdate) - 3.0).abs() < 1e-9);
     assert!((m(TrafficMethod::SmartComp { keep_ratio: 0.01 }) - 1.04).abs() < 1e-9);
@@ -77,8 +77,7 @@ fn fig9_and_fig10_speedups_hold_across_scales() {
                 Workload::paper_default(model.clone()),
             );
             let base = experiment.run(Method::Baseline).expect("simulation");
-            let smart =
-                experiment.run(Method::SmartComp { keep_ratio: 0.01 }).expect("simulation");
+            let smart = experiment.run(Method::SmartComp { keep_ratio: 0.01 }).expect("simulation");
             speedups.push(smart.speedup_over(&base));
         }
         assert!(
@@ -121,9 +120,8 @@ fn fig11_faster_gpu_increases_the_speedup() {
 fn fig12_other_optimizers_still_speed_up() {
     let workload = Workload::paper_default(ModelConfig::gpt2_4b());
     let speedup_for = |optimizer| {
-        let experiment =
-            Experiment::new(MachineConfig::smart_infinity(10), workload.clone())
-                .with_optimizer(optimizer);
+        let experiment = Experiment::new(MachineConfig::smart_infinity(10), workload.clone())
+            .with_optimizer(optimizer);
         let base = experiment.run(Method::Baseline).expect("simulation");
         let smart = experiment.run(Method::SmartUpdateOptimized).expect("simulation");
         smart.speedup_over(&base)
@@ -174,8 +172,7 @@ fn fig15_cost_efficiency_crossover() {
     let gpu = GpuSpec::a5000();
     let flops = workload.training_flops();
     let efficiency = |n: usize, method: Method| {
-        let experiment =
-            Experiment::new(MachineConfig::smart_infinity(n), workload.clone());
+        let experiment = Experiment::new(MachineConfig::smart_infinity(n), workload.clone());
         let t = experiment.run(method).expect("simulation").total_s();
         let system = match method {
             Method::Baseline => cost.baseline_system_usd(&gpu, n),
@@ -183,7 +180,9 @@ fn fig15_cost_efficiency_crossover() {
         };
         CostModel::gflops_per_dollar(flops / t, system)
     };
-    assert!(efficiency(1, Method::Baseline) > efficiency(1, Method::SmartComp { keep_ratio: 0.01 }));
+    assert!(
+        efficiency(1, Method::Baseline) > efficiency(1, Method::SmartComp { keep_ratio: 0.01 })
+    );
     assert!(
         efficiency(10, Method::SmartComp { keep_ratio: 0.01 }) > efficiency(10, Method::Baseline)
     );
@@ -213,10 +212,8 @@ fn fig16_compression_ratio_sensitivity() {
 #[test]
 fn fig17_congested_topology_shape() {
     let workload = Workload::paper_default(ModelConfig::gpt2_1_16b());
-    let default_exp =
-        Experiment::new(MachineConfig::smart_infinity(10), workload.clone());
-    let congested_exp =
-        Experiment::new(MachineConfig::congested_multi_gpu(10, 3), workload);
+    let default_exp = Experiment::new(MachineConfig::smart_infinity(10), workload.clone());
+    let congested_exp = Experiment::new(MachineConfig::congested_multi_gpu(10, 3), workload);
     let speedup = |exp: &Experiment| {
         let base = exp.run(Method::Baseline).expect("simulation");
         let smart = exp.run(Method::SmartComp { keep_ratio: 0.01 }).expect("simulation");
@@ -234,6 +231,8 @@ fn fig17_congested_topology_shape() {
     // the default topology with the same per-GPU traffic.
     let default_base = default_exp.run(Method::Baseline).expect("simulation");
     let congested_base = congested_exp.run(Method::Baseline).expect("simulation");
-    assert!(congested_base.backward_s / congested_base.forward_s
-        > default_base.backward_s / default_base.forward_s);
+    assert!(
+        congested_base.backward_s / congested_base.forward_s
+            > default_base.backward_s / default_base.forward_s
+    );
 }
