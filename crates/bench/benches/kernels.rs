@@ -6,6 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gradcomp::Compressor;
 use optim::{HyperParams, Optimizer, OptimizerKind};
+use parcore::ParExecutor;
 use simkit::{FlowSpec, Simulation};
 use std::hint::black_box;
 use tensorlib::{Dtype, FlatTensor};
@@ -60,6 +61,36 @@ fn bench_compression(c: &mut Criterion) {
             black_box(out[0]);
         });
     });
+    g.finish();
+}
+
+/// Serial vs parallel execution backend on 1M-element tensors: the Adam
+/// updater and the exact Top-K selection at 1, 2 and 4 worker threads.
+/// (Results are bit-identical across thread counts — asserted by the test
+/// suites — so these benches measure wall-clock only. Speedup is bounded by
+/// the CPUs actually available to the process.)
+fn bench_parallel_backend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_backend");
+    g.throughput(Throughput::Elements(KERNEL_ELEMS as u64));
+    let grads = FlatTensor::randn(KERNEL_ELEMS, 0.01, 7);
+    let optimizer = Optimizer::adam_default();
+    for threads in [1usize, 2, 4] {
+        let pool = ParExecutor::new(threads);
+        g.bench_with_input(BenchmarkId::new("adam_step", threads), &threads, |b, _| {
+            let mut params = FlatTensor::randn(KERNEL_ELEMS, 0.02, 8);
+            let mut aux = optimizer.init_aux(KERNEL_ELEMS);
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 1;
+                optimizer.par_step(&pool, params.as_mut_slice(), &grads, &mut aux, t);
+                black_box(params.as_slice()[0]);
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("topk_exact_1pct", threads), &threads, |b, _| {
+            let compressor = Compressor::top_k(0.01);
+            b.iter(|| black_box(compressor.compress_par(&grads, &pool)));
+        });
+    }
     g.finish();
 }
 
@@ -138,6 +169,7 @@ criterion_group!(
     kernels,
     bench_updater_kernels,
     bench_compression,
+    bench_parallel_backend,
     bench_half_precision,
     bench_simulation_engine,
     bench_functional_trainers

@@ -15,7 +15,7 @@ use std::path::PathBuf;
 
 const ALL: &[&str] = &[
     "fig3a", "fig3b", "tab1", "tab3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-    "tab4", "fig16", "fig17",
+    "tab4", "fig16", "fig17", "perf",
 ];
 
 fn main() {
@@ -39,7 +39,7 @@ fn main() {
         }
     }
     if selected.is_empty() {
-        eprintln!("usage: figures [--json DIR] [--quick] <all | fig3a fig3b tab1 tab3 fig9 fig10 fig11 fig12 fig13 fig14 fig15 tab4 fig16 fig17>");
+        eprintln!("usage: figures [--json DIR] [--quick] <all | fig3a fig3b tab1 tab3 fig9 fig10 fig11 fig12 fig13 fig14 fig15 tab4 fig16 fig17 perf>");
         std::process::exit(2);
     }
     if let Some(dir) = &json_dir {
@@ -242,6 +242,12 @@ fn run_one(id: &str, quick: bool, json: Option<&std::path::Path>) {
                 )
             );
             write_json(json, id, &rows);
+        }
+        "perf" => {
+            let snap = harness::perf_snapshot(quick);
+            println!("{}", harness::render_perf(&snap));
+            // The perf snapshot is the tracked baseline: BENCH_2.json.
+            write_json(json, "BENCH_2", &snap);
         }
         other => {
             eprintln!("unknown experiment id: {other}");

@@ -632,9 +632,192 @@ pub fn fig17() -> Vec<BreakdownRow> {
     rows
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_2: execution-backend performance snapshot
+// ---------------------------------------------------------------------------
+
+/// Measured throughput of one kernel, serial vs parallel.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelPerf {
+    /// Kernel name.
+    pub kernel: String,
+    /// Serial throughput in elements per second.
+    pub serial_elems_per_sec: f64,
+    /// Parallel throughput in elements per second (at `threads` workers).
+    pub parallel_elems_per_sec: f64,
+    /// `parallel / serial` throughput ratio.
+    pub speedup: f64,
+}
+
+/// The tracked performance snapshot of the execution backend (`BENCH_2.json`):
+/// elements/second of the hot kernels, serial and parallel, so future PRs
+/// have a trajectory to compare against. Numbers are machine-dependent; the
+/// snapshot records the CPU count it was measured on.
+#[derive(Debug, Clone, Serialize)]
+pub struct PerfSnapshot {
+    /// CPUs available to the measuring process (parallel speedup is bounded
+    /// by this: on a 1-CPU container the ratio cannot exceed ~1.0).
+    pub num_cpus: usize,
+    /// Worker-thread count used for the parallel measurements.
+    pub threads: usize,
+    /// Tensor length every kernel ran over.
+    pub elems: usize,
+    /// Updater (Adam step), Top-K compressor, and related kernel rates.
+    pub kernels: Vec<KernelPerf>,
+    /// f32 → f16-bytes serialisation rate, elements per second.
+    pub f16_to_bytes_elems_per_sec: f64,
+    /// f16-bytes → f32 deserialisation rate (lookup-table bulk path).
+    pub f16_from_bytes_elems_per_sec: f64,
+    /// In-memory FP16 round-trip rate (`roundtrip_f16_into`).
+    pub f16_roundtrip_elems_per_sec: f64,
+}
+
+/// Median wall-clock seconds of `reps` runs of `f`.
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up (also populates lazy tables)
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let start = std::time::Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    samples[samples.len() / 2]
+}
+
+/// Measures the execution-backend kernels. `quick` shrinks the tensor and the
+/// repetition count (used by the CI smoke job); the checked-in snapshot is
+/// produced with `quick = false`.
+pub fn perf_snapshot(quick: bool) -> PerfSnapshot {
+    use optim::Optimizer;
+    use parcore::ParExecutor;
+    use tensorlib::{Dtype, FlatTensor};
+
+    let elems: usize = if quick { 1 << 18 } else { 1 << 20 };
+    let reps = if quick { 3 } else { 5 };
+    let threads = 4usize;
+    let pool = ParExecutor::new(threads);
+    let serial = ParExecutor::serial();
+    let rate = |secs: f64| elems as f64 / secs;
+
+    let grads = FlatTensor::randn(elems, 0.01, 1);
+    let mut kernels = Vec::new();
+
+    // Updater: Adam, the paper's default optimizer.
+    let optimizer = Optimizer::adam_default();
+    let run_updater = |exec: &ParExecutor| {
+        let mut params = FlatTensor::randn(elems, 0.02, 2);
+        let mut aux = optimizer.init_aux(elems);
+        let mut t = 0u64;
+        median_secs(reps, || {
+            t += 1;
+            optimizer.par_step(exec, params.as_mut_slice(), &grads, &mut aux, t);
+            std::hint::black_box(params.as_slice()[0]);
+        })
+    };
+    let updater_serial = run_updater(&serial);
+    let updater_parallel = run_updater(&pool);
+    kernels.push(KernelPerf {
+        kernel: "updater_adam".to_string(),
+        serial_elems_per_sec: rate(updater_serial),
+        parallel_elems_per_sec: rate(updater_parallel),
+        speedup: updater_serial / updater_parallel,
+    });
+
+    // Compressor: exact Top-K at the paper's default 1% keep ratio.
+    let compressor = gradcomp::Compressor::top_k(0.01);
+    let topk_serial = median_secs(reps, || {
+        std::hint::black_box(compressor.compress(&grads));
+    });
+    let topk_parallel = median_secs(reps, || {
+        std::hint::black_box(compressor.compress_par(&grads, &pool));
+    });
+    kernels.push(KernelPerf {
+        kernel: "topk_exact_1pct".to_string(),
+        serial_elems_per_sec: rate(topk_serial),
+        parallel_elems_per_sec: rate(topk_parallel),
+        speedup: topk_serial / topk_parallel,
+    });
+
+    // Half-precision conversion paths.
+    let tensor = FlatTensor::randn(elems, 1.0, 3);
+    let mut bytes = Vec::new();
+    let to_bytes = median_secs(reps, || {
+        tensor.to_bytes_into(Dtype::F16, &mut bytes);
+        std::hint::black_box(bytes.len());
+    });
+    let mut back = FlatTensor::default();
+    let from_bytes = median_secs(reps, || {
+        FlatTensor::from_bytes_into(&bytes, Dtype::F16, &mut back);
+        std::hint::black_box(back.len());
+    });
+    let mut rounded = vec![0.0f32; elems];
+    let roundtrip = median_secs(reps, || {
+        tensor.roundtrip_f16_into(&mut rounded);
+        std::hint::black_box(rounded[0]);
+    });
+
+    PerfSnapshot {
+        num_cpus: ParExecutor::current().num_threads(),
+        threads,
+        elems,
+        kernels,
+        f16_to_bytes_elems_per_sec: rate(to_bytes),
+        f16_from_bytes_elems_per_sec: rate(from_bytes),
+        f16_roundtrip_elems_per_sec: rate(roundtrip),
+    }
+}
+
+/// Renders the perf snapshot as a text table.
+pub fn render_perf(snap: &PerfSnapshot) -> String {
+    let mut out = format!(
+        "BENCH_2: execution backend throughput ({} elems, {} threads, {} CPUs)\n",
+        snap.elems, snap.threads, snap.num_cpus
+    );
+    out.push_str(&format!(
+        "{:<20} {:>16} {:>16} {:>9}\n",
+        "kernel", "serial (el/s)", "parallel (el/s)", "speedup"
+    ));
+    for k in &snap.kernels {
+        out.push_str(&format!(
+            "{:<20} {:>16.3e} {:>16.3e} {:>8.2}x\n",
+            k.kernel, k.serial_elems_per_sec, k.parallel_elems_per_sec, k.speedup
+        ));
+    }
+    out.push_str(&format!(
+        "{:<20} {:>16.3e}\n{:<20} {:>16.3e}\n{:<20} {:>16.3e}\n",
+        "f16_to_bytes",
+        snap.f16_to_bytes_elems_per_sec,
+        "f16_from_bytes",
+        snap.f16_from_bytes_elems_per_sec,
+        "f16_roundtrip",
+        snap.f16_roundtrip_elems_per_sec
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn perf_snapshot_quick_mode_produces_positive_rates() {
+        let snap = perf_snapshot(true);
+        assert_eq!(snap.kernels.len(), 2);
+        for k in &snap.kernels {
+            assert!(k.serial_elems_per_sec > 0.0, "{}", k.kernel);
+            assert!(k.parallel_elems_per_sec > 0.0, "{}", k.kernel);
+            assert!(k.speedup > 0.0, "{}", k.kernel);
+        }
+        assert!(snap.f16_to_bytes_elems_per_sec > 0.0);
+        assert!(snap.f16_from_bytes_elems_per_sec > 0.0);
+        assert!(snap.f16_roundtrip_elems_per_sec > 0.0);
+        assert!(snap.num_cpus >= 1);
+        let rendered = render_perf(&snap);
+        assert!(rendered.contains("updater_adam"));
+        assert!(rendered.contains("topk_exact_1pct"));
+    }
 
     #[test]
     fn fig3_shapes_hold() {

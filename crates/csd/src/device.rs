@@ -6,6 +6,7 @@ use crate::dram::{DeviceDram, DramError};
 use crate::updater::Updater;
 use gradcomp::CompressedGradient;
 use optim::Optimizer;
+use parcore::ParExecutor;
 use serde::{Deserialize, Serialize};
 use ssd::{SsdDevice, SsdError};
 use std::error::Error;
@@ -97,11 +98,20 @@ pub struct CsdDevice {
     dram: DeviceDram,
     updater: Updater,
     decompressor: Decompressor,
+    executor: ParExecutor,
     stats: CsdTrafficStats,
+    // Per-subgroup scratch buffers: the update loop runs every iteration of
+    // training, so the working set is reused instead of reallocated.
+    io_buf: Vec<u8>,
+    master_scratch: FlatTensor,
+    grad_scratch: FlatTensor,
+    aux_scratch: Vec<FlatTensor>,
 }
 
 impl CsdDevice {
     /// Creates a CSD with the given SSD and FPGA-DRAM capacities in bytes.
+    /// The updater kernel runs serially by default; see
+    /// [`CsdDevice::set_threads`].
     pub fn new(name: impl Into<String>, ssd_capacity: u64, dram_capacity: u64) -> Self {
         let name = name.into();
         Self {
@@ -109,7 +119,12 @@ impl CsdDevice {
             dram: DeviceDram::new(dram_capacity),
             updater: Updater::default(),
             decompressor: Decompressor::default(),
+            executor: ParExecutor::serial(),
             stats: CsdTrafficStats::default(),
+            io_buf: Vec::new(),
+            master_scratch: FlatTensor::default(),
+            grad_scratch: FlatTensor::default(),
+            aux_scratch: Vec::new(),
             name,
         }
     }
@@ -142,6 +157,17 @@ impl CsdDevice {
     /// The decompressor kernel configuration.
     pub fn decompressor(&self) -> &Decompressor {
         &self.decompressor
+    }
+
+    /// The executor the updater kernel runs on.
+    pub fn executor(&self) -> ParExecutor {
+        self.executor
+    }
+
+    /// Sets the host worker-thread count the updater kernel fans out across.
+    /// The update result is bit-identical for every thread count.
+    pub fn set_threads(&mut self, num_threads: usize) {
+        self.executor = ParExecutor::new(num_threads);
     }
 
     /// Internal traffic statistics.
@@ -267,22 +293,28 @@ impl CsdDevice {
         let byte_off = offset * 4;
         let byte_len = len * 4;
 
-        // 1. P2P load: master copy and auxiliary states.
-        let master_bytes = self.ssd.read_at(&Self::master_region(shard), byte_off, byte_len)?;
-        let mut master = FlatTensor::from_bytes(&master_bytes, Dtype::F32);
+        // 1. P2P load: master copy and auxiliary states, decoded into the
+        // device's scratch tensors (no per-subgroup allocation).
+        self.ssd.read_at_into(&Self::master_region(shard), byte_off, byte_len, &mut self.io_buf)?;
+        FlatTensor::from_bytes_into(&self.io_buf, Dtype::F32, &mut self.master_scratch);
         self.stats.p2p_read_bytes += byte_len as u64;
-        let mut aux = Vec::with_capacity(num_aux);
+        self.aux_scratch.resize(num_aux, FlatTensor::default());
         for i in 0..num_aux {
-            let bytes = self.ssd.read_at(&Self::aux_region(shard, i), byte_off, byte_len)?;
-            aux.push(FlatTensor::from_bytes(&bytes, Dtype::F32));
+            self.ssd.read_at_into(
+                &Self::aux_region(shard, i),
+                byte_off,
+                byte_len,
+                &mut self.io_buf,
+            )?;
+            FlatTensor::from_bytes_into(&self.io_buf, Dtype::F32, &mut self.aux_scratch[i]);
             self.stats.p2p_read_bytes += byte_len as u64;
         }
 
         // 2. Gradients: either decompress the compressed stream or load dense.
-        let grads = match compressed {
+        match compressed {
             Some(c) => {
-                let mut buf = vec![0.0f32; len];
-                self.decompressor.decompress_subgroup(c, offset, &mut buf);
+                self.grad_scratch.resize(len, 0.0);
+                self.decompressor.decompress_subgroup(c, offset, self.grad_scratch.as_mut_slice());
                 // Only the subgroup's share of the compressed stream crosses the switch.
                 let share = if c.original_len() == 0 {
                     0
@@ -290,29 +322,39 @@ impl CsdDevice {
                     (c.compressed_bytes() as u128 * len as u128 / c.original_len() as u128) as u64
                 };
                 self.stats.p2p_read_bytes += share;
-                FlatTensor::from_vec(buf)
             }
             None => {
-                let bytes = self.ssd.read_at(&Self::grad_region(shard), byte_off, byte_len)?;
+                self.ssd.read_at_into(
+                    &Self::grad_region(shard),
+                    byte_off,
+                    byte_len,
+                    &mut self.io_buf,
+                )?;
+                FlatTensor::from_bytes_into(&self.io_buf, Dtype::F32, &mut self.grad_scratch);
                 self.stats.p2p_read_bytes += byte_len as u64;
-                FlatTensor::from_bytes(&bytes, Dtype::F32)
             }
         };
 
-        // 3. Update on the FPGA.
-        self.updater.run(&optimizer, master.as_mut_slice(), &grads, &mut aux, step);
+        // 3. Update on the FPGA: the PE-array parallelism maps onto the
+        // host executor's worker threads (bit-identical for any count).
+        self.updater.run_with(
+            &self.executor,
+            &optimizer,
+            self.master_scratch.as_mut_slice(),
+            &self.grad_scratch,
+            &mut self.aux_scratch,
+            step,
+        );
         self.stats.updates_run += 1;
         self.stats.elements_updated += len as u64;
 
         // 4. P2P write-back: master first (needed upstream), then auxiliaries.
-        self.ssd.write_at(&Self::master_region(shard), byte_off, &master.to_bytes(Dtype::F32))?;
+        self.master_scratch.to_bytes_into(Dtype::F32, &mut self.io_buf);
+        self.ssd.write_at(&Self::master_region(shard), byte_off, &self.io_buf)?;
         self.stats.p2p_write_bytes += byte_len as u64;
-        for (i, aux_tensor) in aux.iter().enumerate() {
-            self.ssd.write_at(
-                &Self::aux_region(shard, i),
-                byte_off,
-                &aux_tensor.to_bytes(Dtype::F32),
-            )?;
+        for i in 0..num_aux {
+            self.aux_scratch[i].to_bytes_into(Dtype::F32, &mut self.io_buf);
+            self.ssd.write_at(&Self::aux_region(shard, i), byte_off, &self.io_buf)?;
             self.stats.p2p_write_bytes += byte_len as u64;
         }
         Ok(())
@@ -456,6 +498,37 @@ mod tests {
             compressed: None,
         })
         .unwrap();
+    }
+
+    #[test]
+    fn threaded_device_updates_are_bit_identical_to_serial() {
+        let n = 4096;
+        let optimizer = Optimizer::adam_default();
+        let params = FlatTensor::randn(n, 0.02, 31);
+        let grads = FlatTensor::randn(n, 0.01, 32);
+        let run = |threads: usize| {
+            let mut csd = device();
+            csd.set_threads(threads);
+            assert_eq!(csd.executor().num_threads(), threads.max(1));
+            csd.store_initial_state("s", &params, &optimizer).unwrap();
+            csd.store_gradients("s", &grads).unwrap();
+            for (offset, len) in [(0usize, 1500usize), (1500, 1500), (3000, 1096)] {
+                csd.update_subgroup(SubgroupUpdate {
+                    shard: "s",
+                    offset,
+                    len,
+                    optimizer,
+                    step: 1,
+                    compressed: None,
+                })
+                .unwrap();
+            }
+            csd.load_parameters("s", 0, n).unwrap()
+        };
+        let serial = run(1);
+        for threads in [2usize, 4, 7] {
+            assert_eq!(run(threads).as_slice(), serial.as_slice(), "threads={threads}");
+        }
     }
 
     #[test]

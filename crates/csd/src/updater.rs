@@ -9,6 +9,7 @@
 //! Fig. 14 reproduction.
 
 use optim::{Optimizer, OptimizerKind};
+use parcore::ParExecutor;
 use serde::{Deserialize, Serialize};
 use tensorlib::FlatTensor;
 
@@ -85,6 +86,26 @@ impl Updater {
         step: u64,
     ) {
         optimizer.step(params, grads, aux, step);
+    }
+
+    /// Like [`Updater::run`], but fans the subgroup out across `pool` the way
+    /// the PE array processes SIMD lanes in parallel. Bit-identical to the
+    /// serial run for every executor (the kernels are element-wise), so
+    /// SmartUpdate stays accuracy-neutral regardless of the host thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Optimizer::step`].
+    pub fn run_with(
+        &self,
+        pool: &ParExecutor,
+        optimizer: &Optimizer,
+        params: &mut [f32],
+        grads: &FlatTensor,
+        aux: &mut [FlatTensor],
+        step: u64,
+    ) {
+        optimizer.par_step(pool, params, grads, aux, step);
     }
 }
 

@@ -1,7 +1,9 @@
 //! Gradient selection strategies: exact Top-K, threshold-estimated Top-K and
-//! Random-K.
+//! Random-K, each with a shard-parallel exact Top-K variant that is
+//! bit-identical to the serial selection.
 
 use crate::compressed::CompressedGradient;
+use parcore::ParExecutor;
 use serde::{Deserialize, Serialize};
 use tensorlib::FlatTensor;
 
@@ -105,12 +107,42 @@ impl Compressor {
 
     /// Compresses a dense gradient.
     pub fn compress(&self, grads: &FlatTensor) -> CompressedGradient {
+        self.compress_par_chunked(grads, &ParExecutor::serial(), 1)
+    }
+
+    /// Compresses a dense gradient, running the exact Top-K selection in
+    /// parallel on `pool` (one chunk per worker; gradients too small to
+    /// amortise the thread spawns run inline, see
+    /// [`ParExecutor::workers_for`]). Bit-identical to
+    /// [`Compressor::compress`]; the threshold and random selections are
+    /// sequential scans and run serially regardless of the executor.
+    pub fn compress_par(&self, grads: &FlatTensor, pool: &ParExecutor) -> CompressedGradient {
+        self.compress_par_chunked(grads, pool, pool.workers_for(grads.len()))
+    }
+
+    /// Compresses with an explicit Top-K chunk count (independent of the
+    /// executor's worker count). Bit-identical to [`Compressor::compress`]
+    /// for every `(pool, num_chunks)` combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_chunks` is zero.
+    pub fn compress_par_chunked(
+        &self,
+        grads: &FlatTensor,
+        pool: &ParExecutor,
+        num_chunks: usize,
+    ) -> CompressedGradient {
+        assert!(num_chunks > 0, "chunk count must be positive");
         let n = grads.len();
         let k = self.num_kept(n);
         if n == 0 {
             return CompressedGradient::default();
         }
         let selected: Vec<u32> = match self.method {
+            SelectionMethod::TopK if num_chunks > 1 => {
+                par_exact_top_k(grads.as_slice(), k, pool, num_chunks)
+            }
             SelectionMethod::TopK => exact_top_k(grads.as_slice(), k),
             SelectionMethod::ThresholdTopK { sample_size } => {
                 threshold_top_k(grads.as_slice(), k, sample_size)
@@ -122,18 +154,54 @@ impl Compressor {
     }
 }
 
+/// The total order used by every Top-K selection: descending magnitude,
+/// ties broken by ascending index. `total_cmp` keeps the order total even
+/// for NaN magnitudes (they sort above infinity, i.e. are selected first) —
+/// a partial comparator would cycle on NaN-bearing gradients and make the
+/// serial and parallel selections diverge. Under a total order the top-k
+/// *set* is unique, which is what makes the parallel selection bit-identical.
+fn magnitude_order(grads: &[f32], a: u32, b: u32) -> std::cmp::Ordering {
+    let ma = grads[a as usize].abs();
+    let mb = grads[b as usize].abs();
+    mb.total_cmp(&ma).then(a.cmp(&b))
+}
+
 /// Exact Top-K selection by magnitude; ties broken by index for determinism.
 fn exact_top_k(grads: &[f32], k: usize) -> Vec<u32> {
     let mut indices: Vec<u32> = (0..grads.len() as u32).collect();
     // Partial selection: the k largest magnitudes first.
-    indices.select_nth_unstable_by(k.saturating_sub(1), |&a, &b| {
-        let ma = grads[a as usize].abs();
-        let mb = grads[b as usize].abs();
-        mb.partial_cmp(&ma).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
-    });
+    indices.select_nth_unstable_by(k.saturating_sub(1), |&a, &b| magnitude_order(grads, a, b));
     let mut top: Vec<u32> = indices[..k].to_vec();
     top.sort_unstable();
     top
+}
+
+/// Shard-parallel exact Top-K: each chunk runs `select_nth_unstable` over its
+/// own index range, then the per-chunk candidates are merged with one final
+/// selection over at most `num_chunks · k` survivors.
+///
+/// Because [`magnitude_order`] is a total order, the global top-k set is
+/// unique and every global winner necessarily wins within its own chunk, so
+/// the merged result is **bit-identical** to [`exact_top_k`] for every chunk
+/// count (the property tests assert this).
+fn par_exact_top_k(grads: &[f32], k: usize, pool: &ParExecutor, num_chunks: usize) -> Vec<u32> {
+    let ranges = parcore::chunk_bounds(grads.len(), num_chunks);
+    let candidates: Vec<Vec<u32>> = pool.map(ranges, |_, range| {
+        let mut local: Vec<u32> = (range.start as u32..range.end as u32).collect();
+        if local.len() > k {
+            local
+                .select_nth_unstable_by(k.saturating_sub(1), |&a, &b| magnitude_order(grads, a, b));
+            local.truncate(k);
+        }
+        local
+    });
+    let mut merged: Vec<u32> = candidates.into_iter().flatten().collect();
+    if merged.len() > k {
+        merged.select_nth_unstable_by(k.saturating_sub(1), |&a, &b| magnitude_order(grads, a, b));
+        merged.truncate(k);
+    }
+    merged.sort_unstable();
+    merged
 }
 
 /// Threshold-based approximate Top-K: estimate the k-th magnitude from a
@@ -253,6 +321,118 @@ mod tests {
     }
 
     #[test]
+    fn parallel_top_k_is_bit_identical_to_serial() {
+        let grads = FlatTensor::randn(100_003, 1.0, 42); // prime length, ragged chunks
+        let cpus = ParExecutor::current().num_threads();
+        for ratio in [0.001, 0.01, 0.2, 1.0] {
+            let compressor = Compressor::top_k(ratio);
+            let serial = compressor.compress(&grads);
+            for chunks in [1usize, 2, 7, cpus.max(2)] {
+                for threads in [1usize, 2, 4] {
+                    let pool = ParExecutor::new(threads);
+                    let par = compressor.compress_par_chunked(&grads, &pool, chunks);
+                    assert_eq!(par, serial, "ratio={ratio} chunks={chunks} threads={threads}");
+                }
+            }
+            let pool = ParExecutor::new(4);
+            assert_eq!(
+                compressor.compress_par(&grads, &pool),
+                serial,
+                "compress_par ratio={ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_gradients_select_deterministically_and_identically_in_parallel() {
+        // NaNs sort above every finite magnitude under total_cmp, so they are
+        // selected first — and crucially the order stays total, so serial and
+        // parallel agree even on poisoned gradients (post-overflow steps).
+        let mut values: Vec<f32> = (0..997).map(|i| ((i as f32) * 0.17).sin()).collect();
+        values[13] = f32::NAN;
+        values[500] = -f32::NAN;
+        values[900] = f32::INFINITY;
+        let grads = FlatTensor::from_vec(values);
+        let compressor = Compressor::top_k(0.01); // k = 10
+        let serial = compressor.compress(&grads);
+        assert!(serial.indices().contains(&13));
+        assert!(serial.indices().contains(&500));
+        assert!(serial.indices().contains(&900));
+        for chunks in [2usize, 7, 16] {
+            for threads in [2usize, 4] {
+                let par =
+                    compressor.compress_par_chunked(&grads, &ParExecutor::new(threads), chunks);
+                assert_eq!(par.indices(), serial.indices(), "chunks={chunks} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_top_k_breaks_magnitude_ties_by_index_like_serial() {
+        // All-equal magnitudes: the selection must be the lowest k indices in
+        // both the serial and every parallel configuration.
+        let grads = FlatTensor::full(1000, 3.0);
+        let compressor = Compressor::top_k(0.05);
+        let serial = compressor.compress(&grads);
+        let expected: Vec<u32> = (0..50).collect();
+        assert_eq!(serial.indices(), expected.as_slice());
+        for chunks in [2usize, 7, 16] {
+            let par = compressor.compress_par_chunked(&grads, &ParExecutor::new(4), chunks);
+            assert_eq!(par, serial, "chunks={chunks}");
+        }
+    }
+
+    #[test]
+    fn threshold_top_k_handles_k_at_least_n() {
+        // keep_ratio 1.0 → k == n: every element passes the estimated
+        // threshold (capped by the runaway guard), and nothing panics.
+        let grads = FlatTensor::randn(100, 1.0, 5);
+        let c = Compressor::threshold_top_k(1.0, 16).compress(&grads);
+        assert!(c.num_selected() >= 1);
+        assert!(c.num_selected() <= 100 * 2); // guard cap
+                                              // Tiny tensors where k == n == 1.
+        let single = Compressor::threshold_top_k(0.9, 4).compress(&FlatTensor::full(1, 2.0));
+        assert_eq!(single.num_selected(), 1);
+        assert_eq!(single.indices(), &[0]);
+    }
+
+    #[test]
+    fn threshold_top_k_handles_all_equal_magnitudes() {
+        // Every |g| equals the threshold, so the scan accepts elements in
+        // index order until the cap; the selection must be non-empty, in
+        // bounds and deterministic.
+        let grads = FlatTensor::full(500, -2.5);
+        let a = Compressor::threshold_top_k(0.02, 64).compress(&grads);
+        let b = Compressor::threshold_top_k(0.02, 64).compress(&grads);
+        assert_eq!(a, b);
+        assert!(a.num_selected() >= 1);
+        // k = 10, runaway guard caps at max(2k, 16) = 20 accepted elements.
+        assert!(a.num_selected() <= 20, "guard must bound the blow-up: {}", a.num_selected());
+        assert!(a.indices().windows(2).all(|w| w[0] < w[1]), "indices sorted");
+    }
+
+    #[test]
+    fn threshold_top_k_handles_sample_size_larger_than_n() {
+        // sample_size > n: the stride clamps to 1 (full scan of all n
+        // elements), which makes the estimate exact.
+        let grads = FlatTensor::from_vec(vec![0.1, -5.0, 0.2, 3.0, -0.05, 4.0]);
+        let c = Compressor::threshold_top_k(0.5, 1000).compress(&grads);
+        assert!(c.num_selected() >= 1);
+        for &i in c.indices() {
+            assert!((i as usize) < 6);
+        }
+        // The top-1 magnitude is always included in an exact-sample estimate.
+        assert!(c.indices().contains(&1), "largest magnitude must survive: {:?}", c.indices());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk count must be positive")]
+    fn zero_chunks_panics() {
+        let grads = FlatTensor::zeros(4);
+        Compressor::top_k(0.5).compress_par_chunked(&grads, &ParExecutor::serial(), 0);
+    }
+
+    #[test]
     #[should_panic(expected = "keep ratio")]
     fn zero_ratio_panics() {
         Compressor::top_k(0.0);
@@ -296,6 +476,25 @@ mod tests {
             let err = approx.mse(&grads);
             let zero_err = FlatTensor::zeros(grads.len()).mse(&grads);
             prop_assert!(err <= zero_err + 1e-12);
+        }
+
+        /// Parallel Top-K equals serial Top-K for random tensors, ratios,
+        /// chunk counts and thread counts (including duplicate magnitudes).
+        #[test]
+        fn par_top_k_matches_serial_for_random_inputs(
+            values in proptest::collection::vec(-5.0f32..5.0, 1..500),
+            ratio in 0.01f64..1.0,
+            chunks in 1usize..12,
+            threads in 1usize..5,
+        ) {
+            // Quantise so duplicate magnitudes (ties) are common.
+            let grads = FlatTensor::from_vec(
+                values.iter().map(|v| (v * 4.0).round() / 4.0).collect(),
+            );
+            let compressor = Compressor::top_k(ratio);
+            let serial = compressor.compress(&grads);
+            let par = compressor.compress_par_chunked(&grads, &ParExecutor::new(threads), chunks);
+            prop_assert_eq!(par, serial);
         }
     }
 }

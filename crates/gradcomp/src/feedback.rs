@@ -39,18 +39,36 @@ impl ErrorFeedback {
     /// Returns `grads + residual`: the corrected gradient that should be fed
     /// to the compressor.
     ///
+    /// Allocates a fresh tensor; hot paths that already own their gradient
+    /// buffer should prefer [`ErrorFeedback::apply_in_place`].
+    ///
     /// # Panics
     ///
     /// Panics if `grads.len()` differs from the accumulator length.
     pub fn apply(&self, grads: &FlatTensor) -> FlatTensor {
-        assert_eq!(grads.len(), self.residual.len(), "gradient length mismatch");
         let mut corrected = grads.clone();
-        corrected.axpby(1.0, 1.0, &self.residual);
+        self.apply_in_place(&mut corrected);
         corrected
+    }
+
+    /// Adds the residual into `grads` in place (`grads += residual`), turning
+    /// the raw gradient into the corrected gradient with zero allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads.len()` differs from the accumulator length.
+    pub fn apply_in_place(&self, grads: &mut FlatTensor) {
+        assert_eq!(grads.len(), self.residual.len(), "gradient length mismatch");
+        grads.axpby(1.0, 1.0, &self.residual);
     }
 
     /// Updates the residual after compression: the new residual is the part of
     /// the *corrected* gradient that was not transmitted.
+    ///
+    /// Allocation-free: the corrected gradient is copied into the existing
+    /// residual buffer and the transmitted coordinates are scatter-zeroed
+    /// (each transmitted value equals the corrected value at its index, so
+    /// subtracting the transmitted stream and zeroing are the same operation).
     ///
     /// # Panics
     ///
@@ -59,9 +77,10 @@ impl ErrorFeedback {
     pub fn update(&mut self, corrected: &FlatTensor, transmitted: &CompressedGradient) {
         assert_eq!(corrected.len(), self.residual.len(), "gradient length mismatch");
         assert_eq!(transmitted.original_len(), self.residual.len(), "compressed length mismatch");
-        self.residual = corrected.clone();
+        self.residual.as_mut_slice().copy_from_slice(corrected.as_slice());
+        let residual = self.residual.as_mut_slice();
         for &i in transmitted.indices() {
-            self.residual.as_mut_slice()[i as usize] = 0.0;
+            residual[i as usize] = 0.0;
         }
     }
 
@@ -122,6 +141,28 @@ mod tests {
     fn mismatched_gradient_length_panics() {
         let fb = ErrorFeedback::new(3);
         fb.apply(&FlatTensor::zeros(4));
+    }
+
+    #[test]
+    fn in_place_path_matches_the_allocating_path() {
+        let compressor = Compressor::top_k(0.3);
+        let mut fb_alloc = ErrorFeedback::new(64);
+        let mut fb_inplace = ErrorFeedback::new(64);
+        for step in 0..6u64 {
+            let grads = FlatTensor::randn(64, 1.0, 900 + step);
+            // Allocating path.
+            let corrected_a = fb_alloc.apply(&grads);
+            let compressed_a = compressor.compress(&corrected_a);
+            fb_alloc.update(&corrected_a, &compressed_a);
+            // In-place path: mutate an owned copy of the gradient buffer.
+            let mut corrected_b = grads;
+            fb_inplace.apply_in_place(&mut corrected_b);
+            assert_eq!(corrected_b, corrected_a, "corrected diverged at step {step}");
+            let compressed_b = compressor.compress(&corrected_b);
+            fb_inplace.update(&corrected_b, &compressed_b);
+            assert_eq!(compressed_b, compressed_a, "compressed diverged at step {step}");
+            assert_eq!(fb_inplace.residual(), fb_alloc.residual(), "residual diverged at {step}");
+        }
     }
 
     proptest! {

@@ -5,6 +5,15 @@
 //! FPGA updater PE (paper Section V-A, Fig. 7): the accelerator is a bank of
 //! SIMD AXPBY units plus a final element-wise update, and every supported
 //! optimizer is expressed through them.
+//!
+//! Every kernel has a chunked parallel variant (`par_*`) that splits the
+//! parameter range into contiguous chunks and fans them out across a
+//! [`parcore::ParExecutor`], the way the paper fans subgroup updates across
+//! CSDs. The updates are element-wise, so the parallel variants are
+//! **bit-identical** to the serial ones for every chunk count — a property
+//! the tests assert explicitly.
+
+use parcore::ParExecutor;
 
 /// One Adam step (Kingma & Ba, 2015) with bias correction.
 ///
@@ -118,6 +127,175 @@ pub fn adagrad_step(params: &mut [f32], accumulator: &mut [f32], grads: &[f32], 
     }
 }
 
+/// One chunk of an Adam-family update: three mutable state views plus the
+/// shared gradient view, all covering the same index range.
+type StateChunk4<'a> = (&'a mut [f32], &'a mut [f32], &'a mut [f32], &'a [f32]);
+
+/// Splits four parallel buffers (three mutable, one shared) into aligned
+/// contiguous chunks for shard-parallel dispatch.
+fn zip4_chunks<'a>(
+    params: &'a mut [f32],
+    a: &'a mut [f32],
+    b: &'a mut [f32],
+    grads: &'a [f32],
+    num_chunks: usize,
+) -> Vec<StateChunk4<'a>> {
+    let p = parcore::split_mut(params, num_chunks);
+    let a = parcore::split_mut(a, num_chunks);
+    let b = parcore::split_mut(b, num_chunks);
+    let g = parcore::split_ref(grads, num_chunks);
+    p.into_iter().zip(a).zip(b).zip(g).map(|(((p, a), b), g)| (p, a, b, g)).collect()
+}
+
+/// Splits three parallel buffers (two mutable, one shared) into aligned
+/// contiguous chunks.
+fn zip3_chunks<'a>(
+    params: &'a mut [f32],
+    a: &'a mut [f32],
+    grads: &'a [f32],
+    num_chunks: usize,
+) -> Vec<(&'a mut [f32], &'a mut [f32], &'a [f32])> {
+    let p = parcore::split_mut(params, num_chunks);
+    let a = parcore::split_mut(a, num_chunks);
+    let g = parcore::split_ref(grads, num_chunks);
+    p.into_iter().zip(a).zip(g).map(|((p, a), g)| (p, a, g)).collect()
+}
+
+/// Chunked parallel [`adam_step`]: splits the buffers into `num_chunks`
+/// contiguous pieces and updates them concurrently on `pool`. Bit-identical
+/// to the serial kernel for every chunk count.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`adam_step`], or if `num_chunks` is 0.
+#[allow(clippy::too_many_arguments)]
+pub fn par_adam_step(
+    pool: &ParExecutor,
+    num_chunks: usize,
+    params: &mut [f32],
+    momentum: &mut [f32],
+    variance: &mut [f32],
+    grads: &[f32],
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+) {
+    assert!(num_chunks > 0, "chunk count must be positive");
+    if num_chunks == 1 {
+        // Serial fast path: no chunking plumbing, no allocations.
+        return adam_step(params, momentum, variance, grads, lr, beta1, beta2, eps, t);
+    }
+    assert!(t > 0, "Adam step count is 1-based");
+    let n = params.len();
+    assert_eq!(n, momentum.len(), "momentum length mismatch");
+    assert_eq!(n, variance.len(), "variance length mismatch");
+    assert_eq!(n, grads.len(), "gradient length mismatch");
+    pool.for_each(zip4_chunks(params, momentum, variance, grads, num_chunks), |_, (p, m, v, g)| {
+        adam_step(p, m, v, g, lr, beta1, beta2, eps, t);
+    });
+}
+
+/// Chunked parallel [`adamw_step`]. Bit-identical to the serial kernel.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`adamw_step`], or if `num_chunks` is 0.
+#[allow(clippy::too_many_arguments)]
+pub fn par_adamw_step(
+    pool: &ParExecutor,
+    num_chunks: usize,
+    params: &mut [f32],
+    momentum: &mut [f32],
+    variance: &mut [f32],
+    grads: &[f32],
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+) {
+    assert!(num_chunks > 0, "chunk count must be positive");
+    if num_chunks == 1 {
+        return adamw_step(
+            params,
+            momentum,
+            variance,
+            grads,
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            t,
+        );
+    }
+    assert!(t > 0, "AdamW step count is 1-based");
+    let n = params.len();
+    assert_eq!(n, momentum.len(), "momentum length mismatch");
+    assert_eq!(n, variance.len(), "variance length mismatch");
+    assert_eq!(n, grads.len(), "gradient length mismatch");
+    pool.for_each(zip4_chunks(params, momentum, variance, grads, num_chunks), |_, (p, m, v, g)| {
+        adamw_step(p, m, v, g, lr, beta1, beta2, eps, weight_decay, t);
+    });
+}
+
+/// Chunked parallel [`sgd_momentum_step`]. Bit-identical to the serial kernel.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`sgd_momentum_step`], or if
+/// `num_chunks` is 0.
+pub fn par_sgd_momentum_step(
+    pool: &ParExecutor,
+    num_chunks: usize,
+    params: &mut [f32],
+    momentum_buf: &mut [f32],
+    grads: &[f32],
+    lr: f32,
+    momentum: f32,
+) {
+    assert!(num_chunks > 0, "chunk count must be positive");
+    if num_chunks == 1 {
+        return sgd_momentum_step(params, momentum_buf, grads, lr, momentum);
+    }
+    let n = params.len();
+    assert_eq!(n, momentum_buf.len(), "momentum length mismatch");
+    assert_eq!(n, grads.len(), "gradient length mismatch");
+    pool.for_each(zip3_chunks(params, momentum_buf, grads, num_chunks), |_, (p, buf, g)| {
+        sgd_momentum_step(p, buf, g, lr, momentum);
+    });
+}
+
+/// Chunked parallel [`adagrad_step`]. Bit-identical to the serial kernel.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`adagrad_step`], or if `num_chunks`
+/// is 0.
+pub fn par_adagrad_step(
+    pool: &ParExecutor,
+    num_chunks: usize,
+    params: &mut [f32],
+    accumulator: &mut [f32],
+    grads: &[f32],
+    lr: f32,
+    eps: f32,
+) {
+    assert!(num_chunks > 0, "chunk count must be positive");
+    if num_chunks == 1 {
+        return adagrad_step(params, accumulator, grads, lr, eps);
+    }
+    let n = params.len();
+    assert_eq!(n, accumulator.len(), "accumulator length mismatch");
+    assert_eq!(n, grads.len(), "gradient length mismatch");
+    pool.for_each(zip3_chunks(params, accumulator, grads, num_chunks), |_, (p, acc, g)| {
+        adagrad_step(p, acc, g, lr, eps);
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,7 +373,114 @@ mod tests {
         adam_step(&mut [0.0], &mut [0.0], &mut [0.0], &[0.0], 0.1, 0.9, 0.999, 1e-8, 0);
     }
 
+    /// Chunk counts exercised by every parallel-equivalence test: the serial
+    /// case, small counts that leave ragged tails, a prime, and the machine's
+    /// actual parallelism.
+    fn chunk_counts() -> Vec<usize> {
+        let cpus = ParExecutor::current().num_threads();
+        vec![1, 2, 7, cpus.max(2)]
+    }
+
+    #[test]
+    fn par_adam_is_bit_identical_across_chunk_counts() {
+        let n = 10_007; // prime → every chunk count leaves a ragged tail
+        let grads: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.37).sin()).collect();
+        let mut p_ref: Vec<f32> = (0..n).map(|i| (i as f32) * 1e-4).collect();
+        let mut m_ref = vec![0.0f32; n];
+        let mut v_ref = vec![0.0f32; n];
+        for t in 1..=3 {
+            adam_step(&mut p_ref, &mut m_ref, &mut v_ref, &grads, 0.01, 0.9, 0.999, 1e-8, t);
+        }
+        for chunks in chunk_counts() {
+            let pool = ParExecutor::new(4);
+            let mut p: Vec<f32> = (0..n).map(|i| (i as f32) * 1e-4).collect();
+            let mut m = vec![0.0f32; n];
+            let mut v = vec![0.0f32; n];
+            for t in 1..=3 {
+                par_adam_step(
+                    &pool, chunks, &mut p, &mut m, &mut v, &grads, 0.01, 0.9, 0.999, 1e-8, t,
+                );
+            }
+            assert_eq!(p, p_ref, "params diverged at chunks={chunks}");
+            assert_eq!(m, m_ref, "momentum diverged at chunks={chunks}");
+            assert_eq!(v, v_ref, "variance diverged at chunks={chunks}");
+        }
+    }
+
+    #[test]
+    fn par_kernels_match_serial_for_all_optimizers() {
+        let n = 4099;
+        let grads: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.11).cos() * 0.1).collect();
+        let init: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.05).sin()).collect();
+        for chunks in chunk_counts() {
+            let pool = ParExecutor::new(3);
+            // AdamW.
+            let (mut p1, mut m1, mut v1) = (init.clone(), vec![0.0; n], vec![0.0; n]);
+            let (mut p2, mut m2, mut v2) = (init.clone(), vec![0.0; n], vec![0.0; n]);
+            adamw_step(&mut p1, &mut m1, &mut v1, &grads, 0.01, 0.9, 0.999, 1e-8, 0.1, 1);
+            par_adamw_step(
+                &pool, chunks, &mut p2, &mut m2, &mut v2, &grads, 0.01, 0.9, 0.999, 1e-8, 0.1, 1,
+            );
+            assert_eq!(p1, p2, "AdamW chunks={chunks}");
+            assert_eq!(v1, v2, "AdamW variance chunks={chunks}");
+            // SGD momentum.
+            let (mut p1, mut b1) = (init.clone(), vec![0.0; n]);
+            let (mut p2, mut b2) = (init.clone(), vec![0.0; n]);
+            sgd_momentum_step(&mut p1, &mut b1, &grads, 0.1, 0.9);
+            par_sgd_momentum_step(&pool, chunks, &mut p2, &mut b2, &grads, 0.1, 0.9);
+            assert_eq!(p1, p2, "SGD chunks={chunks}");
+            assert_eq!(b1, b2, "SGD momentum chunks={chunks}");
+            // AdaGrad.
+            let (mut p1, mut a1) = (init.clone(), vec![0.0; n]);
+            let (mut p2, mut a2) = (init.clone(), vec![0.0; n]);
+            adagrad_step(&mut p1, &mut a1, &grads, 0.1, 1e-10);
+            par_adagrad_step(&pool, chunks, &mut p2, &mut a2, &grads, 0.1, 1e-10);
+            assert_eq!(p1, p2, "AdaGrad chunks={chunks}");
+            assert_eq!(a1, a2, "AdaGrad accumulator chunks={chunks}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn par_adam_mismatched_lengths_panic() {
+        par_adam_step(
+            &ParExecutor::serial(),
+            2,
+            &mut [0.0; 2],
+            &mut [0.0; 2],
+            &mut [0.0; 2],
+            &[0.0; 3],
+            0.1,
+            0.9,
+            0.999,
+            1e-8,
+            1,
+        );
+    }
+
     proptest! {
+        /// Parallel Adam is bit-identical to serial Adam for random shapes,
+        /// hyper-parameters, chunk counts and thread counts.
+        #[test]
+        fn par_adam_matches_serial_for_random_inputs(
+            values in proptest::collection::vec(-10.0f32..10.0, 1..400),
+            chunks in 1usize..12,
+            threads in 1usize..6,
+            lr in 0.0001f32..0.1,
+        ) {
+            let n = values.len();
+            let mut p1: Vec<f32> = values.iter().map(|v| v * 0.5).collect();
+            let mut m1 = vec![0.1f32; n];
+            let mut v1 = vec![0.2f32; n];
+            let (mut p2, mut m2, mut v2) = (p1.clone(), m1.clone(), v1.clone());
+            adam_step(&mut p1, &mut m1, &mut v1, &values, lr, 0.9, 0.999, 1e-8, 2);
+            let pool = ParExecutor::new(threads);
+            par_adam_step(&pool, chunks, &mut p2, &mut m2, &mut v2, &values, lr, 0.9, 0.999, 1e-8, 2);
+            prop_assert_eq!(p1, p2);
+            prop_assert_eq!(m1, m2);
+            prop_assert_eq!(v1, v2);
+        }
+
         /// Adam updates are bounded by roughly lr per step regardless of gradient scale
         /// (the trust-ratio property that makes it robust to loss-scale choices).
         #[test]

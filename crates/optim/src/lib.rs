@@ -36,7 +36,10 @@ mod kernels;
 mod mixed;
 mod optimizer;
 
-pub use kernels::{adagrad_step, adam_step, adamw_step, sgd_momentum_step};
+pub use kernels::{
+    adagrad_step, adam_step, adamw_step, par_adagrad_step, par_adam_step, par_adamw_step,
+    par_sgd_momentum_step, sgd_momentum_step,
+};
 pub use mixed::{clip_global_norm, GradScaler, OverflowStatus};
 pub use optimizer::{HyperParams, Optimizer, OptimizerKind};
 

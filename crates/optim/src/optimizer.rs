@@ -2,6 +2,7 @@
 //! per-parameter byte accounting used by the traffic model.
 
 use crate::kernels;
+use parcore::ParExecutor;
 use serde::{Deserialize, Serialize};
 use tensorlib::FlatTensor;
 
@@ -123,6 +124,46 @@ impl Optimizer {
     /// tensors of the same length as `params`, or if `grads` has a different
     /// length, or if `t == 0` for Adam-family optimizers.
     pub fn step(&self, params: &mut [f32], grads: &FlatTensor, aux: &mut [FlatTensor], t: u64) {
+        self.par_step_chunked(&ParExecutor::serial(), 1, params, grads, aux, t);
+    }
+
+    /// Applies one update step in place, fanning contiguous chunks of the
+    /// parameter range out across `pool` (one chunk per worker). Updates too
+    /// small to amortise the thread spawns run inline automatically
+    /// ([`ParExecutor::workers_for`]). Bit-identical to [`Optimizer::step`]
+    /// for every executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Optimizer::step`].
+    pub fn par_step(
+        &self,
+        pool: &ParExecutor,
+        params: &mut [f32],
+        grads: &FlatTensor,
+        aux: &mut [FlatTensor],
+        t: u64,
+    ) {
+        self.par_step_chunked(pool, pool.workers_for(params.len()), params, grads, aux, t);
+    }
+
+    /// Applies one update step in place with an explicit chunk count
+    /// (independent of the executor's worker count). Bit-identical to
+    /// [`Optimizer::step`] for every `(pool, num_chunks)` combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Optimizer::step`], or if
+    /// `num_chunks` is zero.
+    pub fn par_step_chunked(
+        &self,
+        pool: &ParExecutor,
+        num_chunks: usize,
+        params: &mut [f32],
+        grads: &FlatTensor,
+        aux: &mut [FlatTensor],
+        t: u64,
+    ) {
         assert_eq!(
             aux.len(),
             self.kind.num_aux(),
@@ -134,7 +175,9 @@ impl Optimizer {
         match self.kind {
             OptimizerKind::Adam => {
                 let (m, v) = aux.split_at_mut(1);
-                kernels::adam_step(
+                kernels::par_adam_step(
+                    pool,
+                    num_chunks,
                     params,
                     m[0].as_mut_slice(),
                     v[0].as_mut_slice(),
@@ -148,7 +191,9 @@ impl Optimizer {
             }
             OptimizerKind::AdamW => {
                 let (m, v) = aux.split_at_mut(1);
-                kernels::adamw_step(
+                kernels::par_adamw_step(
+                    pool,
+                    num_chunks,
                     params,
                     m[0].as_mut_slice(),
                     v[0].as_mut_slice(),
@@ -162,7 +207,9 @@ impl Optimizer {
                 );
             }
             OptimizerKind::SgdMomentum => {
-                kernels::sgd_momentum_step(
+                kernels::par_sgd_momentum_step(
+                    pool,
+                    num_chunks,
                     params,
                     aux[0].as_mut_slice(),
                     grads.as_slice(),
@@ -171,7 +218,9 @@ impl Optimizer {
                 );
             }
             OptimizerKind::AdaGrad => {
-                kernels::adagrad_step(
+                kernels::par_adagrad_step(
+                    pool,
+                    num_chunks,
                     params,
                     aux[0].as_mut_slice(),
                     grads.as_slice(),
@@ -249,5 +298,52 @@ mod tests {
     #[test]
     fn default_constructor_is_adam() {
         assert_eq!(Optimizer::adam_default().kind(), OptimizerKind::Adam);
+    }
+
+    #[test]
+    fn par_step_is_bit_identical_to_step_for_every_optimizer() {
+        let n = 2053;
+        let grads = FlatTensor::from_fn(n, |i| ((i as f32) * 0.13).sin() * 0.1);
+        let cpus = ParExecutor::current().num_threads();
+        for kind in [
+            OptimizerKind::Adam,
+            OptimizerKind::AdamW,
+            OptimizerKind::SgdMomentum,
+            OptimizerKind::AdaGrad,
+        ] {
+            let opt = Optimizer::new(kind, HyperParams::default());
+            let mut serial = FlatTensor::from_fn(n, |i| (i as f32) * 1e-3);
+            let mut serial_aux = opt.init_aux(n);
+            for t in 1..=2 {
+                opt.step(serial.as_mut_slice(), &grads, &mut serial_aux, t);
+            }
+            for chunks in [1usize, 2, 7, cpus.max(2)] {
+                let pool = ParExecutor::new(4);
+                let mut par = FlatTensor::from_fn(n, |i| (i as f32) * 1e-3);
+                let mut par_aux = opt.init_aux(n);
+                for t in 1..=2 {
+                    opt.par_step_chunked(
+                        &pool,
+                        chunks,
+                        par.as_mut_slice(),
+                        &grads,
+                        &mut par_aux,
+                        t,
+                    );
+                }
+                assert_eq!(par.as_slice(), serial.as_slice(), "{kind:?} chunks={chunks}");
+                for (a, b) in par_aux.iter().zip(&serial_aux) {
+                    assert_eq!(a.as_slice(), b.as_slice(), "{kind:?} aux chunks={chunks}");
+                }
+            }
+            // par_step (chunks = worker count) is the same dispatch.
+            let pool = ParExecutor::new(2);
+            let mut par = FlatTensor::from_fn(n, |i| (i as f32) * 1e-3);
+            let mut par_aux = opt.init_aux(n);
+            for t in 1..=2 {
+                opt.par_step(&pool, par.as_mut_slice(), &grads, &mut par_aux, t);
+            }
+            assert_eq!(par.as_slice(), serial.as_slice(), "{kind:?} par_step");
+        }
     }
 }

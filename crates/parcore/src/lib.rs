@@ -1,0 +1,313 @@
+//! # parcore — the shard-parallel execution backend
+//!
+//! Smart-Infinity's speedup comes from running every parameter shard's
+//! optimizer update concurrently on its own CSD (paper Section IV). The
+//! functional layer of this reproduction executes the same kernels in host
+//! Rust; this crate gives those kernels the matching execution model: a
+//! scoped thread pool ([`ParExecutor`]) with a **deterministic chunk→worker
+//! assignment**, so that results are bit-identical regardless of how many
+//! workers run them.
+//!
+//! Design constraints:
+//!
+//! * **No external dependencies** — built purely on [`std::thread::scope`],
+//!   so the offline workspace needs no rayon/crossbeam.
+//! * **Determinism** — work items are indexed; every combinator returns (or
+//!   applies) results in item order, and the chunk boundaries produced by
+//!   [`chunk_bounds`] depend only on `(len, num_chunks)`, never on thread
+//!   scheduling. Kernels built on top of this are bit-identical to their
+//!   serial counterparts (asserted by the `optim` and `gradcomp` test suites).
+//! * **Zero persistent state** — scoped threads are spawned per call; there is
+//!   no global pool to poison or configure. For the kernel sizes this
+//!   workspace runs (hundreds of thousands to millions of elements) the spawn
+//!   cost is noise next to the kernel body.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Minimum elements a worker must receive before fanning a kernel out pays
+/// for its scoped-thread spawns. At ~1 GElem/s for an element-wise optimizer
+/// step, 2^16 elements is ~60 µs of work per worker — comfortably above the
+/// tens of microseconds a spawn/join round trip costs — so anything smaller
+/// runs inline.
+pub const MIN_ELEMS_PER_WORKER: usize = 1 << 16;
+
+/// A parallel executor: a target worker count for scoped-thread dispatch.
+///
+/// The executor is deliberately tiny and `Copy`: it is threaded through the
+/// device models (which are `Clone`) and carries no handles, only the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParExecutor {
+    num_threads: usize,
+}
+
+impl Default for ParExecutor {
+    /// Defaults to the machine's available parallelism.
+    fn default() -> Self {
+        Self::current()
+    }
+}
+
+impl ParExecutor {
+    /// An executor with exactly `num_threads` workers (clamped to at least 1).
+    pub fn new(num_threads: usize) -> Self {
+        Self { num_threads: num_threads.max(1) }
+    }
+
+    /// A serial executor: every combinator runs inline on the caller thread.
+    pub fn serial() -> Self {
+        Self { num_threads: 1 }
+    }
+
+    /// An executor sized to the machine's available parallelism.
+    pub fn current() -> Self {
+        Self::new(std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
+    }
+
+    /// The configured worker count.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Whether this executor runs everything inline.
+    pub fn is_serial(&self) -> bool {
+        self.num_threads == 1
+    }
+
+    /// Worker count actually worth using for an element-wise kernel over
+    /// `len` elements: capped so every worker gets at least
+    /// [`MIN_ELEMS_PER_WORKER`] elements (1 means "run inline"). Kernels
+    /// built on parcore are bit-identical for every worker count, so this
+    /// only tunes wall-clock, never results.
+    pub fn workers_for(&self, len: usize) -> usize {
+        self.num_threads.min(len / MIN_ELEMS_PER_WORKER).max(1)
+    }
+
+    /// Applies `f` to every item, in parallel, and returns the results **in
+    /// item order**. Item `i` is assigned to worker `i % num_threads`
+    /// (deterministic round-robin); `f` receives the item index and the item.
+    ///
+    /// With a serial executor (or a single item) this runs inline with no
+    /// thread spawns.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let n = items.len();
+        if self.num_threads <= 1 || n <= 1 {
+            return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        }
+        let workers = self.num_threads.min(n);
+        // Deal items round-robin into per-worker queues, remembering each
+        // item's original index so results can be re-assembled in order.
+        let mut queues: Vec<Vec<(usize, T)>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            queues[i % workers].push((i, item));
+        }
+        let f = &f;
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = queues
+                .into_iter()
+                .map(|queue| {
+                    scope.spawn(move || {
+                        queue
+                            .into_iter()
+                            .map(|(i, item)| (i, f(i, item)))
+                            .collect::<Vec<(usize, R)>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, result) in handle.join().expect("parcore worker panicked") {
+                    slots[i] = Some(result);
+                }
+            }
+        });
+        slots.into_iter().map(|r| r.expect("every item produces a result")).collect()
+    }
+
+    /// Applies `f` to every item in parallel, discarding results. Same
+    /// deterministic assignment as [`ParExecutor::map`]; items typically carry
+    /// `&mut` chunk views into caller-owned buffers.
+    pub fn for_each<T, F>(&self, items: Vec<T>, f: F)
+    where
+        T: Send,
+        F: Fn(usize, T) + Sync,
+    {
+        self.map(items, f);
+    }
+}
+
+/// Splits `0..len` into `num_chunks` contiguous ranges whose sizes differ by
+/// at most one element (the first `len % num_chunks` chunks get the extra).
+/// Depends only on the arguments, never on scheduling; empty trailing chunks
+/// are omitted, so fewer than `num_chunks` ranges are returned when
+/// `len < num_chunks`.
+///
+/// # Panics
+///
+/// Panics if `num_chunks` is zero.
+pub fn chunk_bounds(len: usize, num_chunks: usize) -> Vec<Range<usize>> {
+    assert!(num_chunks > 0, "chunk count must be positive");
+    let chunks = num_chunks.min(len.max(1));
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < extra);
+        if size == 0 {
+            break;
+        }
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// Splits a mutable slice into the chunks described by [`chunk_bounds`],
+/// preserving order. The returned sub-slices tile the input exactly.
+///
+/// # Panics
+///
+/// Panics if `num_chunks` is zero.
+pub fn split_mut<T>(slice: &mut [T], num_chunks: usize) -> Vec<&mut [T]> {
+    let bounds = chunk_bounds(slice.len(), num_chunks);
+    let mut out = Vec::with_capacity(bounds.len());
+    let mut rest = slice;
+    for range in &bounds {
+        let (head, tail) = rest.split_at_mut(range.len());
+        out.push(head);
+        rest = tail;
+    }
+    out
+}
+
+/// Splits an immutable slice into the chunks described by [`chunk_bounds`].
+///
+/// # Panics
+///
+/// Panics if `num_chunks` is zero.
+pub fn split_ref<T>(slice: &[T], num_chunks: usize) -> Vec<&[T]> {
+    chunk_bounds(slice.len(), num_chunks).into_iter().map(|r| &slice[r]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_bounds_tile_the_range_evenly() {
+        assert_eq!(chunk_bounds(10, 3), vec![0..4, 4..7, 7..10]);
+        assert_eq!(chunk_bounds(9, 3), vec![0..3, 3..6, 6..9]);
+        assert_eq!(chunk_bounds(2, 5), vec![0..1, 1..2]);
+        assert_eq!(chunk_bounds(0, 4), Vec::<Range<usize>>::new());
+        // Sizes differ by at most one and cover everything, for many shapes.
+        for len in [0usize, 1, 7, 64, 1023] {
+            for chunks in [1usize, 2, 3, 7, 16] {
+                let bounds = chunk_bounds(len, chunks);
+                let total: usize = bounds.iter().map(Range::len).sum();
+                assert_eq!(total, len, "len={len} chunks={chunks}");
+                if let (Some(max), Some(min)) =
+                    (bounds.iter().map(Range::len).max(), bounds.iter().map(Range::len).min())
+                {
+                    assert!(max - min <= 1, "len={len} chunks={chunks}");
+                }
+                let mut expected = 0;
+                for b in &bounds {
+                    assert_eq!(b.start, expected);
+                    expected = b.end;
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk count must be positive")]
+    fn zero_chunks_panics() {
+        chunk_bounds(10, 0);
+    }
+
+    #[test]
+    fn split_mut_and_ref_match_chunk_bounds() {
+        let mut data: Vec<u32> = (0..11).collect();
+        let chunks = split_mut(&mut data, 4);
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks[0], &[0, 1, 2]);
+        assert_eq!(chunks[3], &[9, 10]);
+        let views = split_ref(&data, 4);
+        assert_eq!(views.iter().map(|c| c.len()).sum::<usize>(), 11);
+        let empty: Vec<&mut [u32]> = split_mut(&mut [][..], 3);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn map_preserves_item_order_for_any_thread_count() {
+        let items: Vec<usize> = (0..23).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x * 2).collect();
+        for threads in [1usize, 2, 3, 8, 64] {
+            let pool = ParExecutor::new(threads);
+            let out = pool.map(items.clone(), |i, x| {
+                assert_eq!(i, x, "index must match the item's position");
+                x * 2
+            });
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn for_each_mutates_disjoint_chunks_in_parallel() {
+        let mut data = vec![0u64; 1000];
+        let pool = ParExecutor::new(4);
+        let chunks = split_mut(&mut data, 7);
+        pool.for_each(chunks, |i, chunk| {
+            for v in chunk.iter_mut() {
+                *v = i as u64 + 1;
+            }
+        });
+        // Chunk 0 of 1000/7 has 143 elements, every one stamped with index+1.
+        assert_eq!(data[0], 1);
+        assert_eq!(data[999], 7);
+        assert!(data.iter().all(|&v| v > 0));
+    }
+
+    #[test]
+    fn workers_for_scales_with_the_kernel_size() {
+        let pool = ParExecutor::new(4);
+        assert_eq!(pool.workers_for(0), 1);
+        assert_eq!(pool.workers_for(1000), 1, "small kernels run inline");
+        assert_eq!(pool.workers_for(MIN_ELEMS_PER_WORKER), 1);
+        assert_eq!(pool.workers_for(2 * MIN_ELEMS_PER_WORKER), 2);
+        assert_eq!(pool.workers_for(100 * MIN_ELEMS_PER_WORKER), 4, "capped at the pool size");
+        assert_eq!(ParExecutor::serial().workers_for(usize::MAX), 1);
+    }
+
+    #[test]
+    fn executor_constructors_and_accessors() {
+        assert!(ParExecutor::serial().is_serial());
+        assert_eq!(ParExecutor::serial().num_threads(), 1);
+        assert_eq!(ParExecutor::new(0).num_threads(), 1, "zero clamps to one");
+        assert_eq!(ParExecutor::new(6).num_threads(), 6);
+        assert!(!ParExecutor::new(2).is_serial());
+        assert!(ParExecutor::current().num_threads() >= 1);
+        assert_eq!(ParExecutor::default(), ParExecutor::current());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let pool = ParExecutor::new(8);
+        let out = pool.map(vec![41], |i, x| {
+            assert_eq!(i, 0);
+            x + 1
+        });
+        assert_eq!(out, vec![42]);
+        let empty: Vec<i32> = pool.map(Vec::<i32>::new(), |_, x| x);
+        assert!(empty.is_empty());
+    }
+}

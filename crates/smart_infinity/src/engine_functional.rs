@@ -4,6 +4,7 @@
 use csd::{CsdDevice, CsdError, CsdTrafficStats, SubgroupUpdate};
 use gradcomp::{CompressedGradient, Compressor, ErrorFeedback};
 use optim::Optimizer;
+use parcore::ParExecutor;
 use tensorlib::{Chunker, Dtype, FlatTensor, Partitioner};
 
 /// A functional Smart-Infinity trainer.
@@ -27,6 +28,8 @@ pub struct SmartInfinityTrainer {
     compressor: Option<Compressor>,
     feedback: Vec<ErrorFeedback>,
     subgroup_elems: usize,
+    pool: ParExecutor,
+    shard_scratch: FlatTensor,
     step: u64,
 }
 
@@ -68,6 +71,8 @@ impl SmartInfinityTrainer {
             compressor: None,
             feedback,
             subgroup_elems,
+            pool: ParExecutor::serial(),
+            shard_scratch: FlatTensor::default(),
             step: 0,
         })
     }
@@ -81,6 +86,24 @@ impl SmartInfinityTrainer {
     pub fn with_compression(mut self, keep_ratio: f64) -> Self {
         self.compressor = Some(Compressor::top_k(keep_ratio));
         self
+    }
+
+    /// Enables the parallel execution backend: every CSD's updater kernel and
+    /// the GPU-side Top-K selection fan out across `num_threads` host worker
+    /// threads. The training result is **bit-identical** for every thread
+    /// count (the kernels are element-wise and the parallel Top-K reproduces
+    /// the serial selection exactly), so this only changes wall-clock time.
+    pub fn with_threads(mut self, num_threads: usize) -> Self {
+        self.pool = ParExecutor::new(num_threads);
+        for csd in &mut self.csds {
+            csd.set_threads(num_threads);
+        }
+        self
+    }
+
+    /// The host worker-thread count of the execution backend.
+    pub fn num_threads(&self) -> usize {
+        self.pool.num_threads()
     }
 
     /// Number of parameters being trained.
@@ -164,22 +187,24 @@ impl SmartInfinityTrainer {
             if shard.len == 0 {
                 continue;
             }
-            let shard_grads = grads.slice(shard.offset, shard.len);
-            // "GPU side": optional error feedback + Top-K compression per shard.
+            // The shard's gradient slice lands in a reused scratch buffer.
+            grads.slice_into(shard.offset, shard.len, &mut self.shard_scratch);
+            // "GPU side": optional error feedback + Top-K compression per
+            // shard, corrected in place and selected on the thread pool.
             let compressed: Option<CompressedGradient> = match &self.compressor {
                 None => None,
                 Some(c) => {
                     let fb = &mut self.feedback[shard.device];
-                    let corrected = fb.apply(&shard_grads);
-                    let compressed = c.compress(&corrected);
-                    fb.update(&corrected, &compressed);
+                    fb.apply_in_place(&mut self.shard_scratch);
+                    let compressed = c.compress_par(&self.shard_scratch, &self.pool);
+                    fb.update(&self.shard_scratch, &compressed);
                     Some(compressed)
                 }
             };
             let csd = &mut self.csds[shard.device];
             if compressed.is_none() {
                 // Dense gradients land on the owner CSD's SSD (backward offload).
-                csd.store_gradients("shard", &shard_grads)?;
+                csd.store_gradients("shard", &self.shard_scratch)?;
             }
             // SmartUpdate: subgroup-by-subgroup near-storage update.
             for subgroup in Chunker::new(shard.len, self.subgroup_elems).subgroups() {
@@ -192,10 +217,11 @@ impl SmartInfinityTrainer {
                     compressed: compressed.as_ref(),
                 })?;
             }
-            // Upstream: the refreshed FP16 working copy returns to host memory.
+            // Upstream: the refreshed FP16 working copy returns to host
+            // memory, rounded directly into the working-copy buffer.
             let updated = csd.load_parameters("shard", 0, shard.len)?;
-            let fp16 = FlatTensor::from_bytes(&updated.to_bytes(Dtype::F16), Dtype::F16);
-            self.params_fp16.write_slice(shard.offset, fp16.as_slice());
+            let dst = &mut self.params_fp16.as_mut_slice()[shard.offset..shard.offset + shard.len];
+            updated.roundtrip_f16_into(dst);
         }
         Ok(())
     }
@@ -297,6 +323,36 @@ mod tests {
             one.master_params().unwrap().as_slice(),
             many.master_params().unwrap().as_slice()
         );
+    }
+
+    #[test]
+    fn threaded_backend_is_bit_identical_to_serial_with_and_without_compression() {
+        let n = 5000;
+        let optimizer = Optimizer::adam_default();
+        let initial = FlatTensor::randn(n, 0.05, 40);
+        let run = |threads: usize, keep: Option<f64>| {
+            let mut t = SmartInfinityTrainer::new(&initial, optimizer, 3, 700).unwrap();
+            if let Some(k) = keep {
+                t = t.with_compression(k);
+            }
+            if threads > 1 {
+                t = t.with_threads(threads);
+            }
+            assert_eq!(t.num_threads(), threads.max(1));
+            let mut source = SyntheticGradients::new(n, 0.01, 55);
+            for _ in 0..3 {
+                t.train_step(&mut source).unwrap();
+            }
+            (t.master_params().unwrap(), t.params_fp16().clone())
+        };
+        for keep in [None, Some(0.05)] {
+            let (serial_master, serial_fp16) = run(1, keep);
+            for threads in [2usize, 4] {
+                let (master, fp16) = run(threads, keep);
+                assert_eq!(master.as_slice(), serial_master.as_slice(), "{keep:?} t={threads}");
+                assert_eq!(fp16.as_slice(), serial_fp16.as_slice(), "{keep:?} t={threads}");
+            }
+        }
     }
 
     #[test]

@@ -147,6 +147,26 @@ impl SsdDevice {
         offset: usize,
         len: usize,
     ) -> Result<Vec<u8>, SsdError> {
+        let mut out = Vec::new();
+        self.read_at_into(region, offset, len, &mut out)?;
+        Ok(out)
+    }
+
+    /// Reads a byte range from a region into an existing buffer, replacing
+    /// its contents and reusing its allocation (the per-subgroup scratch
+    /// pattern of the CSD update loop).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsdError::UnknownRegion`] or [`SsdError::OutOfBounds`]; the
+    /// buffer is left unchanged on error.
+    pub fn read_at_into(
+        &mut self,
+        region: &str,
+        offset: usize,
+        len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), SsdError> {
         let data = self.regions.get(region).ok_or_else(|| SsdError::UnknownRegion {
             device: self.name.clone(),
             region: region.to_string(),
@@ -161,7 +181,9 @@ impl SsdDevice {
         }
         self.reads += 1;
         self.bytes_read += len as u64;
-        Ok(data[offset..offset + len].to_vec())
+        out.clear();
+        out.extend_from_slice(&data[offset..offset + len]);
+        Ok(())
     }
 
     /// Deletes a region, returning whether it existed.

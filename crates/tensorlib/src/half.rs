@@ -138,6 +138,51 @@ impl f16 {
     pub fn is_finite(self) -> bool {
         (self.0 & 0x7C00) != 0x7C00
     }
+
+    /// Bulk [`f16::from_f32`]: converts `src` into `dst` element-wise.
+    /// Bit-identical to the scalar conversion (round-to-nearest-even,
+    /// saturation, NaN and subnormal handling included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn from_f32_slice_into(src: &[f32], dst: &mut [f16]) {
+        assert_eq!(src.len(), dst.len(), "conversion length mismatch");
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = f16::from_f32(s);
+        }
+    }
+
+    /// Bulk [`f16::to_f32`]: converts `src` into `dst` element-wise through a
+    /// lazily built 65536-entry lookup table. Bit-identical to the scalar
+    /// conversion by construction (the table is populated by calling it), but
+    /// replaces the per-element subnormal-normalisation loop with one load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn to_f32_slice_into(src: &[f16], dst: &mut [f32]) {
+        assert_eq!(src.len(), dst.len(), "conversion length mismatch");
+        let table = f16_to_f32_table();
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = table[s.to_bits() as usize];
+        }
+    }
+
+    /// Single-value table-backed conversion for crate-internal hot loops;
+    /// bit-identical to [`f16::to_f32`].
+    pub(crate) fn to_f32_via_table(self) -> f32 {
+        f16_to_f32_table()[self.0 as usize]
+    }
+}
+
+/// The full binary16 → binary32 conversion table, built once on first use.
+/// 65536 entries × 4 bytes = 256 KiB; every entry is exactly
+/// `f16::from_bits(i).to_f32()`.
+fn f16_to_f32_table() -> &'static [f32] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<Vec<f32>> = OnceLock::new();
+    TABLE.get_or_init(|| (0..=u16::MAX).map(|bits| f16::from_bits(bits).to_f32()).collect())
 }
 
 /// Shift right by `shift` bits with round-to-nearest-even on the dropped bits.
@@ -226,6 +271,50 @@ mod tests {
         assert_eq!(f16::from_f32(1.5).to_string(), "1.5");
         let v: f32 = f16::from_f32(2.0).into();
         assert_eq!(v, 2.0);
+    }
+
+    #[test]
+    fn bulk_to_f32_matches_scalar_for_every_bit_pattern() {
+        // Exhaustive: all 65536 half-precision values, including NaNs,
+        // infinities and subnormals, compared bit-for-bit.
+        let src: Vec<f16> = (0..=u16::MAX).map(f16::from_bits).collect();
+        let mut bulk = vec![0.0f32; src.len()];
+        f16::to_f32_slice_into(&src, &mut bulk);
+        for (h, b) in src.iter().zip(&bulk) {
+            assert_eq!(b.to_bits(), h.to_f32().to_bits(), "bits {:#06x}", h.to_bits());
+        }
+    }
+
+    #[test]
+    fn bulk_from_f32_matches_scalar() {
+        let src: Vec<f32> = [
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.5,
+            65504.0,
+            65520.0, // rounds to inf
+            1e-8,    // flushes to zero
+            3.0e-7,  // subnormal
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            1.0 + 2f32.powi(-11), // round-to-even tie
+        ]
+        .into_iter()
+        .chain((0..1000).map(|i| (i as f32 - 500.0) * 7.3))
+        .collect();
+        let mut bulk = vec![f16::ZERO; src.len()];
+        f16::from_f32_slice_into(&src, &mut bulk);
+        for (s, b) in src.iter().zip(&bulk) {
+            assert_eq!(b.to_bits(), f16::from_f32(*s).to_bits(), "value {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "conversion length mismatch")]
+    fn bulk_conversion_length_mismatch_panics() {
+        f16::to_f32_slice_into(&[f16::ZERO; 2], &mut [0.0f32; 3]);
     }
 
     proptest! {

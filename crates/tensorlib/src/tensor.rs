@@ -93,20 +93,28 @@ impl FlatTensor {
     /// Serialises the tensor to little-endian bytes in the given precision.
     /// FP16 serialisation performs round-to-nearest-even per element.
     pub fn to_bytes(&self, dtype: Dtype) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.to_bytes_into(dtype, &mut out);
+        out
+    }
+
+    /// Serialises into an existing byte buffer, replacing its contents. The
+    /// buffer's allocation is reused across calls, so per-iteration hot paths
+    /// (CSD P2P transfers, FP16 working-copy refreshes) stop churning the
+    /// allocator.
+    pub fn to_bytes_into(&self, dtype: Dtype, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(self.data.len() * dtype.bytes_per_element());
         match dtype {
             Dtype::F32 => {
-                let mut out = Vec::with_capacity(self.data.len() * 4);
                 for v in &self.data {
                     out.extend_from_slice(&v.to_le_bytes());
                 }
-                out
             }
             Dtype::F16 => {
-                let mut out = Vec::with_capacity(self.data.len() * 2);
                 for v in &self.data {
                     out.extend_from_slice(&f16::from_f32(*v).to_bits().to_le_bytes());
                 }
-                out
             }
         }
     }
@@ -117,23 +125,61 @@ impl FlatTensor {
     ///
     /// Panics if `bytes.len()` is not a multiple of the element size.
     pub fn from_bytes(bytes: &[u8], dtype: Dtype) -> Self {
+        let mut out = FlatTensor::default();
+        Self::from_bytes_into(bytes, dtype, &mut out);
+        out
+    }
+
+    /// Deserialises into an existing tensor, replacing its contents and
+    /// reusing its allocation. The FP16 path decodes through the bulk
+    /// lookup-table conversion ([`f16::to_f32_slice_into`]'s fast path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len()` is not a multiple of the element size.
+    pub fn from_bytes_into(bytes: &[u8], dtype: Dtype, out: &mut FlatTensor) {
         let esize = dtype.bytes_per_element();
         assert!(
             bytes.len() % esize == 0,
             "byte length {} is not a multiple of element size {esize}",
             bytes.len()
         );
-        let data = match dtype {
-            Dtype::F32 => bytes
-                .chunks_exact(4)
-                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-                .collect(),
-            Dtype::F16 => bytes
-                .chunks_exact(2)
-                .map(|c| f16::from_bits(u16::from_le_bytes([c[0], c[1]])).to_f32())
-                .collect(),
-        };
-        Self { data }
+        let n = bytes.len() / esize;
+        out.data.clear();
+        out.data.reserve(n);
+        match dtype {
+            Dtype::F32 => {
+                out.data.extend(
+                    bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+                );
+            }
+            Dtype::F16 => {
+                // Decode each bit pattern through the f16 lookup table —
+                // same fast path as `f16::to_f32_slice_into`, with no
+                // intermediate buffer.
+                out.data.extend(
+                    bytes.chunks_exact(2).map(|c| {
+                        f16::from_bits(u16::from_le_bytes([c[0], c[1]])).to_f32_via_table()
+                    }),
+                );
+            }
+        }
+    }
+
+    /// Writes the FP16-rounded value of every element into `out` (each `f32`
+    /// is converted to binary16 and back). This is the mixed-precision
+    /// "refresh the FP16 working copy" operation without materialising the
+    /// intermediate byte stream: bit-identical to
+    /// `from_bytes(&to_bytes(F16), F16)` with zero allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the tensor length.
+    pub fn roundtrip_f16_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.data.len(), "output buffer length mismatch");
+        for (d, &s) in out.iter_mut().zip(&self.data) {
+            *d = f16::from_f32(s).to_f32_via_table();
+        }
     }
 
     /// In-place `self = alpha * self + beta * other` (the AXPBY primitive the
@@ -159,6 +205,12 @@ impl FlatTensor {
     /// Fills every element with `value`.
     pub fn fill(&mut self, value: f32) {
         self.data.fill(value);
+    }
+
+    /// Resizes the tensor in place, filling any new elements with `value`.
+    /// Shrinking keeps the allocation (scratch-buffer reuse).
+    pub fn resize(&mut self, len: usize, value: f32) {
+        self.data.resize(len, value);
     }
 
     /// The L2 norm of the tensor.
@@ -188,7 +240,21 @@ impl FlatTensor {
     ///
     /// Panics if the range is out of bounds.
     pub fn slice(&self, offset: usize, len: usize) -> FlatTensor {
-        FlatTensor::from_vec(self.data[offset..offset + len].to_vec())
+        let mut out = FlatTensor::default();
+        self.slice_into(offset, len, &mut out);
+        out
+    }
+
+    /// Copies the sub-range `[offset, offset + len)` into an existing tensor,
+    /// reusing its allocation (the per-shard scratch pattern of the training
+    /// engines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice_into(&self, offset: usize, len: usize, out: &mut FlatTensor) {
+        out.data.clear();
+        out.data.extend_from_slice(&self.data[offset..offset + len]);
     }
 
     /// Copies `values` into the sub-range starting at `offset`.
@@ -311,6 +377,63 @@ mod tests {
     }
 
     #[test]
+    fn buffer_reuse_serialisation_matches_the_allocating_api() {
+        let t = FlatTensor::randn(513, 3.0, 9);
+        let mut bytes = Vec::new();
+        let mut back = FlatTensor::zeros(1); // wrong size on purpose: replaced
+        for dtype in [Dtype::F32, Dtype::F16] {
+            t.to_bytes_into(dtype, &mut bytes);
+            assert_eq!(bytes, t.to_bytes(dtype), "{dtype:?} bytes");
+            FlatTensor::from_bytes_into(&bytes, dtype, &mut back);
+            assert_eq!(back, FlatTensor::from_bytes(&bytes, dtype), "{dtype:?} tensor");
+        }
+        // Repeated use reuses the same buffers (contents fully replaced).
+        let t2 = FlatTensor::randn(64, 1.0, 10);
+        t2.to_bytes_into(Dtype::F32, &mut bytes);
+        assert_eq!(bytes.len(), 256);
+        FlatTensor::from_bytes_into(&bytes, Dtype::F32, &mut back);
+        assert_eq!(back, t2);
+    }
+
+    #[test]
+    fn roundtrip_f16_into_matches_the_byte_path() {
+        let t = FlatTensor::from_vec(vec![
+            0.0,
+            -0.0,
+            1.0,
+            1.0 + 1.0 / 2048.0,
+            65504.0,
+            1e30, // saturates to inf
+            3.0e-7,
+            -2.75,
+        ]);
+        let byte_path = FlatTensor::from_bytes(&t.to_bytes(Dtype::F16), Dtype::F16);
+        let mut direct = vec![0.0f32; t.len()];
+        t.roundtrip_f16_into(&mut direct);
+        for (a, b) in direct.iter().zip(byte_path.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer length mismatch")]
+    fn roundtrip_f16_into_rejects_wrong_length() {
+        FlatTensor::zeros(3).roundtrip_f16_into(&mut [0.0; 4]);
+    }
+
+    #[test]
+    fn slice_into_reuses_the_target_allocation() {
+        let t = FlatTensor::from_fn(10, |i| i as f32);
+        let mut out = FlatTensor::full(99, 7.0);
+        t.slice_into(2, 5, &mut out);
+        assert_eq!(out.as_slice(), &[2.0, 3.0, 4.0, 5.0, 6.0]);
+        t.slice_into(9, 1, &mut out);
+        assert_eq!(out.as_slice(), &[9.0]);
+        t.slice_into(0, 0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
     fn axpby_matches_manual_computation() {
         let mut a = FlatTensor::from_vec(vec![1.0, 2.0, 3.0]);
         let b = FlatTensor::from_vec(vec![10.0, 20.0, 30.0]);
@@ -351,6 +474,10 @@ mod tests {
         let other = FlatTensor::from_vec(vec![2.0, 2.0]);
         assert!((t.mse(&other) - 2.0).abs() < 1e-9);
         t.fill(0.0);
+        assert_eq!(t.as_slice(), &[0.0, 0.0]);
+        t.resize(4, 5.0);
+        assert_eq!(t.as_slice(), &[0.0, 0.0, 5.0, 5.0]);
+        t.resize(2, 0.0);
         assert_eq!(t.as_slice(), &[0.0, 0.0]);
         assert_eq!(FlatTensor::zeros(0).mse(&FlatTensor::zeros(0)), 0.0);
         assert_eq!(t.as_ref(), &[0.0, 0.0]);

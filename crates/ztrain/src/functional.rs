@@ -202,9 +202,11 @@ impl StorageOffloadTrainer {
                     &aux_tensor.to_bytes(Dtype::F32),
                 )?;
             }
-            // Refresh the FP16 working copy from the new master values.
-            let fp16 = FlatTensor::from_bytes(&master.to_bytes(Dtype::F16), Dtype::F16);
-            self.params_fp16.write_slice(block.offset, fp16.as_slice());
+            // Refresh the FP16 working copy from the new master values,
+            // rounding straight into the working-copy buffer (no intermediate
+            // byte stream or temporary tensor).
+            let dst = &mut self.params_fp16.as_mut_slice()[block.offset..block.offset + block.len];
+            master.roundtrip_f16_into(dst);
         }
         Ok(())
     }

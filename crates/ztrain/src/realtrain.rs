@@ -373,10 +373,16 @@ pub fn train_classifier(model: &MlpModel, dataset: &Dataset, config: &TrainConfi
             let effective = match &compressor {
                 None => grads,
                 Some(c) => {
-                    let corrected = feedback.apply(&grads);
+                    // Allocation-free SmartComp dataflow: correct the owned
+                    // gradient buffer in place, update the residual by
+                    // scatter-zeroing the kept coordinates, then reuse the
+                    // same buffer for the decompressed (sparsified) gradient.
+                    let mut corrected = grads;
+                    feedback.apply_in_place(&mut corrected);
                     let compressed = c.compress(&corrected);
                     feedback.update(&corrected, &compressed);
-                    compressed.decompress()
+                    compressed.decompress_into(corrected.as_mut_slice());
+                    corrected
                 }
             };
             optimizer.step(params.as_mut_slice(), &effective, &mut aux, step);

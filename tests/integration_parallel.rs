@@ -1,0 +1,89 @@
+//! End-to-end determinism of the parallel execution backend: a full
+//! Smart-Infinity training run on the threaded backend is bit-identical to
+//! the serial baseline, which is the paper's accuracy-neutrality argument
+//! (SmartUpdate changes *where and how fast* the update runs, never *what*
+//! it computes).
+
+use gradcomp::Compressor;
+use optim::{HyperParams, Optimizer, OptimizerKind};
+use parcore::ParExecutor;
+use smart_infinity::SmartInfinityTrainer;
+use tensorlib::FlatTensor;
+use ztrain::{StorageOffloadTrainer, SyntheticGradients};
+
+/// Thread counts exercised end-to-end: serial, two, a prime, and the
+/// machine's actual parallelism.
+fn thread_counts() -> Vec<usize> {
+    let cpus = ParExecutor::current().num_threads();
+    vec![1, 2, 7, cpus.max(2)]
+}
+
+#[test]
+fn threaded_smart_infinity_matches_the_serial_baseline_bit_for_bit() {
+    let n = 12_007;
+    let optimizer = Optimizer::new(OptimizerKind::AdamW, HyperParams::default());
+    let initial = FlatTensor::randn(n, 0.05, 1001);
+
+    // Reference: the single-threaded ZeRO-Infinity-style baseline.
+    let mut baseline = StorageOffloadTrainer::new(&initial, optimizer, 2, 3000).unwrap();
+    let mut source = SyntheticGradients::new(n, 0.01, 2002);
+    for _ in 0..3 {
+        baseline.train_step(&mut source).unwrap();
+    }
+    let reference = baseline.master_params().unwrap();
+
+    for threads in thread_counts() {
+        let mut smart =
+            SmartInfinityTrainer::new(&initial, optimizer, 3, 1100).unwrap().with_threads(threads);
+        let mut source = SyntheticGradients::new(n, 0.01, 2002);
+        for _ in 0..3 {
+            smart.train_step(&mut source).unwrap();
+        }
+        assert_eq!(
+            smart.master_params().unwrap().as_slice(),
+            reference.as_slice(),
+            "threads={threads}"
+        );
+        assert_eq!(
+            smart.params_fp16().as_slice(),
+            baseline.params_fp16().as_slice(),
+            "fp16 threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn threaded_compressed_training_is_deterministic_across_thread_counts() {
+    let n = 8009;
+    let optimizer = Optimizer::adam_default();
+    let initial = FlatTensor::randn(n, 0.05, 7);
+    let run = |threads: usize| {
+        let mut t = SmartInfinityTrainer::new(&initial, optimizer, 2, 900)
+            .unwrap()
+            .with_compression(0.02)
+            .with_threads(threads);
+        let mut source = SyntheticGradients::new(n, 0.01, 8);
+        for _ in 0..4 {
+            t.train_step(&mut source).unwrap();
+        }
+        t.master_params().unwrap()
+    };
+    let serial = run(1);
+    for threads in thread_counts().into_iter().skip(1) {
+        assert_eq!(run(threads).as_slice(), serial.as_slice(), "threads={threads}");
+    }
+}
+
+#[test]
+fn parallel_top_k_selection_is_identical_inside_the_full_compression_pipeline() {
+    // The GPU-side selection is the one lossy, order-sensitive kernel in the
+    // pipeline; check it at a realistic gradient size through the public API.
+    let grads = FlatTensor::randn(1 << 20, 0.01, 99);
+    let compressor = Compressor::top_k(0.01);
+    let serial = compressor.compress(&grads);
+    for threads in thread_counts().into_iter().skip(1) {
+        let pool = ParExecutor::new(threads);
+        assert_eq!(compressor.compress_par(&grads, &pool), serial, "threads={threads}");
+    }
+    assert_eq!(serial.num_selected(), compressor.num_kept(1 << 20));
+}
