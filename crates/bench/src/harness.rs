@@ -6,7 +6,7 @@
 use llm::{CostModel, GpuSpec, ModelConfig, Workload};
 use optim::OptimizerKind;
 use serde::Serialize;
-use smart_infinity::{Experiment, Method, TrafficMethod, TrafficModel};
+use smart_infinity::{Experiment, Method, Session, TrafficMethod, TrafficModel};
 use ztrain::realtrain::{train_classifier, Dataset, MlpModel, TrainConfig};
 use ztrain::{BaselineEngine, IterationReport, MachineConfig};
 
@@ -285,16 +285,17 @@ pub fn fig11a() -> Vec<CsdScalingPoint> {
         .expect("simulation")
         .total_s();
         for n in [1usize, 2, 4, 6, 8, 10] {
-            let experiment = Experiment::new(
-                MachineConfig::smart_infinity(n).with_gpu(gpu.clone()),
-                workload.clone(),
-            );
+            let machine = MachineConfig::smart_infinity(n).with_gpu(gpu.clone());
             for method in [
                 Method::Baseline,
                 Method::SmartUpdateOptimized,
                 Method::SmartComp { keep_ratio: 0.01 },
             ] {
-                let t = experiment.run(method).expect("simulation").total_s();
+                let t = Session::builder(ModelConfig::gpt2_4b(), machine.clone(), method)
+                    .build()
+                    .simulate_iteration()
+                    .expect("simulation")
+                    .total_s();
                 points.push(CsdScalingPoint {
                     gpu: gpu.name.clone(),
                     method: method.label(),
@@ -449,15 +450,16 @@ pub fn fig15() -> Vec<CostPoint> {
     let mut points = Vec::new();
     for gpu in [GpuSpec::a5000(), GpuSpec::a100()] {
         for n in [1usize, 2, 4, 6, 8, 10] {
-            let experiment = Experiment::new(
-                MachineConfig::smart_infinity(n).with_gpu(gpu.clone()),
-                workload.clone(),
-            );
-            let base_t = experiment.run(Method::Baseline).expect("simulation").total_s();
-            let smart_t = experiment
-                .run(Method::SmartComp { keep_ratio: 0.01 })
-                .expect("simulation")
-                .total_s();
+            let machine = MachineConfig::smart_infinity(n).with_gpu(gpu.clone());
+            let run = |method: Method| {
+                Session::builder(ModelConfig::gpt2_4b(), machine.clone(), method)
+                    .build()
+                    .simulate_iteration()
+                    .expect("simulation")
+                    .total_s()
+            };
+            let base_t = run(Method::Baseline);
+            let smart_t = run(Method::SmartComp { keep_ratio: 0.01 });
             points.push(CostPoint {
                 gpu: gpu.name.clone(),
                 method: "ZeRO-Inf".to_string(),
@@ -529,13 +531,15 @@ pub fn tab4(epochs: usize) -> Vec<FinetuneRow> {
     let models = [ModelConfig::bert_0_34b(), ModelConfig::gpt2_0_77b(), ModelConfig::gpt2_1_6b()];
     let mut rows = Vec::new();
     for model in models {
-        let experiment = Experiment::new(
-            MachineConfig::smart_infinity(6),
-            Workload::paper_default(model.clone()),
-        );
-        let base = experiment.run(Method::Baseline).expect("simulation");
+        let run = |method: Method| {
+            Session::builder(model.clone(), MachineConfig::smart_infinity(6), method)
+                .build()
+                .simulate_iteration()
+                .expect("simulation")
+        };
+        let base = run(Method::Baseline);
         let mut push = |method: Method, label: String, keep: Option<f64>| {
-            let report = experiment.run(method).expect("simulation");
+            let report = run(method);
             rows.push(FinetuneRow {
                 model: model.name().to_string(),
                 method: label,
@@ -576,11 +580,13 @@ pub fn fig16() -> Vec<CompressionSensitivityPoint> {
     let mut points = Vec::new();
     for model in [ModelConfig::bert_0_34b(), ModelConfig::gpt2_4b()] {
         for n in [6usize, 10] {
-            let experiment = Experiment::new(
-                MachineConfig::smart_infinity(n),
-                Workload::paper_default(model.clone()),
-            );
-            let su_o = experiment.run(Method::SmartUpdateOptimized).expect("simulation");
+            let run = |method: Method| {
+                Session::builder(model.clone(), MachineConfig::smart_infinity(n), method)
+                    .build()
+                    .simulate_iteration()
+                    .expect("simulation")
+            };
+            let su_o = run(Method::SmartUpdateOptimized);
             points.push(CompressionSensitivityPoint {
                 model: model.name().to_string(),
                 num_devices: n,
@@ -588,10 +594,7 @@ pub fn fig16() -> Vec<CompressionSensitivityPoint> {
                 total_s: su_o.total_s(),
             });
             for transfer in [0.10, 0.05, 0.02, 0.01] {
-                let t = experiment
-                    .run(Method::SmartComp { keep_ratio: transfer / 2.0 })
-                    .expect("simulation")
-                    .total_s();
+                let t = run(Method::SmartComp { keep_ratio: transfer / 2.0 }).total_s();
                 points.push(CompressionSensitivityPoint {
                     model: model.name().to_string(),
                     num_devices: n,
@@ -645,8 +648,10 @@ pub struct KernelPerf {
     pub serial_elems_per_sec: f64,
     /// Parallel throughput in elements per second (at `threads` workers).
     pub parallel_elems_per_sec: f64,
-    /// `parallel / serial` throughput ratio.
-    pub speedup: f64,
+    /// `serial / parallel` wall-clock ratio, or `None` when the snapshot was
+    /// taken on a single-CPU machine — there the worker threads time-slice
+    /// one core and the ratio would be misleading, so it is not recorded.
+    pub speedup: Option<f64>,
 }
 
 /// The tracked performance snapshot of the execution backend (`BENCH_2.json`):
@@ -658,6 +663,10 @@ pub struct PerfSnapshot {
     /// CPUs available to the measuring process (parallel speedup is bounded
     /// by this: on a 1-CPU container the ratio cannot exceed ~1.0).
     pub num_cpus: usize,
+    /// Whether the parallel measurements are meaningful: `false` when only
+    /// one CPU was visible, in which case the per-kernel `speedup` ratios are
+    /// omitted (see the BENCH_2.json caveat in ROADMAP.md).
+    pub parallel_valid: bool,
     /// Worker-thread count used for the parallel measurements.
     pub threads: usize,
     /// Tensor length every kernel ran over.
@@ -697,6 +706,10 @@ pub fn perf_snapshot(quick: bool) -> PerfSnapshot {
     let elems: usize = if quick { 1 << 18 } else { 1 << 20 };
     let reps = if quick { 3 } else { 5 };
     let threads = 4usize;
+    let num_cpus = ParExecutor::current().num_threads();
+    // A serial/parallel wall-clock ratio only means something when the
+    // workers can actually run concurrently.
+    let parallel_valid = num_cpus > 1;
     let pool = ParExecutor::new(threads);
     let serial = ParExecutor::serial();
     let rate = |secs: f64| elems as f64 / secs;
@@ -722,7 +735,7 @@ pub fn perf_snapshot(quick: bool) -> PerfSnapshot {
         kernel: "updater_adam".to_string(),
         serial_elems_per_sec: rate(updater_serial),
         parallel_elems_per_sec: rate(updater_parallel),
-        speedup: updater_serial / updater_parallel,
+        speedup: parallel_valid.then(|| updater_serial / updater_parallel),
     });
 
     // Compressor: exact Top-K at the paper's default 1% keep ratio.
@@ -737,7 +750,7 @@ pub fn perf_snapshot(quick: bool) -> PerfSnapshot {
         kernel: "topk_exact_1pct".to_string(),
         serial_elems_per_sec: rate(topk_serial),
         parallel_elems_per_sec: rate(topk_parallel),
-        speedup: topk_serial / topk_parallel,
+        speedup: parallel_valid.then(|| topk_serial / topk_parallel),
     });
 
     // Half-precision conversion paths.
@@ -759,7 +772,8 @@ pub fn perf_snapshot(quick: bool) -> PerfSnapshot {
     });
 
     PerfSnapshot {
-        num_cpus: ParExecutor::current().num_threads(),
+        num_cpus,
+        parallel_valid,
         threads,
         elems,
         kernels,
@@ -775,14 +789,24 @@ pub fn render_perf(snap: &PerfSnapshot) -> String {
         "BENCH_2: execution backend throughput ({} elems, {} threads, {} CPUs)\n",
         snap.elems, snap.threads, snap.num_cpus
     );
+    if !snap.parallel_valid {
+        out.push_str(
+            "NOTE: only 1 CPU visible — parallel ratios are not meaningful and are omitted;\n\
+             rerun on a multi-core machine for real speedups.\n",
+        );
+    }
     out.push_str(&format!(
         "{:<20} {:>16} {:>16} {:>9}\n",
         "kernel", "serial (el/s)", "parallel (el/s)", "speedup"
     ));
     for k in &snap.kernels {
+        let speedup = match k.speedup {
+            Some(s) => format!("{s:.2}x"),
+            None => "n/a".to_string(),
+        };
         out.push_str(&format!(
-            "{:<20} {:>16.3e} {:>16.3e} {:>8.2}x\n",
-            k.kernel, k.serial_elems_per_sec, k.parallel_elems_per_sec, k.speedup
+            "{:<20} {:>16.3e} {:>16.3e} {:>9}\n",
+            k.kernel, k.serial_elems_per_sec, k.parallel_elems_per_sec, speedup
         ));
     }
     out.push_str(&format!(
@@ -805,10 +829,15 @@ mod tests {
     fn perf_snapshot_quick_mode_produces_positive_rates() {
         let snap = perf_snapshot(true);
         assert_eq!(snap.kernels.len(), 2);
+        assert_eq!(snap.parallel_valid, snap.num_cpus > 1);
         for k in &snap.kernels {
             assert!(k.serial_elems_per_sec > 0.0, "{}", k.kernel);
             assert!(k.parallel_elems_per_sec > 0.0, "{}", k.kernel);
-            assert!(k.speedup > 0.0, "{}", k.kernel);
+            // The misleading single-CPU ratio is omitted, not recorded.
+            assert_eq!(k.speedup.is_some(), snap.parallel_valid, "{}", k.kernel);
+            if let Some(s) = k.speedup {
+                assert!(s > 0.0, "{}", k.kernel);
+            }
         }
         assert!(snap.f16_to_bytes_elems_per_sec > 0.0);
         assert!(snap.f16_from_bytes_elems_per_sec > 0.0);
@@ -817,6 +846,10 @@ mod tests {
         let rendered = render_perf(&snap);
         assert!(rendered.contains("updater_adam"));
         assert!(rendered.contains("topk_exact_1pct"));
+        if !snap.parallel_valid {
+            assert!(rendered.contains("only 1 CPU visible"));
+            assert!(rendered.contains("n/a"));
+        }
     }
 
     #[test]

@@ -39,7 +39,15 @@ impl fmt::Display for CsdError {
     }
 }
 
-impl Error for CsdError {}
+impl Error for CsdError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CsdError::Ssd(e) => Some(e),
+            CsdError::Dram(e) => Some(e),
+            CsdError::MissingShard { .. } => None,
+        }
+    }
+}
 
 impl From<SsdError> for CsdError {
     fn from(e: SsdError) -> Self {
@@ -559,5 +567,15 @@ mod tests {
         assert!(e.to_string().contains("device memory"));
         let e = CsdError::MissingShard { shard: "x".into() };
         assert!(e.to_string().contains("x"));
+    }
+
+    #[test]
+    fn error_sources_chain_to_the_substrate_layer() {
+        let e: CsdError = SsdError::EmptyArray.into();
+        let source = e.source().expect("wrapped ssd error has a source");
+        assert!(source.downcast_ref::<SsdError>().is_some());
+        let e: CsdError = DramError::UnknownBuffer { id: 3 }.into();
+        assert!(e.source().expect("source").downcast_ref::<DramError>().is_some());
+        assert!(CsdError::MissingShard { shard: "x".into() }.source().is_none());
     }
 }

@@ -28,6 +28,15 @@ pub enum SelectionMethod {
     },
 }
 
+/// Whether `keep_ratio` is a valid Top-K keep fraction: in `(0, 1]` (NaN is
+/// rejected). This is the single source of truth for the validity rule —
+/// [`Compressor::new`] panics on it, and front-ends that prefer an error over
+/// a panic (e.g. `smart_infinity::Session`) check it before constructing a
+/// compressor.
+pub fn valid_keep_ratio(keep_ratio: f64) -> bool {
+    keep_ratio > 0.0 && keep_ratio <= 1.0
+}
+
 /// A gradient compressor: a selection method plus the fraction of elements kept.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Compressor {
@@ -72,10 +81,7 @@ impl Compressor {
     ///
     /// Panics if `keep_ratio` is not in `(0, 1]`.
     pub fn new(keep_ratio: f64, method: SelectionMethod) -> Self {
-        assert!(
-            keep_ratio > 0.0 && keep_ratio <= 1.0,
-            "keep ratio must be in (0, 1], got {keep_ratio}"
-        );
+        assert!(valid_keep_ratio(keep_ratio), "keep ratio must be in (0, 1], got {keep_ratio}");
         Self { keep_ratio, method }
     }
 

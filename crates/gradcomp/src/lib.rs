@@ -41,7 +41,7 @@ mod feedback;
 mod lowrank;
 
 pub use compressed::CompressedGradient;
-pub use compressor::{Compressor, SelectionMethod};
+pub use compressor::{valid_keep_ratio, Compressor, SelectionMethod};
 pub use feedback::ErrorFeedback;
 pub use lowrank::{LowRankCompressor, LowRankGradient};
 

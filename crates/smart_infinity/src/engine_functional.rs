@@ -6,6 +6,7 @@ use gradcomp::{CompressedGradient, Compressor, ErrorFeedback};
 use optim::Optimizer;
 use parcore::ParExecutor;
 use tensorlib::{Chunker, Dtype, FlatTensor, Partitioner};
+use ztrain::{StepReport, TrainError, Trainer};
 
 /// A functional Smart-Infinity trainer.
 ///
@@ -161,16 +162,11 @@ impl SmartInfinityTrainer {
         total
     }
 
-    /// Bytes of gradient data that crossed the host interconnect in the last
-    /// step (dense, or compressed when SmartComp is enabled).
-    pub fn last_step_gradient_bytes(&self, grads_len: usize) -> u64 {
-        match &self.compressor {
-            None => 4 * grads_len as u64,
-            Some(c) => (c.transfer_ratio() * 4.0 * grads_len as f64) as u64,
-        }
-    }
-
-    /// Runs one training step with an explicitly provided dense gradient.
+    /// Runs one training step with an explicitly provided dense gradient and
+    /// reports the step's traffic telemetry ([`StepReport::gradient_bytes`]
+    /// is the volume that crossed the host interconnect — dense, or the
+    /// index+value stream when SmartComp is enabled; the storage counters are
+    /// the CSD-internal P2P traffic).
     ///
     /// # Errors
     ///
@@ -179,8 +175,11 @@ impl SmartInfinityTrainer {
     /// # Panics
     ///
     /// Panics if `grads.len()` differs from the number of parameters.
-    pub fn train_step_with_grads(&mut self, grads: &FlatTensor) -> Result<(), CsdError> {
+    pub fn train_step_with_grads(&mut self, grads: &FlatTensor) -> Result<StepReport, CsdError> {
         assert_eq!(grads.len(), self.num_params(), "gradient length mismatch");
+        let stats_before = self.aggregate_stats();
+        let mut gradient_bytes = 0u64;
+        let mut kept = 0u64;
         self.step += 1;
         let shards: Vec<_> = self.partitioner.shards().to_vec();
         for shard in shards {
@@ -201,6 +200,15 @@ impl SmartInfinityTrainer {
                     Some(compressed)
                 }
             };
+            // Interconnect accounting: the shard's gradient crosses the host
+            // link downstream exactly once — dense, or as the Top-K stream.
+            match &compressed {
+                None => gradient_bytes += 4 * shard.len as u64,
+                Some(c) => {
+                    gradient_bytes += c.compressed_bytes() as u64;
+                    kept += c.num_selected() as u64;
+                }
+            }
             let csd = &mut self.csds[shard.device];
             if compressed.is_none() {
                 // Dense gradients land on the owner CSD's SSD (backward offload).
@@ -223,7 +231,15 @@ impl SmartInfinityTrainer {
             let dst = &mut self.params_fp16.as_mut_slice()[shard.offset..shard.offset + shard.len];
             updated.roundtrip_f16_into(dst);
         }
-        Ok(())
+        let stats = self.aggregate_stats();
+        Ok(StepReport {
+            step: self.step,
+            gradient_bytes,
+            storage_bytes_read: stats.p2p_read_bytes - stats_before.p2p_read_bytes,
+            storage_bytes_written: stats.p2p_write_bytes - stats_before.p2p_write_bytes,
+            compression_kept: self.compressor.map(|_| kept),
+            threads: self.pool.num_threads(),
+        })
     }
 
     /// Runs one training step pulling gradients from a [`ztrain::GradientSource`].
@@ -231,10 +247,31 @@ impl SmartInfinityTrainer {
     /// # Errors
     ///
     /// Returns a [`CsdError`] if any device operation fails.
-    pub fn train_step(&mut self, source: &mut dyn ztrain::GradientSource) -> Result<(), CsdError> {
+    pub fn train_step(
+        &mut self,
+        source: &mut dyn ztrain::GradientSource,
+    ) -> Result<StepReport, CsdError> {
         assert_eq!(source.num_params(), self.num_params(), "gradient source size mismatch");
         let grads = source.gradients(self.step + 1, &self.params_fp16);
         self.train_step_with_grads(&grads)
+    }
+}
+
+impl Trainer for SmartInfinityTrainer {
+    fn step(&mut self, grads: &FlatTensor) -> Result<StepReport, TrainError> {
+        Ok(self.train_step_with_grads(grads)?)
+    }
+
+    fn params_fp16(&self) -> &FlatTensor {
+        &self.params_fp16
+    }
+
+    fn master_params(&mut self) -> Result<FlatTensor, TrainError> {
+        Ok(SmartInfinityTrainer::master_params(self)?)
+    }
+
+    fn steps_completed(&self) -> u64 {
+        self.step
     }
 }
 
@@ -279,9 +316,11 @@ mod tests {
         assert!(compressed.is_compressed());
         let mut source_a = SyntheticGradients::new(n, 0.01, 7);
         let mut source_b = SyntheticGradients::new(n, 0.01, 7);
+        let mut last_exact = StepReport::default();
+        let mut last_compressed = StepReport::default();
         for _ in 0..5 {
-            exact.train_step(&mut source_a).unwrap();
-            compressed.train_step(&mut source_b).unwrap();
+            last_exact = exact.train_step(&mut source_a).unwrap();
+            last_compressed = compressed.train_step(&mut source_b).unwrap();
         }
         let a = exact.master_params().unwrap();
         let b = compressed.master_params().unwrap();
@@ -290,8 +329,14 @@ mod tests {
         // the sparsified trajectory close to the dense one).
         let rel = (a.mse(&b)).sqrt() / (a.l2_norm() as f64 / (n as f64).sqrt());
         assert!(rel < 0.5, "relative deviation {rel:.3}");
-        // And the traffic accounting reflects the compression.
-        assert!(compressed.last_step_gradient_bytes(n) < exact.last_step_gradient_bytes(n) / 4);
+        // And the per-step telemetry reflects the compression: the Top-K
+        // stream (8 bytes per kept element) is far smaller than the dense
+        // gradient, and only the compressed trainer reports a keep count.
+        assert_eq!(last_exact.gradient_bytes, 4 * n as u64);
+        assert_eq!(last_exact.compression_kept, None);
+        let kept = last_compressed.compression_kept.expect("SmartComp reports its keep count");
+        assert_eq!(last_compressed.gradient_bytes, 8 * kept);
+        assert!(last_compressed.gradient_bytes < last_exact.gradient_bytes / 4);
     }
 
     #[test]

@@ -82,7 +82,7 @@ impl SmartInfinityEngine {
     ///
     /// Panics if `keep_ratio` is not in `(0, 1]`.
     pub fn with_compression(mut self, keep_ratio: f64) -> Self {
-        assert!(keep_ratio > 0.0 && keep_ratio <= 1.0, "keep ratio must be in (0, 1]");
+        assert!(gradcomp::valid_keep_ratio(keep_ratio), "keep ratio must be in (0, 1]");
         self.keep_ratio = Some(keep_ratio);
         self
     }

@@ -6,8 +6,7 @@ use fabric::StorageKind;
 use llm::Workload;
 use optim::OptimizerKind;
 use serde::{Deserialize, Serialize};
-use simkit::SimError;
-use ztrain::{BaselineEngine, IterationReport, MachineConfig};
+use ztrain::{BaselineEngine, IterationReport, MachineConfig, TrainError};
 
 /// The methods compared throughout the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -120,25 +119,26 @@ impl Experiment {
     ///
     /// # Errors
     ///
-    /// Propagates [`SimError`] from the simulation kernel.
-    pub fn run(&self, method: Method) -> Result<IterationReport, SimError> {
-        match method {
+    /// Returns a [`TrainError`] wrapping any simulation-kernel failure.
+    pub fn run(&self, method: Method) -> Result<IterationReport, TrainError> {
+        let report = match method {
             Method::Baseline => {
                 BaselineEngine::new(self.baseline_machine(), self.workload.clone(), self.optimizer)
-                    .simulate_iteration()
+                    .simulate_iteration()?
             }
             Method::SmartUpdate => {
-                self.smart_engine().with_handler(HandlerMode::Naive).simulate_iteration()
+                self.smart_engine().with_handler(HandlerMode::Naive).simulate_iteration()?
             }
             Method::SmartUpdateOptimized => {
-                self.smart_engine().with_handler(HandlerMode::Optimized).simulate_iteration()
+                self.smart_engine().with_handler(HandlerMode::Optimized).simulate_iteration()?
             }
             Method::SmartComp { keep_ratio } => self
                 .smart_engine()
                 .with_handler(HandlerMode::Optimized)
                 .with_compression(keep_ratio)
-                .simulate_iteration(),
-        }
+                .simulate_iteration()?,
+        };
+        Ok(report)
     }
 
     fn smart_engine(&self) -> SmartInfinityEngine {
@@ -151,12 +151,12 @@ impl Experiment {
     ///
     /// # Errors
     ///
-    /// Propagates [`SimError`] from the simulation kernel.
+    /// Returns a [`TrainError`] wrapping any simulation-kernel failure.
     ///
     /// # Panics
     ///
     /// Panics if `methods` is empty.
-    pub fn compare(&self, methods: &[Method]) -> Result<Vec<MethodReport>, SimError> {
+    pub fn compare(&self, methods: &[Method]) -> Result<Vec<MethodReport>, TrainError> {
         assert!(!methods.is_empty(), "at least one method is required");
         let baseline = self.run(methods[0])?;
         methods
@@ -176,8 +176,8 @@ impl Experiment {
     ///
     /// # Errors
     ///
-    /// Propagates [`SimError`] from the simulation kernel.
-    pub fn ladder(&self) -> Result<Vec<MethodReport>, SimError> {
+    /// Returns a [`TrainError`] wrapping any simulation-kernel failure.
+    pub fn ladder(&self) -> Result<Vec<MethodReport>, TrainError> {
         self.compare(&Method::ladder())
     }
 }

@@ -32,17 +32,31 @@
 //!
 //! # Quick start
 //!
-//! ```
-//! use smart_infinity::{Experiment, Method};
-//! use ztrain::MachineConfig;
-//! use llm::{ModelConfig, Workload};
+//! A [`Session`] is the front door: one [`Method`] switches both the timed
+//! and the functional view, and both speak [`TrainError`], so `?` works
+//! across the whole stack.
 //!
-//! # fn main() -> Result<(), simkit::SimError> {
-//! let workload = Workload::paper_default(ModelConfig::gpt2_0_34b());
-//! let experiment = Experiment::new(MachineConfig::smart_infinity(6), workload);
-//! let base = experiment.run(Method::Baseline)?;
-//! let smart = experiment.run(Method::SmartComp { keep_ratio: 0.01 })?;
+//! ```
+//! use smart_infinity::{FlatTensor, MachineConfig, Method, ModelConfig, Session, TrainError};
+//!
+//! # fn main() -> Result<(), TrainError> {
+//! let model = ModelConfig::gpt2_0_34b();
+//! let machine = MachineConfig::smart_infinity(6);
+//! let method = Method::SmartComp { keep_ratio: 0.01 };
+//!
+//! // Timed view: how much faster is one iteration than the RAID0 baseline?
+//! let base = Session::builder(model.clone(), machine.clone(), Method::Baseline)
+//!     .build()
+//!     .simulate_iteration()?;
+//! let session = Session::builder(model, machine, method).build();
+//! let smart = session.simulate_iteration()?;
 //! assert!(smart.speedup_over(&base) > 1.0);
+//!
+//! // Functional view: the same Method selects a real trainer (dyn Trainer).
+//! let initial = FlatTensor::randn(4_096, 0.02, 7);
+//! let mut trainer = session.trainer(&initial)?;
+//! let report = trainer.step(&FlatTensor::randn(4_096, 0.01, 8))?;
+//! assert!(report.is_compressed() && report.gradient_bytes < 4 * 4_096);
 //! # Ok(())
 //! # }
 //! ```
@@ -53,11 +67,13 @@
 mod engine_functional;
 mod engine_timed;
 mod experiment;
+mod session;
 mod traffic;
 
 pub use engine_functional::SmartInfinityTrainer;
 pub use engine_timed::{HandlerMode, SmartInfinityEngine};
 pub use experiment::{Experiment, Method, MethodReport};
+pub use session::{Session, SessionBuilder};
 pub use traffic::{InterconnectTraffic, TrafficMethod, TrafficModel};
 
 // Re-export the pieces users need to drive the library without spelling out
@@ -65,7 +81,11 @@ pub use traffic::{InterconnectTraffic, TrafficMethod, TrafficModel};
 pub use csd::{CsdDevice, FpgaResources, KernelResourceModel};
 pub use llm::{CostModel, GpuSpec, ModelConfig, Workload};
 pub use optim::{HyperParams, Optimizer, OptimizerKind};
-pub use ztrain::{BaselineEngine, IterationReport, MachineConfig};
+pub use tensorlib::FlatTensor;
+pub use ztrain::{
+    BaselineEngine, GradientSource, IterationReport, MachineConfig, StepReport,
+    StorageOffloadTrainer, SyntheticGradients, TrainError, Trainer,
+};
 
 #[cfg(test)]
 mod tests {

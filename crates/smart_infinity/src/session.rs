@@ -1,0 +1,397 @@
+//! The session front door: declare *what* to train — a model, a machine and
+//! a [`Method`] — and the library decides *where* the update runs.
+//!
+//! Before this module existed the public API forked per substrate:
+//! `ztrain::StorageOffloadTrainer::new(...)` for the host baseline,
+//! `SmartInfinityTrainer::new(...).with_*()` for the near-storage system, and
+//! `Experiment::run(Method)` for the timed view — three dialects for one
+//! system. A [`Session`] makes [`Method`] the single switch for both views:
+//!
+//! * [`Session::trainer`] builds the matching *functional* trainer behind a
+//!   `Box<dyn Trainer>` — [`Method::Baseline`] yields the RAID0 baseline,
+//!   every Smart-Infinity method yields a [`SmartInfinityTrainer`]
+//!   (compressed for [`Method::SmartComp`]).
+//! * [`Session::simulate_iteration`] runs the *timed* model of the same
+//!   configuration and returns the per-phase breakdown.
+//!
+//! Both paths speak [`TrainError`], so a caller can mix them with `?`.
+
+use crate::engine_timed::{HandlerMode, SmartInfinityEngine};
+use crate::experiment::{Experiment, Method};
+use crate::SmartInfinityTrainer;
+use fabric::StorageKind;
+use llm::{ModelConfig, Workload};
+use optim::Optimizer;
+use tensorlib::FlatTensor;
+use ztrain::{IterationReport, MachineConfig, StorageOffloadTrainer, TrainError, Trainer};
+
+/// Builder for a [`Session`]; see [`Session::builder`].
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    model: ModelConfig,
+    machine: MachineConfig,
+    method: Method,
+    optimizer: Optimizer,
+    threads: usize,
+    handler: Option<HandlerMode>,
+    subgroup_elems: Option<usize>,
+    workload: Option<Workload>,
+}
+
+impl SessionBuilder {
+    /// Overrides the optimizer (default: Adam with the paper's
+    /// hyperparameters). The kind drives the timed model's state volume; the
+    /// full hyperparameters drive the functional kernels.
+    pub fn with_optimizer(mut self, optimizer: Optimizer) -> Self {
+        self.optimizer = optimizer;
+        self
+    }
+
+    /// Sets the host worker-thread count of the functional execution backend
+    /// (default 1, i.e. serial). Thread count never changes training results
+    /// — only wall-clock time. The host baseline is serial by construction
+    /// and ignores this knob.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Forces the internal data-transfer handler mode of the timed
+    /// Smart-Infinity engine, overriding the one implied by the method
+    /// (e.g. to simulate SmartComp with the naive handler as an ablation).
+    /// Ignored by [`Method::Baseline`] and by the functional trainers.
+    pub fn with_handler(mut self, handler: HandlerMode) -> Self {
+        self.handler = Some(handler);
+        self
+    }
+
+    /// Overrides the subgroup (tasklet) capacity in parameters, for both the
+    /// timed engine and the functional trainers. By default the timed engine
+    /// uses [`SmartInfinityEngine::DEFAULT_SUBGROUP_ELEMS`] and the
+    /// functional trainers process each device shard as one subgroup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elems` is zero.
+    pub fn with_subgroup_elems(mut self, elems: usize) -> Self {
+        assert!(elems > 0, "subgroup capacity must be positive");
+        self.subgroup_elems = Some(elems);
+        self
+    }
+
+    /// Overrides the workload (default: [`Workload::paper_default`] for the
+    /// session's model), e.g. for a non-default batch size.
+    pub fn with_workload(mut self, workload: Workload) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Finalises the session.
+    pub fn build(self) -> Session {
+        let SessionBuilder {
+            model,
+            machine,
+            method,
+            optimizer,
+            threads,
+            handler,
+            subgroup_elems,
+            workload,
+        } = self;
+        let workload = workload.unwrap_or_else(|| Workload::paper_default(model.clone()));
+        Session { model, machine, method, optimizer, threads, handler, subgroup_elems, workload }
+    }
+}
+
+/// One training configuration — model, machine, [`Method`] and knobs — from
+/// which both the functional and the timed view of the system are built.
+#[derive(Debug, Clone)]
+pub struct Session {
+    model: ModelConfig,
+    machine: MachineConfig,
+    method: Method,
+    optimizer: Optimizer,
+    threads: usize,
+    handler: Option<HandlerMode>,
+    subgroup_elems: Option<usize>,
+    workload: Workload,
+}
+
+impl Session {
+    /// Starts building a session for the given model, machine and method.
+    pub fn builder(model: ModelConfig, machine: MachineConfig, method: Method) -> SessionBuilder {
+        SessionBuilder {
+            model,
+            machine,
+            method,
+            optimizer: Optimizer::adam_default(),
+            threads: 1,
+            handler: None,
+            subgroup_elems: None,
+            workload: None,
+        }
+    }
+
+    /// The method this session trains with.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// The model being trained.
+    pub fn model(&self) -> &ModelConfig {
+        &self.model
+    }
+
+    /// The machine configuration.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// The workload of the timed view.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The optimizer in use.
+    pub fn optimizer(&self) -> Optimizer {
+        self.optimizer
+    }
+
+    /// Validates the knobs that would otherwise panic deep inside a substrate.
+    fn validate(&self) -> Result<(), TrainError> {
+        if self.machine.num_devices == 0 {
+            return Err(TrainError::config("machine must have at least one storage device"));
+        }
+        if let Method::SmartComp { keep_ratio } = self.method {
+            if !gradcomp::valid_keep_ratio(keep_ratio) {
+                return Err(TrainError::config(format!(
+                    "SmartComp keep ratio must be in (0, 1], got {keep_ratio}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the functional trainer this session's method selects:
+    /// [`Method::Baseline`] yields the ZeRO-Infinity-style
+    /// [`StorageOffloadTrainer`] over `machine.num_devices` RAID0 SSDs; every
+    /// Smart-Infinity method yields a [`SmartInfinityTrainer`] over the same
+    /// number of CSDs, with Top-K compression for [`Method::SmartComp`].
+    /// ([`Method::SmartUpdate`] and [`Method::SmartUpdateOptimized`] are
+    /// functionally identical — the handler only changes *timing*.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::Config`] for invalid knobs (empty parameters,
+    /// out-of-range keep ratio) and a wrapped substrate error if a device
+    /// cannot hold its shard.
+    pub fn trainer(&self, initial_params: &FlatTensor) -> Result<Box<dyn Trainer>, TrainError> {
+        self.validate()?;
+        if initial_params.is_empty() {
+            return Err(TrainError::config("cannot train zero parameters"));
+        }
+        let devices = self.machine.num_devices;
+        let subgroup = self.functional_subgroup_elems(initial_params.len());
+        match self.method {
+            Method::Baseline => {
+                let trainer =
+                    StorageOffloadTrainer::new(initial_params, self.optimizer, devices, subgroup)?;
+                Ok(Box::new(trainer))
+            }
+            Method::SmartUpdate | Method::SmartUpdateOptimized => {
+                Ok(Box::new(self.smart_trainer(initial_params, devices, subgroup)?))
+            }
+            Method::SmartComp { keep_ratio } => Ok(Box::new(
+                self.smart_trainer(initial_params, devices, subgroup)?.with_compression(keep_ratio),
+            )),
+        }
+    }
+
+    fn smart_trainer(
+        &self,
+        initial_params: &FlatTensor,
+        devices: usize,
+        subgroup: usize,
+    ) -> Result<SmartInfinityTrainer, TrainError> {
+        let mut trainer =
+            SmartInfinityTrainer::new(initial_params, self.optimizer, devices, subgroup)?;
+        if self.threads > 1 {
+            trainer = trainer.with_threads(self.threads);
+        }
+        Ok(trainer)
+    }
+
+    /// The subgroup capacity the functional trainers use: the explicit knob,
+    /// or one subgroup per device shard.
+    fn functional_subgroup_elems(&self, num_params: usize) -> usize {
+        self.subgroup_elems.unwrap_or_else(|| num_params.div_ceil(self.machine.num_devices).max(1))
+    }
+
+    /// Simulates one training iteration of this configuration on the timed
+    /// stack and returns the per-phase breakdown.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TrainError`] for invalid knobs or a wrapped
+    /// simulation-kernel failure.
+    pub fn simulate_iteration(&self) -> Result<IterationReport, TrainError> {
+        self.validate()?;
+        match (self.method, self.handler) {
+            // No handler override: the method ladder's standard mapping.
+            (method, None) => self.experiment().run(method),
+            (Method::Baseline, Some(_)) => self.experiment().run(Method::Baseline),
+            // Handler override: build the timed engine directly.
+            (method, Some(handler)) => {
+                let machine = MachineConfig { storage: StorageKind::Csd, ..self.machine.clone() };
+                let mut engine =
+                    SmartInfinityEngine::new(machine, self.workload.clone(), self.optimizer.kind())
+                        .with_handler(handler);
+                if let Some(elems) = self.subgroup_elems {
+                    engine = engine.with_subgroup_elems(elems);
+                }
+                if let Method::SmartComp { keep_ratio } = method {
+                    engine = engine.with_compression(keep_ratio);
+                }
+                Ok(engine.simulate_iteration()?)
+            }
+        }
+    }
+
+    /// The timed sweep view of this configuration: an [`Experiment`] with the
+    /// session's machine, workload, optimizer and subgroup capacity, for
+    /// multi-method ladders ([`Experiment::compare`], [`Experiment::ladder`]).
+    pub fn experiment(&self) -> Experiment {
+        let mut experiment = Experiment::new(self.machine.clone(), self.workload.clone())
+            .with_optimizer(self.optimizer.kind());
+        if let Some(elems) = self.subgroup_elems {
+            experiment = experiment.with_subgroup_elems(elems);
+        }
+        experiment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm::ModelConfig;
+    use tensorlib::FlatTensor;
+    use ztrain::SyntheticGradients;
+
+    fn session(method: Method) -> Session {
+        Session::builder(ModelConfig::gpt2_0_34b(), MachineConfig::smart_infinity(3), method)
+            .build()
+    }
+
+    #[test]
+    fn method_selects_the_functional_substrate() {
+        let initial = FlatTensor::randn(600, 0.05, 1);
+        let grads = FlatTensor::randn(600, 0.01, 2);
+        let mut reports = Vec::new();
+        for method in Method::ladder() {
+            let mut trainer = session(method).trainer(&initial).expect("trainer");
+            let report = trainer.step(&grads).expect("step");
+            assert_eq!(trainer.steps_completed(), 1);
+            assert_eq!(trainer.num_params(), 600);
+            reports.push((method, report));
+        }
+        // BASE, SU and SU+O move the dense gradient; SmartComp does not.
+        assert_eq!(reports[0].1.gradient_bytes, 8 * 600);
+        assert_eq!(reports[1].1.gradient_bytes, 4 * 600);
+        assert_eq!(reports[2].1.gradient_bytes, 4 * 600);
+        assert!(reports[3].1.gradient_bytes < 4 * 600 / 10);
+        assert!(reports[3].1.compression_kept.is_some());
+    }
+
+    #[test]
+    fn baseline_and_smartupdate_sessions_train_identically() {
+        let initial = FlatTensor::randn(2_000, 0.05, 9);
+        let mut base = session(Method::Baseline).trainer(&initial).expect("trainer");
+        let mut smart = session(Method::SmartUpdate).trainer(&initial).expect("trainer");
+        let mut src_a = SyntheticGradients::new(2_000, 0.01, 17);
+        let mut src_b = SyntheticGradients::new(2_000, 0.01, 17);
+        for _ in 0..3 {
+            base.step_from(&mut src_a).expect("step");
+            smart.step_from(&mut src_b).expect("step");
+        }
+        assert_eq!(base.params_fp16().as_slice(), smart.params_fp16().as_slice());
+        assert_eq!(
+            base.master_params().expect("params").as_slice(),
+            smart.master_params().expect("params").as_slice()
+        );
+    }
+
+    #[test]
+    fn invalid_keep_ratio_is_a_config_error_not_a_panic() {
+        let s = session(Method::SmartComp { keep_ratio: 0.0 });
+        let err = s.trainer(&FlatTensor::zeros(10)).expect_err("invalid ratio");
+        assert!(matches!(err, TrainError::Config { .. }), "{err}");
+        let err = s.simulate_iteration().expect_err("invalid ratio");
+        assert!(matches!(err, TrainError::Config { .. }), "{err}");
+    }
+
+    #[test]
+    fn empty_parameters_are_rejected() {
+        let err = session(Method::Baseline).trainer(&FlatTensor::zeros(0)).expect_err("empty");
+        assert!(err.to_string().contains("zero parameters"));
+    }
+
+    #[test]
+    fn zero_devices_is_a_config_error_not_a_panic() {
+        // MachineConfig's fields are public, so a hand-built (or deserialized)
+        // config can carry a zero device count; the session must catch it.
+        let mut machine = MachineConfig::smart_infinity(2);
+        machine.num_devices = 0;
+        let s = Session::builder(ModelConfig::gpt2_0_34b(), machine, Method::Baseline).build();
+        let err = s.trainer(&FlatTensor::zeros(16)).expect_err("zero devices");
+        assert!(matches!(err, TrainError::Config { .. }), "{err}");
+        assert!(err.to_string().contains("storage device"));
+        let err = s.simulate_iteration().expect_err("zero devices");
+        assert!(matches!(err, TrainError::Config { .. }), "{err}");
+    }
+
+    #[test]
+    fn handler_override_reproduces_the_method_ladder_neighbours() {
+        // SU with the optimized handler == SU+O without an override, and the
+        // naive override slows SmartComp down (the ablation the knob exists for).
+        let overridden = Session::builder(
+            ModelConfig::gpt2_4b(),
+            MachineConfig::smart_infinity(6),
+            Method::SmartUpdate,
+        )
+        .with_handler(HandlerMode::Optimized)
+        .build()
+        .simulate_iteration()
+        .expect("simulation");
+        let native = Session::builder(
+            ModelConfig::gpt2_4b(),
+            MachineConfig::smart_infinity(6),
+            Method::SmartUpdateOptimized,
+        )
+        .build()
+        .simulate_iteration()
+        .expect("simulation");
+        assert_eq!(overridden, native);
+
+        let comp = |handler: Option<HandlerMode>| {
+            let mut b = Session::builder(
+                ModelConfig::gpt2_4b(),
+                MachineConfig::smart_infinity(6),
+                Method::SmartComp { keep_ratio: 0.01 },
+            );
+            if let Some(h) = handler {
+                b = b.with_handler(h);
+            }
+            b.build().simulate_iteration().expect("simulation").total_s()
+        };
+        assert!(comp(Some(HandlerMode::Naive)) > comp(None));
+    }
+
+    #[test]
+    fn timed_view_matches_the_experiment_front_end() {
+        let s = session(Method::SmartComp { keep_ratio: 0.01 });
+        let via_session = s.simulate_iteration().expect("simulation");
+        let via_experiment =
+            s.experiment().run(Method::SmartComp { keep_ratio: 0.01 }).expect("simulation");
+        assert_eq!(via_session, via_experiment);
+    }
+}

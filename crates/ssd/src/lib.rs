@@ -28,7 +28,7 @@ mod store;
 
 pub use bandwidth::{BandwidthProfile, MediaLinks};
 pub use error::SsdError;
-pub use raid::RaidArray;
+pub use raid::{RaidArray, StorageCounters};
 pub use store::SsdDevice;
 
 #[cfg(test)]

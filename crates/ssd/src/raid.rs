@@ -10,6 +10,39 @@
 use crate::error::SsdError;
 use crate::store::SsdDevice;
 
+/// A point-in-time snapshot of an array's cumulative byte counters.
+///
+/// Snapshot before and after an operation and subtract with
+/// [`StorageCounters::delta_since`] to attribute traffic to that operation —
+/// this is how the per-step telemetry in `ztrain`'s `StepReport` is produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageCounters {
+    /// Cumulative bytes read across all member devices.
+    pub bytes_read: u64,
+    /// Cumulative bytes written across all member devices.
+    pub bytes_written: u64,
+}
+
+impl StorageCounters {
+    /// The traffic accrued between `earlier` and `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` was taken after `self` (counters are monotone).
+    pub fn delta_since(&self, earlier: &StorageCounters) -> StorageCounters {
+        StorageCounters {
+            bytes_read: self
+                .bytes_read
+                .checked_sub(earlier.bytes_read)
+                .expect("counter snapshots out of order"),
+            bytes_written: self
+                .bytes_written
+                .checked_sub(earlier.bytes_written)
+                .expect("counter snapshots out of order"),
+        }
+    }
+}
+
 /// A RAID0 array: a stripe layout over a set of member devices.
 #[derive(Debug, Clone)]
 pub struct RaidArray {
@@ -118,6 +151,14 @@ impl RaidArray {
     pub fn total_bytes_read(&self) -> u64 {
         self.devices.iter().map(SsdDevice::bytes_read).sum()
     }
+
+    /// Both cumulative byte counters as one snapshot.
+    pub fn counters(&self) -> StorageCounters {
+        StorageCounters {
+            bytes_read: self.total_bytes_read(),
+            bytes_written: self.total_bytes_written(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +204,26 @@ mod tests {
         assert_eq!(raid.total_bytes_written(), 64);
         assert_eq!(raid.total_bytes_read(), 64);
         assert!(raid.devices().iter().all(|d| d.bytes_written() == 32));
+    }
+
+    #[test]
+    fn counter_snapshots_attribute_traffic_to_an_operation() {
+        let mut raid = array(2, 8);
+        raid.write_region("x", &[0u8; 64]).unwrap();
+        let before = raid.counters();
+        assert_eq!(before, StorageCounters { bytes_read: 0, bytes_written: 64 });
+        raid.read_region("x").unwrap();
+        raid.write_region("y", &[0u8; 16]).unwrap();
+        let delta = raid.counters().delta_since(&before);
+        assert_eq!(delta, StorageCounters { bytes_read: 64, bytes_written: 16 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn out_of_order_snapshots_panic() {
+        let a = StorageCounters { bytes_read: 0, bytes_written: 0 };
+        let b = StorageCounters { bytes_read: 8, bytes_written: 0 };
+        let _ = a.delta_since(&b);
     }
 
     #[test]

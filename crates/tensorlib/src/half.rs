@@ -139,7 +139,7 @@ impl f16 {
         (self.0 & 0x7C00) != 0x7C00
     }
 
-    /// Bulk [`f16::from_f32`]: converts `src` into `dst` element-wise.
+    /// Bulk [`Self::from_f32`]: converts `src` into `dst` element-wise.
     /// Bit-identical to the scalar conversion (round-to-nearest-even,
     /// saturation, NaN and subnormal handling included).
     ///
@@ -153,7 +153,7 @@ impl f16 {
         }
     }
 
-    /// Bulk [`f16::to_f32`]: converts `src` into `dst` element-wise through a
+    /// Bulk [`Self::to_f32`]: converts `src` into `dst` element-wise through a
     /// lazily built 65536-entry lookup table. Bit-identical to the scalar
     /// conversion by construction (the table is populated by calling it), but
     /// replaces the per-element subnormal-normalisation loop with one load.

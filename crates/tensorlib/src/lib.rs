@@ -7,7 +7,7 @@
 //! model architecture (paper Section IV-D). This crate provides those
 //! primitives:
 //!
-//! * [`f16`] — IEEE 754 binary16 emulation with round-to-nearest-even,
+//! * [`struct@f16`] — IEEE 754 binary16 emulation with round-to-nearest-even,
 //!   matching what the GPU and the FPGA updater exchange.
 //! * [`FlatTensor`] — an owned flat `f32` vector with the element-wise
 //!   operations the rest of the workspace needs (AXPBY, norms, NaN/Inf scans,

@@ -132,7 +132,7 @@ impl FlatTensor {
 
     /// Deserialises into an existing tensor, replacing its contents and
     /// reusing its allocation. The FP16 path decodes through the bulk
-    /// lookup-table conversion ([`f16::to_f32_slice_into`]'s fast path).
+    /// lookup-table conversion ([`crate::f16::to_f32_slice_into`]'s fast path).
     ///
     /// # Panics
     ///

@@ -7,6 +7,7 @@
 //! so the per-iteration traffic counters can be checked against the analytic
 //! Table I model.
 
+use crate::trainer::{StepReport, TrainError, Trainer};
 use optim::{Optimizer, OptimizerKind};
 use ssd::{RaidArray, SsdDevice, SsdError};
 use tensorlib::{Chunker, Dtype, FlatTensor};
@@ -156,13 +157,14 @@ impl StorageOffloadTrainer {
     /// # Errors
     ///
     /// Returns an [`SsdError`] if any storage operation fails.
-    pub fn train_step(&mut self, source: &mut dyn GradientSource) -> Result<(), SsdError> {
+    pub fn train_step(&mut self, source: &mut dyn GradientSource) -> Result<StepReport, SsdError> {
         assert_eq!(source.num_params(), self.num_params(), "gradient source size mismatch");
         let grads = source.gradients(self.step + 1, &self.params_fp16);
         self.train_step_with_grads(&grads)
     }
 
-    /// Runs one training step with an explicitly provided dense gradient.
+    /// Runs one training step with an explicitly provided dense gradient and
+    /// reports the step's traffic telemetry.
     ///
     /// # Errors
     ///
@@ -171,8 +173,9 @@ impl StorageOffloadTrainer {
     /// # Panics
     ///
     /// Panics if `grads.len()` differs from the number of parameters.
-    pub fn train_step_with_grads(&mut self, grads: &FlatTensor) -> Result<(), SsdError> {
+    pub fn train_step_with_grads(&mut self, grads: &FlatTensor) -> Result<StepReport, SsdError> {
         assert_eq!(grads.len(), self.num_params(), "gradient length mismatch");
+        let counters_before = self.raid.counters();
         self.step += 1;
         // Backward: offload the gradients of each block to storage (Fig. 1b).
         for block in self.chunker.subgroups() {
@@ -208,7 +211,18 @@ impl StorageOffloadTrainer {
             let dst = &mut self.params_fp16.as_mut_slice()[block.offset..block.offset + block.len];
             master.roundtrip_f16_into(dst);
         }
-        Ok(())
+        let delta = self.raid.counters().delta_since(&counters_before);
+        Ok(StepReport {
+            step: self.step,
+            // The gradient crosses the shared host interconnect twice on this
+            // substrate: offloaded to storage after backward, read back for
+            // the CPU update (Table I's G write + G read).
+            gradient_bytes: 8 * grads.len() as u64,
+            storage_bytes_read: delta.bytes_read,
+            storage_bytes_written: delta.bytes_written,
+            compression_kept: None,
+            threads: 1,
+        })
     }
 
     /// Total bytes written to storage since creation.
@@ -219,6 +233,24 @@ impl StorageOffloadTrainer {
     /// Total bytes read from storage since creation.
     pub fn storage_bytes_read(&self) -> u64 {
         self.raid.total_bytes_read()
+    }
+}
+
+impl Trainer for StorageOffloadTrainer {
+    fn step(&mut self, grads: &FlatTensor) -> Result<StepReport, TrainError> {
+        Ok(self.train_step_with_grads(grads)?)
+    }
+
+    fn params_fp16(&self) -> &FlatTensor {
+        &self.params_fp16
+    }
+
+    fn master_params(&mut self) -> Result<FlatTensor, TrainError> {
+        Ok(StorageOffloadTrainer::master_params(self)?)
+    }
+
+    fn steps_completed(&self) -> u64 {
+        self.step
     }
 }
 
@@ -300,11 +332,18 @@ mod tests {
         // Setup wrote master (4n) + 2 aux (8n).
         let setup_written = trainer.storage_bytes_written();
         assert_eq!(setup_written, 12 * n as u64);
-        trainer.train_step_with_grads(&FlatTensor::zeros(n)).unwrap();
+        let report = trainer.train_step_with_grads(&FlatTensor::zeros(n)).unwrap();
         // Per step: write grads (4n) + write back states (12n) = 16n  -> "8M" in
         // paper units (M = 2n bytes); read grads + states = 16n.
         assert_eq!(trainer.storage_bytes_written() - setup_written, 16 * n as u64);
         assert_eq!(trainer.storage_bytes_read(), 16 * n as u64);
+        // The per-step report carries exactly the same accounting.
+        assert_eq!(report.step, 1);
+        assert_eq!(report.storage_bytes_written, 16 * n as u64);
+        assert_eq!(report.storage_bytes_read, 16 * n as u64);
+        assert_eq!(report.gradient_bytes, 8 * n as u64);
+        assert_eq!(report.compression_kept, None);
+        assert_eq!(report.threads, 1);
     }
 
     #[test]

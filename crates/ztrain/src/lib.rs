@@ -19,6 +19,9 @@
 //! * [`StorageOffloadTrainer`] — a *functional* baseline that actually moves
 //!   bytes through [`ssd::RaidArray`] and runs the real optimizer kernels, so
 //!   Smart-Infinity's numerical equivalence can be tested end to end.
+//! * [`Trainer`] / [`StepReport`] / [`TrainError`] — the unified training
+//!   contract every functional substrate implements, so callers hold a
+//!   `dyn Trainer` and the `?` operator works across layer boundaries.
 //! * [`realtrain`] — a small, genuinely trained MLP classifier on synthetic
 //!   data, used to reproduce the accuracy side of the paper's fine-tuning
 //!   study (Table IV, Fig. 16).
@@ -32,6 +35,7 @@ mod machine;
 mod platform;
 pub mod realtrain;
 mod report;
+mod trainer;
 
 pub use baseline::{
     build_backward_compute, build_backward_with_raid_offload, build_forward, BaselineEngine,
@@ -40,6 +44,7 @@ pub use functional::{GradientSource, StorageOffloadTrainer, SyntheticGradients};
 pub use machine::MachineConfig;
 pub use platform::TimedPlatform;
 pub use report::IterationReport;
+pub use trainer::{StepReport, TrainError, Trainer};
 
 #[cfg(test)]
 mod tests {

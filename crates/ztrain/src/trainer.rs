@@ -1,0 +1,253 @@
+//! The unified training contract shared by every functional execution
+//! substrate.
+//!
+//! Smart-Infinity's core claim is that one training loop can be retargeted
+//! across substrates — host-CPU RAID0 baseline, near-storage SmartUpdate,
+//! SmartComp — without the caller changing. This module is that seam:
+//!
+//! * [`Trainer`] — the object-safe trait implemented by
+//!   [`StorageOffloadTrainer`](crate::StorageOffloadTrainer) and
+//!   `smart_infinity::SmartInfinityTrainer`, so callers can hold a
+//!   `Box<dyn Trainer>` and never care where the update runs.
+//! * [`StepReport`] — per-step telemetry (bytes moved, compression
+//!   keep-count, threads used) returned by every step, replacing the
+//!   per-engine accessors that previously each spoke their own dialect.
+//! * [`TrainError`] — the workspace-level error type. Every substrate error
+//!   ([`SsdError`], [`CsdError`], [`SimError`]) converts into it, so the `?`
+//!   operator works across layer boundaries and `source()` walks back down
+//!   to the device that actually failed.
+
+use csd::CsdError;
+use serde::Serialize;
+use simkit::SimError;
+use ssd::SsdError;
+use std::error::Error;
+use std::fmt;
+use tensorlib::FlatTensor;
+
+/// Per-step telemetry returned by [`Trainer::step`].
+///
+/// The byte counters mirror what the substrate-specific accessors used to
+/// report, but scoped to one step and in one place:
+///
+/// * For the host baseline, `storage_bytes_*` is RAID0 traffic — which all
+///   crosses the shared host interconnect.
+/// * For the near-storage trainers, `storage_bytes_*` is CSD-internal P2P
+///   traffic (SSD ↔ FPGA over the private switch) — the bytes the paper
+///   keeps *off* the shared interconnect.
+/// * `gradient_bytes` is always the gradient volume that crossed the host
+///   interconnect (dense, or the index+value stream when SmartComp is on).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct StepReport {
+    /// 1-based index of the step this report describes.
+    pub step: u64,
+    /// Bytes of gradient data that crossed the shared host interconnect this
+    /// step. Dense gradients count 4 bytes per element per crossing (the
+    /// baseline offloads them to storage and reads them back: two crossings;
+    /// the near-storage path sends them downstream once); compressed
+    /// gradients count the actual index+value stream.
+    pub gradient_bytes: u64,
+    /// Bytes read from storage this step (RAID0 reads for the baseline,
+    /// CSD-internal P2P reads for the near-storage trainers).
+    pub storage_bytes_read: u64,
+    /// Bytes written to storage this step (RAID0 writes for the baseline,
+    /// CSD-internal P2P writes for the near-storage trainers).
+    pub storage_bytes_written: u64,
+    /// Number of gradient elements kept by the Top-K selection this step,
+    /// summed over shards; `None` when compression is disabled.
+    pub compression_kept: Option<u64>,
+    /// Host worker threads the execution backend used for this step.
+    pub threads: usize,
+}
+
+impl StepReport {
+    /// Total storage bytes moved this step (read + written).
+    pub fn storage_bytes_total(&self) -> u64 {
+        self.storage_bytes_read + self.storage_bytes_written
+    }
+
+    /// Whether this step's gradients were compressed before crossing the
+    /// interconnect.
+    pub fn is_compressed(&self) -> bool {
+        self.compression_kept.is_some()
+    }
+}
+
+/// The workspace-level training error: one type for every substrate, so a
+/// training loop over a `dyn Trainer` — or code that mixes the functional and
+/// timed stacks — can use `?` throughout and still recover the layer that
+/// failed via [`Error::source`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// A host-side storage (SSD / RAID0) operation failed.
+    Storage(SsdError),
+    /// A computational-storage-device operation failed.
+    Device(CsdError),
+    /// The discrete-event simulation of the timed stack failed.
+    Simulation(SimError),
+    /// The requested training configuration is invalid.
+    Config {
+        /// What was wrong with the configuration.
+        message: String,
+    },
+}
+
+impl TrainError {
+    /// Convenience constructor for configuration errors.
+    pub fn config(message: impl Into<String>) -> Self {
+        TrainError::Config { message: message.into() }
+    }
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Storage(e) => write!(f, "storage error: {e}"),
+            TrainError::Device(e) => write!(f, "device error: {e}"),
+            TrainError::Simulation(e) => write!(f, "simulation error: {e}"),
+            TrainError::Config { message } => write!(f, "invalid configuration: {message}"),
+        }
+    }
+}
+
+impl Error for TrainError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TrainError::Storage(e) => Some(e),
+            TrainError::Device(e) => Some(e),
+            TrainError::Simulation(e) => Some(e),
+            TrainError::Config { .. } => None,
+        }
+    }
+}
+
+impl From<SsdError> for TrainError {
+    fn from(e: SsdError) -> Self {
+        TrainError::Storage(e)
+    }
+}
+
+impl From<CsdError> for TrainError {
+    fn from(e: CsdError) -> Self {
+        TrainError::Device(e)
+    }
+}
+
+impl From<SimError> for TrainError {
+    fn from(e: SimError) -> Self {
+        TrainError::Simulation(e)
+    }
+}
+
+/// One functional training substrate: something that owns an FP16 working
+/// copy plus an offloaded FP32 master copy and can apply a dense gradient.
+///
+/// The trait is object-safe on purpose — `smart_infinity::Session` hands out
+/// `Box<dyn Trainer>` so that the same loop drives the RAID0 baseline and
+/// every Smart-Infinity configuration, and the integration tests assert the
+/// substrates are interchangeable (bit-identical without compression).
+pub trait Trainer: fmt::Debug {
+    /// Runs one training step with an explicitly provided dense gradient and
+    /// reports the step's telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TrainError`] wrapping whatever substrate operation failed.
+    fn step(&mut self, grads: &FlatTensor) -> Result<StepReport, TrainError>;
+
+    /// The FP16 working copy of the parameters (what the GPU computes with).
+    fn params_fp16(&self) -> &FlatTensor;
+
+    /// Reads the FP32 master copy back from the substrate's storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TrainError`] if a shard or block read fails.
+    fn master_params(&mut self) -> Result<FlatTensor, TrainError>;
+
+    /// Number of completed steps.
+    fn steps_completed(&self) -> u64;
+
+    /// Number of parameters being trained.
+    fn num_params(&self) -> usize {
+        self.params_fp16().len()
+    }
+
+    /// Runs one training step pulling gradients from a
+    /// [`GradientSource`](crate::GradientSource).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TrainError`] wrapping whatever substrate operation failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source's parameter count differs from the trainer's.
+    fn step_from(
+        &mut self,
+        source: &mut dyn crate::GradientSource,
+    ) -> Result<StepReport, TrainError> {
+        assert_eq!(source.num_params(), self.num_params(), "gradient source size mismatch");
+        let grads = source.gradients(self.steps_completed() + 1, self.params_fp16());
+        self.step(&grads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failing_layer() {
+        let e: TrainError = SsdError::EmptyArray.into();
+        assert!(e.to_string().starts_with("storage error"));
+        let e: TrainError = CsdError::MissingShard { shard: "s".into() }.into();
+        assert!(e.to_string().starts_with("device error"));
+        let e: TrainError = SimError::UnknownId { kind: "link", index: 1 }.into();
+        assert!(e.to_string().starts_with("simulation error"));
+        let e = TrainError::config("zero params");
+        assert!(e.to_string().contains("zero params"));
+    }
+
+    #[test]
+    fn source_chains_reach_the_originating_error() {
+        // Two layers: TrainError -> CsdError -> SsdError.
+        let e: TrainError = CsdError::from(SsdError::EmptyArray).into();
+        let csd = e.source().expect("device layer");
+        assert!(csd.downcast_ref::<CsdError>().is_some());
+        let ssd = csd.source().expect("storage layer");
+        assert_eq!(ssd.downcast_ref::<SsdError>(), Some(&SsdError::EmptyArray));
+        assert!(ssd.source().is_none());
+    }
+
+    #[test]
+    fn question_mark_converts_across_layer_boundaries() {
+        fn storage_layer() -> Result<(), SsdError> {
+            Err(SsdError::EmptyArray)
+        }
+        fn training_layer() -> Result<(), TrainError> {
+            storage_layer()?;
+            Ok(())
+        }
+        assert_eq!(training_layer(), Err(TrainError::Storage(SsdError::EmptyArray)));
+    }
+
+    #[test]
+    fn step_report_helpers() {
+        let dense = StepReport {
+            storage_bytes_read: 16,
+            storage_bytes_written: 12,
+            ..StepReport::default()
+        };
+        assert_eq!(dense.storage_bytes_total(), 28);
+        assert!(!dense.is_compressed());
+        let sparse = StepReport { compression_kept: Some(10), ..StepReport::default() };
+        assert!(sparse.is_compressed());
+    }
+
+    #[test]
+    fn trainer_is_object_safe() {
+        // Compiles only if `dyn Trainer` is a valid type.
+        fn _takes_dyn(_t: &mut dyn Trainer) {}
+    }
+}

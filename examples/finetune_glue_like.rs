@@ -7,10 +7,10 @@
 //! cargo run --release -p smart_infinity --example finetune_glue_like
 //! ```
 
-use smart_infinity::{Experiment, MachineConfig, Method, ModelConfig, Workload};
+use smart_infinity::{MachineConfig, Method, ModelConfig, Session, TrainError};
 use ztrain::realtrain::{train_classifier, Dataset, MlpModel, TrainConfig};
 
-fn main() {
+fn main() -> Result<(), TrainError> {
     let suite = Dataset::glue_like_suite(2024);
     let transfer_ratios = [0.10f64, 0.05, 0.02, 0.01];
 
@@ -53,13 +53,12 @@ fn main() {
     println!("\nIteration-time speedup while fine-tuning (6 storage devices):");
     println!("{:<12} {:>10} {:>12}", "model", "SU+O", "SU+O+C(2%)");
     for model in [ModelConfig::bert_0_34b(), ModelConfig::gpt2_0_77b(), ModelConfig::gpt2_1_6b()] {
-        let experiment = Experiment::new(
-            MachineConfig::smart_infinity(6),
-            Workload::paper_default(model.clone()),
-        );
-        let base = experiment.run(Method::Baseline).expect("simulation");
-        let suo = experiment.run(Method::SmartUpdateOptimized).expect("simulation");
-        let suoc = experiment.run(Method::SmartComp { keep_ratio: 0.01 }).expect("simulation");
+        let session = |method| {
+            Session::builder(model.clone(), MachineConfig::smart_infinity(6), method).build()
+        };
+        let base = session(Method::Baseline).simulate_iteration()?;
+        let suo = session(Method::SmartUpdateOptimized).simulate_iteration()?;
+        let suoc = session(Method::SmartComp { keep_ratio: 0.01 }).simulate_iteration()?;
         println!(
             "{:<12} {:>9.2}x {:>11.2}x",
             model.name(),
@@ -70,4 +69,5 @@ fn main() {
     println!("\nSmartUpdate itself is lossless (bit-identical update); only SmartComp trades");
     println!("a little gradient fidelity for less interconnect traffic — and the accuracy");
     println!("table above shows that trade is essentially free, as in the paper.");
+    Ok(())
 }

@@ -1,21 +1,22 @@
-//! Quickstart: simulate one Smart-Infinity training iteration and verify the
-//! functional near-storage update against the baseline.
+//! Quickstart: one `Session` per method — the same `Method` enum drives the
+//! timed view (how long does an iteration take?) and the functional view
+//! (really move the bytes, really update the parameters).
 //!
 //! ```text
 //! cargo run --release -p smart_infinity --example quickstart
 //! ```
 
 use smart_infinity::{
-    Experiment, MachineConfig, Method, ModelConfig, Optimizer, SmartInfinityTrainer, Workload,
+    FlatTensor, MachineConfig, Method, ModelConfig, Session, StepReport, TrainError, Trainer,
+    Workload,
 };
-use tensorlib::FlatTensor;
-use ztrain::StorageOffloadTrainer;
 
-fn main() {
+fn main() -> Result<(), TrainError> {
     // ------------------------------------------------------------------
     // 1. Timed view: how much faster is one iteration with 10 SmartSSDs?
     // ------------------------------------------------------------------
-    let workload = Workload::paper_default(ModelConfig::gpt2_4b());
+    let model = ModelConfig::gpt2_4b();
+    let workload = Workload::paper_default(model.clone());
     println!(
         "Model: {} ({:.1}B parameters), batch {} x seq {}",
         workload.model().name(),
@@ -24,8 +25,9 @@ fn main() {
         workload.seq_len()
     );
 
-    let experiment = Experiment::new(MachineConfig::smart_infinity(10), workload);
-    let reports = experiment.ladder().expect("simulation");
+    let timed =
+        Session::builder(model, MachineConfig::smart_infinity(10), Method::Baseline).build();
+    let reports = timed.experiment().ladder()?;
     println!("\nOne training iteration with 10 storage devices:");
     println!(
         "{:<12} {:>8} {:>12} {:>10} {:>10} {:>9}",
@@ -44,45 +46,76 @@ fn main() {
     }
 
     // ------------------------------------------------------------------
-    // 2. Functional view: the near-storage update really computes the same
-    //    parameters as the CPU baseline (SmartUpdate is accuracy-neutral).
+    // 2. Functional view: the *same* Method enum now selects a real trainer.
+    //    One loop drives every substrate through `dyn Trainer`.
     // ------------------------------------------------------------------
     let n = 100_000;
-    let optimizer = Optimizer::adam_default();
+    let steps = 3u64;
+    let keep_ratio = 0.01;
     let initial = FlatTensor::randn(n, 0.02, 7);
+    let machine = MachineConfig::smart_infinity(4);
+    let small = ModelConfig::gpt2_0_34b();
 
-    let mut baseline =
-        StorageOffloadTrainer::new(&initial, optimizer, 4, 25_000).expect("baseline trainer");
-    let mut smart =
-        SmartInfinityTrainer::new(&initial, optimizer, 4, 25_000).expect("smart-infinity trainer");
-
-    for step in 0..3u64 {
-        let grads = FlatTensor::randn(n, 0.01, 1000 + step);
-        baseline.train_step_with_grads(&grads).expect("baseline step");
-        smart.train_step_with_grads(&grads).expect("smart step");
+    let methods = [Method::Baseline, Method::SmartUpdate, Method::SmartComp { keep_ratio }];
+    let mut trainers: Vec<Box<dyn Trainer>> = Vec::new();
+    for method in methods {
+        let session = Session::builder(small.clone(), machine.clone(), method).build();
+        trainers.push(session.trainer(&initial)?);
     }
-    let identical = smart.params_fp16().as_slice() == baseline.params_fp16().as_slice();
-    println!("\nFunctional check over {n} parameters and 3 steps:");
-    println!("  SmartUpdate parameters identical to baseline: {identical}");
-    let stats = smart.aggregate_stats();
+
+    let mut last_reports: Vec<StepReport> = vec![StepReport::default(); trainers.len()];
+    for step in 0..steps {
+        let grads = FlatTensor::randn(n, 0.01, 1000 + step);
+        for (trainer, last) in trainers.iter_mut().zip(last_reports.iter_mut()) {
+            *last = trainer.step(&grads)?;
+        }
+    }
+
+    println!("\nFunctional check over {n} parameters and {steps} steps (4 devices):");
     println!(
-        "  CSD-internal P2P traffic: {:.1} MB read, {:.1} MB written (never crossed the host link)",
-        stats.p2p_read_bytes as f64 / 1e6,
-        stats.p2p_write_bytes as f64 / 1e6
+        "{:<12} {:>12} {:>14} {:>14} {:>10}",
+        "method", "grad B/step", "storage rd B", "storage wr B", "kept"
     );
+    for (method, report) in methods.iter().zip(&last_reports) {
+        println!(
+            "{:<12} {:>12} {:>14} {:>14} {:>10}",
+            method.label(),
+            report.gradient_bytes,
+            report.storage_bytes_read,
+            report.storage_bytes_written,
+            report.compression_kept.map_or("dense".to_string(), |k| k.to_string()),
+        );
+    }
+
+    // SmartUpdate is bit-identical to the baseline — checked through the
+    // trait objects alone.
+    let identical = trainers[1].params_fp16().as_slice() == trainers[0].params_fp16().as_slice();
+    println!("  SmartUpdate parameters identical to baseline: {identical}");
     assert!(identical, "SmartUpdate must be bit-identical to the baseline");
 
-    // With SmartComp, only ~2% of the gradient volume crosses the interconnect.
-    let traffic = smart_infinity::TrafficModel::new(
-        Workload::paper_default(ModelConfig::gpt2_4b()),
-        smart_infinity::OptimizerKind::Adam,
+    // The per-step telemetry carries exactly what the per-engine accessors
+    // used to report. Baseline (Adam): 16n bytes read and written per step on
+    // the RAID0 array (`storage_bytes_read`/`storage_bytes_written`);
+    // SmartUpdate: 16n read / 12n written of CSD-internal P2P traffic
+    // (`aggregate_stats`), with the dense 4n gradient crossing the host link.
+    let n64 = n as u64;
+    assert_eq!(last_reports[0].storage_bytes_read, 16 * n64);
+    assert_eq!(last_reports[0].storage_bytes_written, 16 * n64);
+    assert_eq!(last_reports[1].storage_bytes_read, 16 * n64);
+    assert_eq!(last_reports[1].storage_bytes_written, 12 * n64);
+    assert_eq!(last_reports[1].gradient_bytes, 4 * n64);
+    // SmartComp: the index+value stream replaces the dense gradient — the
+    // value `last_step_gradient_bytes` used to estimate, now measured.
+    assert_eq!(last_reports[2].gradient_bytes, (2.0 * keep_ratio * 4.0 * n as f64) as u64);
+    println!(
+        "  SmartComp interconnect gradient traffic: {} B/step vs {} B dense ({:.0}x less)",
+        last_reports[2].gradient_bytes,
+        last_reports[1].gradient_bytes,
+        last_reports[1].gradient_bytes as f64 / last_reports[2].gradient_bytes as f64
     );
-    let reduction = traffic
-        .reduction_over_baseline(smart_infinity::TrafficMethod::SmartComp { keep_ratio: 0.01 });
-    println!("  Interconnect traffic reduction with SmartComp (2%): {reduction:.1}x");
 
     println!(
         "\nDone. See `cargo run -p bench --release --bin figures -- all` for every paper figure."
     );
-    let _ = Method::ladder();
+    Ok(())
 }

@@ -9,10 +9,10 @@
 //! parameters (default 4.0).
 
 use smart_infinity::{
-    CostModel, Experiment, GpuSpec, MachineConfig, Method, ModelConfig, Workload,
+    CostModel, GpuSpec, MachineConfig, Method, ModelConfig, Session, TrainError, Workload,
 };
 
-fn main() {
+fn main() -> Result<(), TrainError> {
     let billions: f64 = std::env::args()
         .nth(1)
         .map(|s| s.parse().expect("model size must be a number (billions of parameters)"))
@@ -35,9 +35,11 @@ fn main() {
     );
     let mut crossover: Option<usize> = None;
     for n in 1..=10usize {
-        let experiment = Experiment::new(MachineConfig::smart_infinity(n), workload.clone());
-        let base = experiment.run(Method::Baseline).expect("simulation");
-        let smart = experiment.run(Method::SmartComp { keep_ratio: 0.01 }).expect("simulation");
+        let session = |method| {
+            Session::builder(model.clone(), MachineConfig::smart_infinity(n), method).build()
+        };
+        let base = session(Method::Baseline).simulate_iteration()?;
+        let smart = session(Method::SmartComp { keep_ratio: 0.01 }).simulate_iteration()?;
         let base_eff =
             CostModel::gflops_per_dollar(flops / base.total_s(), cost.baseline_system_usd(&gpu, n));
         let smart_eff = CostModel::gflops_per_dollar(
@@ -66,4 +68,5 @@ fn main() {
     println!("even though each SmartSSD costs ~6x a plain SSD of the same capacity —");
     println!("the baseline stops scaling once the shared PCIe interconnect saturates, while");
     println!("the aggregate CSD-internal bandwidth keeps growing with every added device.");
+    Ok(())
 }

@@ -8,9 +8,11 @@
 
 use fabric::{NodeKind, PlatformSpec, StorageKind};
 use simkit::{FlowSpec, Simulation};
-use smart_infinity::{Experiment, MachineConfig, Method, ModelConfig, Workload};
+use smart_infinity::{MachineConfig, Method, ModelConfig, Session, TrainError};
 
-fn main() {
+// `?` spans both stacks: the raw simkit runs convert through
+// `TrainError::from(SimError)`, the session runs return `TrainError` already.
+fn main() -> Result<(), TrainError> {
     // ------------------------------------------------------------------
     // 1. Inspect the default Smart-Infinity platform topology.
     // ------------------------------------------------------------------
@@ -56,7 +58,7 @@ fn main() {
         let internal = inst.path(d.ssd, d.fpga.expect("fpga")).expect("path");
         p2p_flows.push(sim.flow(FlowSpec::new(internal, 8e9)));
     }
-    let tl = sim.run().expect("simulation");
+    let tl = sim.run()?;
     let host_done = host_flows.iter().map(|&t| tl.finish_time(t)).fold(0.0, f64::max);
     let p2p_done = p2p_flows.iter().map(|&t| tl.finish_time(t)).fold(0.0, f64::max);
     println!("\nStreaming 8 GB from every SSD simultaneously:");
@@ -67,12 +69,12 @@ fn main() {
     // 3. The congested multi-GPU placement of Fig. 17.
     // ------------------------------------------------------------------
     println!("\nCongested topology (GPUs behind the same expansion switch as the CSDs):");
-    let workload = Workload::paper_default(ModelConfig::gpt2_1_16b());
     for gpus in 1..=3usize {
-        let experiment =
-            Experiment::new(MachineConfig::congested_multi_gpu(10, gpus), workload.clone());
-        let base = experiment.run(Method::Baseline).expect("simulation");
-        let smart = experiment.run(Method::SmartComp { keep_ratio: 0.01 }).expect("simulation");
+        let machine = MachineConfig::congested_multi_gpu(10, gpus);
+        let session =
+            |method| Session::builder(ModelConfig::gpt2_1_16b(), machine.clone(), method).build();
+        let base = session(Method::Baseline).simulate_iteration()?;
+        let smart = session(Method::SmartComp { keep_ratio: 0.01 }).simulate_iteration()?;
         println!(
             "  {gpus} x A4000: baseline {:.2} s/iter, Smart-Infinity {:.2} s/iter ({:.2}x)",
             base.total_s(),
@@ -82,4 +84,5 @@ fn main() {
     }
     println!("\nEven when GPU traffic shares the PCIe switch with the CSDs, the update phase");
     println!("still runs on the devices' private bandwidth, so the speedup persists (Fig. 17).");
+    Ok(())
 }

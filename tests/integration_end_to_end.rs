@@ -3,17 +3,21 @@
 //! gradients — working together through the public API.
 
 use smart_infinity::{
-    Experiment, HandlerMode, MachineConfig, Method, ModelConfig, Optimizer, OptimizerKind,
-    SmartInfinityEngine, SmartInfinityTrainer, Workload,
+    HandlerMode, MachineConfig, Method, ModelConfig, OptimizerKind, Session, SmartInfinityEngine,
+    Workload,
 };
 use ztrain::realtrain::{Dataset, MlpGradientSource, MlpModel};
-use ztrain::{BaselineEngine, StorageOffloadTrainer};
+use ztrain::BaselineEngine;
 
 #[test]
 fn full_ladder_reproduces_the_headline_speedups() {
-    let workload = Workload::paper_default(ModelConfig::gpt2_4b());
-    let experiment = Experiment::new(MachineConfig::smart_infinity(10), workload);
-    let reports = experiment.ladder().expect("simulation");
+    let session = Session::builder(
+        ModelConfig::gpt2_4b(),
+        MachineConfig::smart_infinity(10),
+        Method::Baseline,
+    )
+    .build();
+    let reports = session.experiment().ladder().expect("simulation");
     assert_eq!(reports.len(), 4);
     // BASE, SU, SU+O, SU+O+C in increasing speedup order.
     for pair in reports.windows(2) {
@@ -71,22 +75,28 @@ fn handler_modes_and_compression_compose_through_the_builder() {
 
 #[test]
 fn training_a_real_model_through_the_offload_engines_learns() {
-    // Drive both functional engines with genuine MLP gradients and verify the
-    // loss-bearing classifier actually improves.
+    // Drive both functional substrates, behind one `dyn Trainer` seam, with
+    // genuine MLP gradients and verify the classifier actually improves.
     let dataset = Dataset::gaussian_blobs("e2e", 200, 12, 3, 0.35, 99);
     let model = MlpModel::new(12, 16, 3);
     let initial = model.init_params(1);
-    let optimizer = Optimizer::adam_default();
 
     let accuracy_before = model.accuracy(&initial, &dataset.test_x, &dataset.test_y);
 
-    let mut smart = SmartInfinityTrainer::new(&initial, optimizer, 3, 200).expect("trainer");
-    let mut baseline = StorageOffloadTrainer::new(&initial, optimizer, 2, 300).expect("trainer");
+    let session = |method, devices, subgroup| {
+        Session::builder(ModelConfig::gpt2_0_34b(), MachineConfig::smart_infinity(devices), method)
+            .with_subgroup_elems(subgroup)
+            .build()
+    };
+    let mut smart = session(Method::SmartUpdate, 3, 200).trainer(&initial).expect("trainer");
+    let mut baseline = session(Method::Baseline, 2, 300).trainer(&initial).expect("trainer");
     let mut source_a = MlpGradientSource::new(model, dataset.clone(), 16, 5);
     let mut source_b = MlpGradientSource::new(model, dataset.clone(), 16, 5);
+    let mut smart_p2p_written = 0u64;
     for _ in 0..150 {
-        smart.train_step(&mut source_a).expect("step");
-        baseline.train_step(&mut source_b).expect("step");
+        let report = smart.step_from(&mut source_a).expect("step");
+        smart_p2p_written += report.storage_bytes_written;
+        baseline.step_from(&mut source_b).expect("step");
     }
     let smart_params = smart.master_params().expect("params");
     let baseline_params = baseline.master_params().expect("params");
@@ -99,23 +109,23 @@ fn training_a_real_model_through_the_offload_engines_learns() {
         "training through the CSD path must actually learn: {accuracy_before:.2} -> {accuracy_after:.2}"
     );
     assert!(accuracy_after > 0.85, "final accuracy {accuracy_after:.2}");
-
-    // The near-storage update generated internal traffic but the gradients it
-    // consumed came from the host side exactly once per step.
-    let stats = smart.aggregate_stats();
-    assert_eq!(stats.elements_updated, 150 * initial.len() as u64);
+    assert_eq!(smart.steps_completed(), 150);
+    // Real device telemetry: the near-storage path wrote back exactly the
+    // Adam state volume (master + 2 aux = 12 B/param) for every parameter of
+    // every step — i.e. each element really was updated once per step.
+    assert_eq!(smart_p2p_written, 150 * 12 * initial.len() as u64);
 }
 
 #[test]
 fn other_optimizers_and_models_run_through_the_same_api() {
     for optimizer in [OptimizerKind::SgdMomentum, OptimizerKind::AdaGrad] {
-        let experiment = Experiment::new(
-            MachineConfig::smart_infinity(6),
-            Workload::paper_default(ModelConfig::bloom_3b()),
-        )
-        .with_optimizer(optimizer);
-        let base = experiment.run(Method::Baseline).expect("simulation");
-        let smart = experiment.run(Method::SmartUpdateOptimized).expect("simulation");
+        let session = |method| {
+            Session::builder(ModelConfig::bloom_3b(), MachineConfig::smart_infinity(6), method)
+                .with_optimizer(smart_infinity::Optimizer::new(optimizer, Default::default()))
+                .build()
+        };
+        let base = session(Method::Baseline).simulate_iteration().expect("simulation");
+        let smart = session(Method::SmartUpdateOptimized).simulate_iteration().expect("simulation");
         assert!(
             smart.speedup_over(&base) > 1.2,
             "{optimizer:?}: speedup {:.2}",
@@ -126,20 +136,21 @@ fn other_optimizers_and_models_run_through_the_same_api() {
 
 #[test]
 fn congested_multi_gpu_topology_is_supported_end_to_end() {
-    let experiment = Experiment::new(
-        MachineConfig::congested_multi_gpu(10, 3),
-        Workload::paper_default(ModelConfig::gpt2_1_16b()),
-    );
-    let base = experiment.run(Method::Baseline).expect("simulation");
-    let smart = experiment.run(Method::SmartComp { keep_ratio: 0.01 }).expect("simulation");
+    let session = |gpus, method| {
+        Session::builder(
+            ModelConfig::gpt2_1_16b(),
+            MachineConfig::congested_multi_gpu(10, gpus),
+            method,
+        )
+        .build()
+    };
+    let base = session(3, Method::Baseline).simulate_iteration().expect("simulation");
+    let smart = session(3, Method::SmartComp { keep_ratio: 0.01 })
+        .simulate_iteration()
+        .expect("simulation");
     let speedup = smart.speedup_over(&base);
     assert!(speedup > 1.3, "congested-topology speedup {speedup:.2}");
     // Multi-GPU tensor parallelism shortens forward compute vs a single GPU.
-    let single = Experiment::new(
-        MachineConfig::congested_multi_gpu(10, 1),
-        Workload::paper_default(ModelConfig::gpt2_1_16b()),
-    )
-    .run(Method::Baseline)
-    .expect("simulation");
+    let single = session(1, Method::Baseline).simulate_iteration().expect("simulation");
     assert!(base.forward_s < single.forward_s);
 }

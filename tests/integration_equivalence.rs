@@ -10,9 +10,9 @@
 
 use gradcomp::Compressor;
 use optim::{HyperParams, Optimizer, OptimizerKind};
-use smart_infinity::SmartInfinityTrainer;
+use smart_infinity::{MachineConfig, Method, ModelConfig, Session, SmartInfinityTrainer};
 use tensorlib::{Dtype, FlatTensor};
-use ztrain::{StorageOffloadTrainer, SyntheticGradients};
+use ztrain::SyntheticGradients;
 
 /// In-memory reference: plain optimizer steps with no offloading at all.
 fn in_memory_reference(
@@ -46,13 +46,25 @@ fn every_engine_produces_identical_parameters_for_every_optimizer() {
         let optimizer = Optimizer::new(kind, HyperParams::default());
         let reference = in_memory_reference(&initial, optimizer, &grads);
 
+        // Both substrates come out of the same Session front door; only the
+        // Method (and the substrate geometry) differs.
+        let session = |method, devices, subgroup| {
+            Session::builder(
+                ModelConfig::gpt2_0_34b(),
+                MachineConfig::smart_infinity(devices),
+                method,
+            )
+            .with_optimizer(optimizer)
+            .with_subgroup_elems(subgroup)
+            .build()
+        };
         let mut baseline =
-            StorageOffloadTrainer::new(&initial, optimizer, 3, 2_500).expect("baseline trainer");
+            session(Method::Baseline, 3, 2_500).trainer(&initial).expect("baseline trainer");
         let mut smart =
-            SmartInfinityTrainer::new(&initial, optimizer, 5, 1_111).expect("smart trainer");
+            session(Method::SmartUpdate, 5, 1_111).trainer(&initial).expect("smart trainer");
         for g in &grads {
-            baseline.train_step_with_grads(g).expect("baseline step");
-            smart.train_step_with_grads(g).expect("smart step");
+            baseline.step(g).expect("baseline step");
+            smart.step(g).expect("smart step");
         }
         assert_eq!(
             baseline.master_params().expect("params").as_slice(),

@@ -4,10 +4,15 @@
 //! so refactoring cannot silently break them.)
 
 use smart_infinity::{
-    CostModel, Experiment, GpuSpec, MachineConfig, Method, ModelConfig, OptimizerKind,
-    TrafficMethod, TrafficModel, Workload,
+    CostModel, GpuSpec, IterationReport, MachineConfig, Method, ModelConfig, Optimizer,
+    OptimizerKind, Session, TrafficMethod, TrafficModel, Workload,
 };
 use ztrain::BaselineEngine;
+
+/// One timed iteration through the Session front door.
+fn simulate(model: ModelConfig, machine: MachineConfig, method: Method) -> IterationReport {
+    Session::builder(model, machine, method).build().simulate_iteration().expect("simulation")
+}
 
 fn baseline_total(n_ssds: usize, model: ModelConfig) -> f64 {
     BaselineEngine::new(
@@ -72,12 +77,9 @@ fn fig9_and_fig10_speedups_hold_across_scales() {
     for model in [ModelConfig::gpt2_4b(), ModelConfig::gpt2_16_6b(), ModelConfig::gpt2_33b()] {
         let mut speedups = Vec::new();
         for n in [6usize, 10] {
-            let experiment = Experiment::new(
-                MachineConfig::smart_infinity(n),
-                Workload::paper_default(model.clone()),
-            );
-            let base = experiment.run(Method::Baseline).expect("simulation");
-            let smart = experiment.run(Method::SmartComp { keep_ratio: 0.01 }).expect("simulation");
+            let machine = MachineConfig::smart_infinity(n);
+            let base = simulate(model.clone(), machine.clone(), Method::Baseline);
+            let smart = simulate(model.clone(), machine, Method::SmartComp { keep_ratio: 0.01 });
             speedups.push(smart.speedup_over(&base));
         }
         assert!(
@@ -100,12 +102,11 @@ fn fig9_and_fig10_speedups_hold_across_scales() {
 /// shrinks while the transfer bottleneck stays.
 #[test]
 fn fig11_faster_gpu_increases_the_speedup() {
-    let workload = Workload::paper_default(ModelConfig::gpt2_4b());
     let speedup_for = |gpu: GpuSpec| {
-        let experiment =
-            Experiment::new(MachineConfig::smart_infinity(10).with_gpu(gpu), workload.clone());
-        let base = experiment.run(Method::Baseline).expect("simulation");
-        let smart = experiment.run(Method::SmartComp { keep_ratio: 0.01 }).expect("simulation");
+        let machine = MachineConfig::smart_infinity(10).with_gpu(gpu);
+        let base = simulate(ModelConfig::gpt2_4b(), machine.clone(), Method::Baseline);
+        let smart =
+            simulate(ModelConfig::gpt2_4b(), machine, Method::SmartComp { keep_ratio: 0.01 });
         smart.speedup_over(&base)
     };
     let a5000 = speedup_for(GpuSpec::a5000());
@@ -118,12 +119,14 @@ fn fig11_faster_gpu_increases_the_speedup() {
 /// speedup is slightly lower but still substantial.
 #[test]
 fn fig12_other_optimizers_still_speed_up() {
-    let workload = Workload::paper_default(ModelConfig::gpt2_4b());
     let speedup_for = |optimizer| {
-        let experiment = Experiment::new(MachineConfig::smart_infinity(10), workload.clone())
-            .with_optimizer(optimizer);
-        let base = experiment.run(Method::Baseline).expect("simulation");
-        let smart = experiment.run(Method::SmartUpdateOptimized).expect("simulation");
+        let session = |method| {
+            Session::builder(ModelConfig::gpt2_4b(), MachineConfig::smart_infinity(10), method)
+                .with_optimizer(Optimizer::new(optimizer, Default::default()))
+                .build()
+        };
+        let base = session(Method::Baseline).simulate_iteration().expect("simulation");
+        let smart = session(Method::SmartUpdateOptimized).simulate_iteration().expect("simulation");
         smart.speedup_over(&base)
     };
     let adam = speedup_for(OptimizerKind::Adam);
@@ -142,12 +145,9 @@ fn fig13_other_model_families_speed_up() {
         ModelConfig::vit_0_30b(),
         ModelConfig::vit_0_63b(),
     ] {
-        let experiment = Experiment::new(
-            MachineConfig::smart_infinity(10),
-            Workload::paper_default(model.clone()),
-        );
-        let base = experiment.run(Method::Baseline).expect("simulation");
-        let smart = experiment.run(Method::SmartComp { keep_ratio: 0.01 }).expect("simulation");
+        let machine = MachineConfig::smart_infinity(10);
+        let base = simulate(model.clone(), machine.clone(), Method::Baseline);
+        let smart = simulate(model.clone(), machine, Method::SmartComp { keep_ratio: 0.01 });
         let speedup = smart.speedup_over(&base);
         assert!(speedup > 1.3 && speedup < 3.0, "{}: {:.2}", model.name(), speedup);
     }
@@ -172,8 +172,8 @@ fn fig15_cost_efficiency_crossover() {
     let gpu = GpuSpec::a5000();
     let flops = workload.training_flops();
     let efficiency = |n: usize, method: Method| {
-        let experiment = Experiment::new(MachineConfig::smart_infinity(n), workload.clone());
-        let t = experiment.run(method).expect("simulation").total_s();
+        let t =
+            simulate(ModelConfig::gpt2_4b(), MachineConfig::smart_infinity(n), method).total_s();
         let system = match method {
             Method::Baseline => cost.baseline_system_usd(&gpu, n),
             _ => cost.smart_infinity_system_usd(&gpu, n),
@@ -192,16 +192,14 @@ fn fig15_cost_efficiency_crossover() {
 /// with diminishing returns.
 #[test]
 fn fig16_compression_ratio_sensitivity() {
-    let experiment = Experiment::new(
-        MachineConfig::smart_infinity(10),
-        Workload::paper_default(ModelConfig::gpt2_4b()),
-    );
     let mut last = f64::INFINITY;
     for transfer in [0.10f64, 0.05, 0.02, 0.01] {
-        let t = experiment
-            .run(Method::SmartComp { keep_ratio: transfer / 2.0 })
-            .expect("simulation")
-            .total_s();
+        let t = simulate(
+            ModelConfig::gpt2_4b(),
+            MachineConfig::smart_infinity(10),
+            Method::SmartComp { keep_ratio: transfer / 2.0 },
+        )
+        .total_s();
         assert!(t <= last * 1.001, "time must not increase as compression strengthens");
         last = t;
     }
@@ -211,16 +209,19 @@ fn fig16_compression_ratio_sensitivity() {
 /// the speedup.
 #[test]
 fn fig17_congested_topology_shape() {
-    let workload = Workload::paper_default(ModelConfig::gpt2_1_16b());
-    let default_exp = Experiment::new(MachineConfig::smart_infinity(10), workload.clone());
-    let congested_exp = Experiment::new(MachineConfig::congested_multi_gpu(10, 3), workload);
-    let speedup = |exp: &Experiment| {
-        let base = exp.run(Method::Baseline).expect("simulation");
-        let smart = exp.run(Method::SmartComp { keep_ratio: 0.01 }).expect("simulation");
+    let default_machine = MachineConfig::smart_infinity(10);
+    let congested_machine = MachineConfig::congested_multi_gpu(10, 3);
+    let speedup = |machine: &MachineConfig| {
+        let base = simulate(ModelConfig::gpt2_1_16b(), machine.clone(), Method::Baseline);
+        let smart = simulate(
+            ModelConfig::gpt2_1_16b(),
+            machine.clone(),
+            Method::SmartComp { keep_ratio: 0.01 },
+        );
         smart.speedup_over(&base)
     };
-    let default_speedup = speedup(&default_exp);
-    let congested_speedup = speedup(&congested_exp);
+    let default_speedup = speedup(&default_machine);
+    let congested_speedup = speedup(&congested_machine);
     assert!(default_speedup > 1.3, "default-topology speedup {default_speedup:.2}");
     assert!(
         congested_speedup > 1.3 && congested_speedup < 2.6,
@@ -229,8 +230,8 @@ fn fig17_congested_topology_shape() {
     // The congested placement routes GPU traffic over the shared switch, so
     // its backward (grad-offload) phase is relatively more expensive than in
     // the default topology with the same per-GPU traffic.
-    let default_base = default_exp.run(Method::Baseline).expect("simulation");
-    let congested_base = congested_exp.run(Method::Baseline).expect("simulation");
+    let default_base = simulate(ModelConfig::gpt2_1_16b(), default_machine, Method::Baseline);
+    let congested_base = simulate(ModelConfig::gpt2_1_16b(), congested_machine, Method::Baseline);
     assert!(
         congested_base.backward_s / congested_base.forward_s
             > default_base.backward_s / default_base.forward_s

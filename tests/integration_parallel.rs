@@ -7,9 +7,27 @@
 use gradcomp::Compressor;
 use optim::{HyperParams, Optimizer, OptimizerKind};
 use parcore::ParExecutor;
-use smart_infinity::SmartInfinityTrainer;
+use smart_infinity::{MachineConfig, Method, ModelConfig, Session, Trainer};
 use tensorlib::FlatTensor;
-use ztrain::{StorageOffloadTrainer, SyntheticGradients};
+use ztrain::SyntheticGradients;
+
+/// Builds the functional trainer for `method` through the Session front door.
+fn trainer_for(
+    method: Method,
+    devices: usize,
+    subgroup: usize,
+    threads: usize,
+    optimizer: Optimizer,
+    initial: &FlatTensor,
+) -> Box<dyn Trainer> {
+    Session::builder(ModelConfig::gpt2_0_34b(), MachineConfig::smart_infinity(devices), method)
+        .with_optimizer(optimizer)
+        .with_subgroup_elems(subgroup)
+        .with_threads(threads)
+        .build()
+        .trainer(initial)
+        .expect("trainer")
+}
 
 /// Thread counts exercised end-to-end: serial, two, a prime, and the
 /// machine's actual parallelism.
@@ -25,19 +43,19 @@ fn threaded_smart_infinity_matches_the_serial_baseline_bit_for_bit() {
     let initial = FlatTensor::randn(n, 0.05, 1001);
 
     // Reference: the single-threaded ZeRO-Infinity-style baseline.
-    let mut baseline = StorageOffloadTrainer::new(&initial, optimizer, 2, 3000).unwrap();
+    let mut baseline = trainer_for(Method::Baseline, 2, 3000, 1, optimizer, &initial);
     let mut source = SyntheticGradients::new(n, 0.01, 2002);
     for _ in 0..3 {
-        baseline.train_step(&mut source).unwrap();
+        baseline.step_from(&mut source).unwrap();
     }
     let reference = baseline.master_params().unwrap();
 
     for threads in thread_counts() {
-        let mut smart =
-            SmartInfinityTrainer::new(&initial, optimizer, 3, 1100).unwrap().with_threads(threads);
+        let mut smart = trainer_for(Method::SmartUpdate, 3, 1100, threads, optimizer, &initial);
         let mut source = SyntheticGradients::new(n, 0.01, 2002);
         for _ in 0..3 {
-            smart.train_step(&mut source).unwrap();
+            let report = smart.step_from(&mut source).unwrap();
+            assert_eq!(report.threads, threads, "reported thread count");
         }
         assert_eq!(
             smart.master_params().unwrap().as_slice(),
@@ -58,13 +76,17 @@ fn threaded_compressed_training_is_deterministic_across_thread_counts() {
     let optimizer = Optimizer::adam_default();
     let initial = FlatTensor::randn(n, 0.05, 7);
     let run = |threads: usize| {
-        let mut t = SmartInfinityTrainer::new(&initial, optimizer, 2, 900)
-            .unwrap()
-            .with_compression(0.02)
-            .with_threads(threads);
+        let mut t = trainer_for(
+            Method::SmartComp { keep_ratio: 0.02 },
+            2,
+            900,
+            threads,
+            optimizer,
+            &initial,
+        );
         let mut source = SyntheticGradients::new(n, 0.01, 8);
         for _ in 0..4 {
-            t.train_step(&mut source).unwrap();
+            t.step_from(&mut source).unwrap();
         }
         t.master_params().unwrap()
     };

@@ -6,11 +6,8 @@
 use gradcomp::Compressor;
 use optim::{HyperParams, Optimizer, OptimizerKind};
 use proptest::prelude::*;
-use smart_infinity::{
-    Experiment, MachineConfig, Method, ModelConfig, SmartInfinityTrainer, Workload,
-};
+use smart_infinity::{MachineConfig, Method, ModelConfig, Session, Workload};
 use tensorlib::FlatTensor;
-use ztrain::StorageOffloadTrainer;
 
 fn arb_optimizer() -> impl Strategy<Value = OptimizerKind> {
     prop_oneof![
@@ -39,13 +36,27 @@ proptest! {
         let initial = FlatTensor::randn(n, 0.05, seed);
         let grads = FlatTensor::randn(n, 0.01, seed + 1);
 
-        let mut baseline = StorageOffloadTrainer::new(&initial, optimizer, 2, block).unwrap();
-        let mut smart = SmartInfinityTrainer::new(&initial, optimizer, csds, subgroup).unwrap();
-        baseline.train_step_with_grads(&grads).unwrap();
-        smart.train_step_with_grads(&grads).unwrap();
+        // Both substrates behind the same Session front door / Trainer seam.
+        let session = |method, devices, subgroup| {
+            Session::builder(
+                ModelConfig::gpt2_0_34b(),
+                MachineConfig::smart_infinity(devices),
+                method,
+            )
+            .with_optimizer(optimizer)
+            .with_subgroup_elems(subgroup)
+            .build()
+        };
+        let mut baseline = session(Method::Baseline, 2, block).trainer(&initial).unwrap();
+        let mut smart = session(Method::SmartUpdate, csds, subgroup).trainer(&initial).unwrap();
+        let base_report = baseline.step(&grads).unwrap();
+        let smart_report = smart.step(&grads).unwrap();
         let baseline_params = baseline.master_params().unwrap();
         let smart_params = smart.master_params().unwrap();
         prop_assert_eq!(baseline_params.as_slice(), smart_params.as_slice());
+        // Dense gradients: the near-storage path crosses the host link once.
+        prop_assert_eq!(smart_report.gradient_bytes, 4 * n as u64);
+        prop_assert_eq!(base_report.gradient_bytes, 8 * n as u64);
     }
 
     /// The compression pipeline conserves "mass": transmitted + residual
@@ -108,17 +119,20 @@ proptest! {
         billions in 1.0f64..20.0,
         devices in 2usize..10,
     ) {
-        let workload = Workload::paper_default(ModelConfig::gpt2_scaled(billions * 1e9));
-        let experiment = Experiment::new(MachineConfig::smart_infinity(devices), workload.clone());
-        let base = experiment.run(Method::Baseline).unwrap();
-        let smart = experiment.run(Method::SmartComp { keep_ratio: 0.01 }).unwrap();
+        let model = ModelConfig::gpt2_scaled(billions * 1e9);
+        let session = |method, devices: usize| {
+            Session::builder(model.clone(), MachineConfig::smart_infinity(devices), method).build()
+        };
+        let base = session(Method::Baseline, devices).simulate_iteration().unwrap();
+        let smart =
+            session(Method::SmartComp { keep_ratio: 0.01 }, devices).simulate_iteration().unwrap();
         prop_assert!(base.forward_s > 0.0 && base.backward_s > 0.0 && base.update_s > 0.0);
         prop_assert!(smart.forward_s > 0.0 && smart.backward_s > 0.0 && smart.update_s > 0.0);
         let speedup = smart.speedup_over(&base);
         prop_assert!(speedup > 0.8 && speedup < 4.0, "speedup {speedup:.2}");
 
-        let more = Experiment::new(MachineConfig::smart_infinity(devices + 1), workload)
-            .run(Method::SmartComp { keep_ratio: 0.01 })
+        let more = session(Method::SmartComp { keep_ratio: 0.01 }, devices + 1)
+            .simulate_iteration()
             .unwrap();
         prop_assert!(more.total_s() <= smart.total_s() * 1.02, "adding a CSD must not hurt");
     }

@@ -53,7 +53,31 @@ fn canonical_reexports_point_at_the_home_crates() {
     let gpu: smart_infinity::GpuSpec = llm::GpuSpec::a5000();
     let hp: smart_infinity::HyperParams = optim::HyperParams::default();
     let machine: smart_infinity::MachineConfig = ztrain::MachineConfig::smart_infinity(2);
+    let err: smart_infinity::TrainError = ztrain::TrainError::config("same type");
+    let report: smart_infinity::StepReport = ztrain::StepReport::default();
     assert!(gpu.effective_flops > 0.0);
     assert!(hp.lr > 0.0);
     assert_eq!(machine.num_devices, 2);
+    assert!(err.to_string().contains("same type"));
+    assert_eq!(report.step, 0);
+}
+
+/// The Session front door assembles end to end: one `Method` produces both a
+/// timed iteration report and a live functional trainer.
+#[test]
+fn session_builds_both_views_from_one_method() {
+    use smart_infinity::{FlatTensor, Method, Session, Trainer};
+    let session = Session::builder(
+        llm::ModelConfig::gpt2_0_34b(),
+        MachineConfig::smart_infinity(2),
+        Method::SmartUpdate,
+    )
+    .build();
+    let timed = session.simulate_iteration().expect("timed view");
+    assert!(timed.total_s() > 0.0);
+    let initial = FlatTensor::randn(256, 0.02, 1);
+    let mut trainer: Box<dyn Trainer> = session.trainer(&initial).expect("functional view");
+    let report = trainer.step(&FlatTensor::randn(256, 0.01, 2)).expect("step");
+    assert_eq!(report.step, 1);
+    assert_eq!(trainer.num_params(), 256);
 }
