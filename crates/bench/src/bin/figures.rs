@@ -15,7 +15,7 @@ use std::path::PathBuf;
 
 const ALL: &[&str] = &[
     "fig3a", "fig3b", "tab1", "tab3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-    "tab4", "fig16", "fig17", "perf",
+    "tab4", "fig16", "fig17", "pipeline", "perf",
 ];
 
 fn main() {
@@ -241,6 +241,11 @@ fn run_one(id: &str, quick: bool, json: Option<&std::path::Path>) {
                     &rows
                 )
             );
+            write_json(json, id, &rows);
+        }
+        "pipeline" => {
+            let rows = harness::pipeline_overlap();
+            println!("{}", harness::render_pipeline(&rows));
             write_json(json, id, &rows);
         }
         "perf" => {

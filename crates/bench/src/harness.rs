@@ -6,9 +6,11 @@
 use llm::{CostModel, GpuSpec, ModelConfig, Workload};
 use optim::OptimizerKind;
 use serde::Serialize;
-use smart_infinity::{Experiment, Method, Session, TrafficMethod, TrafficModel};
+use smart_infinity::{
+    Experiment, Method, Session, SmartInfinityEngine, TrafficMethod, TrafficModel,
+};
 use ztrain::realtrain::{train_classifier, Dataset, MlpModel, TrainConfig};
-use ztrain::{BaselineEngine, IterationReport, MachineConfig};
+use ztrain::{BaselineEngine, IterationReport, MachineConfig, PipelinedTrainer};
 
 /// A labelled per-phase breakdown row.
 #[derive(Debug, Clone, Serialize)]
@@ -636,6 +638,85 @@ pub fn fig17() -> Vec<BreakdownRow> {
 }
 
 // ---------------------------------------------------------------------------
+// Pipelined-backend overlap study (timed view)
+// ---------------------------------------------------------------------------
+
+/// One row of the pipelined-backend study: the phase breakdown plus the
+/// stage-level occupancy of the shared uplink.
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelineRow {
+    /// Configuration label.
+    pub label: String,
+    /// Per-phase breakdown of one iteration.
+    pub report: IterationReport,
+    /// Speedup over the serial SU+O schedule of the same machine.
+    pub speedup_over_serial: f64,
+    /// Seconds of update work that overlapped the backward phase.
+    pub update_overlap_s: f64,
+    /// Downstream host-uplink occupancy of the write stage.
+    pub uplink_write_busy_s: f64,
+    /// Upstream host-uplink occupancy of the read-back stage.
+    pub uplink_readback_busy_s: f64,
+}
+
+/// The pipelined execution backend study (GPT-2 4.0B): serial SU+O vs the
+/// pipelined schedule, dense and compressed, at 6 and 10 devices — the
+/// stage-level uplink accounting that complements the paper's method ladder.
+pub fn pipeline_overlap() -> Vec<PipelineRow> {
+    let workload = Workload::paper_default(ModelConfig::gpt2_4b());
+    let mut rows = Vec::new();
+    for n in [6usize, 10] {
+        let engine = || {
+            SmartInfinityEngine::new(
+                MachineConfig::smart_infinity(n),
+                workload.clone(),
+                OptimizerKind::Adam,
+            )
+        };
+        let serial = engine().simulate_iteration_stages().expect("simulation");
+        let configs = [
+            (format!("#SSD={n} SU+O (serial)"), engine()),
+            (format!("#SSD={n} SU+O+P"), engine().with_pipelining()),
+            (format!("#SSD={n} SU+O+P+C(2%)"), engine().with_pipelining().with_compression(0.01)),
+        ];
+        for (label, engine) in configs {
+            let timing = engine.simulate_iteration_stages().expect("simulation");
+            rows.push(PipelineRow {
+                label,
+                speedup_over_serial: timing.report.speedup_over(&serial.report),
+                update_overlap_s: timing.update_overlap_s,
+                uplink_write_busy_s: timing.uplink_write_busy_s,
+                uplink_readback_busy_s: timing.uplink_readback_busy_s,
+                report: timing.report,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the pipeline study as a fixed-width text table.
+pub fn render_pipeline(rows: &[PipelineRow]) -> String {
+    let mut out =
+        String::from("Pipelined execution backend: stage overlap and shared-uplink occupancy\n");
+    out.push_str(&format!(
+        "{:<24} {:>10} {:>9} {:>11} {:>12} {:>12}\n",
+        "config", "Total (s)", "speedup", "overlap (s)", "uplink W (s)", "uplink R (s)"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<24} {:>10.2} {:>8.2}x {:>11.2} {:>12.2} {:>12.2}\n",
+            r.label,
+            r.report.total_s(),
+            r.speedup_over_serial,
+            r.update_overlap_s,
+            r.uplink_write_busy_s,
+            r.uplink_readback_busy_s
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // BENCH_2: execution-backend performance snapshot
 // ---------------------------------------------------------------------------
 
@@ -753,6 +834,29 @@ pub fn perf_snapshot(quick: bool) -> PerfSnapshot {
         speedup: parallel_valid.then(|| topk_serial / topk_parallel),
     });
 
+    // One full functional training step on the pipelined backend, 1 lane
+    // worker vs `threads` lane workers (bit-identical results, different
+    // wall-clock — the overlap the pipelined backend is for).
+    let run_pipelined = |workers: usize| {
+        let initial = FlatTensor::randn(elems, 0.02, 4);
+        let mut trainer =
+            PipelinedTrainer::new(&initial, optimizer, threads, elems.div_ceil(threads))
+                .expect("pipelined trainer")
+                .with_threads(workers);
+        median_secs(reps, || {
+            let report = trainer.train_step_with_grads(&grads).expect("pipelined step");
+            std::hint::black_box(report.step);
+        })
+    };
+    let pipelined_serial = run_pipelined(1);
+    let pipelined_parallel = run_pipelined(threads);
+    kernels.push(KernelPerf {
+        kernel: "pipelined_step_adam".to_string(),
+        serial_elems_per_sec: rate(pipelined_serial),
+        parallel_elems_per_sec: rate(pipelined_parallel),
+        speedup: parallel_valid.then(|| pipelined_serial / pipelined_parallel),
+    });
+
     // Half-precision conversion paths.
     let tensor = FlatTensor::randn(elems, 1.0, 3);
     let mut bytes = Vec::new();
@@ -828,7 +932,7 @@ mod tests {
     #[test]
     fn perf_snapshot_quick_mode_produces_positive_rates() {
         let snap = perf_snapshot(true);
-        assert_eq!(snap.kernels.len(), 2);
+        assert_eq!(snap.kernels.len(), 3);
         assert_eq!(snap.parallel_valid, snap.num_cpus > 1);
         for k in &snap.kernels {
             assert!(k.serial_elems_per_sec > 0.0, "{}", k.kernel);
@@ -846,6 +950,7 @@ mod tests {
         let rendered = render_perf(&snap);
         assert!(rendered.contains("updater_adam"));
         assert!(rendered.contains("topk_exact_1pct"));
+        assert!(rendered.contains("pipelined_step_adam"));
         if !snap.parallel_valid {
             assert!(rendered.contains("only 1 CPU visible"));
             assert!(rendered.contains("n/a"));
@@ -915,6 +1020,25 @@ mod tests {
         let su_o = gpt_10.iter().find(|p| p.setting == "SU+O").unwrap().total_s;
         let one_pct = gpt_10.iter().find(|p| p.setting == "1%").unwrap().total_s;
         assert!(one_pct < su_o);
+    }
+
+    #[test]
+    fn pipeline_overlap_rows_show_overlap_and_speedup() {
+        let rows = pipeline_overlap();
+        assert_eq!(rows.len(), 6);
+        for chunk in rows.chunks(3) {
+            let (serial, pipe, pipe_c) = (&chunk[0], &chunk[1], &chunk[2]);
+            assert_eq!(serial.update_overlap_s, 0.0, "{}", serial.label);
+            assert!((serial.speedup_over_serial - 1.0).abs() < 1e-9);
+            assert!(pipe.update_overlap_s > 0.0, "{}", pipe.label);
+            assert!(pipe.speedup_over_serial >= 1.0, "{}", pipe.label);
+            assert!(pipe_c.report.total_s() < pipe.report.total_s(), "{}", pipe_c.label);
+            for row in chunk {
+                assert!(row.uplink_write_busy_s > 0.0);
+                assert!(row.uplink_readback_busy_s > 0.0);
+            }
+        }
+        assert!(render_pipeline(&rows).contains("SU+O+P"));
     }
 
     #[test]

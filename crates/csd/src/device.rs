@@ -4,7 +4,7 @@
 use crate::decompressor::Decompressor;
 use crate::dram::{DeviceDram, DramError};
 use crate::updater::Updater;
-use gradcomp::CompressedGradient;
+use gradcomp::{CompressError, CompressedGradient};
 use optim::Optimizer;
 use parcore::ParExecutor;
 use serde::{Deserialize, Serialize};
@@ -25,6 +25,9 @@ pub enum CsdError {
         /// The shard name.
         shard: String,
     },
+    /// A gradient could not be (de)compressed — e.g. a shard longer than the
+    /// u32 index space of the compressed stream.
+    Compression(CompressError),
 }
 
 impl fmt::Display for CsdError {
@@ -35,6 +38,7 @@ impl fmt::Display for CsdError {
             CsdError::MissingShard { shard } => {
                 write!(f, "shard {shard} has no initialised optimizer state")
             }
+            CsdError::Compression(e) => write!(f, "compression error: {e}"),
         }
     }
 }
@@ -45,6 +49,7 @@ impl Error for CsdError {
             CsdError::Ssd(e) => Some(e),
             CsdError::Dram(e) => Some(e),
             CsdError::MissingShard { .. } => None,
+            CsdError::Compression(e) => Some(e),
         }
     }
 }
@@ -58,6 +63,12 @@ impl From<SsdError> for CsdError {
 impl From<DramError> for CsdError {
     fn from(e: DramError) -> Self {
         CsdError::Dram(e)
+    }
+}
+
+impl From<CompressError> for CsdError {
+    fn from(e: CompressError) -> Self {
+        CsdError::Compression(e)
     }
 }
 
@@ -567,6 +578,9 @@ mod tests {
         assert!(e.to_string().contains("device memory"));
         let e = CsdError::MissingShard { shard: "x".into() };
         assert!(e.to_string().contains("x"));
+        let e: CsdError = CompressError::IndexSpaceExceeded { original_len: 1 << 40 }.into();
+        assert!(e.to_string().contains("compression error"));
+        assert!(e.to_string().contains("u32 index space"));
     }
 
     #[test]
@@ -577,5 +591,7 @@ mod tests {
         let e: CsdError = DramError::UnknownBuffer { id: 3 }.into();
         assert!(e.source().expect("source").downcast_ref::<DramError>().is_some());
         assert!(CsdError::MissingShard { shard: "x".into() }.source().is_none());
+        let e: CsdError = CompressError::IndexSpaceExceeded { original_len: 1 << 40 }.into();
+        assert!(e.source().expect("source").downcast_ref::<CompressError>().is_some());
     }
 }

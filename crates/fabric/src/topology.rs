@@ -142,6 +142,14 @@ impl Topology {
         (e.a, e.b)
     }
 
+    /// The edge directly connecting two nodes, if one exists (the first such
+    /// edge in creation order). Engines use this to identify a specific
+    /// physical link — e.g. the shared host uplink — so its per-stage
+    /// occupancy can be queried from a simulation timeline.
+    pub fn edge_between(&self, a: NodeId, b: NodeId) -> Option<EdgeId> {
+        self.adjacency.get(a.0)?.iter().find(|&&(next, _)| next == b).map(|&(_, edge)| edge)
+    }
+
     /// All nodes of a given kind, in creation order.
     pub fn nodes_of_kind(&self, kind: NodeKind) -> Vec<NodeId> {
         self.nodes
@@ -338,6 +346,18 @@ mod tests {
             t.connect(a, NodeId(77), 1.0),
             Err(FabricError::UnknownNode { index: 77 })
         ));
+    }
+
+    #[test]
+    fn edge_between_finds_direct_links_only() {
+        let (t, a, b, c) = line_topology();
+        let ab = t.edge_between(a, b).expect("direct edge");
+        assert_eq!(t.edge_endpoints(ab), (a, b));
+        // Symmetric lookup, no transitive routes, out-of-range ids are None.
+        assert_eq!(t.edge_between(b, a), Some(ab));
+        assert_eq!(t.edge_between(a, c), None);
+        assert_eq!(t.edge_between(a, NodeId(99)), None);
+        assert_eq!(t.edge_between(NodeId(99), a), None);
     }
 
     #[test]

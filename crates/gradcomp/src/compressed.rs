@@ -1,7 +1,60 @@
 //! The compressed gradient container: parallel index and value lists.
 
 use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
 use tensorlib::FlatTensor;
+
+/// Why a compressed gradient could not be constructed.
+///
+/// The index stream is `u32` on the wire (that is what the FPGA decompressor
+/// walks), so a shard longer than `u32::MAX` elements — or an index pointing
+/// outside the dense gradient — is a hard representation error. These used to
+/// abort the process via `assert!`; they are now surfaced as values so that
+/// oversized models produce a [`TrainError::Config`]-style error instead of a
+/// panic (`CompressError` → `csd::CsdError` → `ztrain::TrainError`).
+///
+/// [`TrainError::Config`]: https://docs.rs/ztrain
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompressError {
+    /// The index and value lists have different lengths.
+    LengthMismatch {
+        /// Number of indices supplied.
+        indices: usize,
+        /// Number of values supplied.
+        values: usize,
+    },
+    /// The dense gradient is too long to index with `u32`.
+    IndexSpaceExceeded {
+        /// The dense gradient length that does not fit the u32 index space.
+        original_len: usize,
+    },
+    /// An index points outside the dense gradient.
+    IndexOutOfRange {
+        /// The offending index.
+        index: u32,
+        /// Length of the dense gradient.
+        original_len: usize,
+    },
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressError::LengthMismatch { indices, values } => {
+                write!(f, "index/value length mismatch: {indices} indices vs {values} values")
+            }
+            CompressError::IndexSpaceExceeded { original_len } => {
+                write!(f, "original length {original_len} exceeds u32 index space")
+            }
+            CompressError::IndexOutOfRange { index, original_len } => {
+                write!(f, "index {index} out of range {original_len}")
+            }
+        }
+    }
+}
+
+impl Error for CompressError {}
 
 /// A sparsified gradient: the positions and values of the selected elements
 /// of a flat gradient vector of length `original_len`.
@@ -22,14 +75,41 @@ impl CompressedGradient {
     /// # Panics
     ///
     /// Panics if the lists have different lengths, if any index is out of
-    /// range, or if `original_len` exceeds `u32::MAX`.
+    /// range, or if `original_len` exceeds `u32::MAX`. Callers that must not
+    /// abort on untrusted sizes (the training front-ends) use
+    /// [`CompressedGradient::try_new`].
     pub fn new(indices: Vec<u32>, values: Vec<f32>, original_len: usize) -> Self {
-        assert_eq!(indices.len(), values.len(), "index/value length mismatch");
-        assert!(original_len <= u32::MAX as usize, "original length exceeds u32 index space");
-        for &i in &indices {
-            assert!((i as usize) < original_len, "index {i} out of range {original_len}");
+        Self::try_new(indices, values, original_len).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible construction: the checks of [`CompressedGradient::new`], but
+    /// surfaced as a [`CompressError`] so a 4-billion-parameter shard errors
+    /// instead of aborting the process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::LengthMismatch`] for unequal lists,
+    /// [`CompressError::IndexSpaceExceeded`] when `original_len` does not fit
+    /// the u32 index space, and [`CompressError::IndexOutOfRange`] for an
+    /// index pointing outside the dense gradient.
+    pub fn try_new(
+        indices: Vec<u32>,
+        values: Vec<f32>,
+        original_len: usize,
+    ) -> Result<Self, CompressError> {
+        if indices.len() != values.len() {
+            return Err(CompressError::LengthMismatch {
+                indices: indices.len(),
+                values: values.len(),
+            });
         }
-        Self { indices, values, original_len }
+        if original_len > u32::MAX as usize {
+            return Err(CompressError::IndexSpaceExceeded { original_len });
+        }
+        if let Some(&index) = indices.iter().find(|&&i| (i as usize) >= original_len) {
+            return Err(CompressError::IndexOutOfRange { index, original_len });
+        }
+        Ok(Self { indices, values, original_len })
     }
 
     /// Number of selected (non-zero) elements.
@@ -146,6 +226,30 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_index_panics() {
         CompressedGradient::new(vec![4], vec![1.0], 4);
+    }
+
+    #[test]
+    fn try_new_surfaces_every_construction_error_as_a_value() {
+        assert_eq!(
+            CompressedGradient::try_new(vec![0, 1], vec![1.0], 4),
+            Err(CompressError::LengthMismatch { indices: 2, values: 1 })
+        );
+        assert_eq!(
+            CompressedGradient::try_new(vec![4], vec![1.0], 4),
+            Err(CompressError::IndexOutOfRange { index: 4, original_len: 4 })
+        );
+        let oversized = u32::MAX as usize + 1;
+        assert_eq!(
+            CompressedGradient::try_new(vec![], vec![], oversized),
+            Err(CompressError::IndexSpaceExceeded { original_len: oversized })
+        );
+        // The error messages are what `new` panics with.
+        let e = CompressedGradient::try_new(vec![3], vec![1.0], 2).unwrap_err();
+        assert!(e.to_string().contains("index 3 out of range 2"));
+        assert!(std::error::Error::source(&e).is_none());
+        // u32::MAX elements themselves are still representable.
+        let ok = CompressedGradient::try_new(vec![0], vec![1.0], u32::MAX as usize).unwrap();
+        assert_eq!(ok.original_len(), u32::MAX as usize);
     }
 
     proptest! {

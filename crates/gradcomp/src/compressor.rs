@@ -1,8 +1,8 @@
-//! Gradient selection strategies: exact Top-K, threshold-estimated Top-K and
-//! Random-K, each with a shard-parallel exact Top-K variant that is
+//! Gradient selection strategies: exact Top-K, threshold-accelerated Top-K
+//! and Random-K, each with a shard-parallel exact Top-K variant that is
 //! bit-identical to the serial selection.
 
-use crate::compressed::CompressedGradient;
+use crate::compressed::{CompressError, CompressedGradient};
 use parcore::ParExecutor;
 use serde::{Deserialize, Serialize};
 use tensorlib::FlatTensor;
@@ -13,9 +13,11 @@ pub enum SelectionMethod {
     /// Exact Top-K by magnitude (full sort / selection). This is what the
     /// paper's GPU-side compressor does (Section IV-C).
     TopK,
-    /// Top-K with a magnitude threshold estimated from a strided sample.
-    /// Cheaper than the exact selection, used as an ablation of the GPU-side
-    /// cost; the number of kept elements can deviate slightly from the target.
+    /// Exact Top-K accelerated by a magnitude threshold estimated from a
+    /// strided sample: the estimate prunes the candidate set before the final
+    /// selection, so the result keeps **exactly `k` elements and is
+    /// bit-identical to [`SelectionMethod::TopK`]** — a mis-estimated
+    /// threshold only costs an extra pass, never a wrong selection.
     ThresholdTopK {
         /// Number of elements sampled to estimate the threshold.
         sample_size: usize,
@@ -112,8 +114,25 @@ impl Compressor {
     }
 
     /// Compresses a dense gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient is longer than `u32::MAX` elements (the index
+    /// stream is u32 on the wire); [`Compressor::try_compress`] surfaces the
+    /// same condition as an error.
     pub fn compress(&self, grads: &FlatTensor) -> CompressedGradient {
         self.compress_par_chunked(grads, &ParExecutor::serial(), 1)
+    }
+
+    /// Fallible [`Compressor::compress`]: oversized gradients error instead
+    /// of aborting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::IndexSpaceExceeded`] if the gradient is
+    /// longer than `u32::MAX` elements.
+    pub fn try_compress(&self, grads: &FlatTensor) -> Result<CompressedGradient, CompressError> {
+        self.try_compress_par_chunked(grads, &ParExecutor::serial(), 1)
     }
 
     /// Compresses a dense gradient, running the exact Top-K selection in
@@ -122,8 +141,27 @@ impl Compressor {
     /// [`ParExecutor::workers_for`]). Bit-identical to
     /// [`Compressor::compress`]; the threshold and random selections are
     /// sequential scans and run serially regardless of the executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient is longer than `u32::MAX` elements; see
+    /// [`Compressor::try_compress_par`].
     pub fn compress_par(&self, grads: &FlatTensor, pool: &ParExecutor) -> CompressedGradient {
         self.compress_par_chunked(grads, pool, pool.workers_for(grads.len()))
+    }
+
+    /// Fallible [`Compressor::compress_par`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::IndexSpaceExceeded`] if the gradient is
+    /// longer than `u32::MAX` elements.
+    pub fn try_compress_par(
+        &self,
+        grads: &FlatTensor,
+        pool: &ParExecutor,
+    ) -> Result<CompressedGradient, CompressError> {
+        self.try_compress_par_chunked(grads, pool, pool.workers_for(grads.len()))
     }
 
     /// Compresses with an explicit Top-K chunk count (independent of the
@@ -132,18 +170,43 @@ impl Compressor {
     ///
     /// # Panics
     ///
-    /// Panics if `num_chunks` is zero.
+    /// Panics if `num_chunks` is zero or the gradient is longer than
+    /// `u32::MAX` elements.
     pub fn compress_par_chunked(
         &self,
         grads: &FlatTensor,
         pool: &ParExecutor,
         num_chunks: usize,
     ) -> CompressedGradient {
+        self.try_compress_par_chunked(grads, pool, num_chunks).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Compressor::compress_par_chunked`]: the length guard runs
+    /// *before* any index is narrowed to u32, so the selection can never
+    /// silently truncate an offset on a >4-billion-element shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::IndexSpaceExceeded`] if the gradient is
+    /// longer than `u32::MAX` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_chunks` is zero.
+    pub fn try_compress_par_chunked(
+        &self,
+        grads: &FlatTensor,
+        pool: &ParExecutor,
+        num_chunks: usize,
+    ) -> Result<CompressedGradient, CompressError> {
         assert!(num_chunks > 0, "chunk count must be positive");
         let n = grads.len();
+        if n > u32::MAX as usize {
+            return Err(CompressError::IndexSpaceExceeded { original_len: n });
+        }
         let k = self.num_kept(n);
         if n == 0 {
-            return CompressedGradient::default();
+            return Ok(CompressedGradient::default());
         }
         let selected: Vec<u32> = match self.method {
             SelectionMethod::TopK if num_chunks > 1 => {
@@ -156,7 +219,7 @@ impl Compressor {
             SelectionMethod::RandomK { seed } => random_k(n, k, seed),
         };
         let values = selected.iter().map(|&i| grads.as_slice()[i as usize]).collect();
-        CompressedGradient::new(selected, values, n)
+        CompressedGradient::try_new(selected, values, n)
     }
 }
 
@@ -210,28 +273,53 @@ fn par_exact_top_k(grads: &[f32], k: usize, pool: &ParExecutor, num_chunks: usiz
     merged
 }
 
-/// Threshold-based approximate Top-K: estimate the k-th magnitude from a
-/// strided sample, then take everything above the threshold (capped at k).
+/// Threshold-accelerated exact Top-K: estimate the k-th magnitude from a
+/// strided sample, collect every element at or above the estimate, and finish
+/// with an exact selection over the (usually small) candidate set.
+///
+/// The previous version stopped scanning after `max(2k, 16)` accepted
+/// elements and returned whatever had been collected, which over-selected
+/// (up to 2k elements) and — worse — selected by *index* order rather than
+/// magnitude on adversarial distributions: a too-low threshold estimate made
+/// it keep the first 2k above-threshold coordinates and drop the true top
+/// magnitudes sitting at higher indices, while a too-high estimate silently
+/// under-selected. Both tails are now exact:
+///
+/// * If at least `k` candidates pass the estimate, the true top-k set passes
+///   too (each of its magnitudes is ≥ the k-th largest ≥ the threshold), so
+///   an exact selection *within the candidates* equals the global
+///   [`exact_top_k`]. NaNs never compare below a threshold and are always
+///   kept as candidates, matching their position in [`magnitude_order`].
+/// * If fewer than `k` candidates pass (overestimated threshold), fall back
+///   to the global exact selection.
+///
+/// Either way the result keeps exactly `k` elements and is bit-identical to
+/// [`SelectionMethod::TopK`]; the sample only buys the cheap common case.
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must be a candidate, so !(x < t) is intended
 fn threshold_top_k(grads: &[f32], k: usize, sample_size: usize) -> Vec<u32> {
     let n = grads.len();
     let stride = (n / sample_size.min(n)).max(1);
     let mut sample: Vec<f32> = grads.iter().step_by(stride).map(|v| v.abs()).collect();
-    sample.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    sample.sort_unstable_by(|a, b| b.total_cmp(a));
     let target_rank = ((k as f64 / n as f64) * sample.len() as f64).round() as usize;
     let threshold = sample[target_rank.min(sample.len() - 1)];
-    let mut selected: Vec<u32> = Vec::with_capacity(k * 2);
+    let mut candidates: Vec<u32> = Vec::with_capacity(k.saturating_mul(2).max(16));
     for (i, v) in grads.iter().enumerate() {
-        if v.abs() >= threshold {
-            selected.push(i as u32);
-            if selected.len() >= k.saturating_mul(2).max(16) {
-                break; // never allow the estimate to blow up the transfer
-            }
+        // `!(x < t)` rather than `x >= t`: NaN magnitudes (and a NaN
+        // threshold) must land in the candidate set, not silently drop out.
+        if !(v.abs() < threshold) {
+            candidates.push(i as u32);
         }
     }
-    if selected.is_empty() {
-        selected = exact_top_k(grads, k.min(n));
+    if candidates.len() < k {
+        return exact_top_k(grads, k);
     }
-    selected
+    if candidates.len() > k {
+        candidates.select_nth_unstable_by(k - 1, |&a, &b| magnitude_order(grads, a, b));
+        candidates.truncate(k);
+    }
+    candidates.sort_unstable();
+    candidates
 }
 
 /// Deterministic pseudo-random selection of k distinct indices.
@@ -313,17 +401,50 @@ mod tests {
     }
 
     #[test]
-    fn threshold_top_k_approximates_exact_selection() {
+    fn threshold_top_k_equals_exact_selection() {
         let grads = FlatTensor::randn(10_000, 1.0, 3);
         let exact = Compressor::top_k(0.01).compress(&grads);
-        let approx = Compressor::threshold_top_k(0.01, 512).compress(&grads);
-        // The approximate selection keeps a similar number of elements...
-        let ratio = approx.num_selected() as f64 / exact.num_selected() as f64;
-        assert!(ratio > 0.3 && ratio < 3.0, "ratio {ratio}");
-        // ...and its smallest kept magnitude is not far below the exact threshold.
-        let exact_min = exact.values().iter().map(|v| v.abs()).fold(f32::INFINITY, f32::min);
-        let approx_min = approx.values().iter().map(|v| v.abs()).fold(f32::INFINITY, f32::min);
-        assert!(approx_min >= exact_min * 0.5, "{approx_min} vs {exact_min}");
+        let accelerated = Compressor::threshold_top_k(0.01, 512).compress(&grads);
+        assert_eq!(accelerated, exact);
+    }
+
+    #[test]
+    fn threshold_top_k_is_exact_on_adversarial_magnitude_distributions() {
+        // Adversarial for the old early-exit: the sample sees only the sea of
+        // large-but-not-largest magnitudes at low indices, so the estimated
+        // threshold is low and the scan used to stop before ever reaching the
+        // true top magnitudes parked at the highest indices.
+        let n = 4096;
+        let mut values = vec![1.0f32; n];
+        for (j, v) in values.iter_mut().rev().take(8).enumerate() {
+            *v = 100.0 + j as f32;
+        }
+        let grads = FlatTensor::from_vec(values);
+        for (ratio, sample) in [(0.001, 16), (0.002, 64), (0.01, 4), (0.25, 7)] {
+            let compressor = Compressor::threshold_top_k(ratio, sample);
+            let exact = Compressor::top_k(ratio).compress(&grads);
+            let accelerated = compressor.compress(&grads);
+            assert_eq!(accelerated, exact, "ratio={ratio} sample={sample}");
+            assert_eq!(accelerated.num_selected(), compressor.num_kept(n));
+        }
+        // The 8 planted spikes must always survive a selection of k >= 8.
+        let c = Compressor::threshold_top_k(0.002, 64).compress(&grads);
+        for spike in (n - 8)..n {
+            assert!(c.indices().contains(&(spike as u32)), "spike {spike} dropped");
+        }
+    }
+
+    #[test]
+    fn threshold_top_k_keeps_nan_magnitudes_like_exact_top_k() {
+        let mut values: Vec<f32> = (0..2048).map(|i| ((i as f32) * 0.31).cos()).collect();
+        values[7] = f32::NAN;
+        values[2000] = -f32::NAN;
+        let grads = FlatTensor::from_vec(values);
+        let exact = Compressor::top_k(0.01).compress(&grads);
+        let accelerated = Compressor::threshold_top_k(0.01, 32).compress(&grads);
+        assert_eq!(accelerated.indices(), exact.indices());
+        assert!(accelerated.indices().contains(&7));
+        assert!(accelerated.indices().contains(&2000));
     }
 
     #[test]
@@ -390,13 +511,12 @@ mod tests {
 
     #[test]
     fn threshold_top_k_handles_k_at_least_n() {
-        // keep_ratio 1.0 → k == n: every element passes the estimated
-        // threshold (capped by the runaway guard), and nothing panics.
+        // keep_ratio 1.0 → k == n: every element is kept, exactly once.
         let grads = FlatTensor::randn(100, 1.0, 5);
         let c = Compressor::threshold_top_k(1.0, 16).compress(&grads);
-        assert!(c.num_selected() >= 1);
-        assert!(c.num_selected() <= 100 * 2); // guard cap
-                                              // Tiny tensors where k == n == 1.
+        assert_eq!(c.num_selected(), 100);
+        assert_eq!(c.decompress(), grads);
+        // Tiny tensors where k == n == 1.
         let single = Compressor::threshold_top_k(0.9, 4).compress(&FlatTensor::full(1, 2.0));
         assert_eq!(single.num_selected(), 1);
         assert_eq!(single.indices(), &[0]);
@@ -404,17 +524,16 @@ mod tests {
 
     #[test]
     fn threshold_top_k_handles_all_equal_magnitudes() {
-        // Every |g| equals the threshold, so the scan accepts elements in
-        // index order until the cap; the selection must be non-empty, in
-        // bounds and deterministic.
+        // Every |g| equals the threshold, so every element is a candidate;
+        // the final selection must keep exactly k, lowest indices first
+        // (the serial tie-break), not an early-exit-dependent prefix.
         let grads = FlatTensor::full(500, -2.5);
-        let a = Compressor::threshold_top_k(0.02, 64).compress(&grads);
-        let b = Compressor::threshold_top_k(0.02, 64).compress(&grads);
-        assert_eq!(a, b);
-        assert!(a.num_selected() >= 1);
-        // k = 10, runaway guard caps at max(2k, 16) = 20 accepted elements.
-        assert!(a.num_selected() <= 20, "guard must bound the blow-up: {}", a.num_selected());
-        assert!(a.indices().windows(2).all(|w| w[0] < w[1]), "indices sorted");
+        let compressor = Compressor::threshold_top_k(0.02, 64);
+        let a = compressor.compress(&grads);
+        assert_eq!(a, compressor.compress(&grads));
+        let expected: Vec<u32> = (0..10).collect(); // k = 500 * 0.02
+        assert_eq!(a.indices(), expected.as_slice());
+        assert_eq!(a, Compressor::top_k(0.02).compress(&grads));
     }
 
     #[test]
@@ -423,12 +542,24 @@ mod tests {
         // elements), which makes the estimate exact.
         let grads = FlatTensor::from_vec(vec![0.1, -5.0, 0.2, 3.0, -0.05, 4.0]);
         let c = Compressor::threshold_top_k(0.5, 1000).compress(&grads);
-        assert!(c.num_selected() >= 1);
-        for &i in c.indices() {
-            assert!((i as usize) < 6);
+        assert_eq!(c, Compressor::top_k(0.5).compress(&grads));
+        assert_eq!(c.indices(), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn fallible_compression_matches_the_panicking_path() {
+        let grads = FlatTensor::randn(5_000, 1.0, 11);
+        let pool = ParExecutor::new(2);
+        for compressor in [
+            Compressor::top_k(0.01),
+            Compressor::threshold_top_k(0.05, 64),
+            Compressor::random_k(0.1, 3),
+        ] {
+            let infallible = compressor.compress(&grads);
+            assert_eq!(compressor.try_compress(&grads).unwrap(), infallible);
+            assert_eq!(compressor.try_compress_par(&grads, &pool).unwrap(), infallible);
+            assert_eq!(compressor.try_compress_par_chunked(&grads, &pool, 3).unwrap(), infallible);
         }
-        // The top-1 magnitude is always included in an exact-sample estimate.
-        assert!(c.indices().contains(&1), "largest magnitude must survive: {:?}", c.indices());
     }
 
     #[test]
@@ -482,6 +613,25 @@ mod tests {
             let err = approx.mse(&grads);
             let zero_err = FlatTensor::zeros(grads.len()).mse(&grads);
             prop_assert!(err <= zero_err + 1e-12);
+        }
+
+        /// The threshold-accelerated selection keeps exactly k elements and
+        /// equals the exact Top-K for random tensors, ratios and sample
+        /// sizes (quantised values make duplicate magnitudes — the tie-heavy
+        /// regime the old early-exit mis-handled — common).
+        #[test]
+        fn threshold_top_k_keeps_exactly_k_and_matches_exact(
+            values in proptest::collection::vec(-5.0f32..5.0, 1..500),
+            ratio in 0.01f64..1.0,
+            sample_size in 1usize..600,
+        ) {
+            let grads = FlatTensor::from_vec(
+                values.iter().map(|v| (v * 4.0).round() / 4.0).collect(),
+            );
+            let compressor = Compressor::threshold_top_k(ratio, sample_size);
+            let accelerated = compressor.compress(&grads);
+            prop_assert_eq!(accelerated.num_selected(), compressor.num_kept(grads.len()));
+            prop_assert_eq!(accelerated, Compressor::top_k(ratio).compress(&grads));
         }
 
         /// Parallel Top-K equals serial Top-K for random tensors, ratios,

@@ -9,9 +9,12 @@
 //!
 //! This crate implements:
 //!
-//! * [`CompressedGradient`] — the index/value container with byte accounting.
-//! * [`Compressor`] — exact Top-K (sort-based), threshold-estimating Top-K
-//!   (cheaper, used as an ablation) and Random-K selection.
+//! * [`CompressedGradient`] — the index/value container with byte accounting
+//!   and fallible construction ([`CompressError`]) for untrusted sizes.
+//! * [`Compressor`] — exact Top-K (sort-based), threshold-accelerated exact
+//!   Top-K (cheaper, bit-identical) and Random-K selection, each with
+//!   `try_*` variants that error instead of aborting on shards longer than
+//!   the u32 index space.
 //! * [`ErrorFeedback`] — the residual accumulator used by sparsified training
 //!   so that dropped gradient mass is re-injected at the next step.
 //! * [`LowRankCompressor`] — the PowerSGD-style low-rank alternative the paper
@@ -40,7 +43,7 @@ mod compressor;
 mod feedback;
 mod lowrank;
 
-pub use compressed::CompressedGradient;
+pub use compressed::{CompressError, CompressedGradient};
 pub use compressor::{valid_keep_ratio, Compressor, SelectionMethod};
 pub use feedback::ErrorFeedback;
 pub use lowrank::{LowRankCompressor, LowRankGradient};

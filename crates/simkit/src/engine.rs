@@ -302,7 +302,19 @@ impl<'a> Runner<'a> {
             .zip(self.sim.tasks.iter())
             .map(|(p, t)| TaskRecord { start: p.start, finish: p.finish, phase: t.phase })
             .collect();
-        Ok(Timeline::new(records, self.now, self.sim.phases.clone()))
+        // Per-link flow membership, so the timeline can answer stage-level
+        // occupancy queries (which flows kept a link busy, and when).
+        let mut link_tasks: Vec<Vec<TaskId>> = vec![Vec::new(); self.sim.links.len()];
+        for (id, task) in self.sim.tasks.iter().enumerate() {
+            if let TaskKind::Flow { path, bytes } = &task.kind {
+                if *bytes > 0.0 {
+                    for l in path {
+                        link_tasks[l.0].push(id);
+                    }
+                }
+            }
+        }
+        Ok(Timeline::new(records, self.now, self.sim.phases.clone(), link_tasks))
     }
 
     /// Moves a ready task into the running state. Returns tasks that complete
@@ -573,6 +585,26 @@ mod tests {
         assert!((finish_times[1] - 50.0).abs() < 1e-6);
         assert!((finish_times[3] - 30.0).abs() < 1e-6);
         assert!((finish_times[5] - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn timeline_reports_link_occupancy_from_real_flows() {
+        let mut sim = Simulation::new();
+        let shared = sim.add_link("shared", 10.0);
+        let private = sim.add_link("private", 10.0);
+        let write = sim.add_phase("write");
+        let readback = sim.add_phase("readback");
+        let a = sim.flow(FlowSpec::new(vec![shared], 100.0).phase(write));
+        let b = sim.flow(FlowSpec::new(vec![shared, private], 100.0).after(&[a]).phase(readback));
+        // Zero-byte flows finish instantly and must not pollute occupancy.
+        sim.flow(FlowSpec::new(vec![shared], 0.0).phase(write));
+        let tl = sim.run().unwrap();
+        assert!((tl.finish_time(b) - 20.0).abs() < 1e-9);
+        assert!((tl.link_busy_time(shared) - 20.0).abs() < 1e-9);
+        assert!((tl.link_busy_time_in_phase(shared, write) - 10.0).abs() < 1e-9);
+        assert!((tl.link_busy_time_in_phase(shared, readback) - 10.0).abs() < 1e-9);
+        assert!((tl.link_busy_time(private) - 10.0).abs() < 1e-9);
+        assert_eq!(tl.link_busy_time_in_phase(private, write), 0.0);
     }
 
     #[test]

@@ -1,6 +1,7 @@
-//! Simulation results: per-task records, makespan and per-phase breakdowns.
+//! Simulation results: per-task records, makespan, per-phase breakdowns and
+//! per-link occupancy.
 
-use crate::task::{PhaseId, TaskId};
+use crate::task::{LinkId, PhaseId, TaskId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -66,17 +67,50 @@ impl PhaseBreakdown {
     }
 }
 
+/// Sorts intervals by start time and returns the measure of their union
+/// (overlapping intervals are not double counted).
+fn union_measure(mut intervals: Vec<(f64, f64)>) -> f64 {
+    intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut busy = 0.0;
+    let mut cur: Option<(f64, f64)> = None;
+    for (s, f) in intervals {
+        match cur {
+            None => cur = Some((s, f)),
+            Some((cs, cf)) => {
+                if s <= cf {
+                    cur = Some((cs, cf.max(f)));
+                } else {
+                    busy += cf - cs;
+                    cur = Some((s, f));
+                }
+            }
+        }
+    }
+    if let Some((cs, cf)) = cur {
+        busy += cf - cs;
+    }
+    busy
+}
+
 /// The complete result of a simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Timeline {
     records: Vec<TaskRecord>,
     makespan: f64,
     phase_names: Vec<String>,
+    /// For every link of the simulation, the flow tasks that crossed it
+    /// (the basis of the per-link occupancy queries).
+    link_tasks: Vec<Vec<TaskId>>,
 }
 
 impl Timeline {
-    pub(crate) fn new(records: Vec<TaskRecord>, makespan: f64, phase_names: Vec<String>) -> Self {
-        Self { records, makespan, phase_names }
+    pub(crate) fn new(
+        records: Vec<TaskRecord>,
+        makespan: f64,
+        phase_names: Vec<String>,
+        link_tasks: Vec<Vec<TaskId>>,
+    ) -> Self {
+        Self { records, makespan, phase_names, link_tasks }
     }
 
     /// Virtual time at which the task started.
@@ -130,31 +164,58 @@ impl Timeline {
             }
         }
         let mut breakdown = PhaseBreakdown::default();
-        for (phase, mut intervals) in per_phase {
-            intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-            let mut busy = 0.0;
-            let mut cur: Option<(f64, f64)> = None;
-            for (s, f) in intervals {
-                match cur {
-                    None => cur = Some((s, f)),
-                    Some((cs, cf)) => {
-                        if s <= cf {
-                            cur = Some((cs, cf.max(f)));
-                        } else {
-                            busy += cf - cs;
-                            cur = Some((s, f));
-                        }
-                    }
-                }
-            }
-            if let Some((cs, cf)) = cur {
-                busy += cf - cs;
-            }
+        for (phase, intervals) in per_phase {
+            let busy = union_measure(intervals);
             let name =
                 self.phase_names.get(phase).cloned().unwrap_or_else(|| format!("phase{phase}"));
             breakdown.insert(phase, name, busy);
         }
         breakdown
+    }
+
+    /// The intervals during which `link` carried at least one flow matching
+    /// `keep`, merged and measured as a union.
+    fn link_busy_filtered(&self, link: LinkId, keep: impl Fn(&TaskRecord) -> bool) -> f64 {
+        let Some(tasks) = self.link_tasks.get(link.index()) else { return 0.0 };
+        let intervals: Vec<(f64, f64)> = tasks
+            .iter()
+            .filter_map(|&t| self.records.get(t))
+            .filter(|rec| rec.finish > rec.start && keep(rec))
+            .map(|rec| (rec.start, rec.finish))
+            .collect();
+        union_measure(intervals)
+    }
+
+    /// Occupancy of a link: virtual seconds during which at least one flow
+    /// was in progress on it (overlapping flows are not double counted).
+    ///
+    /// Together with [`Timeline::link_busy_time_in_phase`] this is the
+    /// stage-level view of interconnect contention: a pipelined engine tags
+    /// each stage's flows with a phase and can then ask how long a shared
+    /// link was occupied by each stage, and how much the stages overlapped
+    /// (`sum of per-phase busy − total busy`).
+    pub fn link_busy_time(&self, link: LinkId) -> f64 {
+        self.link_busy_filtered(link, |_| true)
+    }
+
+    /// Occupancy of a link restricted to flows tagged with `phase`.
+    pub fn link_busy_time_in_phase(&self, link: LinkId, phase: PhaseId) -> f64 {
+        self.link_busy_filtered(link, |rec| rec.phase == Some(phase))
+    }
+
+    /// Busy time of a phase clipped to `[0, cutoff]`: the measure of the
+    /// union of execution intervals of the phase's tasks that fall before
+    /// `cutoff`. This is how much of the phase's work genuinely ran before a
+    /// reference event — e.g. how many seconds of the update stage overlapped
+    /// the backward phase in a pipelined schedule.
+    pub fn phase_busy_time_before(&self, phase: PhaseId, cutoff: f64) -> f64 {
+        let intervals: Vec<(f64, f64)> = self
+            .records
+            .iter()
+            .filter(|rec| rec.phase == Some(phase) && rec.start < cutoff && rec.finish > rec.start)
+            .map(|rec| (rec.start, rec.finish.min(cutoff)))
+            .collect();
+        union_measure(intervals)
     }
 }
 
@@ -172,6 +233,7 @@ mod tests {
             vec![rec(0.0, 5.0, Some(0)), rec(3.0, 8.0, Some(0)), rec(10.0, 12.0, Some(0))],
             12.0,
             vec!["update".to_string()],
+            Vec::new(),
         );
         let b = tl.phase_breakdown();
         assert!((b.busy_time(PhaseId(0)) - 10.0).abs() < 1e-12);
@@ -185,6 +247,7 @@ mod tests {
             vec![rec(0.0, 4.0, Some(0)), rec(4.0, 6.0, Some(1)), rec(6.0, 7.0, None)],
             7.0,
             vec!["fw".to_string(), "bw".to_string()],
+            Vec::new(),
         );
         let b = tl.phase_breakdown();
         assert!((b.busy_time(PhaseId(0)) - 4.0).abs() < 1e-12);
@@ -202,11 +265,55 @@ mod tests {
 
     #[test]
     fn finish_of_takes_max() {
-        let tl = Timeline::new(vec![rec(0.0, 1.0, None), rec(0.0, 5.0, None)], 5.0, vec![]);
+        let tl =
+            Timeline::new(vec![rec(0.0, 1.0, None), rec(0.0, 5.0, None)], 5.0, vec![], Vec::new());
         assert!((tl.finish_of(&[0, 1]) - 5.0).abs() < 1e-12);
         assert_eq!(tl.finish_of(&[]), 0.0);
         assert!(tl.record(0).is_some());
         assert!(tl.record(7).is_none());
         assert_eq!(tl.records().len(), 2);
+    }
+
+    #[test]
+    fn phase_busy_time_before_clips_to_the_cutoff() {
+        let tl = Timeline::new(
+            vec![rec(1.0, 3.0, Some(0)), rec(2.0, 6.0, Some(0)), rec(8.0, 9.0, Some(0))],
+            9.0,
+            vec!["update".to_string()],
+            Vec::new(),
+        );
+        let update = PhaseId(0);
+        // Full horizon: (1..6) ∪ (8..9) = 6 s.
+        assert!((tl.phase_busy_time_before(update, 9.0) - 6.0).abs() < 1e-12);
+        // Clipped at 4: (1..4) = 3 s — the late task contributes nothing.
+        assert!((tl.phase_busy_time_before(update, 4.0) - 3.0).abs() < 1e-12);
+        // A cutoff before any work reports zero.
+        assert_eq!(tl.phase_busy_time_before(update, 1.0), 0.0);
+        assert_eq!(tl.phase_busy_time_before(PhaseId(5), 9.0), 0.0);
+    }
+
+    #[test]
+    fn link_busy_time_merges_overlapping_flows_and_splits_by_phase() {
+        // Link 0 carries: task 0 (phase 0, 0..5), task 1 (phase 0, 3..8) and
+        // task 2 (phase 1, 7..10). Link 1 carries nothing.
+        let tl = Timeline::new(
+            vec![rec(0.0, 5.0, Some(0)), rec(3.0, 8.0, Some(0)), rec(7.0, 10.0, Some(1))],
+            10.0,
+            vec!["write".to_string(), "readback".to_string()],
+            vec![vec![0, 1, 2], vec![]],
+        );
+        let link0 = LinkId(0);
+        assert!((tl.link_busy_time(link0) - 10.0).abs() < 1e-12);
+        assert!((tl.link_busy_time_in_phase(link0, PhaseId(0)) - 8.0).abs() < 1e-12);
+        assert!((tl.link_busy_time_in_phase(link0, PhaseId(1)) - 3.0).abs() < 1e-12);
+        // Stage overlap on the link: per-phase busy sums to 11 s against a
+        // 10 s union, so the stages shared the link for 1 s.
+        let overlap = tl.link_busy_time_in_phase(link0, PhaseId(0))
+            + tl.link_busy_time_in_phase(link0, PhaseId(1))
+            - tl.link_busy_time(link0);
+        assert!((overlap - 1.0).abs() < 1e-12);
+        assert_eq!(tl.link_busy_time(LinkId(1)), 0.0);
+        // Unknown links report zero occupancy instead of panicking.
+        assert_eq!(tl.link_busy_time(LinkId(9)), 0.0);
     }
 }

@@ -6,7 +6,9 @@ use gradcomp::{CompressedGradient, Compressor, ErrorFeedback};
 use optim::Optimizer;
 use parcore::ParExecutor;
 use tensorlib::{Chunker, Dtype, FlatTensor, Partitioner};
-use ztrain::{StepReport, TrainError, Trainer};
+use ztrain::{
+    aggregate_csd_stats, init_csd_shards, reassemble_master_params, StepReport, TrainError, Trainer,
+};
 
 /// A functional Smart-Infinity trainer.
 ///
@@ -53,17 +55,10 @@ impl SmartInfinityTrainer {
     ) -> Result<Self, CsdError> {
         assert!(num_csds > 0, "at least one CSD is required");
         assert!(subgroup_elems > 0, "subgroup capacity must be positive");
-        let partitioner = Partitioner::contiguous(initial_params.len(), num_csds);
-        let mut csds = Vec::with_capacity(num_csds);
-        for shard in partitioner.shards() {
-            let mut csd =
-                CsdDevice::new(format!("csd{}", shard.device), u64::MAX / 4, u64::MAX / 4);
-            let shard_params = initial_params.slice(shard.offset, shard.len);
-            csd.store_initial_state("shard", &shard_params, &optimizer)?;
-            csds.push(csd);
-        }
+        // Shared with the pipelined backend: byte-identical starting state is
+        // the first half of the bit-identicality guarantee.
+        let (partitioner, csds, feedback) = init_csd_shards(initial_params, &optimizer, num_csds)?;
         let params_fp16 = FlatTensor::from_bytes(&initial_params.to_bytes(Dtype::F16), Dtype::F16);
-        let feedback = partitioner.shards().iter().map(|s| ErrorFeedback::new(s.len)).collect();
         Ok(Self {
             csds,
             partitioner,
@@ -138,28 +133,12 @@ impl SmartInfinityTrainer {
     ///
     /// Returns a [`CsdError`] if a shard read fails.
     pub fn master_params(&mut self) -> Result<FlatTensor, CsdError> {
-        let mut out = FlatTensor::zeros(self.partitioner.total());
-        for (csd, shard) in self.csds.iter_mut().zip(self.partitioner.shards()) {
-            if shard.len == 0 {
-                continue;
-            }
-            let t = csd.load_parameters("shard", 0, shard.len)?;
-            out.write_slice(shard.offset, t.as_slice());
-        }
-        Ok(out)
+        reassemble_master_params(&mut self.csds, &self.partitioner)
     }
 
     /// Aggregated CSD-internal P2P traffic statistics across all devices.
     pub fn aggregate_stats(&self) -> CsdTrafficStats {
-        let mut total = CsdTrafficStats::default();
-        for csd in &self.csds {
-            let s = csd.stats();
-            total.p2p_read_bytes += s.p2p_read_bytes;
-            total.p2p_write_bytes += s.p2p_write_bytes;
-            total.updates_run += s.updates_run;
-            total.elements_updated += s.elements_updated;
-        }
-        total
+        aggregate_csd_stats(&self.csds)
     }
 
     /// Runs one training step with an explicitly provided dense gradient and
@@ -195,7 +174,9 @@ impl SmartInfinityTrainer {
                 Some(c) => {
                     let fb = &mut self.feedback[shard.device];
                     fb.apply_in_place(&mut self.shard_scratch);
-                    let compressed = c.compress_par(&self.shard_scratch, &self.pool);
+                    // Fallible: a shard longer than the u32 index space is a
+                    // CsdError, not a process abort.
+                    let compressed = c.try_compress_par(&self.shard_scratch, &self.pool)?;
                     fb.update(&self.shard_scratch, &compressed);
                     Some(compressed)
                 }
@@ -239,6 +220,7 @@ impl SmartInfinityTrainer {
             storage_bytes_written: stats.p2p_write_bytes - stats_before.p2p_write_bytes,
             compression_kept: self.compressor.map(|_| kept),
             threads: self.pool.num_threads(),
+            stages: None,
         })
     }
 

@@ -23,6 +23,15 @@ pub enum Method {
         /// (the paper's default is 0.01, i.e. a "2%" transfer ratio).
         keep_ratio: f64,
     },
+    /// `SU+O+P`: the pipelined execution backend — per-device write →
+    /// compress/update → read-back stages overlap across the CSDs, and the
+    /// timed view charges the shared uplink per stage instead of per step.
+    /// Functionally bit-identical to [`Method::SmartUpdate`] without
+    /// compression and to [`Method::SmartComp`] with it.
+    SmartInfinityPipelined {
+        /// Optional SmartComp Top-K keep ratio; `None` sends dense gradients.
+        keep_ratio: Option<f64>,
+    },
 }
 
 impl Method {
@@ -34,6 +43,10 @@ impl Method {
             Method::SmartUpdateOptimized => "SU+O".to_string(),
             Method::SmartComp { keep_ratio } => {
                 format!("SU+O+C({}%)", (keep_ratio * 2.0 * 100.0).round())
+            }
+            Method::SmartInfinityPipelined { keep_ratio: None } => "SU+O+P".to_string(),
+            Method::SmartInfinityPipelined { keep_ratio: Some(keep_ratio) } => {
+                format!("SU+O+P+C({}%)", (keep_ratio * 2.0 * 100.0).round())
             }
         }
     }
@@ -137,6 +150,14 @@ impl Experiment {
                 .with_handler(HandlerMode::Optimized)
                 .with_compression(keep_ratio)
                 .simulate_iteration()?,
+            Method::SmartInfinityPipelined { keep_ratio } => {
+                let mut engine =
+                    self.smart_engine().with_handler(HandlerMode::Optimized).with_pipelining();
+                if let Some(keep_ratio) = keep_ratio {
+                    engine = engine.with_compression(keep_ratio);
+                }
+                engine.simulate_iteration()?
+            }
         };
         Ok(report)
     }
@@ -200,7 +221,29 @@ mod tests {
         assert_eq!(Method::SmartUpdate.label(), "SU");
         assert_eq!(Method::SmartUpdateOptimized.label(), "SU+O");
         assert_eq!(Method::SmartComp { keep_ratio: 0.01 }.label(), "SU+O+C(2%)");
+        assert_eq!(Method::SmartInfinityPipelined { keep_ratio: None }.label(), "SU+O+P");
+        assert_eq!(
+            Method::SmartInfinityPipelined { keep_ratio: Some(0.01) }.label(),
+            "SU+O+P+C(2%)"
+        );
         assert_eq!(Method::ladder().len(), 4);
+    }
+
+    #[test]
+    fn pipelined_method_is_at_least_as_fast_as_its_serial_counterpart() {
+        let exp = experiment(6);
+        let su_o = exp.run(Method::SmartUpdateOptimized).unwrap();
+        let pipe = exp.run(Method::SmartInfinityPipelined { keep_ratio: None }).unwrap();
+        assert!(
+            pipe.total_s() <= su_o.total_s() * 1.001,
+            "{} vs {}",
+            pipe.total_s(),
+            su_o.total_s()
+        );
+        let comp = exp.run(Method::SmartComp { keep_ratio: 0.01 }).unwrap();
+        let pipe_comp = exp.run(Method::SmartInfinityPipelined { keep_ratio: Some(0.01) }).unwrap();
+        assert!(pipe_comp.total_s() <= comp.total_s() * 1.001);
+        assert!(pipe_comp.total_s() < pipe.total_s(), "compression still helps when pipelined");
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! | Internal data-transfer handler (Section IV-B) | [`HandlerMode`], the subgroup pipeline in [`SmartInfinityEngine`] |
 //! | SmartComp gradient compression (Section IV-C) | [`Method::SmartComp`], `gradcomp` + `csd::Decompressor` |
 //! | Multi-CSD distribution (Section IV-D) | [`tensorlib::Partitioner`] inside [`SmartInfinityTrainer`] |
+//! | Cross-CSD phase overlap (Sections IV-B/IV-D) | [`Method::SmartInfinityPipelined`], [`ztrain::PipelinedTrainer`], [`PipelineTiming`] |
 //!
 //! # Quick start
 //!
@@ -71,7 +72,7 @@ mod session;
 mod traffic;
 
 pub use engine_functional::SmartInfinityTrainer;
-pub use engine_timed::{HandlerMode, SmartInfinityEngine};
+pub use engine_timed::{HandlerMode, PipelineTiming, SmartInfinityEngine};
 pub use experiment::{Experiment, Method, MethodReport};
 pub use session::{Session, SessionBuilder};
 pub use traffic::{InterconnectTraffic, TrafficMethod, TrafficModel};
@@ -83,8 +84,8 @@ pub use llm::{CostModel, GpuSpec, ModelConfig, Workload};
 pub use optim::{HyperParams, Optimizer, OptimizerKind};
 pub use tensorlib::FlatTensor;
 pub use ztrain::{
-    BaselineEngine, GradientSource, IterationReport, MachineConfig, StepReport,
-    StorageOffloadTrainer, SyntheticGradients, TrainError, Trainer,
+    BaselineEngine, GradientSource, IterationReport, MachineConfig, PipelinedTrainer, StageReport,
+    StepReport, StorageOffloadTrainer, SyntheticGradients, TrainError, Trainer,
 };
 
 #[cfg(test)]

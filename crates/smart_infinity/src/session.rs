@@ -23,7 +23,9 @@ use fabric::StorageKind;
 use llm::{ModelConfig, Workload};
 use optim::Optimizer;
 use tensorlib::FlatTensor;
-use ztrain::{IterationReport, MachineConfig, StorageOffloadTrainer, TrainError, Trainer};
+use ztrain::{
+    IterationReport, MachineConfig, PipelinedTrainer, StorageOffloadTrainer, TrainError, Trainer,
+};
 
 /// Builder for a [`Session`]; see [`Session::builder`].
 #[derive(Debug, Clone)]
@@ -70,11 +72,10 @@ impl SessionBuilder {
     /// uses [`SmartInfinityEngine::DEFAULT_SUBGROUP_ELEMS`] and the
     /// functional trainers process each device shard as one subgroup.
     ///
-    /// # Panics
-    ///
-    /// Panics if `elems` is zero.
+    /// A zero capacity is accepted here (builders never fail) and rejected as
+    /// [`TrainError::Config`] when the session builds a trainer or simulates
+    /// an iteration — it used to panic deep inside the substrate instead.
     pub fn with_subgroup_elems(mut self, elems: usize) -> Self {
-        assert!(elems > 0, "subgroup capacity must be positive");
         self.subgroup_elems = Some(elems);
         self
     }
@@ -162,7 +163,15 @@ impl Session {
         if self.machine.num_devices == 0 {
             return Err(TrainError::config("machine must have at least one storage device"));
         }
-        if let Method::SmartComp { keep_ratio } = self.method {
+        if self.subgroup_elems == Some(0) {
+            return Err(TrainError::config("subgroup capacity must be positive"));
+        }
+        let keep_ratio = match self.method {
+            Method::SmartComp { keep_ratio } => Some(keep_ratio),
+            Method::SmartInfinityPipelined { keep_ratio } => keep_ratio,
+            _ => None,
+        };
+        if let Some(keep_ratio) = keep_ratio {
             if !gradcomp::valid_keep_ratio(keep_ratio) {
                 return Err(TrainError::config(format!(
                     "SmartComp keep ratio must be in (0, 1], got {keep_ratio}"
@@ -176,21 +185,32 @@ impl Session {
     /// [`Method::Baseline`] yields the ZeRO-Infinity-style
     /// [`StorageOffloadTrainer`] over `machine.num_devices` RAID0 SSDs; every
     /// Smart-Infinity method yields a [`SmartInfinityTrainer`] over the same
-    /// number of CSDs, with Top-K compression for [`Method::SmartComp`].
+    /// number of CSDs, with Top-K compression for [`Method::SmartComp`];
+    /// [`Method::SmartInfinityPipelined`] yields the overlapping
+    /// [`PipelinedTrainer`] — bit-identical to the serial trainers, with
+    /// per-stage telemetry in its step reports.
     /// ([`Method::SmartUpdate`] and [`Method::SmartUpdateOptimized`] are
     /// functionally identical — the handler only changes *timing*.)
     ///
     /// # Errors
     ///
     /// Returns [`TrainError::Config`] for invalid knobs (empty parameters,
-    /// out-of-range keep ratio) and a wrapped substrate error if a device
-    /// cannot hold its shard.
+    /// fewer parameters than devices, zero subgroup capacity, out-of-range
+    /// keep ratio) and a wrapped substrate error if a device cannot hold its
+    /// shard.
     pub fn trainer(&self, initial_params: &FlatTensor) -> Result<Box<dyn Trainer>, TrainError> {
         self.validate()?;
         if initial_params.is_empty() {
             return Err(TrainError::config("cannot train zero parameters"));
         }
         let devices = self.machine.num_devices;
+        if initial_params.len() < devices {
+            return Err(TrainError::config(format!(
+                "cannot split {} parameters across {devices} devices; \
+                 every device needs at least one parameter",
+                initial_params.len()
+            )));
+        }
         let subgroup = self.functional_subgroup_elems(initial_params.len());
         match self.method {
             Method::Baseline => {
@@ -204,6 +224,17 @@ impl Session {
             Method::SmartComp { keep_ratio } => Ok(Box::new(
                 self.smart_trainer(initial_params, devices, subgroup)?.with_compression(keep_ratio),
             )),
+            Method::SmartInfinityPipelined { keep_ratio } => {
+                let mut trainer =
+                    PipelinedTrainer::new(initial_params, self.optimizer, devices, subgroup)?;
+                if let Some(keep_ratio) = keep_ratio {
+                    trainer = trainer.with_compression(keep_ratio)?;
+                }
+                if self.threads > 1 {
+                    trainer = trainer.with_threads(self.threads);
+                }
+                Ok(Box::new(trainer))
+            }
         }
     }
 
@@ -238,8 +269,8 @@ impl Session {
         self.validate()?;
         match (self.method, self.handler) {
             // No handler override: the method ladder's standard mapping.
-            (method, None) => self.experiment().run(method),
-            (Method::Baseline, Some(_)) => self.experiment().run(Method::Baseline),
+            (method, None) => self.experiment()?.run(method),
+            (Method::Baseline, Some(_)) => self.experiment()?.run(Method::Baseline),
             // Handler override: build the timed engine directly.
             (method, Some(handler)) => {
                 let machine = MachineConfig { storage: StorageKind::Csd, ..self.machine.clone() };
@@ -249,8 +280,17 @@ impl Session {
                 if let Some(elems) = self.subgroup_elems {
                     engine = engine.with_subgroup_elems(elems);
                 }
-                if let Method::SmartComp { keep_ratio } = method {
-                    engine = engine.with_compression(keep_ratio);
+                match method {
+                    Method::SmartComp { keep_ratio } => {
+                        engine = engine.with_compression(keep_ratio);
+                    }
+                    Method::SmartInfinityPipelined { keep_ratio } => {
+                        engine = engine.with_pipelining();
+                        if let Some(keep_ratio) = keep_ratio {
+                            engine = engine.with_compression(keep_ratio);
+                        }
+                    }
+                    _ => {}
                 }
                 Ok(engine.simulate_iteration()?)
             }
@@ -260,13 +300,21 @@ impl Session {
     /// The timed sweep view of this configuration: an [`Experiment`] with the
     /// session's machine, workload, optimizer and subgroup capacity, for
     /// multi-method ladders ([`Experiment::compare`], [`Experiment::ladder`]).
-    pub fn experiment(&self) -> Experiment {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::Config`] for the same invalid knobs
+    /// [`Session::simulate_iteration`] rejects (zero devices, zero subgroup
+    /// capacity, out-of-range keep ratio) — the lower-level [`Experiment`]
+    /// asserts on them instead.
+    pub fn experiment(&self) -> Result<Experiment, TrainError> {
+        self.validate()?;
         let mut experiment = Experiment::new(self.machine.clone(), self.workload.clone())
             .with_optimizer(self.optimizer.kind());
         if let Some(elems) = self.subgroup_elems {
             experiment = experiment.with_subgroup_elems(elems);
         }
-        experiment
+        Ok(experiment)
     }
 }
 
@@ -336,6 +384,87 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_sessions_train_bit_identically_to_serial_smart_infinity() {
+        let initial = FlatTensor::randn(2_000, 0.05, 9);
+        for keep_ratio in [None, Some(0.05)] {
+            let serial_method = match keep_ratio {
+                None => Method::SmartUpdate,
+                Some(keep_ratio) => Method::SmartComp { keep_ratio },
+            };
+            let mut serial = session(serial_method).trainer(&initial).expect("trainer");
+            let mut pipelined = Session::builder(
+                ModelConfig::gpt2_0_34b(),
+                MachineConfig::smart_infinity(3),
+                Method::SmartInfinityPipelined { keep_ratio },
+            )
+            .with_threads(4)
+            .build()
+            .trainer(&initial)
+            .expect("trainer");
+            let mut src_a = SyntheticGradients::new(2_000, 0.01, 17);
+            let mut src_b = SyntheticGradients::new(2_000, 0.01, 17);
+            let mut report = ztrain::StepReport::default();
+            for _ in 0..3 {
+                serial.step_from(&mut src_a).expect("step");
+                report = pipelined.step_from(&mut src_b).expect("step");
+            }
+            assert_eq!(serial.params_fp16().as_slice(), pipelined.params_fp16().as_slice());
+            assert_eq!(
+                serial.master_params().expect("params").as_slice(),
+                pipelined.master_params().expect("params").as_slice()
+            );
+            // Only the pipelined backend reports per-stage overlap telemetry.
+            let stages = report.stages.expect("pipelined telemetry");
+            assert!(stages.is_overlapped());
+            assert_eq!(report.threads, 4);
+        }
+    }
+
+    #[test]
+    fn pipelined_method_drives_the_timed_view() {
+        let s = session(Method::SmartInfinityPipelined { keep_ratio: Some(0.01) });
+        let pipelined = s.simulate_iteration().expect("simulation");
+        let serial = session(Method::SmartComp { keep_ratio: 0.01 }).simulate_iteration().unwrap();
+        assert!(pipelined.total_s() <= serial.total_s() * 1.001);
+        // The keep-ratio validation covers the pipelined method too.
+        let err = session(Method::SmartInfinityPipelined { keep_ratio: Some(0.0) })
+            .trainer(&FlatTensor::zeros(10))
+            .expect_err("invalid ratio");
+        assert!(matches!(err, TrainError::Config { .. }), "{err}");
+    }
+
+    #[test]
+    fn zero_subgroup_capacity_is_a_config_error_not_a_panic() {
+        for method in [Method::Baseline, Method::SmartInfinityPipelined { keep_ratio: None }] {
+            let s = Session::builder(
+                ModelConfig::gpt2_0_34b(),
+                MachineConfig::smart_infinity(2),
+                method,
+            )
+            .with_subgroup_elems(0)
+            .build();
+            let err = s.trainer(&FlatTensor::zeros(16)).expect_err("zero subgroup");
+            assert!(matches!(err, TrainError::Config { .. }), "{err}");
+            assert!(err.to_string().contains("subgroup"), "{err}");
+            let err = s.simulate_iteration().expect_err("zero subgroup");
+            assert!(matches!(err, TrainError::Config { .. }), "{err}");
+            // The sweep front-end rejects it too instead of asserting later.
+            let err = s.experiment().expect_err("zero subgroup");
+            assert!(matches!(err, TrainError::Config { .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn fewer_parameters_than_devices_is_a_config_error() {
+        let s = session(Method::SmartUpdate);
+        let err = s.trainer(&FlatTensor::zeros(2)).expect_err("2 params on 3 devices");
+        assert!(matches!(err, TrainError::Config { .. }), "{err}");
+        assert!(err.to_string().contains("devices"), "{err}");
+        // Exactly one parameter per device is still allowed.
+        assert!(s.trainer(&FlatTensor::randn(3, 0.05, 1)).is_ok());
+    }
+
+    #[test]
     fn zero_devices_is_a_config_error_not_a_panic() {
         // MachineConfig's fields are public, so a hand-built (or deserialized)
         // config can carry a zero device count; the session must catch it.
@@ -390,8 +519,11 @@ mod tests {
     fn timed_view_matches_the_experiment_front_end() {
         let s = session(Method::SmartComp { keep_ratio: 0.01 });
         let via_session = s.simulate_iteration().expect("simulation");
-        let via_experiment =
-            s.experiment().run(Method::SmartComp { keep_ratio: 0.01 }).expect("simulation");
+        let via_experiment = s
+            .experiment()
+            .expect("experiment")
+            .run(Method::SmartComp { keep_ratio: 0.01 })
+            .expect("simulation");
         assert_eq!(via_session, via_experiment);
     }
 }

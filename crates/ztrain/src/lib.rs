@@ -19,9 +19,14 @@
 //! * [`StorageOffloadTrainer`] — a *functional* baseline that actually moves
 //!   bytes through [`ssd::RaidArray`] and runs the real optimizer kernels, so
 //!   Smart-Infinity's numerical equivalence can be tested end to end.
-//! * [`Trainer`] / [`StepReport`] / [`TrainError`] — the unified training
-//!   contract every functional substrate implements, so callers hold a
-//!   `dyn Trainer` and the `?` operator works across layer boundaries.
+//! * [`PipelinedTrainer`] — the pipelined fabric execution backend: each
+//!   device shard becomes a pipeline lane (write → compress/update →
+//!   read-back) and the lanes overlap on a [`parcore::ParExecutor`],
+//!   bit-identical to the serial trainers and reporting per-stage telemetry.
+//! * [`Trainer`] / [`StepReport`] / [`StageReport`] / [`TrainError`] — the
+//!   unified training contract every functional substrate implements, so
+//!   callers hold a `dyn Trainer` and the `?` operator works across layer
+//!   boundaries.
 //! * [`realtrain`] — a small, genuinely trained MLP classifier on synthetic
 //!   data, used to reproduce the accuracy side of the paper's fine-tuning
 //!   study (Table IV, Fig. 16).
@@ -32,6 +37,7 @@
 mod baseline;
 mod functional;
 mod machine;
+mod pipeline;
 mod platform;
 pub mod realtrain;
 mod report;
@@ -42,9 +48,12 @@ pub use baseline::{
 };
 pub use functional::{GradientSource, StorageOffloadTrainer, SyntheticGradients};
 pub use machine::MachineConfig;
+pub use pipeline::{
+    aggregate_csd_stats, init_csd_shards, reassemble_master_params, PipelinedTrainer,
+};
 pub use platform::TimedPlatform;
 pub use report::IterationReport;
-pub use trainer::{StepReport, TrainError, Trainer};
+pub use trainer::{StageReport, StepReport, TrainError, Trainer};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,541 @@
+//! The pipelined fabric execution backend.
+//!
+//! Smart-Infinity's headline win comes from *overlap*: gradient transfer,
+//! near-storage compression and optimizer updates proceed concurrently across
+//! the CSDs instead of one global phase at a time, so the shared host
+//! interconnect stops being a step-granularity bottleneck (paper Sections
+//! IV-B/IV-D). The serial functional trainer walks the device shards one
+//! after another; [`PipelinedTrainer`] turns each device shard into a
+//! *pipeline lane* — write (gradient ingest) → compress/update → read-back —
+//! and runs the lanes concurrently on a [`parcore::ParExecutor`].
+//!
+//! Two properties are load-bearing and asserted by the test suites:
+//!
+//! * **Bit-identical results.** Every lane performs exactly the serial
+//!   trainer's per-shard work (same error feedback, same Top-K selection,
+//!   same updater kernels), and lanes touch disjoint state — their own
+//!   [`CsdDevice`], their own residual, their own slice of the FP16 working
+//!   copy. Scheduling therefore cannot change a single bit of the result,
+//!   for any worker-thread or device count.
+//! * **Per-stage telemetry.** Each step's [`StepReport`] carries a
+//!   [`StageReport`]: how many bytes the write, update and read-back stages
+//!   moved and how many lanes were in flight, mirroring the stage-level link
+//!   accounting of the timed engine.
+//!
+//! Construction is fallible ([`TrainError::Config`]) rather than asserting:
+//! this backend is reached from user-facing configuration
+//! (`smart_infinity::Session`), where a bad knob must be an error, not an
+//! abort.
+
+use crate::trainer::{StageReport, StepReport, TrainError, Trainer};
+use csd::{CsdDevice, CsdError, CsdTrafficStats, SubgroupUpdate};
+use gradcomp::{Compressor, ErrorFeedback};
+use optim::Optimizer;
+use parcore::ParExecutor;
+use tensorlib::{Chunker, Dtype, FlatTensor, Partitioner, Shard};
+
+/// The distributed starting state shared by every functional Smart-Infinity
+/// trainer (serial or pipelined): the flattened parameters contiguously
+/// sharded across fresh CSD models, with the FP32 master copy and zeroed
+/// optimizer state stored on each device, plus one error-feedback residual
+/// per shard.
+///
+/// Extracted so the serial and pipelined trainers cannot drift apart — their
+/// bit-identicality starts with byte-identical device state.
+pub fn init_csd_shards(
+    initial_params: &FlatTensor,
+    optimizer: &Optimizer,
+    num_csds: usize,
+) -> Result<(Partitioner, Vec<CsdDevice>, Vec<ErrorFeedback>), CsdError> {
+    let partitioner = Partitioner::contiguous(initial_params.len(), num_csds);
+    let mut csds = Vec::with_capacity(num_csds);
+    for shard in partitioner.shards() {
+        let mut csd = CsdDevice::new(format!("csd{}", shard.device), u64::MAX / 4, u64::MAX / 4);
+        let shard_params = initial_params.slice(shard.offset, shard.len);
+        csd.store_initial_state("shard", &shard_params, optimizer)?;
+        csds.push(csd);
+    }
+    let feedback = partitioner.shards().iter().map(|s| ErrorFeedback::new(s.len)).collect();
+    Ok((partitioner, csds, feedback))
+}
+
+/// Reassembles the FP32 master copy from the per-device shards created by
+/// [`init_csd_shards`].
+pub fn reassemble_master_params(
+    csds: &mut [CsdDevice],
+    partitioner: &Partitioner,
+) -> Result<FlatTensor, CsdError> {
+    let mut out = FlatTensor::zeros(partitioner.total());
+    for (csd, shard) in csds.iter_mut().zip(partitioner.shards()) {
+        if shard.len == 0 {
+            continue;
+        }
+        let t = csd.load_parameters("shard", 0, shard.len)?;
+        out.write_slice(shard.offset, t.as_slice());
+    }
+    Ok(out)
+}
+
+/// Sums the CSD-internal P2P traffic statistics of a device set.
+pub fn aggregate_csd_stats(csds: &[CsdDevice]) -> CsdTrafficStats {
+    let mut total = CsdTrafficStats::default();
+    for csd in csds {
+        let s = csd.stats();
+        total.p2p_read_bytes += s.p2p_read_bytes;
+        total.p2p_write_bytes += s.p2p_write_bytes;
+        total.updates_run += s.updates_run;
+        total.elements_updated += s.elements_updated;
+    }
+    total
+}
+
+/// Everything one pipeline lane may touch: disjoint per-device state, so the
+/// lanes can run concurrently without synchronisation.
+struct Lane<'a> {
+    shard: Shard,
+    csd: &'a mut CsdDevice,
+    feedback: &'a mut ErrorFeedback,
+    scratch: &'a mut FlatTensor,
+    fp16_out: &'a mut [f32],
+}
+
+/// Byte accounting of one lane's trip through the three stages.
+#[derive(Debug, Clone, Copy, Default)]
+struct LaneReport {
+    write_bytes: u64,
+    kept: u64,
+    update_read_bytes: u64,
+    update_write_bytes: u64,
+    read_back_bytes: u64,
+}
+
+/// A functional Smart-Infinity trainer whose per-device stages overlap.
+///
+/// Holds the same distributed state as the serial trainer — the flattened
+/// parameters contiguously sharded across CSD models, FP32 master copies and
+/// optimizer states on each device — but executes each step as a software
+/// pipeline over the shards. Results are **bit-identical** to the serial
+/// trainer for every thread count; only wall-clock time and the telemetry
+/// (`StepReport::stages`) differ.
+#[derive(Debug)]
+pub struct PipelinedTrainer {
+    csds: Vec<CsdDevice>,
+    partitioner: Partitioner,
+    optimizer: Optimizer,
+    params_fp16: FlatTensor,
+    compressor: Option<Compressor>,
+    feedback: Vec<ErrorFeedback>,
+    // One gradient scratch buffer per lane, reused across steps.
+    scratch: Vec<FlatTensor>,
+    subgroup_elems: usize,
+    pool: ParExecutor,
+    step: u64,
+}
+
+impl PipelinedTrainer {
+    /// Creates a pipelined trainer: partitions the parameters across
+    /// `num_csds` CSDs and initialises the FP32 master copy and optimizer
+    /// states on each device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::Config`] for a zero device count or zero
+    /// subgroup capacity, and a wrapped [`CsdError`] if a device cannot hold
+    /// its shard.
+    pub fn new(
+        initial_params: &FlatTensor,
+        optimizer: Optimizer,
+        num_csds: usize,
+        subgroup_elems: usize,
+    ) -> Result<Self, TrainError> {
+        if num_csds == 0 {
+            return Err(TrainError::config("at least one CSD is required"));
+        }
+        if subgroup_elems == 0 {
+            return Err(TrainError::config("subgroup capacity must be positive"));
+        }
+        let (partitioner, csds, feedback) =
+            init_csd_shards(initial_params, &optimizer, num_csds).map_err(TrainError::from)?;
+        let params_fp16 = FlatTensor::from_bytes(&initial_params.to_bytes(Dtype::F16), Dtype::F16);
+        let scratch = vec![FlatTensor::default(); num_csds];
+        Ok(Self {
+            csds,
+            partitioner,
+            optimizer,
+            params_fp16,
+            compressor: None,
+            feedback,
+            scratch,
+            subgroup_elems,
+            pool: ParExecutor::serial(),
+            step: 0,
+        })
+    }
+
+    /// Enables SmartComp: each lane Top-K-compresses its shard's gradients
+    /// (with error feedback) before they cross the host interconnect.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::Config`] if `keep_ratio` is not in `(0, 1]`.
+    pub fn with_compression(mut self, keep_ratio: f64) -> Result<Self, TrainError> {
+        if !gradcomp::valid_keep_ratio(keep_ratio) {
+            return Err(TrainError::config(format!(
+                "Top-K keep ratio must be in (0, 1], got {keep_ratio}"
+            )));
+        }
+        self.compressor = Some(Compressor::top_k(keep_ratio));
+        Ok(self)
+    }
+
+    /// Sets the number of host worker threads the pipeline lanes fan out
+    /// across. The *lanes* are the unit of parallelism: each lane's kernels
+    /// run serially inside it (fanning out twice would oversubscribe the
+    /// workers), and results are bit-identical for every thread count.
+    pub fn with_threads(mut self, num_threads: usize) -> Self {
+        self.pool = ParExecutor::new(num_threads);
+        self
+    }
+
+    /// The host worker-thread count of the execution backend.
+    pub fn num_threads(&self) -> usize {
+        self.pool.num_threads()
+    }
+
+    /// Number of parameters being trained.
+    pub fn num_params(&self) -> usize {
+        self.partitioner.total()
+    }
+
+    /// Number of CSDs (pipeline lanes).
+    pub fn num_csds(&self) -> usize {
+        self.csds.len()
+    }
+
+    /// Number of completed steps.
+    pub fn steps_completed(&self) -> u64 {
+        self.step
+    }
+
+    /// The FP16 working copy of the parameters.
+    pub fn params_fp16(&self) -> &FlatTensor {
+        &self.params_fp16
+    }
+
+    /// Whether SmartComp is enabled.
+    pub fn is_compressed(&self) -> bool {
+        self.compressor.is_some()
+    }
+
+    /// Reassembles the FP32 master copy from all CSDs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a wrapped [`CsdError`] if a shard read fails.
+    pub fn master_params(&mut self) -> Result<FlatTensor, TrainError> {
+        Ok(reassemble_master_params(&mut self.csds, &self.partitioner)?)
+    }
+
+    /// Aggregated CSD-internal P2P traffic statistics across all devices.
+    pub fn aggregate_stats(&self) -> CsdTrafficStats {
+        aggregate_csd_stats(&self.csds)
+    }
+
+    /// Runs one pipelined training step with an explicitly provided dense
+    /// gradient. All lanes run concurrently on the worker pool; the returned
+    /// [`StepReport`] carries the per-stage byte telemetry in
+    /// [`StepReport::stages`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-indexed lane's error if any device operation fails
+    /// (deterministic regardless of scheduling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads.len()` differs from the number of parameters.
+    pub fn train_step_with_grads(&mut self, grads: &FlatTensor) -> Result<StepReport, TrainError> {
+        assert_eq!(grads.len(), self.num_params(), "gradient length mismatch");
+        self.step += 1;
+        let step = self.step;
+        let optimizer = self.optimizer;
+        let subgroup_elems = self.subgroup_elems;
+        let compressor = self.compressor;
+
+        // Carve the step into lanes: shard i owns csds[i], feedback[i],
+        // scratch[i] and its contiguous slice of the FP16 working copy.
+        let shards = self.partitioner.shards().to_vec();
+        let mut lanes = Vec::with_capacity(shards.len());
+        let mut fp16_rest = self.params_fp16.as_mut_slice();
+        let mut csds = self.csds.iter_mut();
+        let mut feedback = self.feedback.iter_mut();
+        let mut scratch = self.scratch.iter_mut();
+        for shard in shards {
+            let (fp16_out, rest) = fp16_rest.split_at_mut(shard.len);
+            fp16_rest = rest;
+            lanes.push(Lane {
+                shard,
+                csd: csds.next().expect("one CSD per shard"),
+                feedback: feedback.next().expect("one residual per shard"),
+                scratch: scratch.next().expect("one scratch buffer per shard"),
+                fp16_out,
+            });
+        }
+        let active_lanes = lanes.iter().filter(|l| l.shard.len > 0).count();
+
+        let results = self.pool.map(lanes, |_, lane| {
+            Self::run_lane(lane, grads, compressor, optimizer, subgroup_elems, step)
+        });
+
+        let mut stages = StageReport {
+            lanes: self.pool.num_threads().min(active_lanes).max(1),
+            ..StageReport::default()
+        };
+        let mut kept = 0u64;
+        let mut storage_bytes_read = 0u64;
+        let mut storage_bytes_written = 0u64;
+        for result in results {
+            let lane = result.map_err(TrainError::from)?;
+            stages.write_bytes += lane.write_bytes;
+            stages.update_bytes += lane.update_read_bytes + lane.update_write_bytes;
+            stages.read_back_bytes += lane.read_back_bytes;
+            storage_bytes_read += lane.update_read_bytes;
+            storage_bytes_written += lane.update_write_bytes;
+            kept += lane.kept;
+        }
+        Ok(StepReport {
+            step,
+            gradient_bytes: stages.write_bytes,
+            storage_bytes_read,
+            storage_bytes_written,
+            compression_kept: compressor.map(|_| kept),
+            threads: self.pool.num_threads(),
+            stages: Some(stages),
+        })
+    }
+
+    /// One lane's trip through the pipeline: write → compress/update →
+    /// read-back, entirely on this lane's own device state.
+    fn run_lane(
+        lane: Lane<'_>,
+        grads: &FlatTensor,
+        compressor: Option<Compressor>,
+        optimizer: Optimizer,
+        subgroup_elems: usize,
+        step: u64,
+    ) -> Result<LaneReport, CsdError> {
+        let Lane { shard, csd, feedback, scratch, fp16_out } = lane;
+        if shard.len == 0 {
+            return Ok(LaneReport::default());
+        }
+        let before = csd.stats();
+
+        // Stage 1 — write: the shard's gradient crosses the host interconnect
+        // downstream, dense or as the Top-K stream (identical math to the
+        // serial trainer: error feedback, then a selection that is
+        // bit-identical for any executor).
+        grads.slice_into(shard.offset, shard.len, scratch);
+        let compressed = match &compressor {
+            None => None,
+            Some(c) => {
+                feedback.apply_in_place(scratch);
+                let compressed = c.try_compress(scratch)?;
+                feedback.update(scratch, &compressed);
+                Some(compressed)
+            }
+        };
+        let (write_bytes, kept) = match &compressed {
+            None => (4 * shard.len as u64, 0),
+            Some(c) => (c.compressed_bytes() as u64, c.num_selected() as u64),
+        };
+        if compressed.is_none() {
+            csd.store_gradients("shard", scratch)?;
+        }
+
+        // Stage 2 — update: subgroup-by-subgroup near-storage optimizer step
+        // over CSD-internal P2P.
+        for subgroup in Chunker::new(shard.len, subgroup_elems).subgroups() {
+            csd.update_subgroup(SubgroupUpdate {
+                shard: "shard",
+                offset: subgroup.offset,
+                len: subgroup.len,
+                optimizer,
+                step,
+                compressed: compressed.as_ref(),
+            })?;
+        }
+
+        // Stage 3 — read-back: the refreshed FP16 working copy returns to
+        // host memory, rounded straight into this lane's output slice.
+        let updated = csd.load_parameters("shard", 0, shard.len)?;
+        updated.roundtrip_f16_into(fp16_out);
+
+        let after = csd.stats();
+        Ok(LaneReport {
+            write_bytes,
+            kept,
+            update_read_bytes: after.p2p_read_bytes - before.p2p_read_bytes,
+            update_write_bytes: after.p2p_write_bytes - before.p2p_write_bytes,
+            read_back_bytes: 2 * shard.len as u64,
+        })
+    }
+}
+
+impl Trainer for PipelinedTrainer {
+    fn step(&mut self, grads: &FlatTensor) -> Result<StepReport, TrainError> {
+        self.train_step_with_grads(grads)
+    }
+
+    fn params_fp16(&self) -> &FlatTensor {
+        &self.params_fp16
+    }
+
+    fn master_params(&mut self) -> Result<FlatTensor, TrainError> {
+        PipelinedTrainer::master_params(self)
+    }
+
+    fn steps_completed(&self) -> u64 {
+        self.step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functional::{StorageOffloadTrainer, SyntheticGradients};
+
+    #[test]
+    fn pipelined_is_bit_identical_to_the_host_baseline() {
+        // Without compression the near-storage update is numerically the
+        // baseline update, so the pipelined backend must match it bit for bit.
+        let n = 5000;
+        let optimizer = Optimizer::adam_default();
+        let initial = FlatTensor::randn(n, 0.05, 1);
+        let mut baseline = StorageOffloadTrainer::new(&initial, optimizer, 2, 1024).unwrap();
+        let mut pipelined =
+            PipelinedTrainer::new(&initial, optimizer, 3, 700).unwrap().with_threads(4);
+        for step in 0..4u64 {
+            let grads = FlatTensor::randn(n, 0.01, 100 + step);
+            baseline.train_step_with_grads(&grads).unwrap();
+            pipelined.train_step_with_grads(&grads).unwrap();
+        }
+        assert_eq!(
+            pipelined.master_params().unwrap().as_slice(),
+            baseline.master_params().unwrap().as_slice()
+        );
+        assert_eq!(pipelined.params_fp16().as_slice(), baseline.params_fp16().as_slice());
+        assert_eq!(pipelined.steps_completed(), 4);
+        assert_eq!(pipelined.num_csds(), 3);
+        assert_eq!(pipelined.num_params(), n);
+        assert!(!pipelined.is_compressed());
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        let n = 4000;
+        let optimizer = Optimizer::adam_default();
+        let initial = FlatTensor::randn(n, 0.05, 7);
+        let run = |threads: usize, keep: Option<f64>| {
+            let mut t = PipelinedTrainer::new(&initial, optimizer, 3, 600).unwrap();
+            if let Some(k) = keep {
+                t = t.with_compression(k).unwrap();
+            }
+            t = t.with_threads(threads);
+            assert_eq!(t.num_threads(), threads.max(1));
+            let mut source = SyntheticGradients::new(n, 0.01, 55);
+            let mut last = StepReport::default();
+            for _ in 0..3 {
+                last = t.step_from(&mut source).unwrap();
+            }
+            (t.master_params().unwrap(), t.params_fp16().clone(), last)
+        };
+        for keep in [None, Some(0.05)] {
+            let (serial_master, serial_fp16, serial_report) = run(1, keep);
+            for threads in [2usize, 4, 7] {
+                let (master, fp16, report) = run(threads, keep);
+                assert_eq!(master.as_slice(), serial_master.as_slice(), "{keep:?} t={threads}");
+                assert_eq!(fp16.as_slice(), serial_fp16.as_slice(), "{keep:?} t={threads}");
+                // Telemetry: identical bytes, different lane concurrency.
+                let (s, r) = (serial_report.stages.unwrap(), report.stages.unwrap());
+                assert_eq!(s.write_bytes, r.write_bytes);
+                assert_eq!(s.update_bytes, r.update_bytes);
+                assert_eq!(s.read_back_bytes, r.read_back_bytes);
+                assert_eq!(s.lanes, 1);
+                assert_eq!(r.lanes, threads.min(3));
+                assert_eq!(report.threads, threads);
+            }
+        }
+    }
+
+    #[test]
+    fn stage_telemetry_matches_the_analytic_accounting() {
+        let n = 6000;
+        let optimizer = Optimizer::adam_default();
+        let mut t = PipelinedTrainer::new(&FlatTensor::zeros(n), optimizer, 3, 1000)
+            .unwrap()
+            .with_threads(2);
+        let report = t.train_step_with_grads(&FlatTensor::zeros(n)).unwrap();
+        let stages = report.stages.expect("pipelined steps report stages");
+        assert!(report.is_pipelined());
+        // Dense Adam: 4n gradient down, 16n read + 12n written internally,
+        // 2n FP16 up.
+        assert_eq!(stages.write_bytes, 4 * n as u64);
+        assert_eq!(stages.update_bytes, 28 * n as u64);
+        assert_eq!(stages.read_back_bytes, 2 * n as u64);
+        assert_eq!(stages.total_bytes(), 34 * n as u64);
+        assert!(stages.is_overlapped());
+        assert_eq!(stages.lanes, 2);
+        // The flat counters agree with the stage split.
+        assert_eq!(report.gradient_bytes, stages.write_bytes);
+        assert_eq!(report.storage_bytes_total(), stages.update_bytes);
+        let stats = t.aggregate_stats();
+        assert_eq!(stats.elements_updated, n as u64);
+        assert_eq!(stats.updates_run, 6); // 3 shards x 2 subgroups
+    }
+
+    #[test]
+    fn invalid_configuration_is_an_error_not_a_panic() {
+        let initial = FlatTensor::zeros(16);
+        let optimizer = Optimizer::adam_default();
+        let e = PipelinedTrainer::new(&initial, optimizer, 0, 8).unwrap_err();
+        assert!(matches!(e, TrainError::Config { .. }), "{e}");
+        let e = PipelinedTrainer::new(&initial, optimizer, 2, 0).unwrap_err();
+        assert!(matches!(e, TrainError::Config { .. }), "{e}");
+        let e = PipelinedTrainer::new(&initial, optimizer, 2, 8)
+            .unwrap()
+            .with_compression(0.0)
+            .unwrap_err();
+        assert!(matches!(e, TrainError::Config { .. }), "{e}");
+        let e = PipelinedTrainer::new(&initial, optimizer, 2, 8)
+            .unwrap()
+            .with_compression(1.5)
+            .unwrap_err();
+        assert!(e.to_string().contains("keep ratio"), "{e}");
+    }
+
+    #[test]
+    fn more_lanes_than_parameters_still_works() {
+        // Degenerate split: 7 devices, 3 parameters — four lanes are empty
+        // and must neither panic nor contribute telemetry.
+        let initial = FlatTensor::randn(3, 0.05, 3);
+        let grads = FlatTensor::randn(3, 0.01, 4);
+        let optimizer = Optimizer::adam_default();
+        let mut wide = PipelinedTrainer::new(&initial, optimizer, 7, 4).unwrap().with_threads(4);
+        let mut narrow = PipelinedTrainer::new(&initial, optimizer, 1, 4).unwrap();
+        let report = wide.train_step_with_grads(&grads).unwrap();
+        narrow.train_step_with_grads(&grads).unwrap();
+        assert_eq!(
+            wide.master_params().unwrap().as_slice(),
+            narrow.master_params().unwrap().as_slice()
+        );
+        assert_eq!(report.stages.unwrap().lanes, 3, "only non-empty shards count as lanes");
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient length mismatch")]
+    fn wrong_gradient_length_panics() {
+        let mut t = PipelinedTrainer::new(&FlatTensor::zeros(10), Optimizer::adam_default(), 1, 10)
+            .unwrap();
+        let _ = t.train_step_with_grads(&FlatTensor::zeros(5));
+    }
+}

@@ -102,6 +102,25 @@ impl TimedPlatform {
         self.sim.add_phase(name)
     }
 
+    /// The two directional simulation links of the *shared host interconnect*
+    /// (the host ↔ expansion-switch edge every storage device funnels
+    /// through), as `(host→devices, devices→host)`. Pipelined engines pass
+    /// these to [`simkit::Timeline::link_busy_time_in_phase`] to report how
+    /// long each stage occupied the shared uplink.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: every platform preset connects the host to the
+    /// expansion switch directly.
+    pub fn host_uplink_links(&self) -> (LinkId, LinkId) {
+        let edge = self
+            .fabric
+            .topology()
+            .edge_between(self.platform.host, self.platform.expansion)
+            .expect("host and expansion switch are always directly connected");
+        self.fabric.links_of_edge(edge)
+    }
+
     /// Adds a barrier completing after all `deps`.
     pub fn barrier(&mut self, deps: &[TaskId]) -> TaskId {
         self.sim.barrier(deps)
@@ -367,6 +386,23 @@ mod tests {
         let t_host = host_side.run().unwrap().makespan();
         assert!(t_internal < 1.05, "internal: {t_internal}");
         assert!(t_host > 1.4, "host side should saturate the uplink: {t_host}");
+    }
+
+    #[test]
+    fn host_uplink_links_identify_the_shared_interconnect() {
+        let mut plat = TimedPlatform::new(&MachineConfig::smart_infinity(2));
+        let (down, up) = plat.host_uplink_links();
+        assert_ne!(down, up);
+        let p = plat.add_phase("write");
+        let w = plat.host_to_ssd(0, 3.2e9, &[], p);
+        let tl = plat.run().unwrap();
+        // The downlink is busy exactly while the write flows; the opposite
+        // direction idles (full duplex).
+        let t = tl.finish_time(w);
+        assert!(t > 0.0);
+        assert!((tl.link_busy_time(down) - t).abs() < 1e-9);
+        assert!((tl.link_busy_time_in_phase(down, p) - t).abs() < 1e-9);
+        assert_eq!(tl.link_busy_time(up), 0.0);
     }
 
     #[test]

@@ -18,12 +18,49 @@
 //!   to the device that actually failed.
 
 use csd::CsdError;
+use gradcomp::CompressError;
 use serde::Serialize;
 use simkit::SimError;
 use ssd::SsdError;
 use std::error::Error;
 use std::fmt;
 use tensorlib::FlatTensor;
+
+/// Per-stage byte telemetry of one pipelined training step.
+///
+/// The pipelined execution backend splits each device shard's step into three
+/// stages — **write** (gradient ingest over the host interconnect),
+/// **update** (CSD-internal optimizer update) and **read-back** (refreshed
+/// FP16 parameters upstream) — and overlaps the stages of different shards.
+/// This report records how many bytes each stage moved and how many pipeline
+/// lanes ran concurrently; serial backends leave it `None` on the
+/// [`StepReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct StageReport {
+    /// Bytes the write stage pushed downstream over the shared host
+    /// interconnect (dense gradients, or the Top-K index+value stream).
+    pub write_bytes: u64,
+    /// CSD-internal P2P bytes (reads + writes) the update stage moved.
+    pub update_bytes: u64,
+    /// FP16 parameter bytes the read-back stage returned upstream.
+    pub read_back_bytes: u64,
+    /// Concurrent pipeline lanes: device shards whose stages were in flight
+    /// at once (`min(worker threads, non-empty shards)`).
+    pub lanes: usize,
+}
+
+impl StageReport {
+    /// Total bytes moved across all three stages.
+    pub fn total_bytes(&self) -> u64 {
+        self.write_bytes + self.update_bytes + self.read_back_bytes
+    }
+
+    /// Whether more than one pipeline lane was in flight (i.e. stages of
+    /// different shards actually overlapped).
+    pub fn is_overlapped(&self) -> bool {
+        self.lanes > 1
+    }
+}
 
 /// Per-step telemetry returned by [`Trainer::step`].
 ///
@@ -58,6 +95,9 @@ pub struct StepReport {
     pub compression_kept: Option<u64>,
     /// Host worker threads the execution backend used for this step.
     pub threads: usize,
+    /// Per-stage overlap telemetry of the pipelined execution backend;
+    /// `None` for backends that execute the step's phases serially.
+    pub stages: Option<StageReport>,
 }
 
 impl StepReport {
@@ -70,6 +110,12 @@ impl StepReport {
     /// interconnect.
     pub fn is_compressed(&self) -> bool {
         self.compression_kept.is_some()
+    }
+
+    /// Whether the step was executed by a pipelined backend (per-stage
+    /// telemetry is present).
+    pub fn is_pipelined(&self) -> bool {
+        self.stages.is_some()
     }
 }
 
@@ -136,6 +182,15 @@ impl From<CsdError> for TrainError {
 impl From<SimError> for TrainError {
     fn from(e: SimError) -> Self {
         TrainError::Simulation(e)
+    }
+}
+
+impl From<CompressError> for TrainError {
+    /// Compression representation errors (e.g. a shard longer than the u32
+    /// index space) surface through the device layer, preserving the
+    /// `TrainError` → [`CsdError`] → [`CompressError`] source chain.
+    fn from(e: CompressError) -> Self {
+        TrainError::Device(CsdError::Compression(e))
     }
 }
 
@@ -241,8 +296,32 @@ mod tests {
         };
         assert_eq!(dense.storage_bytes_total(), 28);
         assert!(!dense.is_compressed());
+        assert!(!dense.is_pipelined());
         let sparse = StepReport { compression_kept: Some(10), ..StepReport::default() };
         assert!(sparse.is_compressed());
+    }
+
+    #[test]
+    fn stage_report_helpers() {
+        let stages = StageReport { write_bytes: 8, update_bytes: 28, read_back_bytes: 4, lanes: 3 };
+        assert_eq!(stages.total_bytes(), 40);
+        assert!(stages.is_overlapped());
+        assert!(!StageReport { lanes: 1, ..StageReport::default() }.is_overlapped());
+        let report = StepReport { stages: Some(stages), ..StepReport::default() };
+        assert!(report.is_pipelined());
+        assert_eq!(report.stages.unwrap().update_bytes, 28);
+    }
+
+    #[test]
+    fn compression_errors_chain_through_the_device_layer() {
+        let compress = CompressError::IndexSpaceExceeded { original_len: 1 << 40 };
+        let e: TrainError = compress.into();
+        assert!(e.to_string().starts_with("device error"));
+        let device = e.source().expect("device layer");
+        assert!(device.downcast_ref::<CsdError>().is_some());
+        let origin = device.source().expect("compression layer");
+        assert_eq!(origin.downcast_ref::<CompressError>(), Some(&compress));
+        assert!(origin.source().is_none());
     }
 
     #[test]

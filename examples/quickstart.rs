@@ -27,7 +27,7 @@ fn main() -> Result<(), TrainError> {
 
     let timed =
         Session::builder(model, MachineConfig::smart_infinity(10), Method::Baseline).build();
-    let reports = timed.experiment().ladder()?;
+    let reports = timed.experiment()?.ladder()?;
     println!("\nOne training iteration with 10 storage devices:");
     println!(
         "{:<12} {:>8} {:>12} {:>10} {:>10} {:>9}",
@@ -56,10 +56,16 @@ fn main() -> Result<(), TrainError> {
     let machine = MachineConfig::smart_infinity(4);
     let small = ModelConfig::gpt2_0_34b();
 
-    let methods = [Method::Baseline, Method::SmartUpdate, Method::SmartComp { keep_ratio }];
+    let methods = [
+        Method::Baseline,
+        Method::SmartUpdate,
+        Method::SmartComp { keep_ratio },
+        Method::SmartInfinityPipelined { keep_ratio: None },
+    ];
     let mut trainers: Vec<Box<dyn Trainer>> = Vec::new();
     for method in methods {
-        let session = Session::builder(small.clone(), machine.clone(), method).build();
+        let session =
+            Session::builder(small.clone(), machine.clone(), method).with_threads(4).build();
         trainers.push(session.trainer(&initial)?);
     }
 
@@ -92,6 +98,19 @@ fn main() -> Result<(), TrainError> {
     let identical = trainers[1].params_fp16().as_slice() == trainers[0].params_fp16().as_slice();
     println!("  SmartUpdate parameters identical to baseline: {identical}");
     assert!(identical, "SmartUpdate must be bit-identical to the baseline");
+
+    // The pipelined backend overlaps write → update → read-back across the
+    // CSDs and is still bit-identical to the baseline; its StepReport breaks
+    // the bytes down per stage.
+    let pipelined_identical =
+        trainers[3].params_fp16().as_slice() == trainers[0].params_fp16().as_slice();
+    assert!(pipelined_identical, "the pipelined backend must be bit-identical too");
+    let stages = last_reports[3].stages.expect("pipelined backend reports stage telemetry");
+    println!(
+        "  Pipelined backend identical to baseline: {pipelined_identical} \
+         (lanes: {}, write/update/read-back: {}/{}/{} B)",
+        stages.lanes, stages.write_bytes, stages.update_bytes, stages.read_back_bytes
+    );
 
     // The per-step telemetry carries exactly what the per-engine accessors
     // used to report. Baseline (Adam): 16n bytes read and written per step on

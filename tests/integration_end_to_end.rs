@@ -17,7 +17,7 @@ fn full_ladder_reproduces_the_headline_speedups() {
         Method::Baseline,
     )
     .build();
-    let reports = session.experiment().ladder().expect("simulation");
+    let reports = session.experiment().expect("experiment").ladder().expect("simulation");
     assert_eq!(reports.len(), 4);
     // BASE, SU, SU+O, SU+O+C in increasing speedup order.
     for pair in reports.windows(2) {
