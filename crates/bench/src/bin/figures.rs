@@ -1,17 +1,25 @@
-//! Regenerates every table and figure of the Smart-Infinity evaluation.
+//! Regenerates every table and figure of the Smart-Infinity evaluation, and
+//! runs spec-driven campaigns.
 //!
 //! ```text
 //! cargo run -p bench --release --bin figures -- all
 //! cargo run -p bench --release --bin figures -- fig9 fig11 tab4
 //! cargo run -p bench --release --bin figures -- --json results/ all
+//! cargo run -p bench --release --bin figures -- campaign specs/ladder.json
+//! cargo run -p bench --release --bin figures -- --check campaign specs/*.json
 //! ```
 //!
 //! Each experiment prints a text table; with `--json DIR` the raw data is also
 //! written as one JSON file per experiment (used to fill in EXPERIMENTS.md).
+//! `campaign` loads each given `*.json` spec file, runs every spec in it
+//! concurrently on `parcore` workers and prints the per-spec breakdown;
+//! `--check` only parses and validates the files (the CI guard for the
+//! checked-in `specs/`).
 
 use bench::harness;
 use serde::Serialize;
-use std::path::PathBuf;
+use smart_infinity::Campaign;
+use std::path::{Path, PathBuf};
 
 const ALL: &[&str] = &[
     "fig3a", "fig3b", "tab1", "tab3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
@@ -22,7 +30,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_dir: Option<PathBuf> = None;
     let mut selected: Vec<String> = Vec::new();
+    let mut campaign_paths: Vec<String> = Vec::new();
+    let mut campaign_mode = false;
     let mut quick = false;
+    let mut check = false;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -34,12 +45,19 @@ fn main() {
                 json_dir = Some(PathBuf::from(dir));
             }
             "--quick" => quick = true,
+            "--check" => check = true,
+            "campaign" => campaign_mode = true,
             "all" => selected.extend(ALL.iter().map(|s| s.to_string())),
+            other if campaign_mode => campaign_paths.push(other.to_string()),
             other => selected.push(other.to_string()),
         }
     }
-    if selected.is_empty() {
-        eprintln!("usage: figures [--json DIR] [--quick] <all | fig3a fig3b tab1 tab3 fig9 fig10 fig11 fig12 fig13 fig14 fig15 tab4 fig16 fig17 perf>");
+    if selected.is_empty() && campaign_paths.is_empty() {
+        eprintln!(
+            "usage: figures [--json DIR] [--quick] <all | fig3a fig3b tab1 tab3 fig9 fig10 \
+             fig11 fig12 fig13 fig14 fig15 tab4 fig16 fig17 pipeline perf>\n\
+             \x20      figures [--json DIR] [--check] campaign <spec.json> [spec.json ...]"
+        );
         std::process::exit(2);
     }
     if let Some(dir) = &json_dir {
@@ -48,6 +66,35 @@ fn main() {
     for id in selected {
         run_one(&id, quick, json_dir.as_deref());
     }
+    for path in campaign_paths {
+        run_campaign(Path::new(&path), check, json_dir.as_deref());
+    }
+}
+
+fn run_campaign(path: &Path, check: bool, json: Option<&Path>) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    let campaign = Campaign::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("{}: {e}", path.display());
+        std::process::exit(1);
+    });
+    if check {
+        if let Err(e) = campaign.validate() {
+            eprintln!("{}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("OK {} ({} specs)", path.display(), campaign.specs.len());
+        return;
+    }
+    let report = campaign.run().unwrap_or_else(|e| {
+        eprintln!("{}: {e}", path.display());
+        std::process::exit(1);
+    });
+    println!("{}", harness::render_campaign(&report));
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("campaign");
+    write_json(json, &format!("campaign_{stem}"), &report);
 }
 
 fn write_json<T: Serialize>(dir: Option<&std::path::Path>, id: &str, value: &T) {

@@ -7,7 +7,8 @@ use llm::{CostModel, GpuSpec, ModelConfig, Workload};
 use optim::OptimizerKind;
 use serde::Serialize;
 use smart_infinity::{
-    Experiment, Method, Session, SmartInfinityEngine, TrafficMethod, TrafficModel,
+    Campaign, CampaignReport, Experiment, MachineSpec, Method, MethodSpec, ModelSpec, RunSpec,
+    Session, SmartInfinityEngine, TrafficMethod, TrafficModel,
 };
 use ztrain::realtrain::{train_classifier, Dataset, MlpModel, TrainConfig};
 use ztrain::{BaselineEngine, IterationReport, MachineConfig, PipelinedTrainer};
@@ -125,19 +126,21 @@ pub struct TrafficRow {
 }
 
 /// Table I: per-iteration system-interconnect traffic for ZeRO-Infinity,
-/// SmartUpdate and SmartComp (2%).
+/// SmartUpdate and SmartComp (2%). The traffic rows are *derived* from the
+/// method's capability axes (`TrafficMethod::from(&spec)`) — the paper's row
+/// names just relabel the baseline/SmartUpdate specs.
 pub fn tab1() -> Vec<TrafficRow> {
     let workload = Workload::paper_default(ModelConfig::gpt2_4b());
     let m = workload.model_bytes_fp16() as f64;
     let model = TrafficModel::new(workload, OptimizerKind::Adam);
     [
-        ("ZeRO-Inf", TrafficMethod::ZeroInfinity),
-        ("SmartUpdate", TrafficMethod::SmartUpdate),
-        ("SmartComp (2%)", TrafficMethod::SmartComp { keep_ratio: 0.01 }),
+        ("ZeRO-Inf", MethodSpec::baseline()),
+        ("SmartUpdate", MethodSpec::smart_update_optimized()),
+        ("SmartComp (2%)", MethodSpec::smart_comp(0.01)),
     ]
     .into_iter()
-    .map(|(label, method)| {
-        let t = model.per_iteration(method).in_m_units(m);
+    .map(|(label, spec)| {
+        let t = model.per_iteration(TrafficMethod::from(&spec)).in_m_units(m);
         TrafficRow {
             method: label.to_string(),
             opt_read_m: t.optimizer_read,
@@ -300,7 +303,7 @@ pub fn fig11a() -> Vec<CsdScalingPoint> {
                     .total_s();
                 points.push(CsdScalingPoint {
                     gpu: gpu.name.clone(),
-                    method: method.label(),
+                    method: method.to_string(),
                     num_devices: n,
                     normalized_speedup: base_1 / t,
                 });
@@ -717,6 +720,61 @@ pub fn render_pipeline(rows: &[PipelineRow]) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Campaigns: spec-driven sweeps
+// ---------------------------------------------------------------------------
+
+/// The reference campaign the perf snapshot times: the paper's ablation
+/// ladder plus both pipelined points (GPT-2 4.0B, 6 devices) — the same six
+/// specs `specs/ladder.json` checks in.
+pub fn ladder_campaign() -> Campaign {
+    let mut methods = MethodSpec::ladder();
+    methods.push(MethodSpec::pipelined(None));
+    methods.push(MethodSpec::pipelined(Some(0.01)));
+    Campaign::new(
+        methods
+            .into_iter()
+            .map(|method| {
+                RunSpec::new(ModelSpec::preset("GPT2-4.0B"), MachineSpec::devices(6), method)
+            })
+            .collect(),
+    )
+    .with_name("ladder")
+}
+
+/// Renders a campaign report as a fixed-width text table.
+pub fn render_campaign(report: &CampaignReport) -> String {
+    let mut out = format!(
+        "Campaign{}: {} specs on {} worker(s), {} CPU(s)\n",
+        report.name.as_deref().map(|n| format!(" `{n}`")).unwrap_or_default(),
+        report.runs.len(),
+        report.threads,
+        report.num_cpus
+    );
+    if !report.parallel_valid {
+        out.push_str(
+            "NOTE: specs ran without real concurrency (1 worker or 1 CPU); results are\n\
+             identical either way — only wall-clock differs on a multi-core box.\n",
+        );
+    }
+    out.push_str(&format!(
+        "{:<34} {:>8} {:>10} {:>10} {:>10} {:>9}\n",
+        "spec", "FW (s)", "BW+Grad(s)", "Update(s)", "Total (s)", "Speedup"
+    ));
+    for r in &report.runs {
+        out.push_str(&format!(
+            "{:<34} {:>8.2} {:>10.2} {:>10.2} {:>10.2} {:>8.2}x\n",
+            r.label,
+            r.report.forward_s,
+            r.report.backward_s,
+            r.report.update_s,
+            r.report.total_s(),
+            r.speedup_over_first
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // BENCH_2: execution-backend performance snapshot
 // ---------------------------------------------------------------------------
 
@@ -732,6 +790,21 @@ pub struct KernelPerf {
     /// `serial / parallel` wall-clock ratio, or `None` when the snapshot was
     /// taken on a single-CPU machine — there the worker threads time-slice
     /// one core and the ratio would be misleading, so it is not recorded.
+    pub speedup: Option<f64>,
+}
+
+/// Wall-clock of the reference spec campaign ([`ladder_campaign`]), serial
+/// vs fanned out on `parcore` workers.
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignPerf {
+    /// Number of specs in the campaign.
+    pub specs: usize,
+    /// Seconds for one serial pass over all specs.
+    pub serial_s: f64,
+    /// Seconds with the specs fanned out across the workers.
+    pub parallel_s: f64,
+    /// `serial / parallel`, or `None` on a single-CPU machine (the caveat
+    /// recorded by `parallel_valid`).
     pub speedup: Option<f64>,
 }
 
@@ -760,6 +833,8 @@ pub struct PerfSnapshot {
     pub f16_from_bytes_elems_per_sec: f64,
     /// In-memory FP16 round-trip rate (`roundtrip_f16_into`).
     pub f16_roundtrip_elems_per_sec: f64,
+    /// The spec-campaign runner, serial vs parallel over the ladder.
+    pub campaign: CampaignPerf,
 }
 
 /// Median wall-clock seconds of `reps` runs of `f`.
@@ -875,6 +950,23 @@ pub fn perf_snapshot(quick: bool) -> PerfSnapshot {
         std::hint::black_box(rounded[0]);
     });
 
+    // The spec-campaign runner: the checked-in ladder, serial vs fanned out.
+    let campaign = ladder_campaign();
+    let campaign_serial = median_secs(reps, || {
+        let report = campaign.run_on(&serial).expect("campaign");
+        std::hint::black_box(report.runs.len());
+    });
+    let campaign_parallel = median_secs(reps, || {
+        let report = campaign.run_on(&pool).expect("campaign");
+        std::hint::black_box(report.runs.len());
+    });
+    let campaign = CampaignPerf {
+        specs: campaign.specs.len(),
+        serial_s: campaign_serial,
+        parallel_s: campaign_parallel,
+        speedup: parallel_valid.then(|| campaign_serial / campaign_parallel),
+    };
+
     PerfSnapshot {
         num_cpus,
         parallel_valid,
@@ -884,6 +976,7 @@ pub fn perf_snapshot(quick: bool) -> PerfSnapshot {
         f16_to_bytes_elems_per_sec: rate(to_bytes),
         f16_from_bytes_elems_per_sec: rate(from_bytes),
         f16_roundtrip_elems_per_sec: rate(roundtrip),
+        campaign,
     }
 }
 
@@ -922,6 +1015,14 @@ pub fn render_perf(snap: &PerfSnapshot) -> String {
         "f16_roundtrip",
         snap.f16_roundtrip_elems_per_sec
     ));
+    let campaign_speedup = match snap.campaign.speedup {
+        Some(s) => format!("{s:.2}x"),
+        None => "n/a".to_string(),
+    };
+    out.push_str(&format!(
+        "campaign ladder ({} specs): serial {:.3} s, parallel {:.3} s, speedup {}\n",
+        snap.campaign.specs, snap.campaign.serial_s, snap.campaign.parallel_s, campaign_speedup
+    ));
     out
 }
 
@@ -947,14 +1048,45 @@ mod tests {
         assert!(snap.f16_from_bytes_elems_per_sec > 0.0);
         assert!(snap.f16_roundtrip_elems_per_sec > 0.0);
         assert!(snap.num_cpus >= 1);
+        assert_eq!(snap.campaign.specs, 6);
+        assert!(snap.campaign.serial_s > 0.0 && snap.campaign.parallel_s > 0.0);
+        assert_eq!(snap.campaign.speedup.is_some(), snap.parallel_valid);
         let rendered = render_perf(&snap);
         assert!(rendered.contains("updater_adam"));
         assert!(rendered.contains("topk_exact_1pct"));
         assert!(rendered.contains("pipelined_step_adam"));
+        assert!(rendered.contains("campaign ladder (6 specs)"));
         if !snap.parallel_valid {
             assert!(rendered.contains("only 1 CPU visible"));
             assert!(rendered.contains("n/a"));
         }
+    }
+
+    #[test]
+    fn checked_in_ladder_spec_matches_the_reference_campaign() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/ladder.json");
+        let expected = ladder_campaign().to_json_pretty() + "\n";
+        if std::env::var_os("BLESS_SPECS").is_some() {
+            std::fs::write(path, &expected).expect("write specs/ladder.json");
+        }
+        let actual = std::fs::read_to_string(path).expect("specs/ladder.json is checked in");
+        assert_eq!(actual, expected, "re-run with BLESS_SPECS=1 to regenerate specs/ladder.json");
+    }
+
+    #[test]
+    fn ladder_campaign_runs_and_renders() {
+        let campaign = ladder_campaign();
+        assert_eq!(campaign.specs.len(), 6, "ladder + both pipelined points");
+        // The checked-in specs/ladder.json is exactly this campaign.
+        let parsed = Campaign::from_json(&campaign.to_json_pretty()).expect("round trip");
+        assert_eq!(parsed, campaign);
+        let report = campaign.run_on(&parcore::ParExecutor::new(4)).expect("campaign run");
+        assert_eq!(report.runs.len(), 6);
+        assert!((report.runs[0].speedup_over_first - 1.0).abs() < 1e-12);
+        assert!(report.runs.iter().skip(1).all(|r| r.speedup_over_first > 1.0));
+        let rendered = render_campaign(&report);
+        assert!(rendered.contains("SU+O+P+C(2%)"), "{rendered}");
+        assert!(rendered.contains("6 specs"), "{rendered}");
     }
 
     #[test]

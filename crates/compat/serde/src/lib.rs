@@ -2,12 +2,24 @@
 //!
 //! The workspace must build without network access, so this crate provides
 //! the subset of serde the repository relies on: a [`Serialize`] trait that
-//! renders JSON directly, `#[derive(Serialize)]` / `#[derive(Deserialize)]`
-//! re-exported from the companion `serde_derive` shim, and impls for the
-//! primitive / container types that appear in derived structs. The derive
-//! for `Deserialize` is a no-op marker (nothing in the repo deserializes);
-//! the derive for `Serialize` generates a real [`Serialize`] impl with
-//! serde-compatible external tagging for enums.
+//! renders JSON directly, a [`Deserialize`] trait that reads a parsed JSON
+//! [`Value`] tree back into Rust types, `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` re-exported from the companion `serde_derive`
+//! shim, and impls for the primitive / container types that appear in
+//! derived structs. Both derives generate real impls with serde-compatible
+//! shapes (external tagging for enums, transparent newtypes); the JSON
+//! *parser* lives in the companion `serde_json` shim, which produces the
+//! [`Value`] tree consumed here.
+//!
+//! Two deliberate divergences from real serde, both in favour of the
+//! spec-file use case this workspace deserializes for:
+//!
+//! * Derived struct impls **reject unknown fields** (real serde ignores them
+//!   unless `deny_unknown_fields` is set), so a typo in a hand-written spec
+//!   surfaces as an error naming the stray field instead of being silently
+//!   dropped.
+//! * Numbers keep their source text ([`Number`]), so `u64`/`i64` values
+//!   outside the exact-`f64` range round-trip losslessly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -148,6 +160,363 @@ impl<K: std::fmt::Display, V: Serialize> Serialize for std::collections::BTreeMa
         out.push('}');
     }
 }
+
+// ---------------------------------------------------------------------------
+// Deserialization: the parsed-JSON value tree and the `Deserialize` trait
+// ---------------------------------------------------------------------------
+
+/// A JSON number, kept as its source text so integers outside the exact-`f64`
+/// range (e.g. large `u64` seeds) survive a round trip losslessly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Number(String);
+
+impl Number {
+    /// Wraps an already-validated JSON number literal.
+    ///
+    /// The text must match the JSON number grammar; the parser in the
+    /// `serde_json` shim guarantees this for parsed documents.
+    pub fn from_literal(text: impl Into<String>) -> Self {
+        Number(text.into())
+    }
+
+    /// The source text of the number.
+    pub fn as_literal(&self) -> &str {
+        &self.0
+    }
+
+    /// The number as an `f64` (always succeeds for JSON numbers, with the
+    /// usual rounding for values outside the exact range).
+    pub fn as_f64(&self) -> f64 {
+        self.0.parse().unwrap_or(f64::NAN)
+    }
+
+    /// The number as a `u64`, if it is a non-negative integer in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.0.parse().ok()
+    }
+
+    /// The number as an `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.0.parse().ok()
+    }
+}
+
+/// A parsed JSON document: the output of the `serde_json` shim's parser and
+/// the input of [`Deserialize`].
+///
+/// Objects preserve key order as a plain pair list — spec files are small, so
+/// linear key lookup beats pulling in a map type, and serialization order is
+/// kept stable for readable diffs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (see [`Number`]).
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, as ordered `(key, value)` pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object; `None` for missing keys and non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short name of the value's JSON type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Number(_) => "a number",
+            Value::String(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => b.write_json(out),
+            Value::Number(n) => out.push_str(n.as_literal()),
+            Value::String(s) => write_json_string(s, out),
+            Value::Array(items) => items.write_json(out),
+            Value::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(k, out);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Types that can reconstruct themselves from a parsed JSON [`Value`].
+///
+/// The shim equivalent of serde's `Deserialize`; `#[derive(Deserialize)]`
+/// generates an impl with the same JSON shape the `Serialize` derive writes,
+/// so derived types round-trip through `serde_json::to_string` /
+/// `serde_json::from_str`.
+pub trait Deserialize: Sized {
+    /// Reads a value of this type out of `value`.
+    fn read_json(value: &Value) -> Result<Self, de::Error>;
+}
+
+/// Deserialization errors and the helper functions the derive macro targets.
+pub mod de {
+    use super::{Deserialize, Value};
+    use std::fmt;
+
+    /// A deserialization error: what failed, at which field/variant path.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Error {
+        message: String,
+    }
+
+    impl Error {
+        /// An error with the given message.
+        pub fn custom(message: impl Into<String>) -> Self {
+            Error { message: message.into() }
+        }
+
+        /// "expected X, found Y" for a mistyped value.
+        pub fn expected(what: &str, found: &Value, ty: &str) -> Self {
+            Error::custom(format!("{ty}: expected {what}, found {}", found.type_name()))
+        }
+
+        /// Prefixes the error with the field it occurred under.
+        #[must_use]
+        pub fn in_field(self, field: &str) -> Self {
+            Error::custom(format!("{field}: {}", self.message))
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Views `value` as an object's pair list (derive helper for structs).
+    pub fn object<'v>(value: &'v Value, ty: &str) -> Result<&'v [(String, Value)], Error> {
+        match value {
+            Value::Object(pairs) => Ok(pairs),
+            other => Err(Error::expected("an object", other, ty)),
+        }
+    }
+
+    /// Reads one struct field. A missing key deserializes like an explicit
+    /// `null` — `Option` fields may simply be omitted — but reports
+    /// "missing field" if the field's type rejects null.
+    pub fn field<T: Deserialize>(
+        pairs: &[(String, Value)],
+        name: &str,
+        ty: &str,
+    ) -> Result<T, Error> {
+        match pairs.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::read_json(v).map_err(|e| e.in_field(&format!("{ty}.{name}"))),
+            None => T::read_json(&Value::Null)
+                .map_err(|_| Error::custom(format!("{ty}: missing field `{name}`"))),
+        }
+    }
+
+    /// Rejects keys outside `allowed` — a typo in a hand-written spec names
+    /// the stray field instead of being silently ignored.
+    pub fn deny_unknown(
+        pairs: &[(String, Value)],
+        allowed: &[&str],
+        ty: &str,
+    ) -> Result<(), Error> {
+        for (key, _) in pairs {
+            if !allowed.iter().any(|a| a == key) {
+                return Err(Error::custom(format!(
+                    "{ty}: unknown field `{key}` (expected one of: {})",
+                    allowed.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Splits an externally-tagged enum value into `(variant, payload)`:
+    /// a bare string is a unit variant, a single-key object carries the
+    /// variant's data (derive helper for enums).
+    pub fn variant<'v>(value: &'v Value, ty: &str) -> Result<(&'v str, Option<&'v Value>), Error> {
+        match value {
+            Value::String(name) => Ok((name, None)),
+            Value::Object(pairs) if pairs.len() == 1 => Ok((&pairs[0].0, Some(&pairs[0].1))),
+            other => Err(Error::expected("a variant name or single-variant object", other, ty)),
+        }
+    }
+
+    /// Asserts a unit variant carries no payload.
+    pub fn no_payload(payload: Option<&Value>, variant: &str) -> Result<(), Error> {
+        match payload {
+            None | Some(Value::Null) => Ok(()),
+            Some(other) => Err(Error::expected("no data", other, variant)),
+        }
+    }
+
+    /// Unwraps the payload of a data-carrying variant.
+    pub fn payload<'v>(payload: Option<&'v Value>, variant: &str) -> Result<&'v Value, Error> {
+        payload.ok_or_else(|| Error::custom(format!("{variant}: variant is missing its data")))
+    }
+
+    /// Views a tuple-variant payload as an array of exactly `n` elements.
+    pub fn array_n<'v>(value: &'v Value, n: usize, ty: &str) -> Result<&'v [Value], Error> {
+        match value {
+            Value::Array(items) if items.len() == n => Ok(items),
+            Value::Array(items) => {
+                Err(Error::custom(format!("{ty}: expected {n} elements, found {}", items.len())))
+            }
+            other => Err(Error::expected("an array", other, ty)),
+        }
+    }
+
+    /// "unknown variant" error listing the expected variant names.
+    pub fn unknown_variant(found: &str, expected: &[&str], ty: &str) -> Error {
+        Error::custom(format!(
+            "{ty}: unknown variant `{found}` (expected one of: {})",
+            expected.join(", ")
+        ))
+    }
+}
+
+macro_rules! deserialize_int {
+    ($($ty:ty => $via:ident),*) => {$(
+        impl Deserialize for $ty {
+            fn read_json(value: &Value) -> Result<Self, de::Error> {
+                let n = match value {
+                    Value::Number(n) => n,
+                    other => return Err(de::Error::expected("an integer", other, stringify!($ty))),
+                };
+                n.$via()
+                    .and_then(|wide| <$ty>::try_from(wide).ok())
+                    .ok_or_else(|| de::Error::custom(format!(
+                        concat!("expected a ", stringify!($ty), ", found {}"),
+                        n.as_literal()
+                    )))
+            }
+        }
+    )*};
+}
+deserialize_int!(u8 => as_u64, u16 => as_u64, u32 => as_u64, u64 => as_u64, usize => as_u64,
+                 i8 => as_i64, i16 => as_i64, i32 => as_i64, i64 => as_i64, isize => as_i64);
+
+macro_rules! deserialize_float {
+    ($($ty:ty),*) => {$(
+        impl Deserialize for $ty {
+            fn read_json(value: &Value) -> Result<Self, de::Error> {
+                match value {
+                    Value::Number(n) => Ok(n.as_f64() as $ty),
+                    // Deliberately NOT accepting null (although the serializer
+                    // writes non-finite floats as null): `de::field` maps a
+                    // *missing* key to null, so accepting it here would turn
+                    // "missing required field" into a silent NaN.
+                    other => Err(de::Error::expected("a number", other, stringify!($ty))),
+                }
+            }
+        }
+    )*};
+}
+deserialize_float!(f32, f64);
+
+impl Deserialize for bool {
+    fn read_json(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(de::Error::expected("a boolean", other, "bool")),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn read_json(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(de::Error::expected("a string", other, "String")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn read_json(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::read_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn read_json(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Array(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, v)| T::read_json(v).map_err(|e| e.in_field(&format!("[{i}]"))))
+                .collect(),
+            other => Err(de::Error::expected("an array", other, "Vec")),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn read_json(value: &Value) -> Result<Self, de::Error> {
+        Ok(value.clone())
+    }
+}
+
+/// Mirrors the Display-keyed `Serialize` impl: keys are parsed back from
+/// their string form.
+impl<K: std::str::FromStr + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn read_json(value: &Value) -> Result<Self, de::Error> {
+        let pairs = de::object(value, "BTreeMap")?;
+        pairs
+            .iter()
+            .map(|(k, v)| {
+                let key = k
+                    .parse()
+                    .map_err(|_| de::Error::custom(format!("BTreeMap: invalid key `{k}`")))?;
+                let value = V::read_json(v).map_err(|e| e.in_field(k))?;
+                Ok((key, value))
+            })
+            .collect()
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($($name:ident . $idx:tt),+; $len:literal)),+ $(,)?) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn read_json(value: &Value) -> Result<Self, de::Error> {
+                let items = de::array_n(value, $len, "tuple")?;
+                Ok(($($name::read_json(&items[$idx])
+                    .map_err(|e| e.in_field(&format!("[{}]", $idx)))?,)+))
+            }
+        }
+    )+};
+}
+deserialize_tuple!((A.0; 1), (A.0, B.1; 2), (A.0, B.1, C.2; 3), (A.0, B.1, C.2, D.3; 4));
 
 /// Writes `s` as a JSON string literal, escaping as required by RFC 8259.
 pub fn write_json_string(s: &str, out: &mut String) {

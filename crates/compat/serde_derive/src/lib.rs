@@ -1,16 +1,16 @@
 //! Offline stand-in for the crates.io `serde_derive` crate.
 //!
 //! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` without
-//! `syn`/`quote` by walking the raw token stream. `Serialize` generates an
-//! impl of the JSON-writing trait in the companion `serde` shim, using
-//! serde-compatible shapes: structs become objects, newtype structs are
-//! transparent, enums use external tagging. `Deserialize` is accepted and
-//! expands to nothing (nothing in this workspace deserializes); it exists so
-//! that the ubiquitous `#[derive(Serialize, Deserialize)]` lines compile.
+//! `syn`/`quote` by walking the raw token stream. Both derives generate impls
+//! of the traits in the companion `serde` shim, using serde-compatible
+//! shapes: structs become objects, newtype structs are transparent, enums use
+//! external tagging. The generated `Deserialize` reads the `serde::Value`
+//! tree produced by the `serde_json` shim's parser, so every derived type
+//! round-trips through JSON text.
 //!
 //! Items the parser does not understand (generic types, unions, enums with
 //! discriminants) silently get no impl, which surfaces as a regular trait
-//! error only if something actually needs to serialize them.
+//! error only if something actually needs to (de)serialize them.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -23,10 +23,13 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     }
 }
 
-/// Accepted for source compatibility; expands to nothing.
+/// Derives the JSON-reading `serde::Deserialize` trait.
 #[proc_macro_derive(Deserialize)]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match generate_deserialize_impl(input) {
+        Some(code) => code.parse().unwrap_or_default(),
+        None => TokenStream::new(),
+    }
 }
 
 enum Variant {
@@ -68,6 +71,44 @@ fn generate_impl(input: TokenStream) -> Option<String> {
                 return None;
             }
             Some(enum_impl(&name, &variants))
+        }
+        _ => None,
+    }
+}
+
+fn generate_deserialize_impl(input: TokenStream) -> Option<String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes_and_visibility(&tokens, &mut i);
+    let keyword = ident_at(&tokens, i)?;
+    i += 1;
+    let name = ident_at(&tokens, i)?;
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return None; // generic types are out of scope for the shim
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Some(named_struct_de_impl(&name, &fields))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                Some(tuple_struct_de_impl(&name, arity))
+            }
+            _ => None,
+        },
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => return None,
+            };
+            let variants = parse_variants(body)?;
+            if variants.is_empty() {
+                return None;
+            }
+            Some(enum_de_impl(&name, &variants))
         }
         _ => None,
     }
@@ -223,6 +264,119 @@ fn tuple_struct_impl(name: &str, arity: usize) -> String {
         }
     }
     impl_header(name, &body)
+}
+
+fn de_impl_header(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn read_json(value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}"
+    )
+}
+
+fn read_fields(target: &mut String, ty_label: &str, fields: &[String], constructor: &str) {
+    let allowed: Vec<String> = fields.iter().map(|f| format!("\"{f}\"")).collect();
+    target.push_str(&format!(
+        "::serde::de::deny_unknown(obj, &[{}], \"{ty_label}\")?;\n",
+        allowed.join(", ")
+    ));
+    target.push_str(&format!("::std::result::Result::Ok({constructor} {{\n"));
+    for field in fields {
+        target.push_str(&format!(
+            "{field}: ::serde::de::field(obj, \"{field}\", \"{ty_label}\")?,\n"
+        ));
+    }
+    target.push_str("})");
+}
+
+fn named_struct_de_impl(name: &str, fields: &[String]) -> String {
+    let mut body = format!("let obj = ::serde::de::object(value, \"{name}\")?;\n");
+    read_fields(&mut body, name, fields, name);
+    de_impl_header(name, &body)
+}
+
+fn tuple_struct_de_impl(name: &str, arity: usize) -> String {
+    let mut body = String::new();
+    match arity {
+        0 => body.push_str(&format!(
+            "::serde::de::no_payload(::std::option::Option::Some(value), \"{name}\")?;\n\
+             ::std::result::Result::Ok({name})"
+        )),
+        1 => body.push_str(&format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::read_json(value)?))"
+        )),
+        n => {
+            body.push_str(&format!(
+                "let items = ::serde::de::array_n(value, {n}, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name}("
+            ));
+            for idx in 0..n {
+                body.push_str(&format!("::serde::Deserialize::read_json(&items[{idx}])?, "));
+            }
+            body.push_str("))");
+        }
+    }
+    de_impl_header(name, &body)
+}
+
+fn enum_de_impl(name: &str, variants: &[Variant]) -> String {
+    let variant_names: Vec<String> = variants
+        .iter()
+        .map(|v| match v {
+            Variant::Unit(n) | Variant::Named(n, _) | Variant::Tuple(n, _) => format!("\"{n}\""),
+        })
+        .collect();
+    let mut body =
+        format!("let (tag, data) = ::serde::de::variant(value, \"{name}\")?;\nmatch tag {{\n");
+    for variant in variants {
+        match variant {
+            Variant::Unit(v) => {
+                body.push_str(&format!(
+                    "\"{v}\" => {{\n::serde::de::no_payload(data, \"{name}::{v}\")?;\n\
+                     ::std::result::Result::Ok({name}::{v})\n}}\n"
+                ));
+            }
+            Variant::Named(v, fields) => {
+                let label = format!("{name}::{v}");
+                body.push_str(&format!(
+                    "\"{v}\" => {{\n\
+                     let data = ::serde::de::payload(data, \"{label}\")?;\n\
+                     let obj = ::serde::de::object(data, \"{label}\")?;\n"
+                ));
+                read_fields(&mut body, &label, fields, &label);
+                body.push_str("\n}\n");
+            }
+            Variant::Tuple(v, arity) => {
+                let label = format!("{name}::{v}");
+                body.push_str(&format!(
+                    "\"{v}\" => {{\nlet data = ::serde::de::payload(data, \"{label}\")?;\n"
+                ));
+                if *arity == 1 {
+                    body.push_str(&format!(
+                        "::std::result::Result::Ok({label}(\
+                         ::serde::Deserialize::read_json(data)?))\n}}\n"
+                    ));
+                } else {
+                    body.push_str(&format!(
+                        "let items = ::serde::de::array_n(data, {arity}, \"{label}\")?;\n\
+                         ::std::result::Result::Ok({label}("
+                    ));
+                    for idx in 0..*arity {
+                        body.push_str(&format!(
+                            "::serde::Deserialize::read_json(&items[{idx}])?, "
+                        ));
+                    }
+                    body.push_str("))\n}\n");
+                }
+            }
+        }
+    }
+    body.push_str(&format!(
+        "other => ::std::result::Result::Err(\
+         ::serde::de::unknown_variant(other, &[{}], \"{name}\")),\n}}",
+        variant_names.join(", ")
+    ));
+    de_impl_header(name, &body)
 }
 
 fn enum_impl(name: &str, variants: &[Variant]) -> String {

@@ -1,25 +1,44 @@
 //! Offline stand-in for the crates.io `serde_json` crate.
 //!
 //! Renders any [`serde::Serialize`] value (from the companion `serde` shim,
-//! whose trait writes JSON directly) to a compact or pretty JSON string.
+//! whose trait writes JSON directly) to a compact or pretty JSON string, and
+//! parses JSON text back into the shim's [`Value`] tree / any
+//! [`serde::Deserialize`] type ([`from_str`], [`from_value`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;
 
-/// Serialization error. The shim's serializer is infallible, so this exists
-/// only to keep `serde_json`-shaped signatures.
+pub use serde::Value;
+
+/// A serialization or deserialization error. The shim's serializer is
+/// infallible; parse errors carry the offending position, deserialization
+/// errors the field path.
 #[derive(Debug)]
-pub struct Error;
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error { message: message.into() }
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("JSON serialization error")
+        f.write_str(&self.message)
     }
 }
 
 impl std::error::Error for Error {}
+
+impl From<serde::de::Error> for Error {
+    fn from(e: serde::de::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
 
 /// Serializes `value` as a compact JSON string.
 pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
@@ -97,8 +116,407 @@ fn newline(out: &mut String, indent: usize) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Parses a JSON document into any [`serde::Deserialize`] type.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    Ok(T::read_json(&parse(text)?)?)
+}
+
+/// Deserializes an already-parsed [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    Ok(T::read_json(value)?)
+}
+
+/// Parses a JSON document into a [`Value`] tree (RFC 8259 subset: no
+/// surrogate-escape pairing beyond the BMP combination rules below).
+pub fn parse(text: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the JSON document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'t> {
+    bytes: &'t [u8],
+    pos: usize,
+    depth: usize,
+}
+
+/// Containers deeper than this fail instead of risking a stack overflow.
+const MAX_DEPTH: usize = 128;
+
+impl<'t> Parser<'t> {
+    fn err(&self, message: impl fmt::Display) -> Error {
+        let (mut line, mut col) = (1usize, 1usize);
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        Error::new(format!("JSON parse error at line {line}, column {col}: {message}"))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!("unexpected character `{}`", other as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("containers nested deeper than {MAX_DEPTH}")));
+        }
+        Ok(())
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        self.enter()?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        self.enter()?;
+        let mut pairs: Vec<(String, Value)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(format!("duplicate object key `{key}`")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy unescaped UTF-8 runs wholesale.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // The input is a &str, so byte runs between structural
+                // characters are valid UTF-8.
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?,
+                );
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                Some(_) => return Err(self.err("unescaped control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, Error> {
+        let c = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+        self.pos += 1;
+        Ok(match c {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => {
+                let unit = self.hex4()?;
+                if (0xD800..0xDC00).contains(&unit) {
+                    // High surrogate: must pair with a following \uXXXX low one.
+                    if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
+                        self.pos += 2;
+                        let low = self.hex4()?;
+                        if !(0xDC00..0xE000).contains(&low) {
+                            return Err(self.err("invalid low surrogate"));
+                        }
+                        let code = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                        char::from_u32(code).ok_or_else(|| self.err("invalid surrogate pair"))?
+                    } else {
+                        return Err(self.err("unpaired surrogate escape"));
+                    }
+                } else {
+                    char::from_u32(unit).ok_or_else(|| self.err("invalid unicode escape"))?
+                }
+            }
+            other => return Err(self.err(format!("invalid escape `\\{}`", other as char))),
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let digits =
+            self.bytes.get(self.pos..end).ok_or_else(|| self.err("truncated unicode escape"))?;
+        // Exactly four hex digits: `from_str_radix` alone would also accept
+        // a leading `+`, which RFC 8259 does not.
+        let mut unit = 0u32;
+        for &b in digits {
+            let digit =
+                (b as char).to_digit(16).ok_or_else(|| self.err("invalid unicode escape"))?;
+            unit = unit * 16 + digit;
+        }
+        self.pos = end;
+        Ok(unit)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: `0` alone or a nonzero-led digit run.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => self.digits(),
+            _ => return Err(self.err("expected a digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected a digit after the decimal point"));
+            }
+            self.digits();
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected a digit in the exponent"));
+            }
+            self.digits();
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number literals are ASCII");
+        Ok(Value::Number(serde::Number::from_literal(text)))
+    }
+
+    fn digits(&mut self) {
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Knobs {
+        label: String,
+        ratio: Option<f64>,
+        seeds: Vec<u64>,
+        kind: Kind,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        Plain,
+        Weighted { factor: f64 },
+        Pair(u8, u8),
+        Tagged(String),
+    }
+
+    #[test]
+    fn derived_types_roundtrip_through_text() {
+        for knobs in [
+            Knobs {
+                label: "a \"quoted\" label\n".into(),
+                ratio: Some(0.01),
+                seeds: vec![0, u64::MAX],
+                kind: Kind::Weighted { factor: -1.5e-9 },
+            },
+            Knobs { label: String::new(), ratio: None, seeds: vec![], kind: Kind::Plain },
+            Knobs { label: "p".into(), ratio: Some(1.0), seeds: vec![7], kind: Kind::Pair(1, 2) },
+            Knobs { label: "t".into(), ratio: None, seeds: vec![], kind: Kind::Tagged("x".into()) },
+        ] {
+            let text = to_string(&knobs).unwrap();
+            let back: Knobs = from_str(&text).unwrap();
+            assert_eq!(back, knobs, "{text}");
+            // Pretty output parses to the same value.
+            let back: Knobs = from_str(&to_string_pretty(&knobs).unwrap()).unwrap();
+            assert_eq!(back, knobs);
+        }
+    }
+
+    #[test]
+    fn missing_option_fields_default_to_none() {
+        let parsed: Knobs = from_str(r#"{"label":"x","seeds":[1,2],"kind":"Plain"}"#).unwrap();
+        assert_eq!(parsed.ratio, None);
+        assert_eq!(parsed.seeds, vec![1, 2]);
+    }
+
+    #[test]
+    fn helpful_errors_name_the_problem() {
+        let typo = from_str::<Knobs>(r#"{"label":"x","seeds":[],"kind":"Plain","ratioo":1}"#);
+        let message = typo.unwrap_err().to_string();
+        assert!(message.contains("ratioo"), "{message}");
+        let missing = from_str::<Knobs>(r#"{"seeds":[],"kind":"Plain"}"#);
+        assert!(missing.unwrap_err().to_string().contains("missing field `label`"));
+        // A missing *float* field is a missing-field error too, not a NaN.
+        let missing_float = from_str::<Knobs>(r#"{"label":"x","seeds":[],"kind":{"Weighted":{}}}"#);
+        assert!(
+            missing_float.unwrap_err().to_string().contains("missing field `factor`"),
+            "missing required floats must not deserialize silently"
+        );
+        let bad_variant = from_str::<Knobs>(r#"{"label":"x","seeds":[],"kind":"Plan"}"#);
+        let message = bad_variant.unwrap_err().to_string();
+        assert!(message.contains("Plan") && message.contains("Plain"), "{message}");
+        let parse = from_str::<Knobs>("{\"label\": }");
+        assert!(parse.unwrap_err().to_string().contains("line 1"), "position is reported");
+    }
+
+    #[test]
+    fn parser_accepts_the_grammar_and_rejects_garbage() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" [1, -2.5e3, \"\\u0041\\ud83d\\ude00\"] ").unwrap(), {
+            Value::Array(vec![
+                Value::Number(serde::Number::from_literal("1")),
+                Value::Number(serde::Number::from_literal("-2.5e3")),
+                Value::String("A😀".into()),
+            ])
+        });
+        for bad in [
+            "",
+            "01",
+            "1.",
+            "+1",
+            "{",
+            "[1,]",
+            "{\"a\":1,}",
+            "\"\\q\"",
+            "tru",
+            "1 2",
+            "{\"a\":1,\"a\":2}",
+            "\"\\ud800\"",
+            r#""\u+041""#,
+            r#""\u004""#,
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+        // Deep nesting fails cleanly instead of overflowing the stack.
+        let deep = "[".repeat(1000) + &"]".repeat(1000);
+        assert!(parse(&deep).unwrap_err().to_string().contains("nested"));
+    }
+
+    #[test]
+    fn large_integers_roundtrip_exactly() {
+        let seeds: Vec<u64> = vec![u64::MAX, u64::MAX - 1, 1 << 60];
+        let text = to_string(&seeds).unwrap();
+        let back: Vec<u64> = from_str(&text).unwrap();
+        assert_eq!(back, seeds);
+        // f64 shortest representation also survives.
+        let xs = [0.1f64, 1.0 / 3.0, f64::MIN_POSITIVE, f64::MAX];
+        let back: Vec<f64> = from_str(&to_string(&xs.to_vec()).unwrap()).unwrap();
+        assert_eq!(back, xs.to_vec());
+    }
+
     #[test]
     fn compact_and_pretty_roundtrip_shapes() {
         let compact = super::to_string(&vec![1u32, 2]).unwrap();

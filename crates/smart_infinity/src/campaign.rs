@@ -1,0 +1,255 @@
+//! The campaign runner: execute a list of [`RunSpec`]s concurrently on
+//! `parcore` workers and collect structured reports.
+//!
+//! A campaign is the sweep analogue of a [`crate::Session`]: where a session
+//! runs *one* configuration, a campaign takes a grid/list of spec documents
+//! (usually loaded from a checked-in `specs/*.json` file), validates every
+//! spec up front, fans the timed simulations out across host worker threads,
+//! and returns a [`CampaignReport`] — per-spec phase breakdowns plus the
+//! host CPU count and the `parallel_valid` caveat the tracked perf snapshot
+//! uses (on a 1-CPU box the workers time-slice one core, so concurrency
+//! cannot show a wall-clock win).
+//!
+//! Simulations are deterministic, so a campaign's results are identical for
+//! every worker count — parallelism only changes wall-clock time, exactly
+//! like the functional execution backends.
+
+use crate::spec::RunSpec;
+use parcore::ParExecutor;
+use serde::{Deserialize, Serialize};
+use ztrain::{IterationReport, TrainError};
+
+/// A named list of [`RunSpec`]s to execute; the unit the `specs/*.json`
+/// files serialize.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Campaign {
+    /// Optional campaign name, echoed into the report.
+    pub name: Option<String>,
+    /// The runs, in report order (the first is the speedup reference).
+    pub specs: Vec<RunSpec>,
+}
+
+/// One spec's result within a campaign.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RunReport {
+    /// The spec's label ([`RunSpec::label`]).
+    pub label: String,
+    /// The model half of the spec, printed.
+    pub model: String,
+    /// The method's figure label (`BASE`, `SU+O+C(2%)`, ...).
+    pub method: String,
+    /// Number of storage devices.
+    pub devices: usize,
+    /// The per-phase breakdown of one simulated iteration.
+    pub report: IterationReport,
+    /// Speedup over the campaign's first run (1.0 for the first itself).
+    pub speedup_over_first: f64,
+}
+
+/// The structured result of a campaign run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CampaignReport {
+    /// The campaign's name, if any.
+    pub name: Option<String>,
+    /// CPUs available to the process when the campaign ran.
+    pub num_cpus: usize,
+    /// Worker threads the runs were fanned out across.
+    pub threads: usize,
+    /// Whether concurrent execution could actually help on this host:
+    /// `false` when only one CPU was visible or one worker was used — the
+    /// results are still correct, but wall-clock comparisons against a
+    /// serial run would be misleading (see the BENCH_2.json caveat).
+    pub parallel_valid: bool,
+    /// Per-spec results, in spec order.
+    pub runs: Vec<RunReport>,
+}
+
+/// Prefixes a configuration error with the spec it came from (without
+/// stacking "invalid configuration:" prefixes). Substrate errors pass
+/// through unchanged so their variant and `source()` chain survive —
+/// a caller matching `TrainError::Simulation` must still hit that arm.
+fn label_error(spec: &RunSpec, error: TrainError) -> TrainError {
+    match error {
+        TrainError::Config { message } => {
+            TrainError::config(format!("run spec `{}`: {message}", spec.label()))
+        }
+        other => other,
+    }
+}
+
+impl Campaign {
+    /// A campaign over the given specs.
+    pub fn new(specs: Vec<RunSpec>) -> Self {
+        Campaign { name: None, specs }
+    }
+
+    /// Names the campaign.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Loads a campaign from its JSON document
+    /// (`{"name": ..., "specs": [...]}`, the format of `specs/*.json`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::Config`] describing the parse or field error.
+    pub fn from_json(text: &str) -> Result<Self, TrainError> {
+        serde_json::from_str(text).map_err(|e| TrainError::config(format!("invalid campaign: {e}")))
+    }
+
+    /// The campaign as pretty-printed JSON (the `specs/*.json` format).
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("campaign serialization is infallible")
+    }
+
+    /// Validates every spec without running anything — the cheap CI check
+    /// that a checked-in spec file still resolves.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first spec's [`TrainError::Config`], prefixed with its
+    /// label.
+    pub fn validate(&self) -> Result<(), TrainError> {
+        if self.specs.is_empty() {
+            return Err(TrainError::config("a campaign needs at least one run spec"));
+        }
+        for spec in &self.specs {
+            spec.session().map_err(|e| label_error(spec, e))?;
+        }
+        Ok(())
+    }
+
+    /// Runs the campaign with one worker per available CPU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::Config`] for any invalid spec (all specs are
+    /// validated before anything runs) and a wrapped simulation error
+    /// otherwise.
+    pub fn run(&self) -> Result<CampaignReport, TrainError> {
+        self.run_on(&ParExecutor::current())
+    }
+
+    /// Runs every spec's timed iteration concurrently on `pool` and collects
+    /// the per-spec reports, in spec order. Results are deterministic and
+    /// identical for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::Config`] for any invalid spec (all specs are
+    /// validated before anything runs) and a wrapped simulation error
+    /// otherwise.
+    pub fn run_on(&self, pool: &ParExecutor) -> Result<CampaignReport, TrainError> {
+        if self.specs.is_empty() {
+            return Err(TrainError::config("a campaign needs at least one run spec"));
+        }
+        // Resolve and validate everything up front, so errors carry the
+        // spec's label and the parallel phase cannot fail on configuration.
+        let sessions = self
+            .specs
+            .iter()
+            .map(|spec| spec.session().map_err(|e| label_error(spec, e)))
+            .collect::<Result<Vec<_>, TrainError>>()?;
+        let results = pool.map(sessions, |_, session| session.simulate_iteration());
+        let reports = results
+            .into_iter()
+            .zip(&self.specs)
+            .map(|(result, spec)| result.map_err(|e| label_error(spec, e)))
+            .collect::<Result<Vec<_>, TrainError>>()?;
+        let first = reports[0];
+        let num_cpus = ParExecutor::current().num_threads();
+        let runs = self
+            .specs
+            .iter()
+            .zip(reports)
+            .map(|(spec, report)| RunReport {
+                label: spec.label(),
+                model: spec.model.to_string(),
+                method: spec.method.to_string(),
+                devices: spec.machine.devices,
+                speedup_over_first: report.speedup_over(&first),
+                report,
+            })
+            .collect();
+        Ok(CampaignReport {
+            name: self.name.clone(),
+            num_cpus,
+            threads: pool.num_threads(),
+            parallel_valid: num_cpus > 1 && pool.num_threads() > 1,
+            runs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{MachineSpec, MethodSpec, ModelSpec};
+
+    fn ladder_campaign() -> Campaign {
+        Campaign::new(
+            MethodSpec::ladder()
+                .into_iter()
+                .map(|method| {
+                    RunSpec::new(ModelSpec::preset("GPT2-4.0B"), MachineSpec::devices(6), method)
+                })
+                .collect(),
+        )
+        .with_name("ladder")
+    }
+
+    #[test]
+    fn campaign_results_are_identical_for_every_worker_count() {
+        let campaign = ladder_campaign();
+        let serial = campaign.run_on(&ParExecutor::serial()).expect("serial run");
+        let parallel = campaign.run_on(&ParExecutor::new(4)).expect("parallel run");
+        assert_eq!(serial.runs, parallel.runs, "parallelism must not change results");
+        assert_eq!(serial.threads, 1);
+        assert_eq!(parallel.threads, 4);
+        assert!(!serial.parallel_valid, "one worker is never parallel");
+        assert_eq!(parallel.parallel_valid, parallel.num_cpus > 1);
+        assert_eq!(serial.runs.len(), 4);
+        assert!((serial.runs[0].speedup_over_first - 1.0).abs() < 1e-12);
+        assert!(serial.runs[3].speedup_over_first > 1.0, "SU+O+C beats BASE");
+        assert_eq!(serial.runs[3].method, "SU+O+C(2%)");
+        assert_eq!(serial.name.as_deref(), Some("ladder"));
+    }
+
+    #[test]
+    fn campaigns_roundtrip_through_json() {
+        let campaign = ladder_campaign();
+        let parsed = Campaign::from_json(&campaign.to_json_pretty()).expect("round trip");
+        assert_eq!(parsed, campaign);
+    }
+
+    #[test]
+    fn substrate_errors_keep_their_variant_through_labeling() {
+        // Only Config errors gain the spec-label prefix; a simulation error
+        // must come back as TrainError::Simulation so callers can match on
+        // it and walk its source() chain.
+        let spec = ladder_campaign().specs[0].clone();
+        let sim = TrainError::from(simkit::SimError::UnknownId { kind: "task", index: 7 });
+        assert!(matches!(label_error(&spec, sim), TrainError::Simulation(_)));
+        let config = TrainError::config("keep ratio out of range");
+        let labelled = label_error(&spec, config);
+        let message = labelled.to_string();
+        assert!(matches!(labelled, TrainError::Config { .. }));
+        assert!(message.contains("GPT2-4.0B #SSD=6"), "{message}");
+        assert_eq!(message.matches("invalid configuration").count(), 1, "{message}");
+    }
+
+    #[test]
+    fn invalid_specs_fail_before_anything_runs_with_the_label() {
+        let mut campaign = ladder_campaign();
+        campaign.specs[2].method = MethodSpec::smart_comp(7.0);
+        let err = campaign.run().expect_err("invalid keep ratio");
+        assert!(matches!(err, TrainError::Config { .. }), "{err}");
+        assert!(err.to_string().contains("GPT2-4.0B #SSD=6"), "{err}");
+        let err = campaign.validate().expect_err("validate finds it too");
+        assert!(err.to_string().contains("keep ratio"), "{err}");
+        assert!(Campaign::new(Vec::new()).run().is_err(), "empty campaigns are rejected");
+        assert!(Campaign::new(Vec::new()).validate().is_err());
+    }
+}

@@ -79,8 +79,15 @@ impl SmartInfinityTrainer {
     /// # Panics
     ///
     /// Panics if `keep_ratio` is not in `(0, 1]`.
-    pub fn with_compression(mut self, keep_ratio: f64) -> Self {
-        self.compressor = Some(Compressor::top_k(keep_ratio));
+    pub fn with_compression(self, keep_ratio: f64) -> Self {
+        self.with_compressor(Compressor::top_k(keep_ratio))
+    }
+
+    /// Enables SmartComp with an explicit coordinate selector (exact Top-K,
+    /// threshold-accelerated Top-K, Random-K) instead of the default exact
+    /// Top-K.
+    pub fn with_compressor(mut self, compressor: Compressor) -> Self {
+        self.compressor = Some(compressor);
         self
     }
 

@@ -2,6 +2,7 @@
 //! handler, SmartComp and the pipelined execution backend on the
 //! discrete-event platform.
 
+use crate::spec::MethodSpec;
 use llm::Workload;
 use optim::OptimizerKind;
 use serde::{Deserialize, Serialize};
@@ -102,6 +103,28 @@ impl SmartInfinityEngine {
     /// Selects the handler mode (naive corresponds to the paper's plain "SU").
     pub fn with_handler(mut self, handler: HandlerMode) -> Self {
         self.handler = handler;
+        self
+    }
+
+    /// Configures the engine straight from a method's capability axes:
+    /// `overlap` selects the handler, `compression` the keep ratio,
+    /// `pipelined` the stage-overlapping schedule. This is the one place the
+    /// timed view maps [`MethodSpec`] onto engine knobs; later builder calls
+    /// (e.g. a [`HandlerMode`] ablation override) still win.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid keep ratio; validate the spec first
+    /// ([`MethodSpec::validate`] — the session and experiment front doors
+    /// always do).
+    pub fn with_method_spec(mut self, spec: &MethodSpec) -> Self {
+        self = self.with_handler(spec.implied_handler());
+        if let Some(keep_ratio) = spec.keep_ratio() {
+            self = self.with_compression(keep_ratio);
+        }
+        if spec.pipelined {
+            self = self.with_pipelining();
+        }
         self
     }
 

@@ -1,14 +1,28 @@
 //! The experiment front-end: the paper's method ladder and sweep helpers used
 //! by the benchmark harness, the examples and the integration tests.
+//!
+//! The sweep machinery consumes [`MethodSpec`] capability axes
+//! ([`Experiment::run_spec`], [`Experiment::compare_specs`]); the closed
+//! [`Method`] enum remains as a compatibility alias for the paper's named
+//! ablation points, forwarding through `MethodSpec::from(method)`.
 
-use crate::engine_timed::{HandlerMode, SmartInfinityEngine};
+use crate::engine_timed::SmartInfinityEngine;
+use crate::spec::MethodSpec;
 use fabric::StorageKind;
 use llm::Workload;
 use optim::OptimizerKind;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use ztrain::{BaselineEngine, IterationReport, MachineConfig, TrainError};
 
-/// The methods compared throughout the paper's evaluation.
+/// The named ablation points of the paper's evaluation.
+///
+/// This is a compatibility shim over [`MethodSpec`]: every variant maps onto
+/// the orthogonal capability axes via `MethodSpec::from(method)`, both types
+/// `Display` the same figure labels, and every front door accepts either
+/// (they take `impl Into<MethodSpec>`). Combinations outside the paper's
+/// ladder — and any future axis — are expressed directly as a `MethodSpec`
+/// instead of a new variant here.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Method {
     /// `BASE`: ZeRO-Infinity with software RAID0 and CPU updates.
@@ -35,22 +49,6 @@ pub enum Method {
 }
 
 impl Method {
-    /// The label used in the paper's figures.
-    pub fn label(&self) -> String {
-        match self {
-            Method::Baseline => "BASE".to_string(),
-            Method::SmartUpdate => "SU".to_string(),
-            Method::SmartUpdateOptimized => "SU+O".to_string(),
-            Method::SmartComp { keep_ratio } => {
-                format!("SU+O+C({}%)", (keep_ratio * 2.0 * 100.0).round())
-            }
-            Method::SmartInfinityPipelined { keep_ratio: None } => "SU+O+P".to_string(),
-            Method::SmartInfinityPipelined { keep_ratio: Some(keep_ratio) } => {
-                format!("SU+O+P+C({}%)", (keep_ratio * 2.0 * 100.0).round())
-            }
-        }
-    }
-
     /// The paper's default ablation ladder: BASE, SU, SU+O, SU+O+C (2%).
     pub fn ladder() -> Vec<Method> {
         vec![
@@ -59,6 +57,14 @@ impl Method {
             Method::SmartUpdateOptimized,
             Method::SmartComp { keep_ratio: 0.01 },
         ]
+    }
+}
+
+/// The paper's figure labels, identical to the [`MethodSpec`] the variant
+/// maps onto (allocation-free: the formatting composes from the axes).
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        MethodSpec::from(*self).fmt(f)
     }
 }
 
@@ -128,38 +134,32 @@ impl Experiment {
         MachineConfig { storage: StorageKind::Csd, ..self.machine.clone() }
     }
 
-    /// Simulates one iteration with the given method.
+    /// Simulates one iteration of the method described by the capability
+    /// axes: the baseline engine when `in_storage_update` is off, the
+    /// Smart-Infinity engine configured straight from the spec otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::Config`] for incoherent axes and a wrapped
+    /// simulation-kernel failure otherwise.
+    pub fn run_spec(&self, spec: &MethodSpec) -> Result<IterationReport, TrainError> {
+        spec.validate()?;
+        let report = if !spec.uses_csds() {
+            BaselineEngine::new(self.baseline_machine(), self.workload.clone(), self.optimizer)
+                .simulate_iteration()?
+        } else {
+            self.smart_engine().with_method_spec(spec).simulate_iteration()?
+        };
+        Ok(report)
+    }
+
+    /// Compatibility wrapper: simulates one iteration with a named method.
     ///
     /// # Errors
     ///
     /// Returns a [`TrainError`] wrapping any simulation-kernel failure.
     pub fn run(&self, method: Method) -> Result<IterationReport, TrainError> {
-        let report = match method {
-            Method::Baseline => {
-                BaselineEngine::new(self.baseline_machine(), self.workload.clone(), self.optimizer)
-                    .simulate_iteration()?
-            }
-            Method::SmartUpdate => {
-                self.smart_engine().with_handler(HandlerMode::Naive).simulate_iteration()?
-            }
-            Method::SmartUpdateOptimized => {
-                self.smart_engine().with_handler(HandlerMode::Optimized).simulate_iteration()?
-            }
-            Method::SmartComp { keep_ratio } => self
-                .smart_engine()
-                .with_handler(HandlerMode::Optimized)
-                .with_compression(keep_ratio)
-                .simulate_iteration()?,
-            Method::SmartInfinityPipelined { keep_ratio } => {
-                let mut engine =
-                    self.smart_engine().with_handler(HandlerMode::Optimized).with_pipelining();
-                if let Some(keep_ratio) = keep_ratio {
-                    engine = engine.with_compression(keep_ratio);
-                }
-                engine.simulate_iteration()?
-            }
-        };
-        Ok(report)
+        self.run_spec(&method.into())
     }
 
     fn smart_engine(&self) -> SmartInfinityEngine {
@@ -167,8 +167,34 @@ impl Experiment {
             .with_subgroup_elems(self.subgroup_elems)
     }
 
-    /// Runs a list of methods and reports each with its speedup over the first
-    /// ([`Method::Baseline`] in the standard ladder).
+    /// Runs a list of method specs and reports each with its speedup over
+    /// the first (the baseline in the standard ladder).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TrainError`] wrapping any simulation-kernel failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty.
+    pub fn compare_specs(&self, specs: &[MethodSpec]) -> Result<Vec<MethodReport>, TrainError> {
+        assert!(!specs.is_empty(), "at least one method is required");
+        let baseline = self.run_spec(&specs[0])?;
+        specs
+            .iter()
+            .map(|spec| {
+                let report = self.run_spec(spec)?;
+                Ok(MethodReport {
+                    label: spec.to_string(),
+                    speedup: report.speedup_over(&baseline),
+                    report,
+                })
+            })
+            .collect()
+    }
+
+    /// Compatibility wrapper over [`Experiment::compare_specs`] for named
+    /// methods.
     ///
     /// # Errors
     ///
@@ -178,19 +204,8 @@ impl Experiment {
     ///
     /// Panics if `methods` is empty.
     pub fn compare(&self, methods: &[Method]) -> Result<Vec<MethodReport>, TrainError> {
-        assert!(!methods.is_empty(), "at least one method is required");
-        let baseline = self.run(methods[0])?;
-        methods
-            .iter()
-            .map(|&m| {
-                let report = self.run(m)?;
-                Ok(MethodReport {
-                    label: m.label(),
-                    speedup: report.speedup_over(&baseline),
-                    report,
-                })
-            })
-            .collect()
+        let specs: Vec<MethodSpec> = methods.iter().map(MethodSpec::from).collect();
+        self.compare_specs(&specs)
     }
 
     /// Convenience: the full paper ladder (BASE / SU / SU+O / SU+O+C at 2%).
@@ -199,7 +214,7 @@ impl Experiment {
     ///
     /// Returns a [`TrainError`] wrapping any simulation-kernel failure.
     pub fn ladder(&self) -> Result<Vec<MethodReport>, TrainError> {
-        self.compare(&Method::ladder())
+        self.compare_specs(&MethodSpec::ladder())
     }
 }
 
@@ -217,16 +232,43 @@ mod tests {
 
     #[test]
     fn labels_match_the_paper() {
-        assert_eq!(Method::Baseline.label(), "BASE");
-        assert_eq!(Method::SmartUpdate.label(), "SU");
-        assert_eq!(Method::SmartUpdateOptimized.label(), "SU+O");
-        assert_eq!(Method::SmartComp { keep_ratio: 0.01 }.label(), "SU+O+C(2%)");
-        assert_eq!(Method::SmartInfinityPipelined { keep_ratio: None }.label(), "SU+O+P");
+        assert_eq!(Method::Baseline.to_string(), "BASE");
+        assert_eq!(Method::SmartUpdate.to_string(), "SU");
+        assert_eq!(Method::SmartUpdateOptimized.to_string(), "SU+O");
+        assert_eq!(Method::SmartComp { keep_ratio: 0.01 }.to_string(), "SU+O+C(2%)");
+        assert_eq!(Method::SmartInfinityPipelined { keep_ratio: None }.to_string(), "SU+O+P");
         assert_eq!(
-            Method::SmartInfinityPipelined { keep_ratio: Some(0.01) }.label(),
+            Method::SmartInfinityPipelined { keep_ratio: Some(0.01) }.to_string(),
             "SU+O+P+C(2%)"
         );
         assert_eq!(Method::ladder().len(), 4);
+    }
+
+    #[test]
+    fn spec_and_enum_front_ends_agree() {
+        let exp = experiment(6);
+        // The off-ladder combination the enum cannot express: compression
+        // under the naive handler (SU+C). It must be slower than SU+O+C and
+        // faster than plain SU.
+        let su_c =
+            crate::MethodSpec::smart_update().with_compression(crate::CompressionSpec::top_k(0.01));
+        let su_c_t = exp.run_spec(&su_c).unwrap().total_s();
+        let su_t = exp.run(Method::SmartUpdate).unwrap().total_s();
+        let su_o_c_t = exp.run(Method::SmartComp { keep_ratio: 0.01 }).unwrap().total_s();
+        assert!(su_o_c_t < su_c_t && su_c_t < su_t, "{su_o_c_t} < {su_c_t} < {su_t}");
+        // Enum-built and spec-built runs are the same simulation.
+        for method in [
+            Method::Baseline,
+            Method::SmartUpdate,
+            Method::SmartUpdateOptimized,
+            Method::SmartComp { keep_ratio: 0.01 },
+            Method::SmartInfinityPipelined { keep_ratio: Some(0.01) },
+        ] {
+            assert_eq!(exp.run(method).unwrap(), exp.run_spec(&method.into()).unwrap(), "{method}");
+        }
+        // An incoherent spec is rejected up front, not deep in the engine.
+        let bad = crate::MethodSpec { overlap: false, ..crate::MethodSpec::pipelined(None) };
+        assert!(matches!(exp.run_spec(&bad), Err(TrainError::Config { .. })));
     }
 
     #[test]

@@ -33,31 +33,47 @@
 //!
 //! # Quick start
 //!
-//! A [`Session`] is the front door: one [`Method`] switches both the timed
-//! and the functional view, and both speak [`TrainError`], so `?` works
-//! across the whole stack.
+//! A [`Session`] is the front door: one [`MethodSpec`] — five orthogonal
+//! capability axes — switches both the timed and the functional view, and
+//! both speak [`TrainError`], so `?` works across the whole stack. Every
+//! configuration is also plain data: a [`RunSpec`] loads from JSON, and a
+//! [`Campaign`] sweeps a list of specs concurrently on `parcore` workers.
 //!
 //! ```
-//! use smart_infinity::{FlatTensor, MachineConfig, Method, ModelConfig, Session, TrainError};
+//! use smart_infinity::{Campaign, FlatTensor, RunSpec, TrainError};
 //!
 //! # fn main() -> Result<(), TrainError> {
-//! let model = ModelConfig::gpt2_0_34b();
-//! let machine = MachineConfig::smart_infinity(6);
-//! let method = Method::SmartComp { keep_ratio: 0.01 };
+//! // One run, declared as data: SmartUpdate + optimized handler + SmartComp.
+//! let spec = RunSpec::from_json(
+//!     r#"{
+//!         "model": "GPT2-0.34B",
+//!         "machine": { "devices": 6 },
+//!         "method": {
+//!             "offload": true, "in_storage_update": true,
+//!             "overlap": true, "pipelined": false,
+//!             "compression": { "keep_ratio": 0.01 }
+//!         }
+//!     }"#,
+//! )?;
+//! assert_eq!(spec.method.to_string(), "SU+O+C(2%)");
+//! let session = spec.session()?;
 //!
 //! // Timed view: how much faster is one iteration than the RAID0 baseline?
-//! let base = Session::builder(model.clone(), machine.clone(), Method::Baseline)
-//!     .build()
-//!     .simulate_iteration()?;
-//! let session = Session::builder(model, machine, method).build();
+//! let mut baseline = spec.clone();
+//! baseline.method = smart_infinity::MethodSpec::baseline();
+//! let base = baseline.session()?.simulate_iteration()?;
 //! let smart = session.simulate_iteration()?;
 //! assert!(smart.speedup_over(&base) > 1.0);
 //!
-//! // Functional view: the same Method selects a real trainer (dyn Trainer).
+//! // Functional view: the same spec selects a real trainer (dyn Trainer).
 //! let initial = FlatTensor::randn(4_096, 0.02, 7);
 //! let mut trainer = session.trainer(&initial)?;
 //! let report = trainer.step(&FlatTensor::randn(4_096, 0.01, 8))?;
 //! assert!(report.is_compressed() && report.gradient_bytes < 4 * 4_096);
+//!
+//! // Sweep view: both specs as one campaign, run concurrently.
+//! let report = Campaign::new(vec![baseline, spec]).run()?;
+//! assert!(report.runs[1].speedup_over_first > 1.0);
 //! # Ok(())
 //! # }
 //! ```
@@ -65,17 +81,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod campaign;
 mod engine_functional;
 mod engine_timed;
 mod experiment;
 mod session;
+mod spec;
 mod traffic;
 
+pub use campaign::{Campaign, CampaignReport, RunReport};
 pub use engine_functional::SmartInfinityTrainer;
 pub use engine_timed::{HandlerMode, PipelineTiming, SmartInfinityEngine};
 pub use experiment::{Experiment, Method, MethodReport};
 pub use session::{Session, SessionBuilder};
+pub use spec::{CompressionSpec, MachineSpec, MethodSpec, ModelSpec, RunSpec, WorkloadSpec};
 pub use traffic::{InterconnectTraffic, TrafficMethod, TrafficModel};
+
+// The spec layer re-exports the selector enum so compression specs can be
+// built without importing gradcomp.
+pub use gradcomp::SelectionMethod;
 
 // Re-export the pieces users need to drive the library without spelling out
 // every substrate crate.

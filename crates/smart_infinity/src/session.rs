@@ -1,23 +1,29 @@
 //! The session front door: declare *what* to train — a model, a machine and
-//! a [`Method`] — and the library decides *where* the update runs.
+//! a method's capability axes — and the library decides *where* the update
+//! runs.
 //!
 //! Before this module existed the public API forked per substrate:
 //! `ztrain::StorageOffloadTrainer::new(...)` for the host baseline,
 //! `SmartInfinityTrainer::new(...).with_*()` for the near-storage system, and
 //! `Experiment::run(Method)` for the timed view — three dialects for one
-//! system. A [`Session`] makes [`Method`] the single switch for both views:
+//! system. A [`Session`] makes the [`MethodSpec`] the single switch for both
+//! views (the compat [`crate::Method`] enum converts implicitly):
 //!
 //! * [`Session::trainer`] builds the matching *functional* trainer behind a
-//!   `Box<dyn Trainer>` — [`Method::Baseline`] yields the RAID0 baseline,
-//!   every Smart-Infinity method yields a [`SmartInfinityTrainer`]
-//!   (compressed for [`Method::SmartComp`]).
+//!   `Box<dyn Trainer>` — no `in_storage_update` yields the RAID0 baseline,
+//!   the in-storage axes yield a [`SmartInfinityTrainer`] or the overlapping
+//!   [`ztrain::PipelinedTrainer`], compressed when the spec says so.
 //! * [`Session::simulate_iteration`] runs the *timed* model of the same
 //!   configuration and returns the per-phase breakdown.
 //!
-//! Both paths speak [`TrainError`], so a caller can mix them with `?`.
+//! Both paths speak [`TrainError`], so a caller can mix them with `?`, and
+//! both validate the spec centrally instead of panicking in a substrate.
+//! Sessions can also be described entirely as data — see [`crate::RunSpec`]
+//! and the JSON-driven [`crate::Campaign`] runner.
 
 use crate::engine_timed::{HandlerMode, SmartInfinityEngine};
-use crate::experiment::{Experiment, Method};
+use crate::experiment::Experiment;
+use crate::spec::MethodSpec;
 use crate::SmartInfinityTrainer;
 use fabric::StorageKind;
 use llm::{ModelConfig, Workload};
@@ -32,7 +38,7 @@ use ztrain::{
 pub struct SessionBuilder {
     model: ModelConfig,
     machine: MachineConfig,
-    method: Method,
+    method: MethodSpec,
     optimizer: Optimizer,
     threads: usize,
     handler: Option<HandlerMode>,
@@ -61,7 +67,7 @@ impl SessionBuilder {
     /// Forces the internal data-transfer handler mode of the timed
     /// Smart-Infinity engine, overriding the one implied by the method
     /// (e.g. to simulate SmartComp with the naive handler as an ablation).
-    /// Ignored by [`Method::Baseline`] and by the functional trainers.
+    /// Ignored by baseline (non-CSD) methods and by the functional trainers.
     pub fn with_handler(mut self, handler: HandlerMode) -> Self {
         self.handler = Some(handler);
         self
@@ -104,13 +110,13 @@ impl SessionBuilder {
     }
 }
 
-/// One training configuration — model, machine, [`Method`] and knobs — from
-/// which both the functional and the timed view of the system are built.
+/// One training configuration — model, machine, [`MethodSpec`] and knobs —
+/// from which both the functional and the timed view of the system are built.
 #[derive(Debug, Clone)]
 pub struct Session {
     model: ModelConfig,
     machine: MachineConfig,
-    method: Method,
+    method: MethodSpec,
     optimizer: Optimizer,
     threads: usize,
     handler: Option<HandlerMode>,
@@ -119,12 +125,17 @@ pub struct Session {
 }
 
 impl Session {
-    /// Starts building a session for the given model, machine and method.
-    pub fn builder(model: ModelConfig, machine: MachineConfig, method: Method) -> SessionBuilder {
+    /// Starts building a session for the given model, machine and method —
+    /// either a composed [`MethodSpec`] or a named [`crate::Method`] variant.
+    pub fn builder(
+        model: ModelConfig,
+        machine: MachineConfig,
+        method: impl Into<MethodSpec>,
+    ) -> SessionBuilder {
         SessionBuilder {
             model,
             machine,
-            method,
+            method: method.into(),
             optimizer: Optimizer::adam_default(),
             threads: 1,
             handler: None,
@@ -133,8 +144,8 @@ impl Session {
         }
     }
 
-    /// The method this session trains with.
-    pub fn method(&self) -> Method {
+    /// The capability axes this session trains with.
+    pub fn method(&self) -> MethodSpec {
         self.method
     }
 
@@ -158,46 +169,35 @@ impl Session {
         self.optimizer
     }
 
-    /// Validates the knobs that would otherwise panic deep inside a substrate.
-    fn validate(&self) -> Result<(), TrainError> {
+    /// Validates the knobs that would otherwise panic deep inside a
+    /// substrate: the machine, the subgroup capacity, and the method's
+    /// capability axes (one centralized pass — [`MethodSpec::validate`]).
+    pub(crate) fn validate(&self) -> Result<(), TrainError> {
         if self.machine.num_devices == 0 {
             return Err(TrainError::config("machine must have at least one storage device"));
         }
         if self.subgroup_elems == Some(0) {
             return Err(TrainError::config("subgroup capacity must be positive"));
         }
-        let keep_ratio = match self.method {
-            Method::SmartComp { keep_ratio } => Some(keep_ratio),
-            Method::SmartInfinityPipelined { keep_ratio } => keep_ratio,
-            _ => None,
-        };
-        if let Some(keep_ratio) = keep_ratio {
-            if !gradcomp::valid_keep_ratio(keep_ratio) {
-                return Err(TrainError::config(format!(
-                    "SmartComp keep ratio must be in (0, 1], got {keep_ratio}"
-                )));
-            }
-        }
-        Ok(())
+        self.method.validate()
     }
 
-    /// Builds the functional trainer this session's method selects:
-    /// [`Method::Baseline`] yields the ZeRO-Infinity-style
-    /// [`StorageOffloadTrainer`] over `machine.num_devices` RAID0 SSDs; every
-    /// Smart-Infinity method yields a [`SmartInfinityTrainer`] over the same
-    /// number of CSDs, with Top-K compression for [`Method::SmartComp`];
-    /// [`Method::SmartInfinityPipelined`] yields the overlapping
-    /// [`PipelinedTrainer`] — bit-identical to the serial trainers, with
-    /// per-stage telemetry in its step reports.
-    /// ([`Method::SmartUpdate`] and [`Method::SmartUpdateOptimized`] are
-    /// functionally identical — the handler only changes *timing*.)
+    /// Builds the functional trainer this session's capability axes select:
+    /// no `in_storage_update` yields the ZeRO-Infinity-style
+    /// [`StorageOffloadTrainer`] over `machine.num_devices` RAID0 SSDs; the
+    /// in-storage axes yield a [`SmartInfinityTrainer`] over the same number
+    /// of CSDs — or the overlapping [`PipelinedTrainer`] when `pipelined` is
+    /// set (bit-identical to the serial trainers, with per-stage telemetry in
+    /// its step reports) — compressed with the spec's selector when the
+    /// compression axis is enabled. (The `overlap` axis is purely a *timing*
+    /// feature; it does not change the functional result.)
     ///
     /// # Errors
     ///
     /// Returns [`TrainError::Config`] for invalid knobs (empty parameters,
-    /// fewer parameters than devices, zero subgroup capacity, out-of-range
-    /// keep ratio) and a wrapped substrate error if a device cannot hold its
-    /// shard.
+    /// fewer parameters than devices, zero subgroup capacity, incoherent
+    /// axes, out-of-range keep ratio) and a wrapped substrate error if a
+    /// device cannot hold its shard.
     pub fn trainer(&self, initial_params: &FlatTensor) -> Result<Box<dyn Trainer>, TrainError> {
         self.validate()?;
         if initial_params.is_empty() {
@@ -212,29 +212,28 @@ impl Session {
             )));
         }
         let subgroup = self.functional_subgroup_elems(initial_params.len());
-        match self.method {
-            Method::Baseline => {
-                let trainer =
-                    StorageOffloadTrainer::new(initial_params, self.optimizer, devices, subgroup)?;
-                Ok(Box::new(trainer))
+        let spec = &self.method;
+        if !spec.uses_csds() {
+            let trainer =
+                StorageOffloadTrainer::new(initial_params, self.optimizer, devices, subgroup)?;
+            return Ok(Box::new(trainer));
+        }
+        if spec.pipelined {
+            let mut trainer =
+                PipelinedTrainer::new(initial_params, self.optimizer, devices, subgroup)?;
+            if let Some(compression) = &spec.compression {
+                trainer = trainer.with_compressor(compression.compressor());
             }
-            Method::SmartUpdate | Method::SmartUpdateOptimized => {
-                Ok(Box::new(self.smart_trainer(initial_params, devices, subgroup)?))
+            if self.threads > 1 {
+                trainer = trainer.with_threads(self.threads);
             }
-            Method::SmartComp { keep_ratio } => Ok(Box::new(
-                self.smart_trainer(initial_params, devices, subgroup)?.with_compression(keep_ratio),
-            )),
-            Method::SmartInfinityPipelined { keep_ratio } => {
-                let mut trainer =
-                    PipelinedTrainer::new(initial_params, self.optimizer, devices, subgroup)?;
-                if let Some(keep_ratio) = keep_ratio {
-                    trainer = trainer.with_compression(keep_ratio)?;
-                }
-                if self.threads > 1 {
-                    trainer = trainer.with_threads(self.threads);
-                }
-                Ok(Box::new(trainer))
+            Ok(Box::new(trainer))
+        } else {
+            let mut trainer = self.smart_trainer(initial_params, devices, subgroup)?;
+            if let Some(compression) = &spec.compression {
+                trainer = trainer.with_compressor(compression.compressor());
             }
+            Ok(Box::new(trainer))
         }
     }
 
@@ -267,30 +266,21 @@ impl Session {
     /// simulation-kernel failure.
     pub fn simulate_iteration(&self) -> Result<IterationReport, TrainError> {
         self.validate()?;
-        match (self.method, self.handler) {
-            // No handler override: the method ladder's standard mapping.
-            (method, None) => self.experiment()?.run(method),
-            (Method::Baseline, Some(_)) => self.experiment()?.run(Method::Baseline),
-            // Handler override: build the timed engine directly.
-            (method, Some(handler)) => {
+        match self.handler {
+            // No override (or a baseline run, which has no CSD handler):
+            // the spec's standard mapping through the experiment front-end.
+            None => self.experiment()?.run_spec(&self.method),
+            Some(_) if !self.method.uses_csds() => self.experiment()?.run_spec(&self.method),
+            // Handler override: build the timed engine from the spec, then
+            // replace the handler it implies (the ablation the knob is for).
+            Some(handler) => {
                 let machine = MachineConfig { storage: StorageKind::Csd, ..self.machine.clone() };
                 let mut engine =
                     SmartInfinityEngine::new(machine, self.workload.clone(), self.optimizer.kind())
+                        .with_method_spec(&self.method)
                         .with_handler(handler);
                 if let Some(elems) = self.subgroup_elems {
                     engine = engine.with_subgroup_elems(elems);
-                }
-                match method {
-                    Method::SmartComp { keep_ratio } => {
-                        engine = engine.with_compression(keep_ratio);
-                    }
-                    Method::SmartInfinityPipelined { keep_ratio } => {
-                        engine = engine.with_pipelining();
-                        if let Some(keep_ratio) = keep_ratio {
-                            engine = engine.with_compression(keep_ratio);
-                        }
-                    }
-                    _ => {}
                 }
                 Ok(engine.simulate_iteration()?)
             }
@@ -321,6 +311,7 @@ impl Session {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Method;
     use llm::ModelConfig;
     use tensorlib::FlatTensor;
     use ztrain::SyntheticGradients;

@@ -1,10 +1,17 @@
 //! Analytic per-iteration system-interconnect traffic accounting (paper Table I).
 
+use crate::spec::MethodSpec;
 use llm::Workload;
 use optim::OptimizerKind;
 use serde::{Deserialize, Serialize};
 
 /// Which update scheme the traffic is accounted for.
+///
+/// Only three schemes are distinguishable on the interconnect — where the
+/// update runs and whether the gradient stream is compressed; the handler
+/// and pipelining axes move the *same* bytes at different times. Derive it
+/// from a method via `TrafficMethod::from(&spec)` instead of re-mapping
+/// methods by hand.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum TrafficMethod {
     /// ZeRO-Infinity baseline: CPU update, optimizer states round-trip the
@@ -20,6 +27,27 @@ pub enum TrafficMethod {
         /// Fraction of gradient elements kept by Top-K.
         keep_ratio: f64,
     },
+}
+
+/// The single source of the method → traffic-row mapping (paper Table I):
+/// no in-storage update means the full ZeRO-Infinity state round trip,
+/// compression scales the gradient stream, everything else is SmartUpdate.
+impl From<&MethodSpec> for TrafficMethod {
+    fn from(spec: &MethodSpec) -> Self {
+        if !spec.uses_csds() {
+            TrafficMethod::ZeroInfinity
+        } else if let Some(keep_ratio) = spec.keep_ratio() {
+            TrafficMethod::SmartComp { keep_ratio }
+        } else {
+            TrafficMethod::SmartUpdate
+        }
+    }
+}
+
+impl From<crate::Method> for TrafficMethod {
+    fn from(method: crate::Method) -> Self {
+        TrafficMethod::from(&MethodSpec::from(method))
+    }
 }
 
 /// Bytes crossing the shared system interconnect in one iteration, split by
@@ -189,5 +217,26 @@ mod tests {
     #[should_panic(expected = "keep ratio")]
     fn invalid_keep_ratio_panics() {
         model().per_iteration(TrafficMethod::SmartComp { keep_ratio: 0.0 });
+    }
+
+    #[test]
+    fn traffic_rows_derive_from_the_capability_axes() {
+        use crate::{Method, MethodSpec};
+        assert_eq!(TrafficMethod::from(&MethodSpec::baseline()), TrafficMethod::ZeroInfinity);
+        // The handler and pipelining axes do not change what crosses the wire.
+        assert_eq!(TrafficMethod::from(&MethodSpec::smart_update()), TrafficMethod::SmartUpdate);
+        assert_eq!(
+            TrafficMethod::from(&MethodSpec::smart_update_optimized()),
+            TrafficMethod::SmartUpdate
+        );
+        assert_eq!(TrafficMethod::from(&MethodSpec::pipelined(None)), TrafficMethod::SmartUpdate);
+        assert_eq!(
+            TrafficMethod::from(&MethodSpec::smart_comp(0.01)),
+            TrafficMethod::SmartComp { keep_ratio: 0.01 }
+        );
+        assert_eq!(
+            TrafficMethod::from(Method::SmartInfinityPipelined { keep_ratio: Some(0.05) }),
+            TrafficMethod::SmartComp { keep_ratio: 0.05 }
+        );
     }
 }

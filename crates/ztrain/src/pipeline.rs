@@ -178,14 +178,21 @@ impl PipelinedTrainer {
     /// # Errors
     ///
     /// Returns [`TrainError::Config`] if `keep_ratio` is not in `(0, 1]`.
-    pub fn with_compression(mut self, keep_ratio: f64) -> Result<Self, TrainError> {
+    pub fn with_compression(self, keep_ratio: f64) -> Result<Self, TrainError> {
         if !gradcomp::valid_keep_ratio(keep_ratio) {
             return Err(TrainError::config(format!(
                 "Top-K keep ratio must be in (0, 1], got {keep_ratio}"
             )));
         }
-        self.compressor = Some(Compressor::top_k(keep_ratio));
-        Ok(self)
+        Ok(self.with_compressor(Compressor::top_k(keep_ratio)))
+    }
+
+    /// Enables SmartComp with an explicit coordinate selector (exact Top-K,
+    /// threshold-accelerated Top-K, Random-K) instead of the default exact
+    /// Top-K.
+    pub fn with_compressor(mut self, compressor: Compressor) -> Self {
+        self.compressor = Some(compressor);
+        self
     }
 
     /// Sets the number of host worker threads the pipeline lanes fan out

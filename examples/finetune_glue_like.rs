@@ -1,13 +1,14 @@
 //! Fine-tuning case study (paper Section VII-J / Table IV): train real
 //! classifiers on the GLUE-like synthetic suite with and without SmartComp's
 //! Top-K gradient compression, and report accuracy next to the iteration-time
-//! speedup of the corresponding fine-tuned LLM.
+//! speedup of the corresponding fine-tuned LLM. The speedup side is a
+//! spec-driven `Campaign`: a (model x method) grid run concurrently.
 //!
 //! ```text
 //! cargo run --release -p smart_infinity --example finetune_glue_like
 //! ```
 
-use smart_infinity::{MachineConfig, Method, ModelConfig, Session, TrainError};
+use smart_infinity::{Campaign, MachineSpec, MethodSpec, ModelSpec, RunSpec, TrainError};
 use ztrain::realtrain::{train_classifier, Dataset, MlpModel, TrainConfig};
 
 fn main() -> Result<(), TrainError> {
@@ -49,21 +50,34 @@ fn main() -> Result<(), TrainError> {
         );
     }
 
-    // Speedup side: the timed model for the three fine-tuned LLMs of Table IV.
+    // Speedup side: the timed model for the three fine-tuned LLMs of
+    // Table IV, as one (model x method) campaign grid.
+    let models = ["BERT-0.34B", "GPT2-0.77B", "GPT2-1.6B"];
+    let methods = [
+        MethodSpec::baseline(),
+        MethodSpec::smart_update_optimized(),
+        MethodSpec::smart_comp(0.01),
+    ];
+    let specs: Vec<RunSpec> = models
+        .iter()
+        .flat_map(|&model| {
+            methods.iter().map(move |&method| {
+                RunSpec::new(ModelSpec::preset(model), MachineSpec::devices(6), method)
+            })
+        })
+        .collect();
+    let report = Campaign::new(specs).with_name("finetune speedups").run()?;
+
     println!("\nIteration-time speedup while fine-tuning (6 storage devices):");
     println!("{:<12} {:>10} {:>12}", "model", "SU+O", "SU+O+C(2%)");
-    for model in [ModelConfig::bert_0_34b(), ModelConfig::gpt2_0_77b(), ModelConfig::gpt2_1_6b()] {
-        let session = |method| {
-            Session::builder(model.clone(), MachineConfig::smart_infinity(6), method).build()
-        };
-        let base = session(Method::Baseline).simulate_iteration()?;
-        let suo = session(Method::SmartUpdateOptimized).simulate_iteration()?;
-        let suoc = session(Method::SmartComp { keep_ratio: 0.01 }).simulate_iteration()?;
+    for (i, model) in models.iter().enumerate() {
+        let rows = &report.runs[3 * i..3 * i + 3];
+        let base = &rows[0].report;
         println!(
             "{:<12} {:>9.2}x {:>11.2}x",
-            model.name(),
-            suo.speedup_over(&base),
-            suoc.speedup_over(&base)
+            model,
+            rows[1].report.speedup_over(base),
+            rows[2].report.speedup_over(base)
         );
     }
     println!("\nSmartUpdate itself is lossless (bit-identical update); only SmartComp trades");

@@ -1,22 +1,28 @@
-//! Quickstart: one `Session` per method — the same `Method` enum drives the
-//! timed view (how long does an iteration take?) and the functional view
-//! (really move the bytes, really update the parameters).
+//! Quickstart: every training configuration is data — a `RunSpec` — and one
+//! spec drives both the timed view (how long does an iteration take?) and
+//! the functional view (really move the bytes, really update the
+//! parameters). Lists of specs run concurrently as a `Campaign`.
 //!
 //! ```text
 //! cargo run --release -p smart_infinity --example quickstart
 //! ```
 
 use smart_infinity::{
-    FlatTensor, MachineConfig, Method, ModelConfig, Session, StepReport, TrainError, Trainer,
-    Workload,
+    Campaign, CompressionSpec, FlatTensor, MachineSpec, MethodSpec, ModelConfig, ModelSpec,
+    RunSpec, StepReport, TrainError, Trainer, Workload,
 };
 
 fn main() -> Result<(), TrainError> {
     // ------------------------------------------------------------------
-    // 1. Timed view: how much faster is one iteration with 10 SmartSSDs?
+    // 1. Timed view: the checked-in ladder campaign — six method specs on
+    //    6 SmartSSDs — executed concurrently on parcore workers.
     // ------------------------------------------------------------------
-    let model = ModelConfig::gpt2_4b();
-    let workload = Workload::paper_default(model.clone());
+    let ladder_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/ladder.json");
+    let text = std::fs::read_to_string(ladder_path)
+        .map_err(|e| TrainError::config(format!("cannot read {ladder_path}: {e}")))?;
+    let campaign = Campaign::from_json(&text)?;
+    let model = campaign.specs[0].model.resolve()?;
+    let workload = Workload::paper_default(model);
     println!(
         "Model: {} ({:.1}B parameters), batch {} x seq {}",
         workload.model().name(),
@@ -25,48 +31,70 @@ fn main() -> Result<(), TrainError> {
         workload.seq_len()
     );
 
-    let timed =
-        Session::builder(model, MachineConfig::smart_infinity(10), Method::Baseline).build();
-    let reports = timed.experiment()?.ladder()?;
-    println!("\nOne training iteration with 10 storage devices:");
+    let report = campaign.run()?;
+    println!(
+        "\nCampaign `{}`: {} specs on {} worker(s) ({} CPU(s) visible):",
+        report.name.as_deref().unwrap_or("-"),
+        report.runs.len(),
+        report.threads,
+        report.num_cpus
+    );
     println!(
         "{:<12} {:>8} {:>12} {:>10} {:>10} {:>9}",
         "method", "FW (s)", "BW+Grad (s)", "Update (s)", "Total (s)", "speedup"
     );
-    for r in &reports {
+    for r in &report.runs {
         println!(
             "{:<12} {:>8.2} {:>12.2} {:>10.2} {:>10.2} {:>8.2}x",
-            r.label,
+            r.method,
             r.report.forward_s,
             r.report.backward_s,
             r.report.update_s,
             r.report.total_s(),
-            r.speedup
+            r.speedup_over_first
         );
     }
 
+    // The capability axes compose beyond the paper's ladder: the same
+    // machine with the handler optimization turned *off* but compression
+    // kept on — a configuration the old closed Method enum could not express.
+    let su_c = RunSpec::new(
+        campaign.specs[0].model.clone(),
+        campaign.specs[0].machine.clone(),
+        MethodSpec::smart_update().with_compression(CompressionSpec::top_k(0.01)),
+    );
+    let su_c_report = su_c.session()?.simulate_iteration()?;
+    let su_c_label = su_c.method.to_string();
+    println!(
+        "{:<12} {:>8.2} {:>12.2} {:>10.2} {:>10.2}   (off-ladder)",
+        su_c_label,
+        su_c_report.forward_s,
+        su_c_report.backward_s,
+        su_c_report.update_s,
+        su_c_report.total_s(),
+    );
+
     // ------------------------------------------------------------------
-    // 2. Functional view: the *same* Method enum now selects a real trainer.
-    //    One loop drives every substrate through `dyn Trainer`.
+    // 2. Functional view: the *same* capability axes now select a real
+    //    trainer. One loop drives every substrate through `dyn Trainer`.
     // ------------------------------------------------------------------
     let n = 100_000;
     let steps = 3u64;
     let keep_ratio = 0.01;
     let initial = FlatTensor::randn(n, 0.02, 7);
-    let machine = MachineConfig::smart_infinity(4);
     let small = ModelConfig::gpt2_0_34b();
 
     let methods = [
-        Method::Baseline,
-        Method::SmartUpdate,
-        Method::SmartComp { keep_ratio },
-        Method::SmartInfinityPipelined { keep_ratio: None },
+        MethodSpec::baseline(),
+        MethodSpec::smart_update(),
+        MethodSpec::smart_comp(keep_ratio),
+        MethodSpec::pipelined(None),
     ];
     let mut trainers: Vec<Box<dyn Trainer>> = Vec::new();
     for method in methods {
-        let session =
-            Session::builder(small.clone(), machine.clone(), method).with_threads(4).build();
-        trainers.push(session.trainer(&initial)?);
+        let spec = RunSpec::new(ModelSpec::preset(small.name()), MachineSpec::devices(4), method)
+            .with_threads(4);
+        trainers.push(spec.session()?.trainer(&initial)?);
     }
 
     let mut last_reports: Vec<StepReport> = vec![StepReport::default(); trainers.len()];
@@ -85,7 +113,7 @@ fn main() -> Result<(), TrainError> {
     for (method, report) in methods.iter().zip(&last_reports) {
         println!(
             "{:<12} {:>12} {:>14} {:>14} {:>10}",
-            method.label(),
+            method.to_string(),
             report.gradient_bytes,
             report.storage_bytes_read,
             report.storage_bytes_written,
@@ -134,7 +162,8 @@ fn main() -> Result<(), TrainError> {
     );
 
     println!(
-        "\nDone. See `cargo run -p bench --release --bin figures -- all` for every paper figure."
+        "\nDone. Try `cargo run -p bench --release --bin figures -- campaign specs/scaling.json`\n\
+         or `-- all` for every paper figure."
     );
     Ok(())
 }

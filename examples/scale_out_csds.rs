@@ -1,6 +1,10 @@
 //! Scale-out study: how iteration time, speedup and cost efficiency evolve as
 //! computational storage devices are added (paper Fig. 11 and Fig. 15).
 //!
+//! The sweep is expressed as a `Campaign` grid — one `RunSpec` per
+//! (device count × method) point — and executed concurrently on `parcore`
+//! workers; a 20-point study is one `run()` call.
+//!
 //! ```text
 //! cargo run --release -p smart_infinity --example scale_out_csds [model-billions]
 //! ```
@@ -9,7 +13,7 @@
 //! parameters (default 4.0).
 
 use smart_infinity::{
-    CostModel, GpuSpec, MachineConfig, Method, ModelConfig, Session, TrainError, Workload,
+    Campaign, CostModel, GpuSpec, MachineSpec, MethodSpec, ModelSpec, RunSpec, TrainError, Workload,
 };
 
 fn main() -> Result<(), TrainError> {
@@ -17,12 +21,32 @@ fn main() -> Result<(), TrainError> {
         .nth(1)
         .map(|s| s.parse().expect("model size must be a number (billions of parameters)"))
         .unwrap_or(4.0);
-    let model = ModelConfig::gpt2_scaled(billions * 1e9);
+    let model_spec = ModelSpec::ScaledGpt2 { billions };
+    let model = model_spec.resolve()?;
     let workload = Workload::paper_default(model.clone());
     println!(
         "Scale-out study for {} ({:.2}B parameters) on an RTX A5000 host\n",
         model.name(),
         model.num_params() as f64 / 1e9
+    );
+
+    // The whole study as one campaign: (1..=10 devices) x (BASE, SU+O+C).
+    let device_counts: Vec<usize> = (1..=10).collect();
+    let specs: Vec<RunSpec> = device_counts
+        .iter()
+        .flat_map(|&n| {
+            let model_spec = &model_spec;
+            [MethodSpec::baseline(), MethodSpec::smart_comp(0.01)]
+                .into_iter()
+                .map(move |m| RunSpec::new(model_spec.clone(), MachineSpec::devices(n), m))
+        })
+        .collect();
+    let report = Campaign::new(specs).with_name("scale-out").run()?;
+    println!(
+        "(campaign: {} specs on {} worker(s), {} CPU(s) visible)\n",
+        report.runs.len(),
+        report.threads,
+        report.num_cpus
     );
 
     let cost = CostModel::default();
@@ -34,12 +58,9 @@ fn main() -> Result<(), TrainError> {
         "#devs", "BASE (s)", "Smart (s)", "speedup", "BASE GFLOPS/$", "Smart GFLOPS/$"
     );
     let mut crossover: Option<usize> = None;
-    for n in 1..=10usize {
-        let session = |method| {
-            Session::builder(model.clone(), MachineConfig::smart_infinity(n), method).build()
-        };
-        let base = session(Method::Baseline).simulate_iteration()?;
-        let smart = session(Method::SmartComp { keep_ratio: 0.01 }).simulate_iteration()?;
+    for (i, &n) in device_counts.iter().enumerate() {
+        let base = &report.runs[2 * i].report;
+        let smart = &report.runs[2 * i + 1].report;
         let base_eff =
             CostModel::gflops_per_dollar(flops / base.total_s(), cost.baseline_system_usd(&gpu, n));
         let smart_eff = CostModel::gflops_per_dollar(
@@ -54,7 +75,7 @@ fn main() -> Result<(), TrainError> {
             n,
             base.total_s(),
             smart.total_s(),
-            smart.speedup_over(&base),
+            smart.speedup_over(base),
             base_eff,
             smart_eff
         );

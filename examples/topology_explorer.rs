@@ -8,7 +8,7 @@
 
 use fabric::{NodeKind, PlatformSpec, StorageKind};
 use simkit::{FlowSpec, Simulation};
-use smart_infinity::{MachineConfig, Method, ModelConfig, Session, TrainError};
+use smart_infinity::{Campaign, MachineSpec, MethodSpec, ModelSpec, RunSpec, TrainError};
 
 // `?` spans both stacks: the raw simkit runs convert through
 // `TrainError::from(SimError)`, the session runs return `TrainError` already.
@@ -66,20 +66,30 @@ fn main() -> Result<(), TrainError> {
     println!("  to the local FPGA (private P2P): {p2p_done:.2} s");
 
     // ------------------------------------------------------------------
-    // 3. The congested multi-GPU placement of Fig. 17.
+    // 3. The congested multi-GPU placement of Fig. 17, as one spec-driven
+    //    campaign: a (GPU count x method) grid run concurrently.
     // ------------------------------------------------------------------
     println!("\nCongested topology (GPUs behind the same expansion switch as the CSDs):");
-    for gpus in 1..=3usize {
-        let machine = MachineConfig::congested_multi_gpu(10, gpus);
-        let session =
-            |method| Session::builder(ModelConfig::gpt2_1_16b(), machine.clone(), method).build();
-        let base = session(Method::Baseline).simulate_iteration()?;
-        let smart = session(Method::SmartComp { keep_ratio: 0.01 }).simulate_iteration()?;
+    let specs: Vec<RunSpec> = (1..=3usize)
+        .flat_map(|gpus| {
+            [MethodSpec::baseline(), MethodSpec::smart_comp(0.01)].into_iter().map(move |m| {
+                RunSpec::new(
+                    ModelSpec::preset("GPT2-1.16B"),
+                    MachineSpec::devices(10).with_num_gpus(gpus).congested(),
+                    m,
+                )
+            })
+        })
+        .collect();
+    let report = Campaign::new(specs).with_name("congested").run()?;
+    for (i, pair) in report.runs.chunks(2).enumerate() {
+        let (base, smart) = (&pair[0].report, &pair[1].report);
         println!(
-            "  {gpus} x A4000: baseline {:.2} s/iter, Smart-Infinity {:.2} s/iter ({:.2}x)",
+            "  {} x A4000: baseline {:.2} s/iter, Smart-Infinity {:.2} s/iter ({:.2}x)",
+            i + 1,
             base.total_s(),
             smart.total_s(),
-            smart.speedup_over(&base)
+            smart.speedup_over(base)
         );
     }
     println!("\nEven when GPU traffic shares the PCIe switch with the CSDs, the update phase");

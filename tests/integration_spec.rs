@@ -1,0 +1,308 @@
+//! Integration suite for the spec-driven front door: `RunSpec` JSON round
+//! trips, enum-vs-spec bit-equivalence across both stacks, centralized
+//! `TrainError::Config` validation from the builder *and* the JSON path, and
+//! the `Campaign` runner over the checked-in spec files.
+
+use parcore::ParExecutor;
+use proptest::prelude::*;
+use smart_infinity::{
+    Campaign, CompressionSpec, FlatTensor, HandlerMode, MachineSpec, Method, MethodSpec, ModelSpec,
+    RunSpec, SelectionMethod, TrainError, WorkloadSpec,
+};
+use ztrain::SyntheticGradients;
+
+fn ladder_json() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/ladder.json");
+    std::fs::read_to_string(path).expect("specs/ladder.json is checked in")
+}
+
+fn spec_json(file: &str) -> String {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/");
+    std::fs::read_to_string(format!("{dir}{file}")).expect("spec file is checked in")
+}
+
+/// Builds a `MethodSpec` from sampled axes, constrained to coherent
+/// combinations (incoherent ones are covered by the error tests).
+fn method_from(
+    axes: u8,
+    keep_ratio: f64,
+    selector: u8,
+    sample_size: usize,
+    seed: u64,
+) -> MethodSpec {
+    let mut method = match axes % 4 {
+        0 => MethodSpec::baseline(),
+        1 => MethodSpec::smart_update(),
+        2 => MethodSpec::smart_update_optimized(),
+        _ => MethodSpec::pipelined(None),
+    };
+    if method.in_storage_update && axes & 0x10 != 0 {
+        let selection = match selector % 3 {
+            0 => None,
+            1 => Some(SelectionMethod::ThresholdTopK { sample_size }),
+            _ => Some(SelectionMethod::RandomK { seed }),
+        };
+        let mut compression = CompressionSpec::top_k(keep_ratio);
+        if let Some(selection) = selection {
+            compression = compression.with_selection(selection);
+        }
+        method = method.with_compression(compression);
+    }
+    method
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// `RunSpec` -> JSON -> `RunSpec` is the identity, for arbitrary knob
+    /// combinations — including u64 selector seeds outside the exact-f64
+    /// range, which the shim's lexical numbers preserve.
+    #[test]
+    fn run_spec_json_round_trip_is_identity(
+        axes in 0u8..32,
+        keep_ratio in 0.001f64..1.0,
+        selector in 0u8..3,
+        sample_size in 1usize..10_000,
+        seed in proptest::arbitrary::any::<u64>(),
+        preset in 0usize..20,
+        devices in 1usize..12,
+        gpu in 0u8..4,
+        threads in 0usize..8,
+        handler in 0u8..3,
+        subgroup in 0usize..3,
+        batch in 0usize..5,
+    ) {
+        let method = method_from(axes, keep_ratio, selector, sample_size, seed);
+        let model = if preset % 5 == 0 {
+            ModelSpec::ScaledGpt2 { billions: 0.5 + preset as f64 }
+        } else {
+            ModelSpec::preset(ModelSpec::preset_names()[preset])
+        };
+        let mut machine = MachineSpec::devices(devices);
+        match gpu {
+            0 => machine = machine.with_gpu("A100"),
+            1 => machine = machine.with_num_gpus(2).congested(),
+            _ => {}
+        }
+        let mut spec = RunSpec::new(model, machine, method);
+        if threads > 0 {
+            spec = spec.with_threads(threads);
+        }
+        match handler {
+            0 => spec = spec.with_handler(HandlerMode::Naive),
+            1 => spec = spec.with_handler(HandlerMode::Optimized),
+            _ => {}
+        }
+        if subgroup > 0 {
+            spec = spec.with_subgroup_elems(subgroup << 12);
+        }
+        if batch > 0 {
+            spec = spec.with_workload(WorkloadSpec { batch_size: Some(batch * 4), seq_len: None });
+        }
+        let compact = RunSpec::from_json(&spec.to_json()).expect("compact round trip");
+        prop_assert_eq!(&compact, &spec);
+        let pretty = RunSpec::from_json(&spec.to_json_pretty()).expect("pretty round trip");
+        prop_assert_eq!(&pretty, &spec);
+    }
+
+    /// Every `Method` variant, routed through its `MethodSpec` *and through
+    /// JSON*, produces a bit-identical trainer and an identical timed
+    /// iteration report.
+    #[test]
+    fn enum_and_spec_built_sessions_are_bit_identical(
+        variant in 0usize..6,
+        devices in 1usize..6,
+        threads in 1usize..4,
+    ) {
+        let method = [
+            Method::Baseline,
+            Method::SmartUpdate,
+            Method::SmartUpdateOptimized,
+            Method::SmartComp { keep_ratio: 0.02 },
+            Method::SmartInfinityPipelined { keep_ratio: None },
+            Method::SmartInfinityPipelined { keep_ratio: Some(0.02) },
+        ][variant];
+        let model = smart_infinity::ModelConfig::gpt2_0_34b();
+        let machine = smart_infinity::MachineConfig::smart_infinity(devices);
+
+        // Enum-built: the compat path through Session::builder(.., Method).
+        let enum_session = smart_infinity::Session::builder(model, machine, method)
+            .with_threads(threads)
+            .build();
+        // Spec-built: the data path, round-tripped through JSON text.
+        let spec = RunSpec::new(
+            ModelSpec::preset("GPT2-0.34B"),
+            MachineSpec::devices(devices),
+            MethodSpec::from(method),
+        )
+        .with_threads(threads);
+        let spec_session = RunSpec::from_json(&spec.to_json()).expect("round trip")
+            .session().expect("valid spec");
+
+        // Functional view: bit-identical parameters after 3 steps.
+        let initial = FlatTensor::randn(1_200, 0.05, 11);
+        let mut from_enum = enum_session.trainer(&initial).expect("enum trainer");
+        let mut from_spec = spec_session.trainer(&initial).expect("spec trainer");
+        let mut src_a = SyntheticGradients::new(1_200, 0.01, 23);
+        let mut src_b = SyntheticGradients::new(1_200, 0.01, 23);
+        for _ in 0..3 {
+            let a = from_enum.step_from(&mut src_a).expect("step");
+            let b = from_spec.step_from(&mut src_b).expect("step");
+            prop_assert_eq!(a.gradient_bytes, b.gradient_bytes);
+            prop_assert_eq!(a.compression_kept, b.compression_kept);
+        }
+        prop_assert_eq!(from_enum.params_fp16().as_slice(), from_spec.params_fp16().as_slice());
+        let enum_master = from_enum.master_params().expect("params");
+        let spec_master = from_spec.master_params().expect("params");
+        prop_assert_eq!(enum_master.as_slice(), spec_master.as_slice());
+
+        // Timed view: identical phase breakdowns.
+        prop_assert_eq!(
+            enum_session.simulate_iteration().expect("timed"),
+            spec_session.simulate_iteration().expect("timed")
+        );
+    }
+}
+
+#[test]
+fn invalid_specs_are_config_errors_from_both_builder_and_json_paths() {
+    let base = RunSpec::new(
+        ModelSpec::preset("GPT2-0.34B"),
+        MachineSpec::devices(3),
+        MethodSpec::smart_comp(0.01),
+    );
+
+    // Builder path: bad keep ratios.
+    for bad in [0.0, -1.0, 1.0001, f64::INFINITY] {
+        let spec = RunSpec { method: MethodSpec::smart_comp(bad), ..base.clone() };
+        let err = spec.session().expect_err("bad keep ratio");
+        assert!(matches!(err, TrainError::Config { .. }), "{bad}: {err}");
+        assert!(err.to_string().contains("keep ratio"), "{err}");
+    }
+    // Builder path: zero subgroup.
+    let err = base.clone().with_subgroup_elems(0).session().expect_err("zero subgroup");
+    assert!(matches!(err, TrainError::Config { .. }), "{err}");
+    assert!(err.to_string().contains("subgroup"), "{err}");
+    // Builder path: params < devices comes from the session's trainer call.
+    let session = base.clone().session().expect("valid");
+    let err = session.trainer(&FlatTensor::zeros(2)).expect_err("2 params on 3 devices");
+    assert!(matches!(err, TrainError::Config { .. }), "{err}");
+    // Builder path: incoherent axes.
+    let err = RunSpec {
+        method: MethodSpec { overlap: false, ..MethodSpec::pipelined(None) },
+        ..base.clone()
+    }
+    .session()
+    .expect_err("pipelined without overlap");
+    assert!(matches!(err, TrainError::Config { .. }), "{err}");
+
+    // JSON path: the same knobs through text — errors, not panics.
+    let json_cases = [
+        // keep_ratio out of range
+        r#"{"model":"GPT2-0.34B","machine":{"devices":3},
+            "method":{"offload":true,"in_storage_update":true,"overlap":true,
+                      "pipelined":false,"compression":{"keep_ratio":0.0}}}"#,
+        // zero subgroup
+        r#"{"model":"GPT2-0.34B","machine":{"devices":3},"subgroup_elems":0,
+            "method":{"offload":true,"in_storage_update":true,"overlap":true,
+                      "pipelined":false}}"#,
+        // zero devices
+        r#"{"model":"GPT2-0.34B","machine":{"devices":0},
+            "method":{"offload":true,"in_storage_update":false,"overlap":false,
+                      "pipelined":false}}"#,
+        // unknown model preset
+        r#"{"model":"GPT9-999B","machine":{"devices":3},
+            "method":{"offload":true,"in_storage_update":false,"overlap":false,
+                      "pipelined":false}}"#,
+    ];
+    for json in json_cases {
+        let spec = RunSpec::from_json(json).expect("parses fine; fails validation");
+        let err = spec.session().expect_err("invalid spec");
+        assert!(matches!(err, TrainError::Config { .. }), "{json}: {err}");
+    }
+
+    // JSON path: malformed documents and typos are Config errors too.
+    let err = RunSpec::from_json("{not json").expect_err("parse error");
+    assert!(matches!(err, TrainError::Config { .. }), "{err}");
+    let err = RunSpec::from_json(r#"{"model":"GPT2-0.34B","machine":{"devices":3},"methodd":{}}"#)
+        .expect_err("typo'd field");
+    assert!(err.to_string().contains("methodd"), "{err}");
+}
+
+#[test]
+fn checked_in_ladder_campaign_runs_concurrently_on_parcore() {
+    let campaign = Campaign::from_json(&ladder_json()).expect("ladder parses");
+    assert!(campaign.specs.len() >= 4, "the acceptance bar: a campaign of >= 4 specs");
+    let parallel = campaign.run_on(&ParExecutor::new(4)).expect("parallel run");
+    let serial = campaign.run_on(&ParExecutor::serial()).expect("serial run");
+    assert_eq!(parallel.threads, 4);
+    assert_eq!(parallel.runs.len(), campaign.specs.len());
+    // Concurrency changes wall-clock only, never results.
+    assert_eq!(parallel.runs, serial.runs);
+    // The ladder's physics still hold when driven from JSON: every
+    // Smart-Infinity point beats BASE, compression beats its dense sibling.
+    assert_eq!(parallel.runs[0].method, "BASE");
+    assert!((parallel.runs[0].speedup_over_first - 1.0).abs() < 1e-12);
+    for run in &parallel.runs[1..] {
+        assert!(run.speedup_over_first > 1.0, "{}: {}", run.label, run.speedup_over_first);
+    }
+    let total = |label: &str| {
+        parallel
+            .runs
+            .iter()
+            .find(|r| r.method == label)
+            .unwrap_or_else(|| panic!("{label} in ladder"))
+            .report
+            .total_s()
+    };
+    assert!(total("SU+O+C(2%)") < total("SU+O"));
+    assert!(total("SU+O+P+C(2%)") < total("SU+O+P"));
+    // The report's host facts are recorded for the perf-snapshot caveat.
+    assert!(parallel.num_cpus >= 1);
+    assert_eq!(parallel.parallel_valid, parallel.num_cpus > 1);
+}
+
+#[test]
+fn every_checked_in_spec_file_parses_validates_and_runs() {
+    for file in ["ladder.json", "scaling.json", "compression.json"] {
+        let campaign = Campaign::from_json(&spec_json(file)).unwrap_or_else(|e| {
+            panic!("{file}: {e}");
+        });
+        campaign.validate().unwrap_or_else(|e| panic!("{file}: {e}"));
+        let report = campaign.run().unwrap_or_else(|e| panic!("{file}: {e}"));
+        assert_eq!(report.runs.len(), campaign.specs.len(), "{file}");
+        for run in &report.runs {
+            assert!(run.report.total_s() > 0.0, "{file}: {}", run.label);
+        }
+    }
+    // compression.json exercises the off-ladder SU+C point and a threshold
+    // selector; its dense SU+O row must beat the naive-handler SU+C row.
+    let campaign = Campaign::from_json(&spec_json("compression.json")).expect("parses");
+    let report = campaign.run().expect("runs");
+    let by_name = |needle: &str| {
+        report
+            .runs
+            .iter()
+            .find(|r| r.label.contains(needle))
+            .unwrap_or_else(|| panic!("{needle} in compression.json"))
+            .report
+            .total_s()
+    };
+    assert!(by_name("off-ladder") > by_name("2% transfer, threshold"));
+    assert_eq!(
+        campaign.specs.iter().filter(|s| s.method.to_string() == "SU+C(2%)").count(),
+        1,
+        "the off-ladder label renders"
+    );
+}
+
+#[test]
+fn campaign_reports_serialize_for_the_json_sink() {
+    let campaign = Campaign::from_json(&ladder_json()).expect("ladder parses");
+    let report = campaign.run_on(&ParExecutor::serial()).expect("runs");
+    let json = serde_json::to_string_pretty(&report).expect("serializes");
+    assert!(json.contains("\"parallel_valid\""));
+    assert!(json.contains("SU+O+P+C(2%)"));
+    // The document is valid JSON in the shim's own parser.
+    serde_json::parse(&json).expect("report JSON parses back");
+}
