@@ -7,6 +7,8 @@
 //! cargo run -p bench --release --bin figures -- --json results/ all
 //! cargo run -p bench --release --bin figures -- campaign specs/ladder.json
 //! cargo run -p bench --release --bin figures -- --check campaign specs/*.json
+//! cargo run -p bench --release --bin figures -- perf --check BENCH_2.json --tolerance 0.15
+//! cargo run -p bench --release --bin figures -- perf --bless --check BENCH_2.json
 //! ```
 //!
 //! Each experiment prints a text table; with `--json DIR` the raw data is also
@@ -15,6 +17,13 @@
 //! concurrently on `parcore` workers and prints the per-spec breakdown;
 //! `--check` only parses and validates the files (the CI guard for the
 //! checked-in `specs/`).
+//!
+//! For the `perf` experiment, `--check <baseline.json>` (the argument must end
+//! in `.json`) turns the run into a regression gate: the fresh snapshot is
+//! compared against the checked-in baseline and the process exits non-zero if
+//! any tracked throughput regressed beyond `--tolerance` (default ±15%).
+//! `--bless` instead overwrites the baseline file with the fresh snapshot —
+//! the re-blessing path after an intentional perf change.
 
 use bench::harness;
 use serde::Serialize;
@@ -34,7 +43,8 @@ fn main() {
     let mut campaign_mode = false;
     let mut quick = false;
     let mut check = false;
-    let mut iter = args.into_iter();
+    let mut gate = PerfGateOpts::default();
+    let mut iter = args.into_iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--json" => {
@@ -45,7 +55,23 @@ fn main() {
                 json_dir = Some(PathBuf::from(dir));
             }
             "--quick" => quick = true,
-            "--check" => check = true,
+            // `--check <baseline.json>` is the perf regression gate;
+            // a bare `--check` (next token is `campaign` or an experiment id)
+            // keeps its validate-only meaning for campaign spec files.
+            "--check" => match iter.peek() {
+                Some(next) if next.ends_with(".json") && !campaign_mode => {
+                    gate.baseline = Some(PathBuf::from(iter.next().expect("peeked")));
+                }
+                _ => check = true,
+            },
+            "--tolerance" => {
+                let value = iter.next().and_then(|t| t.parse::<f64>().ok()).unwrap_or_else(|| {
+                    eprintln!("--tolerance requires a fractional argument, e.g. 0.15");
+                    std::process::exit(2);
+                });
+                gate.tolerance = value;
+            }
+            "--bless" => gate.bless = true,
             "campaign" => campaign_mode = true,
             "all" => selected.extend(ALL.iter().map(|s| s.to_string())),
             other if campaign_mode => campaign_paths.push(other.to_string()),
@@ -56,7 +82,9 @@ fn main() {
         eprintln!(
             "usage: figures [--json DIR] [--quick] <all | fig3a fig3b tab1 tab3 fig9 fig10 \
              fig11 fig12 fig13 fig14 fig15 tab4 fig16 fig17 pipeline perf>\n\
-             \x20      figures [--json DIR] [--check] campaign <spec.json> [spec.json ...]"
+             \x20      figures [--json DIR] [--check] campaign <spec.json> [spec.json ...]\n\
+             \x20      figures [--quick] perf [--check <baseline.json>] [--tolerance 0.15] \
+             [--bless]"
         );
         std::process::exit(2);
     }
@@ -64,10 +92,26 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create json output directory");
     }
     for id in selected {
-        run_one(&id, quick, json_dir.as_deref());
+        run_one(&id, quick, json_dir.as_deref(), &gate);
     }
     for path in campaign_paths {
         run_campaign(Path::new(&path), check, json_dir.as_deref());
+    }
+}
+
+/// Options for the `perf` regression gate (`--check/--tolerance/--bless`).
+struct PerfGateOpts {
+    /// Baseline snapshot to gate against (`--check <baseline.json>`).
+    baseline: Option<PathBuf>,
+    /// Allowed fractional regression before the gate fails (`--tolerance`).
+    tolerance: f64,
+    /// Overwrite the baseline with the fresh snapshot instead of gating.
+    bless: bool,
+}
+
+impl Default for PerfGateOpts {
+    fn default() -> Self {
+        Self { baseline: None, tolerance: 0.15, bless: false }
     }
 }
 
@@ -105,7 +149,7 @@ fn write_json<T: Serialize>(dir: Option<&std::path::Path>, id: &str, value: &T) 
     }
 }
 
-fn run_one(id: &str, quick: bool, json: Option<&std::path::Path>) {
+fn run_one(id: &str, quick: bool, json: Option<&std::path::Path>, gate: &PerfGateOpts) {
     match id {
         "fig3a" => {
             let rows = harness::fig3a();
@@ -296,9 +340,54 @@ fn run_one(id: &str, quick: bool, json: Option<&std::path::Path>) {
             write_json(json, id, &rows);
         }
         "perf" => {
-            let snap = harness::perf_snapshot(quick);
+            let mut snap = harness::perf_snapshot(quick);
             println!("{}", harness::render_perf(&snap));
-            // The perf snapshot is the tracked baseline: BENCH_2.json.
+            if gate.bless {
+                // The baseline should record the machine's capability, not
+                // whichever scheduler window one run happened to land in, so
+                // blessing takes the best-rate envelope over three runs —
+                // the same estimator the gate's noise-retry uses.
+                for _ in 0..2 {
+                    snap = harness::merge_best(&snap, &harness::perf_snapshot(quick));
+                }
+                let target = gate.baseline.clone().unwrap_or_else(|| PathBuf::from("BENCH_2.json"));
+                let pretty = serde_json::to_string_pretty(&snap).expect("serialise snapshot");
+                std::fs::write(&target, pretty).unwrap_or_else(|e| {
+                    eprintln!("cannot write {}: {e}", target.display());
+                    std::process::exit(2);
+                });
+                println!("blessed {} with the best-of-3 snapshot envelope", target.display());
+            } else if let Some(baseline_path) = &gate.baseline {
+                let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+                    eprintln!("cannot read {}: {e}", baseline_path.display());
+                    std::process::exit(2);
+                });
+                let baseline = harness::PerfSnapshot::from_json(&text).unwrap_or_else(|e| {
+                    eprintln!("{}: {e}", baseline_path.display());
+                    std::process::exit(2);
+                });
+                let mut cmp = harness::compare_perf(&baseline, &snap, gate.tolerance);
+                // A real regression fails every attempt; a noisy co-tenant
+                // window only subtracts throughput from one. Re-measure and
+                // fold into the envelope before declaring failure.
+                for attempt in 2..=3 {
+                    if cmp.passed() {
+                        break;
+                    }
+                    println!(
+                        "gate failed; re-measuring to rule out scheduler noise \
+                         (attempt {attempt}/3)"
+                    );
+                    snap = harness::merge_best(&snap, &harness::perf_snapshot(quick));
+                    cmp = harness::compare_perf(&baseline, &snap, gate.tolerance);
+                }
+                print!("{}", harness::render_comparison(&cmp, gate.tolerance));
+                if !cmp.passed() {
+                    std::process::exit(1);
+                }
+            }
+            // The perf snapshot (post-merge envelope, when gating or
+            // blessing) is the tracked baseline trajectory: BENCH_2.json.
             write_json(json, "BENCH_2", &snap);
         }
         other => {

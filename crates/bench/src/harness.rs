@@ -5,11 +5,12 @@
 
 use llm::{CostModel, GpuSpec, ModelConfig, Workload};
 use optim::OptimizerKind;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use smart_infinity::{
     Campaign, CampaignReport, Experiment, MachineSpec, Method, MethodSpec, ModelSpec, RunSpec,
     Session, SmartInfinityEngine, TrafficMethod, TrafficModel,
 };
+use tensorlib::KernelPath;
 use ztrain::realtrain::{train_classifier, Dataset, MlpModel, TrainConfig};
 use ztrain::{BaselineEngine, IterationReport, MachineConfig, PipelinedTrainer};
 
@@ -778,11 +779,25 @@ pub fn render_campaign(report: &CampaignReport) -> String {
 // BENCH_2: execution-backend performance snapshot
 // ---------------------------------------------------------------------------
 
+/// One point of a per-kernel thread sweep: throughput at a worker count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThreadPoint {
+    /// Worker-thread count the measurement ran with.
+    pub threads: usize,
+    /// Throughput at that worker count, elements per second.
+    pub elems_per_sec: f64,
+}
+
 /// Measured throughput of one kernel, serial vs parallel.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KernelPerf {
     /// Kernel name.
     pub kernel: String,
+    /// SIMD path the kernel's hot loop dispatched to when measured
+    /// (`scalar`, `sse2` or `avx2`) — snapshots from machines with different
+    /// vector units are not directly comparable, and the perf gate skips
+    /// absolute-throughput checks when the paths differ.
+    pub kernel_path: KernelPath,
     /// Serial throughput in elements per second.
     pub serial_elems_per_sec: f64,
     /// Parallel throughput in elements per second (at `threads` workers).
@@ -791,11 +806,14 @@ pub struct KernelPerf {
     /// taken on a single-CPU machine — there the worker threads time-slice
     /// one core and the ratio would be misleading, so it is not recorded.
     pub speedup: Option<f64>,
+    /// Throughput at each swept worker count (telemetry; the gate only
+    /// checks the serial and parallel rates above).
+    pub per_thread_elems_per_sec: Vec<ThreadPoint>,
 }
 
 /// Wall-clock of the reference spec campaign ([`ladder_campaign`]), serial
 /// vs fanned out on `parcore` workers.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignPerf {
     /// Number of specs in the campaign.
     pub specs: usize,
@@ -812,11 +830,13 @@ pub struct CampaignPerf {
 /// elements/second of the hot kernels, serial and parallel, so future PRs
 /// have a trajectory to compare against. Numbers are machine-dependent; the
 /// snapshot records the CPU count it was measured on.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PerfSnapshot {
     /// CPUs available to the measuring process (parallel speedup is bounded
     /// by this: on a 1-CPU container the ratio cannot exceed ~1.0).
     pub num_cpus: usize,
+    /// SIMD path active on the measuring machine ([`KernelPath::active`]).
+    pub kernel_path: KernelPath,
     /// Whether the parallel measurements are meaningful: `false` when only
     /// one CPU was visible, in which case the per-kernel `speedup` ratios are
     /// omitted (see the BENCH_2.json caveat in ROADMAP.md).
@@ -837,18 +857,20 @@ pub struct PerfSnapshot {
     pub campaign: CampaignPerf,
 }
 
-/// Median wall-clock seconds of `reps` runs of `f`.
-fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+/// Best (minimum) wall-clock seconds of `reps` runs of `f`. The minimum is
+/// the noise-robust estimator the regression gate needs: scheduler
+/// interference and co-tenant load only ever make a run *slower*, so the
+/// fastest observation is the closest to the machine's actual capability and
+/// is far more stable run-to-run than the median on a shared box.
+fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
     f(); // warm-up (also populates lazy tables)
-    let mut samples: Vec<f64> = (0..reps.max(1))
+    (0..reps.max(1))
         .map(|_| {
             let start = std::time::Instant::now();
             f();
             start.elapsed().as_secs_f64()
         })
-        .collect();
-    samples.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    samples[samples.len() / 2]
+        .fold(f64::INFINITY, f64::min)
 }
 
 /// Measures the execution-backend kernels. `quick` shrinks the tensor and the
@@ -867,8 +889,25 @@ pub fn perf_snapshot(quick: bool) -> PerfSnapshot {
     // workers can actually run concurrently.
     let parallel_valid = num_cpus > 1;
     let pool = ParExecutor::new(threads);
-    let serial = ParExecutor::serial();
     let rate = |secs: f64| elems as f64 / secs;
+    // Worker counts each kernel is swept over; the first is the serial rate,
+    // the last the headline parallel rate.
+    let sweep = [1usize, 2, threads];
+    // Assembles one kernel row from its sweep: serial = 1 worker, parallel =
+    // `threads` workers, speedup only when the workers can actually run
+    // concurrently.
+    let kernel_perf = |kernel: &str, points: Vec<ThreadPoint>| {
+        let serial = points.first().expect("sweep has a 1-worker point").elems_per_sec;
+        let parallel = points.last().expect("sweep has a parallel point").elems_per_sec;
+        KernelPerf {
+            kernel: kernel.to_string(),
+            kernel_path: KernelPath::active(),
+            serial_elems_per_sec: serial,
+            parallel_elems_per_sec: parallel,
+            speedup: parallel_valid.then(|| parallel / serial),
+            per_thread_elems_per_sec: points,
+        }
+    };
 
     let grads = FlatTensor::randn(elems, 0.01, 1);
     let mut kernels = Vec::new();
@@ -879,35 +918,42 @@ pub fn perf_snapshot(quick: bool) -> PerfSnapshot {
         let mut params = FlatTensor::randn(elems, 0.02, 2);
         let mut aux = optimizer.init_aux(elems);
         let mut t = 0u64;
-        median_secs(reps, || {
+        best_secs(reps, || {
             t += 1;
             optimizer.par_step(exec, params.as_mut_slice(), &grads, &mut aux, t);
             std::hint::black_box(params.as_slice()[0]);
         })
     };
-    let updater_serial = run_updater(&serial);
-    let updater_parallel = run_updater(&pool);
-    kernels.push(KernelPerf {
-        kernel: "updater_adam".to_string(),
-        serial_elems_per_sec: rate(updater_serial),
-        parallel_elems_per_sec: rate(updater_parallel),
-        speedup: parallel_valid.then(|| updater_serial / updater_parallel),
-    });
+    let updater_points = sweep
+        .iter()
+        .map(|&t| ThreadPoint {
+            threads: t,
+            elems_per_sec: rate(run_updater(&ParExecutor::new(t))),
+        })
+        .collect();
+    kernels.push(kernel_perf("updater_adam", updater_points));
 
-    // Compressor: exact Top-K at the paper's default 1% keep ratio.
+    // Compressor: exact Top-K at the paper's default 1% keep ratio. The
+    // 1-worker point uses the dedicated serial entry point, matching how the
+    // compressor is called outside the parallel backend.
     let compressor = gradcomp::Compressor::top_k(0.01);
-    let topk_serial = median_secs(reps, || {
-        std::hint::black_box(compressor.compress(&grads));
-    });
-    let topk_parallel = median_secs(reps, || {
-        std::hint::black_box(compressor.compress_par(&grads, &pool));
-    });
-    kernels.push(KernelPerf {
-        kernel: "topk_exact_1pct".to_string(),
-        serial_elems_per_sec: rate(topk_serial),
-        parallel_elems_per_sec: rate(topk_parallel),
-        speedup: parallel_valid.then(|| topk_serial / topk_parallel),
-    });
+    let run_topk = |workers: usize| {
+        if workers == 1 {
+            best_secs(reps, || {
+                std::hint::black_box(compressor.compress(&grads));
+            })
+        } else {
+            let exec = ParExecutor::new(workers);
+            best_secs(reps, || {
+                std::hint::black_box(compressor.compress_par(&grads, &exec));
+            })
+        }
+    };
+    let topk_points = sweep
+        .iter()
+        .map(|&t| ThreadPoint { threads: t, elems_per_sec: rate(run_topk(t)) })
+        .collect();
+    kernels.push(kernel_perf("topk_exact_1pct", topk_points));
 
     // One full functional training step on the pipelined backend, 1 lane
     // worker vs `threads` lane workers (bit-identical results, different
@@ -918,45 +964,46 @@ pub fn perf_snapshot(quick: bool) -> PerfSnapshot {
             PipelinedTrainer::new(&initial, optimizer, threads, elems.div_ceil(threads))
                 .expect("pipelined trainer")
                 .with_threads(workers);
-        median_secs(reps, || {
+        best_secs(reps, || {
             let report = trainer.train_step_with_grads(&grads).expect("pipelined step");
             std::hint::black_box(report.step);
         })
     };
-    let pipelined_serial = run_pipelined(1);
-    let pipelined_parallel = run_pipelined(threads);
-    kernels.push(KernelPerf {
-        kernel: "pipelined_step_adam".to_string(),
-        serial_elems_per_sec: rate(pipelined_serial),
-        parallel_elems_per_sec: rate(pipelined_parallel),
-        speedup: parallel_valid.then(|| pipelined_serial / pipelined_parallel),
-    });
+    let pipelined_points = sweep
+        .iter()
+        .map(|&t| ThreadPoint { threads: t, elems_per_sec: rate(run_pipelined(t)) })
+        .collect();
+    kernels.push(kernel_perf("pipelined_step_adam", pipelined_points));
 
-    // Half-precision conversion paths.
+    // Half-precision conversion paths. One pass is only ~1 ms, so these get
+    // extra repetitions — the minimum over a longer window is what keeps the
+    // regression gate stable on a noisy shared machine.
+    let f16_reps = reps * 3;
     let tensor = FlatTensor::randn(elems, 1.0, 3);
     let mut bytes = Vec::new();
-    let to_bytes = median_secs(reps, || {
+    let to_bytes = best_secs(f16_reps, || {
         tensor.to_bytes_into(Dtype::F16, &mut bytes);
         std::hint::black_box(bytes.len());
     });
     let mut back = FlatTensor::default();
-    let from_bytes = median_secs(reps, || {
+    let from_bytes = best_secs(f16_reps, || {
         FlatTensor::from_bytes_into(&bytes, Dtype::F16, &mut back);
         std::hint::black_box(back.len());
     });
     let mut rounded = vec![0.0f32; elems];
-    let roundtrip = median_secs(reps, || {
+    let roundtrip = best_secs(f16_reps, || {
         tensor.roundtrip_f16_into(&mut rounded);
         std::hint::black_box(rounded[0]);
     });
 
     // The spec-campaign runner: the checked-in ladder, serial vs fanned out.
+    let serial = ParExecutor::serial();
     let campaign = ladder_campaign();
-    let campaign_serial = median_secs(reps, || {
+    let campaign_serial = best_secs(reps, || {
         let report = campaign.run_on(&serial).expect("campaign");
         std::hint::black_box(report.runs.len());
     });
-    let campaign_parallel = median_secs(reps, || {
+    let campaign_parallel = best_secs(reps, || {
         let report = campaign.run_on(&pool).expect("campaign");
         std::hint::black_box(report.runs.len());
     });
@@ -969,6 +1016,7 @@ pub fn perf_snapshot(quick: bool) -> PerfSnapshot {
 
     PerfSnapshot {
         num_cpus,
+        kernel_path: KernelPath::active(),
         parallel_valid,
         threads,
         elems,
@@ -980,11 +1028,210 @@ pub fn perf_snapshot(quick: bool) -> PerfSnapshot {
     }
 }
 
+impl PerfSnapshot {
+    /// Parses a snapshot back out of its checked-in JSON form (`BENCH_2.json`).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("invalid perf snapshot: {e}"))
+    }
+}
+
+/// Merges two snapshots of the same machine into their best-rate envelope:
+/// elementwise maximum of every throughput, minimum of every wall-clock.
+///
+/// External interference only ever *subtracts* throughput, so the envelope
+/// over repeated measurements converges on the machine's actual capability.
+/// Both the blessing path and the gate's noise-retry use this, keeping the
+/// two sides of the comparison symmetric estimators.
+pub fn merge_best(a: &PerfSnapshot, b: &PerfSnapshot) -> PerfSnapshot {
+    let mut out = a.clone();
+    for kernel in &mut out.kernels {
+        let Some(other) = b.kernels.iter().find(|k| k.kernel == kernel.kernel) else {
+            continue;
+        };
+        kernel.serial_elems_per_sec = kernel.serial_elems_per_sec.max(other.serial_elems_per_sec);
+        kernel.parallel_elems_per_sec =
+            kernel.parallel_elems_per_sec.max(other.parallel_elems_per_sec);
+        kernel.speedup =
+            kernel.speedup.map(|_| kernel.parallel_elems_per_sec / kernel.serial_elems_per_sec);
+        for (point, other_point) in
+            kernel.per_thread_elems_per_sec.iter_mut().zip(&other.per_thread_elems_per_sec)
+        {
+            point.elems_per_sec = point.elems_per_sec.max(other_point.elems_per_sec);
+        }
+    }
+    out.f16_to_bytes_elems_per_sec =
+        out.f16_to_bytes_elems_per_sec.max(b.f16_to_bytes_elems_per_sec);
+    out.f16_from_bytes_elems_per_sec =
+        out.f16_from_bytes_elems_per_sec.max(b.f16_from_bytes_elems_per_sec);
+    out.f16_roundtrip_elems_per_sec =
+        out.f16_roundtrip_elems_per_sec.max(b.f16_roundtrip_elems_per_sec);
+    out.campaign.serial_s = out.campaign.serial_s.min(b.campaign.serial_s);
+    out.campaign.parallel_s = out.campaign.parallel_s.min(b.campaign.parallel_s);
+    out.campaign.speedup =
+        out.campaign.speedup.map(|_| out.campaign.serial_s / out.campaign.parallel_s);
+    out
+}
+
+/// Outcome of gating a fresh [`PerfSnapshot`] against a checked-in baseline.
+#[derive(Debug, Clone, Default)]
+pub struct PerfComparison {
+    /// Regressions beyond the tolerance — any entry fails the gate.
+    pub violations: Vec<String>,
+    /// Non-fatal observations (skipped checks and why, environment drift).
+    pub notes: Vec<String>,
+}
+
+impl PerfComparison {
+    /// `true` when no check regressed beyond the tolerance.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Gates `fresh` against `baseline`: every tracked throughput must stay
+/// within `tolerance` (a fraction, e.g. `0.15` for ±15%) of the baseline.
+///
+/// Rules, matching the caveats recorded in the snapshot itself:
+/// - Absolute throughputs (serial and parallel rates, f16 conversion rates,
+///   campaign wall-clock) are gated only when both snapshots were measured on
+///   the same SIMD path — a baseline blessed on an AVX2 box is not comparable
+///   to a scalar-only runner, so path drift becomes a note, not a failure.
+/// - Serial/parallel *ratio* checks additionally require `parallel_valid` on
+///   both sides; on a 1-CPU machine the ratio is meaningless and skipped.
+/// - The per-thread sweep is telemetry and never gated.
+pub fn compare_perf(
+    baseline: &PerfSnapshot,
+    fresh: &PerfSnapshot,
+    tolerance: f64,
+) -> PerfComparison {
+    assert!(tolerance >= 0.0, "tolerance must be non-negative");
+    let mut cmp = PerfComparison::default();
+    let floor = 1.0 - tolerance;
+    let ceil = 1.0 + tolerance;
+
+    let paths_match = baseline.kernel_path == fresh.kernel_path;
+    if !paths_match {
+        cmp.notes.push(format!(
+            "kernel path changed ({} -> {}); absolute throughput checks skipped — \
+             re-bless the baseline on this machine class",
+            baseline.kernel_path, fresh.kernel_path
+        ));
+    }
+    if baseline.elems != fresh.elems {
+        cmp.notes.push(format!(
+            "element counts differ (baseline {}, fresh {}); rates are per-element and \
+             still compared",
+            baseline.elems, fresh.elems
+        ));
+    }
+    let ratios_valid = baseline.parallel_valid && fresh.parallel_valid;
+    if !ratios_valid {
+        cmp.notes.push(
+            "serial/parallel ratio checks skipped (parallel_valid=false on at least one \
+             side; 1-CPU machines time-slice the workers)"
+                .to_string(),
+        );
+    }
+
+    // Higher-is-better rate check; `None` when the rate is within tolerance.
+    let check_rate = |what: &str, base: f64, now: f64| -> Option<String> {
+        (paths_match && now < base * floor).then(|| {
+            format!(
+                "{what}: {now:.3e} el/s is below baseline {base:.3e} el/s - {:.0}% \
+                 (allowed floor {:.3e})",
+                tolerance * 100.0,
+                base * floor
+            )
+        })
+    };
+
+    for base_kernel in &baseline.kernels {
+        let Some(fresh_kernel) = fresh.kernels.iter().find(|k| k.kernel == base_kernel.kernel)
+        else {
+            cmp.violations
+                .push(format!("kernel `{}` missing from the fresh snapshot", base_kernel.kernel));
+            continue;
+        };
+        cmp.violations.extend(check_rate(
+            &format!("{} serial", base_kernel.kernel),
+            base_kernel.serial_elems_per_sec,
+            fresh_kernel.serial_elems_per_sec,
+        ));
+        cmp.violations.extend(check_rate(
+            &format!("{} parallel", base_kernel.kernel),
+            base_kernel.parallel_elems_per_sec,
+            fresh_kernel.parallel_elems_per_sec,
+        ));
+        if ratios_valid {
+            if let (Some(base_speedup), Some(fresh_speedup)) =
+                (base_kernel.speedup, fresh_kernel.speedup)
+            {
+                if fresh_speedup < base_speedup * floor {
+                    cmp.violations.push(format!(
+                        "{} speedup: {fresh_speedup:.2}x is below baseline {base_speedup:.2}x \
+                         - {:.0}%",
+                        base_kernel.kernel,
+                        tolerance * 100.0
+                    ));
+                }
+            }
+        }
+    }
+
+    cmp.violations.extend(check_rate(
+        "f16_to_bytes",
+        baseline.f16_to_bytes_elems_per_sec,
+        fresh.f16_to_bytes_elems_per_sec,
+    ));
+    cmp.violations.extend(check_rate(
+        "f16_from_bytes",
+        baseline.f16_from_bytes_elems_per_sec,
+        fresh.f16_from_bytes_elems_per_sec,
+    ));
+    cmp.violations.extend(check_rate(
+        "f16_roundtrip",
+        baseline.f16_roundtrip_elems_per_sec,
+        fresh.f16_roundtrip_elems_per_sec,
+    ));
+
+    // Campaign wall-clock: lower is better. The ladder is a millisecond-scale
+    // end-to-end run dominated by thread spawns, so it is gated at double the
+    // kernel tolerance to absorb scheduler noise.
+    let campaign_ceil = 1.0 + 2.0 * (ceil - 1.0);
+    if paths_match && fresh.campaign.serial_s > baseline.campaign.serial_s * campaign_ceil {
+        cmp.violations.push(format!(
+            "campaign serial: {:.4} s is above baseline {:.4} s + {:.0}%",
+            fresh.campaign.serial_s,
+            baseline.campaign.serial_s,
+            2.0 * tolerance * 100.0
+        ));
+    }
+
+    cmp
+}
+
+/// Renders the gate outcome as text (notes, then violations, then verdict).
+pub fn render_comparison(cmp: &PerfComparison, tolerance: f64) -> String {
+    let mut out = format!("Perf gate (tolerance ±{:.0}%)\n", tolerance * 100.0);
+    for note in &cmp.notes {
+        out.push_str(&format!("note: {note}\n"));
+    }
+    for violation in &cmp.violations {
+        out.push_str(&format!("REGRESSION: {violation}\n"));
+    }
+    if cmp.passed() {
+        out.push_str("PASS: no tracked throughput regressed beyond the tolerance\n");
+    } else {
+        out.push_str(&format!("FAIL: {} regression(s)\n", cmp.violations.len()));
+    }
+    out
+}
+
 /// Renders the perf snapshot as a text table.
 pub fn render_perf(snap: &PerfSnapshot) -> String {
     let mut out = format!(
-        "BENCH_2: execution backend throughput ({} elems, {} threads, {} CPUs)\n",
-        snap.elems, snap.threads, snap.num_cpus
+        "BENCH_2: execution backend throughput ({} elems, {} threads, {} CPUs, {} path)\n",
+        snap.elems, snap.threads, snap.num_cpus, snap.kernel_path
     );
     if !snap.parallel_valid {
         out.push_str(
@@ -993,17 +1240,23 @@ pub fn render_perf(snap: &PerfSnapshot) -> String {
         );
     }
     out.push_str(&format!(
-        "{:<20} {:>16} {:>16} {:>9}\n",
-        "kernel", "serial (el/s)", "parallel (el/s)", "speedup"
+        "{:<20} {:>16} {:>16} {:>9}  {}\n",
+        "kernel", "serial (el/s)", "parallel (el/s)", "speedup", "sweep (el/s @threads)"
     ));
     for k in &snap.kernels {
         let speedup = match k.speedup {
             Some(s) => format!("{s:.2}x"),
             None => "n/a".to_string(),
         };
+        let sweep = k
+            .per_thread_elems_per_sec
+            .iter()
+            .map(|p| format!("{:.3e}@{}", p.elems_per_sec, p.threads))
+            .collect::<Vec<_>>()
+            .join(" ");
         out.push_str(&format!(
-            "{:<20} {:>16.3e} {:>16.3e} {:>9}\n",
-            k.kernel, k.serial_elems_per_sec, k.parallel_elems_per_sec, speedup
+            "{:<20} {:>16.3e} {:>16.3e} {:>9}  {}\n",
+            k.kernel, k.serial_elems_per_sec, k.parallel_elems_per_sec, speedup, sweep
         ));
     }
     out.push_str(&format!(
@@ -1035,9 +1288,26 @@ mod tests {
         let snap = perf_snapshot(true);
         assert_eq!(snap.kernels.len(), 3);
         assert_eq!(snap.parallel_valid, snap.num_cpus > 1);
+        assert_eq!(snap.kernel_path, KernelPath::active());
         for k in &snap.kernels {
             assert!(k.serial_elems_per_sec > 0.0, "{}", k.kernel);
             assert!(k.parallel_elems_per_sec > 0.0, "{}", k.kernel);
+            assert_eq!(k.kernel_path, KernelPath::active(), "{}", k.kernel);
+            // The sweep brackets the headline numbers: first point is the
+            // serial rate, last the parallel rate.
+            assert_eq!(k.per_thread_elems_per_sec.len(), 3, "{}", k.kernel);
+            assert_eq!(k.per_thread_elems_per_sec[0].threads, 1, "{}", k.kernel);
+            assert_eq!(
+                k.per_thread_elems_per_sec[0].elems_per_sec, k.serial_elems_per_sec,
+                "{}",
+                k.kernel
+            );
+            assert_eq!(
+                k.per_thread_elems_per_sec.last().unwrap().elems_per_sec,
+                k.parallel_elems_per_sec,
+                "{}",
+                k.kernel
+            );
             // The misleading single-CPU ratio is omitted, not recorded.
             assert_eq!(k.speedup.is_some(), snap.parallel_valid, "{}", k.kernel);
             if let Some(s) = k.speedup {
@@ -1060,6 +1330,170 @@ mod tests {
             assert!(rendered.contains("only 1 CPU visible"));
             assert!(rendered.contains("n/a"));
         }
+
+        // The snapshot survives its JSON round trip (the gate reads the
+        // checked-in baseline back through this path).
+        let json = serde_json::to_string_pretty(&snap).expect("serialize snapshot");
+        let parsed = PerfSnapshot::from_json(&json).expect("parse snapshot back");
+        assert_eq!(parsed.kernel_path, snap.kernel_path);
+        assert_eq!(parsed.kernels.len(), snap.kernels.len());
+        assert_eq!(parsed.kernels[0].serial_elems_per_sec, snap.kernels[0].serial_elems_per_sec);
+        assert_eq!(parsed.kernels[0].per_thread_elems_per_sec.len(), 3);
+        assert_eq!(parsed.campaign.serial_s, snap.campaign.serial_s);
+
+        // And a fresh snapshot passes the gate against itself.
+        let cmp = compare_perf(&parsed, &snap, 0.15);
+        assert!(cmp.passed(), "{:?}", cmp.violations);
+    }
+
+    /// A hand-built snapshot so the gate tests are deterministic and cheap —
+    /// no measurement involved.
+    fn synthetic_snapshot(parallel_valid: bool) -> PerfSnapshot {
+        let point = |threads: usize, rate: f64| ThreadPoint { threads, elems_per_sec: rate };
+        let kernel = |name: &str, serial: f64, parallel: f64| KernelPerf {
+            kernel: name.to_string(),
+            kernel_path: KernelPath::Scalar,
+            serial_elems_per_sec: serial,
+            parallel_elems_per_sec: parallel,
+            speedup: parallel_valid.then(|| parallel / serial),
+            per_thread_elems_per_sec: vec![
+                point(1, serial),
+                point(2, (serial + parallel) / 2.0),
+                point(4, parallel),
+            ],
+        };
+        PerfSnapshot {
+            num_cpus: if parallel_valid { 4 } else { 1 },
+            kernel_path: KernelPath::Scalar,
+            parallel_valid,
+            threads: 4,
+            elems: 1 << 20,
+            kernels: vec![
+                kernel("updater_adam", 8.0e8, 2.4e9),
+                kernel("topk_exact_1pct", 3.0e8, 9.0e8),
+                kernel("pipelined_step_adam", 8.0e7, 2.4e8),
+            ],
+            f16_to_bytes_elems_per_sec: 4.0e8,
+            f16_from_bytes_elems_per_sec: 1.3e9,
+            f16_roundtrip_elems_per_sec: 4.0e8,
+            campaign: CampaignPerf {
+                specs: 6,
+                serial_s: 0.010,
+                parallel_s: 0.004,
+                speedup: parallel_valid.then_some(2.5),
+            },
+        }
+    }
+
+    #[test]
+    fn perf_gate_passes_an_unchanged_snapshot() {
+        let snap = synthetic_snapshot(true);
+        let cmp = compare_perf(&snap, &snap, 0.15);
+        assert!(cmp.passed(), "{:?}", cmp.violations);
+        assert!(render_comparison(&cmp, 0.15).contains("PASS"));
+    }
+
+    #[test]
+    fn perf_gate_fails_when_a_kernel_slows_down() {
+        let baseline = synthetic_snapshot(true);
+        // The updater lost a third of its serial throughput — an artificially
+        // slowed kernel must fail the gate.
+        let mut slowed = baseline.clone();
+        slowed.kernels[0].serial_elems_per_sec *= 0.66;
+        slowed.kernels[0].per_thread_elems_per_sec[0].elems_per_sec *= 0.66;
+        let cmp = compare_perf(&baseline, &slowed, 0.15);
+        assert!(!cmp.passed());
+        assert!(
+            cmp.violations.iter().any(|v| v.contains("updater_adam serial")),
+            "{:?}",
+            cmp.violations
+        );
+        assert!(render_comparison(&cmp, 0.15).contains("FAIL"));
+
+        // ...and a 10% dip stays inside the ±15% tolerance.
+        let mut wobbled = baseline.clone();
+        for k in &mut wobbled.kernels {
+            k.serial_elems_per_sec *= 0.9;
+            k.parallel_elems_per_sec *= 0.9;
+        }
+        assert!(compare_perf(&baseline, &wobbled, 0.15).passed());
+    }
+
+    #[test]
+    fn perf_gate_catches_a_missing_kernel_and_a_slow_campaign() {
+        let baseline = synthetic_snapshot(true);
+        let mut fresh = baseline.clone();
+        fresh.kernels.remove(1);
+        fresh.campaign.serial_s = baseline.campaign.serial_s * 1.5;
+        let cmp = compare_perf(&baseline, &fresh, 0.15);
+        assert!(
+            cmp.violations.iter().any(|v| v.contains("topk_exact_1pct")),
+            "{:?}",
+            cmp.violations
+        );
+        assert!(
+            cmp.violations.iter().any(|v| v.contains("campaign serial")),
+            "{:?}",
+            cmp.violations
+        );
+    }
+
+    #[test]
+    fn perf_gate_skips_ratio_checks_on_a_single_cpu_but_still_gates_absolutes() {
+        // The 1-CPU container case: speedup ratios are absent and must not be
+        // demanded, but an absolute throughput regression is still caught.
+        let baseline = synthetic_snapshot(false);
+        let cmp = compare_perf(&baseline, &baseline, 0.15);
+        assert!(cmp.passed(), "{:?}", cmp.violations);
+        assert!(cmp.notes.iter().any(|n| n.contains("ratio checks skipped")), "{:?}", cmp.notes);
+
+        let mut slowed = baseline.clone();
+        slowed.f16_roundtrip_elems_per_sec *= 0.5;
+        let cmp = compare_perf(&baseline, &slowed, 0.15);
+        assert!(cmp.violations.iter().any(|v| v.contains("f16_roundtrip")), "{:?}", cmp.violations);
+    }
+
+    #[test]
+    fn merge_best_takes_the_fast_side_of_every_measurement() {
+        let a = synthetic_snapshot(true);
+        let mut b = a.clone();
+        // `b` was faster on the updater and the campaign, slower on f16.
+        b.kernels[0].serial_elems_per_sec *= 2.0;
+        b.kernels[0].per_thread_elems_per_sec[0].elems_per_sec *= 2.0;
+        b.f16_to_bytes_elems_per_sec *= 0.5;
+        b.campaign.serial_s *= 0.5;
+        let merged = merge_best(&a, &b);
+        assert_eq!(merged.kernels[0].serial_elems_per_sec, b.kernels[0].serial_elems_per_sec);
+        assert_eq!(
+            merged.kernels[0].per_thread_elems_per_sec[0].elems_per_sec,
+            b.kernels[0].per_thread_elems_per_sec[0].elems_per_sec
+        );
+        // Speedup is recomputed from the merged rates.
+        let k = &merged.kernels[0];
+        assert_eq!(k.speedup, Some(k.parallel_elems_per_sec / k.serial_elems_per_sec));
+        assert_eq!(merged.f16_to_bytes_elems_per_sec, a.f16_to_bytes_elems_per_sec);
+        assert_eq!(merged.campaign.serial_s, b.campaign.serial_s);
+        // The envelope of a snapshot with itself is the snapshot.
+        let identity = merge_best(&a, &a);
+        assert_eq!(identity.kernels[1].serial_elems_per_sec, a.kernels[1].serial_elems_per_sec);
+        assert!(compare_perf(&identity, &a, 0.0).passed());
+    }
+
+    #[test]
+    fn perf_gate_skips_absolute_checks_when_the_kernel_path_differs() {
+        // A baseline blessed on an AVX2 box checked against a scalar-only
+        // runner: absolute rates are incomparable, so path drift is a note,
+        // not a failure.
+        let baseline = synthetic_snapshot(true);
+        let mut fresh = baseline.clone();
+        fresh.kernel_path = KernelPath::Sse2;
+        for k in &mut fresh.kernels {
+            k.serial_elems_per_sec *= 0.4;
+            k.parallel_elems_per_sec *= 0.4;
+        }
+        let cmp = compare_perf(&baseline, &fresh, 0.15);
+        assert!(cmp.passed(), "{:?}", cmp.violations);
+        assert!(cmp.notes.iter().any(|n| n.contains("kernel path changed")), "{:?}", cmp.notes);
     }
 
     #[test]

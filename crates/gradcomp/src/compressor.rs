@@ -304,13 +304,14 @@ fn threshold_top_k(grads: &[f32], k: usize, sample_size: usize) -> Vec<u32> {
     let target_rank = ((k as f64 / n as f64) * sample.len() as f64).round() as usize;
     let threshold = sample[target_rank.min(sample.len() - 1)];
     let mut candidates: Vec<u32> = Vec::with_capacity(k.saturating_mul(2).max(16));
-    for (i, v) in grads.iter().enumerate() {
-        // `!(x < t)` rather than `x >= t`: NaN magnitudes (and a NaN
-        // threshold) must land in the candidate set, not silently drop out.
-        if !(v.abs() < threshold) {
-            candidates.push(i as u32);
-        }
-    }
+    // SIMD-accelerated `!(|v| < t)` scan; NaN magnitudes (and a NaN
+    // threshold) land in the candidate set on every kernel path.
+    crate::simd::filter_not_less(
+        tensorlib::KernelPath::active(),
+        grads,
+        threshold,
+        &mut candidates,
+    );
     if candidates.len() < k {
         return exact_top_k(grads, k);
     }

@@ -12,8 +12,15 @@
 //! CSDs. The updates are element-wise, so the parallel variants are
 //! **bit-identical** to the serial ones for every chunk count — a property
 //! the tests assert explicitly.
+//!
+//! On x86_64 every kernel additionally has AVX2 and SSE2 vector bodies
+//! (`crate::simd`), selected at runtime via [`KernelPath::active`]. The
+//! vector bodies replay the scalar arithmetic operation-for-operation, so
+//! they too are bit-identical — the `*_step_with` variants let callers and
+//! tests pin an explicit path.
 
 use parcore::ParExecutor;
+use tensorlib::KernelPath;
 
 /// One Adam step (Kingma & Ba, 2015) with bias correction.
 ///
@@ -34,6 +41,40 @@ pub fn adam_step(
     eps: f32,
     t: u64,
 ) {
+    adam_step_with(
+        KernelPath::active(),
+        params,
+        momentum,
+        variance,
+        grads,
+        lr,
+        beta1,
+        beta2,
+        eps,
+        t,
+    );
+}
+
+/// [`adam_step`] on an explicit [`KernelPath`]. Bit-identical across paths.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`adam_step`], or if `path` is not
+/// available on this CPU.
+#[allow(clippy::too_many_arguments)]
+pub fn adam_step_with(
+    path: KernelPath,
+    params: &mut [f32],
+    momentum: &mut [f32],
+    variance: &mut [f32],
+    grads: &[f32],
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+) {
+    assert!(path.is_available(), "kernel path {path} is not available on this CPU");
     assert!(t > 0, "Adam step count is 1-based");
     let n = params.len();
     assert_eq!(n, momentum.len(), "momentum length mismatch");
@@ -41,7 +82,25 @@ pub fn adam_step(
     assert_eq!(n, grads.len(), "gradient length mismatch");
     let bias1 = 1.0 - beta1.powi(t as i32);
     let bias2 = 1.0 - beta2.powi(t as i32);
-    for i in 0..n {
+    crate::simd::adam(path, params, momentum, variance, grads, lr, beta1, beta2, eps, bias1, bias2);
+}
+
+/// Scalar Adam body with precomputed bias factors: the bit-exact reference
+/// the SIMD lanes replay, and the tail loop for ragged vector remainders.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn adam_scalar(
+    params: &mut [f32],
+    momentum: &mut [f32],
+    variance: &mut [f32],
+    grads: &[f32],
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    bias1: f32,
+    bias2: f32,
+) {
+    for i in 0..params.len() {
         let g = grads[i];
         // AXPBY: m = beta1 * m + (1 - beta1) * g
         momentum[i] = beta1 * momentum[i] + (1.0 - beta1) * g;
@@ -71,6 +130,42 @@ pub fn adamw_step(
     weight_decay: f32,
     t: u64,
 ) {
+    adamw_step_with(
+        KernelPath::active(),
+        params,
+        momentum,
+        variance,
+        grads,
+        lr,
+        beta1,
+        beta2,
+        eps,
+        weight_decay,
+        t,
+    );
+}
+
+/// [`adamw_step`] on an explicit [`KernelPath`]. Bit-identical across paths.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`adamw_step`], or if `path` is not
+/// available on this CPU.
+#[allow(clippy::too_many_arguments)]
+pub fn adamw_step_with(
+    path: KernelPath,
+    params: &mut [f32],
+    momentum: &mut [f32],
+    variance: &mut [f32],
+    grads: &[f32],
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+) {
+    assert!(path.is_available(), "kernel path {path} is not available on this CPU");
     assert!(t > 0, "AdamW step count is 1-based");
     let n = params.len();
     assert_eq!(n, momentum.len(), "momentum length mismatch");
@@ -78,7 +173,38 @@ pub fn adamw_step(
     assert_eq!(n, grads.len(), "gradient length mismatch");
     let bias1 = 1.0 - beta1.powi(t as i32);
     let bias2 = 1.0 - beta2.powi(t as i32);
-    for i in 0..n {
+    crate::simd::adamw(
+        path,
+        params,
+        momentum,
+        variance,
+        grads,
+        lr,
+        beta1,
+        beta2,
+        eps,
+        weight_decay,
+        bias1,
+        bias2,
+    );
+}
+
+/// Scalar AdamW body with precomputed bias factors (reference and tail loop).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn adamw_scalar(
+    params: &mut [f32],
+    momentum: &mut [f32],
+    variance: &mut [f32],
+    grads: &[f32],
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    bias1: f32,
+    bias2: f32,
+) {
+    for i in 0..params.len() {
         let g = grads[i];
         momentum[i] = beta1 * momentum[i] + (1.0 - beta1) * g;
         variance[i] = beta2 * variance[i] + (1.0 - beta2) * g * g;
@@ -101,10 +227,40 @@ pub fn sgd_momentum_step(
     lr: f32,
     momentum: f32,
 ) {
+    sgd_momentum_step_with(KernelPath::active(), params, momentum_buf, grads, lr, momentum);
+}
+
+/// [`sgd_momentum_step`] on an explicit [`KernelPath`]. Bit-identical across
+/// paths.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`sgd_momentum_step`], or if `path` is
+/// not available on this CPU.
+pub fn sgd_momentum_step_with(
+    path: KernelPath,
+    params: &mut [f32],
+    momentum_buf: &mut [f32],
+    grads: &[f32],
+    lr: f32,
+    momentum: f32,
+) {
+    assert!(path.is_available(), "kernel path {path} is not available on this CPU");
     let n = params.len();
     assert_eq!(n, momentum_buf.len(), "momentum length mismatch");
     assert_eq!(n, grads.len(), "gradient length mismatch");
-    for i in 0..n {
+    crate::simd::sgd_momentum(path, params, momentum_buf, grads, lr, momentum);
+}
+
+/// Scalar SGD-with-momentum body (reference and tail loop).
+pub(crate) fn sgd_momentum_scalar(
+    params: &mut [f32],
+    momentum_buf: &mut [f32],
+    grads: &[f32],
+    lr: f32,
+    momentum: f32,
+) {
+    for i in 0..params.len() {
         // AXPBY: buf = momentum * buf + g
         momentum_buf[i] = momentum * momentum_buf[i] + grads[i];
         params[i] -= lr * momentum_buf[i];
@@ -117,10 +273,39 @@ pub fn sgd_momentum_step(
 ///
 /// Panics if the slices have mismatched lengths.
 pub fn adagrad_step(params: &mut [f32], accumulator: &mut [f32], grads: &[f32], lr: f32, eps: f32) {
+    adagrad_step_with(KernelPath::active(), params, accumulator, grads, lr, eps);
+}
+
+/// [`adagrad_step`] on an explicit [`KernelPath`]. Bit-identical across paths.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`adagrad_step`], or if `path` is not
+/// available on this CPU.
+pub fn adagrad_step_with(
+    path: KernelPath,
+    params: &mut [f32],
+    accumulator: &mut [f32],
+    grads: &[f32],
+    lr: f32,
+    eps: f32,
+) {
+    assert!(path.is_available(), "kernel path {path} is not available on this CPU");
     let n = params.len();
     assert_eq!(n, accumulator.len(), "accumulator length mismatch");
     assert_eq!(n, grads.len(), "gradient length mismatch");
-    for i in 0..n {
+    crate::simd::adagrad(path, params, accumulator, grads, lr, eps);
+}
+
+/// Scalar AdaGrad body (reference and tail loop).
+pub(crate) fn adagrad_scalar(
+    params: &mut [f32],
+    accumulator: &mut [f32],
+    grads: &[f32],
+    lr: f32,
+    eps: f32,
+) {
+    for i in 0..params.len() {
         let g = grads[i];
         accumulator[i] += g * g;
         params[i] -= lr * g / (accumulator[i].sqrt() + eps);
@@ -458,7 +643,174 @@ mod tests {
         );
     }
 
+    /// Bitwise slice equality: NaNs compare by representation, not by IEEE
+    /// semantics, so a payload divergence between paths is caught.
+    fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: lane {i}: {x:?} vs {y:?}");
+        }
+    }
+
+    /// A gradient/state vector covering every IEEE class: normals of all
+    /// scales, subnormals, zeros, infinities and NaNs, at a prime length so
+    /// every vector width leaves a ragged tail.
+    fn adversarial_values(seed: u32) -> Vec<f32> {
+        let mut out = Vec::new();
+        let specials = [
+            0.0f32,
+            -0.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            f32::MIN_POSITIVE,           // smallest normal
+            f32::from_bits(1),           // smallest subnormal
+            f32::from_bits(0x007F_FFFF), // largest subnormal
+            f32::MAX,
+            f32::MIN,
+            1.0,
+            -1.0,
+        ];
+        out.extend_from_slice(&specials);
+        // Deterministic pseudo-random normals across the exponent range.
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        while out.len() < 131 {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            let exp = 64 + (state >> 24) % 128; // exponents 64..192
+            let mant = state & 0x007F_FFFF;
+            let sign = state & 0x8000_0000;
+            out.push(f32::from_bits(sign | (exp << 23) | mant));
+        }
+        out
+    }
+
+    #[test]
+    fn vector_paths_match_scalar_on_adversarial_inputs() {
+        let grads = adversarial_values(7);
+        let init_p = adversarial_values(11);
+        let n = grads.len();
+        for t in [1u64, 3, 1000] {
+            // Scalar reference.
+            let (mut p0, mut m0, mut v0) = (init_p.clone(), vec![0.1f32; n], vec![0.2f32; n]);
+            adam_step_with(
+                KernelPath::Scalar,
+                &mut p0,
+                &mut m0,
+                &mut v0,
+                &grads,
+                0.01,
+                0.9,
+                0.999,
+                1e-8,
+                t,
+            );
+            let (mut pw0, mut mw0, mut vw0) = (init_p.clone(), vec![0.1f32; n], vec![0.2f32; n]);
+            adamw_step_with(
+                KernelPath::Scalar,
+                &mut pw0,
+                &mut mw0,
+                &mut vw0,
+                &grads,
+                0.01,
+                0.9,
+                0.999,
+                1e-8,
+                0.1,
+                t,
+            );
+            let (mut ps0, mut bs0) = (init_p.clone(), vec![0.3f32; n]);
+            sgd_momentum_step_with(KernelPath::Scalar, &mut ps0, &mut bs0, &grads, 0.1, 0.9);
+            let (mut pa0, mut aa0) = (init_p.clone(), vec![0.4f32; n]);
+            adagrad_step_with(KernelPath::Scalar, &mut pa0, &mut aa0, &grads, 0.1, 1e-10);
+
+            for path in KernelPath::available() {
+                let (mut p, mut m, mut v) = (init_p.clone(), vec![0.1f32; n], vec![0.2f32; n]);
+                adam_step_with(path, &mut p, &mut m, &mut v, &grads, 0.01, 0.9, 0.999, 1e-8, t);
+                assert_bits_eq(&p, &p0, &format!("adam params {path} t={t}"));
+                assert_bits_eq(&m, &m0, &format!("adam momentum {path} t={t}"));
+                assert_bits_eq(&v, &v0, &format!("adam variance {path} t={t}"));
+
+                let (mut p, mut m, mut v) = (init_p.clone(), vec![0.1f32; n], vec![0.2f32; n]);
+                adamw_step_with(
+                    path, &mut p, &mut m, &mut v, &grads, 0.01, 0.9, 0.999, 1e-8, 0.1, t,
+                );
+                assert_bits_eq(&p, &pw0, &format!("adamw params {path} t={t}"));
+                assert_bits_eq(&v, &vw0, &format!("adamw variance {path} t={t}"));
+
+                let (mut p, mut b) = (init_p.clone(), vec![0.3f32; n]);
+                sgd_momentum_step_with(path, &mut p, &mut b, &grads, 0.1, 0.9);
+                assert_bits_eq(&p, &ps0, &format!("sgd params {path}"));
+                assert_bits_eq(&b, &bs0, &format!("sgd buf {path}"));
+
+                let (mut p, mut a) = (init_p.clone(), vec![0.4f32; n]);
+                adagrad_step_with(path, &mut p, &mut a, &grads, 0.1, 1e-10);
+                assert_bits_eq(&p, &pa0, &format!("adagrad params {path}"));
+                assert_bits_eq(&a, &aa0, &format!("adagrad acc {path}"));
+            }
+        }
+    }
+
+    #[test]
+    fn vector_paths_handle_every_length_tail() {
+        // Lengths 0..=19 cover empty, sub-width, exact-width and ragged cases
+        // for both the 4-wide and 8-wide kernels.
+        for n in 0..20usize {
+            let grads: Vec<f32> = (0..n).map(|i| ((i as f32) - 7.5) * 0.3).collect();
+            let init: Vec<f32> = (0..n).map(|i| (i as f32) * 0.1).collect();
+            let (mut p0, mut m0, mut v0) = (init.clone(), vec![0.0f32; n], vec![0.0f32; n]);
+            adam_step_with(
+                KernelPath::Scalar,
+                &mut p0,
+                &mut m0,
+                &mut v0,
+                &grads,
+                0.01,
+                0.9,
+                0.999,
+                1e-8,
+                1,
+            );
+            for path in KernelPath::available() {
+                let (mut p, mut m, mut v) = (init.clone(), vec![0.0f32; n], vec![0.0f32; n]);
+                adam_step_with(path, &mut p, &mut m, &mut v, &grads, 0.01, 0.9, 0.999, 1e-8, 1);
+                assert_bits_eq(&p, &p0, &format!("adam n={n} {path}"));
+            }
+        }
+    }
+
     proptest! {
+        /// Vector Adam/AdamW are bit-identical to scalar for arbitrary f32
+        /// bit patterns — including NaNs, infinities and subnormals — across
+        /// every available kernel path.
+        #[test]
+        fn simd_adam_matches_scalar_for_arbitrary_bits(
+            grad_bits in proptest::collection::vec(any::<u32>(), 1..200),
+            param_bits in proptest::collection::vec(any::<u32>(), 1..200),
+        ) {
+            let n = grad_bits.len().min(param_bits.len());
+            let grads: Vec<f32> = grad_bits[..n].iter().map(|&b| f32::from_bits(b)).collect();
+            let init: Vec<f32> = param_bits[..n].iter().map(|&b| f32::from_bits(b)).collect();
+            let (mut p0, mut m0, mut v0) = (init.clone(), vec![0.1f32; n], vec![0.2f32; n]);
+            adam_step_with(KernelPath::Scalar, &mut p0, &mut m0, &mut v0, &grads, 0.01, 0.9, 0.999, 1e-8, 2);
+            let (mut pw0, mut mw0, mut vw0) = (init.clone(), vec![0.1f32; n], vec![0.2f32; n]);
+            adamw_step_with(KernelPath::Scalar, &mut pw0, &mut mw0, &mut vw0, &grads, 0.01, 0.9, 0.999, 1e-8, 0.1, 2);
+            for path in KernelPath::available() {
+                let (mut p, mut m, mut v) = (init.clone(), vec![0.1f32; n], vec![0.2f32; n]);
+                adam_step_with(path, &mut p, &mut m, &mut v, &grads, 0.01, 0.9, 0.999, 1e-8, 2);
+                for i in 0..n {
+                    prop_assert_eq!(p[i].to_bits(), p0[i].to_bits(), "adam p[{}] {}", i, path);
+                    prop_assert_eq!(m[i].to_bits(), m0[i].to_bits(), "adam m[{}] {}", i, path);
+                    prop_assert_eq!(v[i].to_bits(), v0[i].to_bits(), "adam v[{}] {}", i, path);
+                }
+                let (mut p, mut m, mut v) = (init.clone(), vec![0.1f32; n], vec![0.2f32; n]);
+                adamw_step_with(path, &mut p, &mut m, &mut v, &grads, 0.01, 0.9, 0.999, 1e-8, 0.1, 2);
+                for i in 0..n {
+                    prop_assert_eq!(p[i].to_bits(), pw0[i].to_bits(), "adamw p[{}] {}", i, path);
+                }
+                let _ = (&mw0, &vw0);
+            }
+        }
+
         /// Parallel Adam is bit-identical to serial Adam for random shapes,
         /// hyper-parameters, chunk counts and thread counts.
         #[test]

@@ -29,16 +29,20 @@
 //! assert!(params.as_slice()[0] < 1.0); // moved against the gradient
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide; only the `simd` module overrides it with a
+// scoped allow for `std::arch` intrinsics (`forbid` would not permit that).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod kernels;
 mod mixed;
 mod optimizer;
+mod simd;
 
 pub use kernels::{
-    adagrad_step, adam_step, adamw_step, par_adagrad_step, par_adam_step, par_adamw_step,
-    par_sgd_momentum_step, sgd_momentum_step,
+    adagrad_step, adagrad_step_with, adam_step, adam_step_with, adamw_step, adamw_step_with,
+    par_adagrad_step, par_adam_step, par_adamw_step, par_sgd_momentum_step, sgd_momentum_step,
+    sgd_momentum_step_with,
 };
 pub use mixed::{clip_global_norm, GradScaler, OverflowStatus};
 pub use optimizer::{HyperParams, Optimizer, OptimizerKind};

@@ -1,0 +1,424 @@
+//! SIMD bodies for the optimizer update kernels.
+//!
+//! Each vector body mirrors the scalar loop in `kernels.rs` **operation by
+//! operation** — same multiplies, adds, divides and square roots in the same
+//! order. Every one of those operations is IEEE-754 correctly rounded in
+//! both scalar and packed form, so the vector results are bit-identical to
+//! the scalar reference for every input, which the property suites assert
+//! (including NaN, infinity and subnormal gradients). Ragged tails run the
+//! scalar body on the remainder.
+//!
+//! This is the only module in the crate allowed to use `unsafe` (for
+//! `std::arch` intrinsics); the crate root remains `deny(unsafe_code)`.
+#![allow(unsafe_code)]
+
+use crate::kernels::{adagrad_scalar, adam_scalar, adamw_scalar, sgd_momentum_scalar};
+use tensorlib::KernelPath;
+
+/// Dispatched Adam body (bias factors precomputed by the caller).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn adam(
+    path: KernelPath,
+    params: &mut [f32],
+    momentum: &mut [f32],
+    variance: &mut [f32],
+    grads: &[f32],
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    bias1: f32,
+    bias2: f32,
+) {
+    debug_assert!(path.is_available());
+    #[cfg(target_arch = "x86_64")]
+    match path {
+        // Safety: availability is asserted by the public `_with` wrappers.
+        KernelPath::Avx2 => {
+            return unsafe {
+                x86::adam_avx2(
+                    params, momentum, variance, grads, lr, beta1, beta2, eps, bias1, bias2,
+                )
+            };
+        }
+        KernelPath::Sse2 => {
+            return unsafe {
+                x86::adam_sse2(
+                    params, momentum, variance, grads, lr, beta1, beta2, eps, bias1, bias2,
+                )
+            };
+        }
+        KernelPath::Scalar => {}
+    }
+    let _ = path;
+    adam_scalar(params, momentum, variance, grads, lr, beta1, beta2, eps, bias1, bias2);
+}
+
+/// Dispatched AdamW body (bias factors precomputed by the caller).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn adamw(
+    path: KernelPath,
+    params: &mut [f32],
+    momentum: &mut [f32],
+    variance: &mut [f32],
+    grads: &[f32],
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    bias1: f32,
+    bias2: f32,
+) {
+    debug_assert!(path.is_available());
+    #[cfg(target_arch = "x86_64")]
+    match path {
+        // Safety: availability is asserted by the public `_with` wrappers.
+        KernelPath::Avx2 => {
+            return unsafe {
+                x86::adamw_avx2(
+                    params,
+                    momentum,
+                    variance,
+                    grads,
+                    lr,
+                    beta1,
+                    beta2,
+                    eps,
+                    weight_decay,
+                    bias1,
+                    bias2,
+                )
+            };
+        }
+        KernelPath::Sse2 => {
+            return unsafe {
+                x86::adamw_sse2(
+                    params,
+                    momentum,
+                    variance,
+                    grads,
+                    lr,
+                    beta1,
+                    beta2,
+                    eps,
+                    weight_decay,
+                    bias1,
+                    bias2,
+                )
+            };
+        }
+        KernelPath::Scalar => {}
+    }
+    let _ = path;
+    adamw_scalar(
+        params,
+        momentum,
+        variance,
+        grads,
+        lr,
+        beta1,
+        beta2,
+        eps,
+        weight_decay,
+        bias1,
+        bias2,
+    );
+}
+
+/// Dispatched SGD-with-momentum body.
+pub(crate) fn sgd_momentum(
+    path: KernelPath,
+    params: &mut [f32],
+    momentum_buf: &mut [f32],
+    grads: &[f32],
+    lr: f32,
+    momentum: f32,
+) {
+    debug_assert!(path.is_available());
+    #[cfg(target_arch = "x86_64")]
+    match path {
+        // Safety: availability is asserted by the public `_with` wrappers.
+        KernelPath::Avx2 => {
+            return unsafe { x86::sgd_momentum_avx2(params, momentum_buf, grads, lr, momentum) };
+        }
+        KernelPath::Sse2 => {
+            return unsafe { x86::sgd_momentum_sse2(params, momentum_buf, grads, lr, momentum) };
+        }
+        KernelPath::Scalar => {}
+    }
+    let _ = path;
+    sgd_momentum_scalar(params, momentum_buf, grads, lr, momentum);
+}
+
+/// Dispatched AdaGrad body.
+pub(crate) fn adagrad(
+    path: KernelPath,
+    params: &mut [f32],
+    accumulator: &mut [f32],
+    grads: &[f32],
+    lr: f32,
+    eps: f32,
+) {
+    debug_assert!(path.is_available());
+    #[cfg(target_arch = "x86_64")]
+    match path {
+        // Safety: availability is asserted by the public `_with` wrappers.
+        KernelPath::Avx2 => {
+            return unsafe { x86::adagrad_avx2(params, accumulator, grads, lr, eps) };
+        }
+        KernelPath::Sse2 => {
+            return unsafe { x86::adagrad_sse2(params, accumulator, grads, lr, eps) };
+        }
+        KernelPath::Scalar => {}
+    }
+    let _ = path;
+    adagrad_scalar(params, accumulator, grads, lr, eps);
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    /// Generates the AVX2 (8-wide, `_mm256_*`) and SSE2 (4-wide, `_mm_*`)
+    /// variants of one update kernel from a single body template. `$set1`,
+    /// `$load`, `$store` etc. are the width-specific intrinsics; the
+    /// arithmetic inside each generated function is written once, so the two
+    /// widths cannot drift apart.
+    macro_rules! update_kernels {
+        ($feature:literal, $width:literal, $suffix:ident,
+         $vec:ty, $set1:ident, $load:ident, $store:ident,
+         $mul:ident, $add:ident, $sub:ident, $div:ident, $sqrt:ident) => {
+            paste_adam!(
+                $feature, $width, $suffix, $vec, $set1, $load, $store, $mul, $add, $sub, $div,
+                $sqrt
+            );
+        };
+    }
+
+    /// One Adam-family macro expansion per width. (Kept as a separate macro
+    /// so `update_kernels!` stays readable above.)
+    macro_rules! paste_adam {
+        ($feature:literal, $width:literal, $suffix:ident,
+         $vec:ty, $set1:ident, $load:ident, $store:ident,
+         $mul:ident, $add:ident, $sub:ident, $div:ident, $sqrt:ident) => {
+            mod $suffix {
+                use super::*;
+
+                /// # Safety
+                ///
+                /// Caller guarantees the target feature; slice lengths are
+                /// equal (asserted by the public wrappers).
+                #[allow(clippy::too_many_arguments)]
+                #[target_feature(enable = $feature)]
+                pub(crate) unsafe fn adam(
+                    params: &mut [f32],
+                    momentum: &mut [f32],
+                    variance: &mut [f32],
+                    grads: &[f32],
+                    lr: f32,
+                    beta1: f32,
+                    beta2: f32,
+                    eps: f32,
+                    bias1: f32,
+                    bias2: f32,
+                ) {
+                    let n = params.len();
+                    let (b1, omb1) = ($set1(beta1), $set1(1.0 - beta1));
+                    let (b2, omb2) = ($set1(beta2), $set1(1.0 - beta2));
+                    let (vb1, vb2) = ($set1(bias1), $set1(bias2));
+                    let (vlr, veps) = ($set1(lr), $set1(eps));
+                    let mut i = 0;
+                    while i + $width <= n {
+                        let g = $load(grads.as_ptr().add(i));
+                        // m = beta1 * m + (1 - beta1) * g
+                        let m = $add($mul(b1, $load(momentum.as_ptr().add(i))), $mul(omb1, g));
+                        $store(momentum.as_mut_ptr().add(i), m);
+                        // v = beta2 * v + ((1 - beta2) * g) * g  — same
+                        // association as the scalar expression.
+                        let v =
+                            $add($mul(b2, $load(variance.as_ptr().add(i))), $mul($mul(omb2, g), g));
+                        $store(variance.as_mut_ptr().add(i), v);
+                        let m_hat = $div(m, vb1);
+                        let v_hat = $div(v, vb2);
+                        // p -= (lr * m_hat) / (sqrt(v_hat) + eps)
+                        let step = $div($mul(vlr, m_hat), $add($sqrt(v_hat), veps));
+                        let p = $sub($load(params.as_ptr().add(i)), step);
+                        $store(params.as_mut_ptr().add(i), p);
+                        i += $width;
+                    }
+                    adam_scalar(
+                        &mut params[i..],
+                        &mut momentum[i..],
+                        &mut variance[i..],
+                        &grads[i..],
+                        lr,
+                        beta1,
+                        beta2,
+                        eps,
+                        bias1,
+                        bias2,
+                    );
+                }
+
+                /// # Safety
+                ///
+                /// Caller guarantees the target feature; slice lengths are
+                /// equal (asserted by the public wrappers).
+                #[allow(clippy::too_many_arguments)]
+                #[target_feature(enable = $feature)]
+                pub(crate) unsafe fn adamw(
+                    params: &mut [f32],
+                    momentum: &mut [f32],
+                    variance: &mut [f32],
+                    grads: &[f32],
+                    lr: f32,
+                    beta1: f32,
+                    beta2: f32,
+                    eps: f32,
+                    weight_decay: f32,
+                    bias1: f32,
+                    bias2: f32,
+                ) {
+                    let n = params.len();
+                    let (b1, omb1) = ($set1(beta1), $set1(1.0 - beta1));
+                    let (b2, omb2) = ($set1(beta2), $set1(1.0 - beta2));
+                    let (vb1, vb2) = ($set1(bias1), $set1(bias2));
+                    let (vlr, veps, vwd) = ($set1(lr), $set1(eps), $set1(weight_decay));
+                    let mut i = 0;
+                    while i + $width <= n {
+                        let g = $load(grads.as_ptr().add(i));
+                        let m = $add($mul(b1, $load(momentum.as_ptr().add(i))), $mul(omb1, g));
+                        $store(momentum.as_mut_ptr().add(i), m);
+                        let v =
+                            $add($mul(b2, $load(variance.as_ptr().add(i))), $mul($mul(omb2, g), g));
+                        $store(variance.as_mut_ptr().add(i), v);
+                        let m_hat = $div(m, vb1);
+                        let v_hat = $div(v, vb2);
+                        // p -= lr * (m_hat / (sqrt(v_hat) + eps) + wd * p)
+                        let p_old = $load(params.as_ptr().add(i));
+                        let inner = $add($div(m_hat, $add($sqrt(v_hat), veps)), $mul(vwd, p_old));
+                        let p = $sub(p_old, $mul(vlr, inner));
+                        $store(params.as_mut_ptr().add(i), p);
+                        i += $width;
+                    }
+                    adamw_scalar(
+                        &mut params[i..],
+                        &mut momentum[i..],
+                        &mut variance[i..],
+                        &grads[i..],
+                        lr,
+                        beta1,
+                        beta2,
+                        eps,
+                        weight_decay,
+                        bias1,
+                        bias2,
+                    );
+                }
+
+                /// # Safety
+                ///
+                /// Caller guarantees the target feature; slice lengths are
+                /// equal (asserted by the public wrappers).
+                #[target_feature(enable = $feature)]
+                pub(crate) unsafe fn sgd_momentum(
+                    params: &mut [f32],
+                    momentum_buf: &mut [f32],
+                    grads: &[f32],
+                    lr: f32,
+                    momentum: f32,
+                ) {
+                    let n = params.len();
+                    let (vmom, vlr) = ($set1(momentum), $set1(lr));
+                    let mut i = 0;
+                    while i + $width <= n {
+                        let g = $load(grads.as_ptr().add(i));
+                        // buf = momentum * buf + g
+                        let buf = $add($mul(vmom, $load(momentum_buf.as_ptr().add(i))), g);
+                        $store(momentum_buf.as_mut_ptr().add(i), buf);
+                        // p -= lr * buf
+                        let p = $sub($load(params.as_ptr().add(i)), $mul(vlr, buf));
+                        $store(params.as_mut_ptr().add(i), p);
+                        i += $width;
+                    }
+                    sgd_momentum_scalar(
+                        &mut params[i..],
+                        &mut momentum_buf[i..],
+                        &grads[i..],
+                        lr,
+                        momentum,
+                    );
+                }
+
+                /// # Safety
+                ///
+                /// Caller guarantees the target feature; slice lengths are
+                /// equal (asserted by the public wrappers).
+                #[target_feature(enable = $feature)]
+                pub(crate) unsafe fn adagrad(
+                    params: &mut [f32],
+                    accumulator: &mut [f32],
+                    grads: &[f32],
+                    lr: f32,
+                    eps: f32,
+                ) {
+                    let n = params.len();
+                    let (vlr, veps) = ($set1(lr), $set1(eps));
+                    let mut i = 0;
+                    while i + $width <= n {
+                        let g = $load(grads.as_ptr().add(i));
+                        // acc += g * g
+                        let acc = $add($load(accumulator.as_ptr().add(i)), $mul(g, g));
+                        $store(accumulator.as_mut_ptr().add(i), acc);
+                        // p -= (lr * g) / (sqrt(acc) + eps)
+                        let step = $div($mul(vlr, g), $add($sqrt(acc), veps));
+                        let p = $sub($load(params.as_ptr().add(i)), step);
+                        $store(params.as_mut_ptr().add(i), p);
+                        i += $width;
+                    }
+                    adagrad_scalar(&mut params[i..], &mut accumulator[i..], &grads[i..], lr, eps);
+                }
+            }
+        };
+    }
+
+    update_kernels!(
+        "avx2",
+        8,
+        wide8,
+        __m256,
+        _mm256_set1_ps,
+        _mm256_loadu_ps,
+        _mm256_storeu_ps,
+        _mm256_mul_ps,
+        _mm256_add_ps,
+        _mm256_sub_ps,
+        _mm256_div_ps,
+        _mm256_sqrt_ps
+    );
+    update_kernels!(
+        "sse2",
+        4,
+        wide4,
+        __m128,
+        _mm_set1_ps,
+        _mm_loadu_ps,
+        _mm_storeu_ps,
+        _mm_mul_ps,
+        _mm_add_ps,
+        _mm_sub_ps,
+        _mm_div_ps,
+        _mm_sqrt_ps
+    );
+
+    pub(super) use wide4::{
+        adagrad as adagrad_sse2, adam as adam_sse2, adamw as adamw_sse2,
+        sgd_momentum as sgd_momentum_sse2,
+    };
+    pub(super) use wide8::{
+        adagrad as adagrad_avx2, adam as adam_avx2, adamw as adamw_avx2,
+        sgd_momentum as sgd_momentum_avx2,
+    };
+}

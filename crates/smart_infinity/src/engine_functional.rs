@@ -227,6 +227,7 @@ impl SmartInfinityTrainer {
             storage_bytes_written: stats.p2p_write_bytes - stats_before.p2p_write_bytes,
             compression_kept: self.compressor.map(|_| kept),
             threads: self.pool.num_threads(),
+            kernel_path: tensorlib::KernelPath::active(),
             stages: None,
         })
     }

@@ -7,6 +7,7 @@
 //! FP32-master / FP16-working-copy scheme, including overflow to infinity and
 //! the limited mantissa that motivates loss scaling.
 
+use crate::simd::KernelPath;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -24,6 +25,7 @@ use std::fmt;
 /// assert!(f16::from_f32(1e6).to_f32().is_infinite()); // overflow saturates to inf
 /// ```
 #[allow(non_camel_case_types)]
+#[repr(transparent)] // guaranteed u16 layout: the SIMD module views slices as raw bits
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct f16(u16);
 
@@ -139,47 +141,82 @@ impl f16 {
         (self.0 & 0x7C00) != 0x7C00
     }
 
-    /// Bulk [`Self::from_f32`]: converts `src` into `dst` element-wise.
-    /// Bit-identical to the scalar conversion (round-to-nearest-even,
-    /// saturation, NaN and subnormal handling included).
+    /// Bulk [`Self::from_f32`]: converts `src` into `dst` element-wise on the
+    /// auto-detected SIMD path ([`KernelPath::active`]). Bit-identical to the
+    /// scalar conversion (round-to-nearest-even, saturation, NaN and
+    /// subnormal handling included) on every path.
     ///
     /// # Panics
     ///
     /// Panics if the slices have different lengths.
     pub fn from_f32_slice_into(src: &[f32], dst: &mut [f16]) {
-        assert_eq!(src.len(), dst.len(), "conversion length mismatch");
-        for (d, &s) in dst.iter_mut().zip(src) {
-            *d = f16::from_f32(s);
-        }
+        Self::from_f32_slice_into_with(KernelPath::active(), src, dst);
     }
 
-    /// Bulk [`Self::to_f32`]: converts `src` into `dst` element-wise through a
-    /// lazily built 65536-entry lookup table. Bit-identical to the scalar
-    /// conversion by construction (the table is populated by calling it), but
-    /// replaces the per-element subnormal-normalisation loop with one load.
+    /// [`Self::from_f32_slice_into`] on an explicit kernel path (equivalence
+    /// suites and benchmarks pin paths with this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or `path` is not
+    /// available on this CPU.
+    pub fn from_f32_slice_into_with(path: KernelPath, src: &[f32], dst: &mut [f16]) {
+        assert!(path.is_available(), "kernel path {path} is not available on this CPU");
+        crate::simd::f32_to_f16_bulk(path, src, dst);
+    }
+
+    /// Bulk [`Self::to_f32`]: converts `src` into `dst` element-wise on the
+    /// auto-detected SIMD path. The scalar tier reads a lazily built
+    /// 65536-entry lookup table; the SSE2/AVX2 tiers recompute the expansion
+    /// in integer registers. All tiers are bit-identical to [`Self::to_f32`]
+    /// (asserted exhaustively over every bit pattern).
     ///
     /// # Panics
     ///
     /// Panics if the slices have different lengths.
     pub fn to_f32_slice_into(src: &[f16], dst: &mut [f32]) {
-        assert_eq!(src.len(), dst.len(), "conversion length mismatch");
-        let table = f16_to_f32_table();
-        for (d, &s) in dst.iter_mut().zip(src) {
-            *d = table[s.to_bits() as usize];
-        }
+        Self::to_f32_slice_into_with(KernelPath::active(), src, dst);
     }
 
-    /// Single-value table-backed conversion for crate-internal hot loops;
-    /// bit-identical to [`f16::to_f32`].
-    pub(crate) fn to_f32_via_table(self) -> f32 {
-        f16_to_f32_table()[self.0 as usize]
+    /// [`Self::to_f32_slice_into`] on an explicit kernel path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or `path` is not
+    /// available on this CPU.
+    pub fn to_f32_slice_into_with(path: KernelPath, src: &[f16], dst: &mut [f32]) {
+        assert!(path.is_available(), "kernel path {path} is not available on this CPU");
+        crate::simd::f16_to_f32_bulk(path, src, dst);
+    }
+
+    /// Bulk FP16 round trip: writes `f16::from_f32(s).to_f32()` for every
+    /// element of `src` into `dst`, staying in vector registers on the SIMD
+    /// paths. This is the mixed-precision working-copy refresh — the hottest
+    /// conversion in the pipelined trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn roundtrip_slice_into(src: &[f32], dst: &mut [f32]) {
+        Self::roundtrip_slice_into_with(KernelPath::active(), src, dst);
+    }
+
+    /// [`Self::roundtrip_slice_into`] on an explicit kernel path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or `path` is not
+    /// available on this CPU.
+    pub fn roundtrip_slice_into_with(path: KernelPath, src: &[f32], dst: &mut [f32]) {
+        assert!(path.is_available(), "kernel path {path} is not available on this CPU");
+        crate::simd::f16_roundtrip_bulk(path, src, dst);
     }
 }
 
 /// The full binary16 → binary32 conversion table, built once on first use.
 /// 65536 entries × 4 bytes = 256 KiB; every entry is exactly
 /// `f16::from_bits(i).to_f32()`.
-fn f16_to_f32_table() -> &'static [f32] {
+pub(crate) fn f16_to_f32_table() -> &'static [f32] {
     use std::sync::OnceLock;
     static TABLE: OnceLock<Vec<f32>> = OnceLock::new();
     TABLE.get_or_init(|| (0..=u16::MAX).map(|bits| f16::from_bits(bits).to_f32()).collect())

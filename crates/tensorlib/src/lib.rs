@@ -16,18 +16,25 @@
 //!   sized to the accelerator device memory.
 //! * [`Partitioner`] — splits the flattened model across multiple devices
 //!   (the multi-CSD workload distribution).
+//! * [`simd`] — the runtime-dispatched kernel-path layer ([`KernelPath`]):
+//!   AVX2/SSE2 `std::arch` paths behind `is_x86_feature_detected!`, with the
+//!   scalar loops as the always-available, bit-identical fallback.
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide; only the `simd` module overrides it with a
+// scoped allow for `std::arch` intrinsics (`forbid` would not permit that).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod chunk;
 mod half;
 mod partition;
+pub mod simd;
 mod tensor;
 
 pub use chunk::{Chunker, Subgroup};
 pub use half::f16;
 pub use partition::{Partitioner, Shard};
+pub use simd::KernelPath;
 pub use tensor::{Dtype, FlatTensor};
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Flat `f32` tensors and byte-level precision conversions.
 
 use crate::half::f16;
+use crate::simd::KernelPath;
 use rand::distributions::Distribution;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -112,9 +113,10 @@ impl FlatTensor {
                 }
             }
             Dtype::F16 => {
-                for v in &self.data {
-                    out.extend_from_slice(&f16::from_f32(*v).to_bits().to_le_bytes());
-                }
+                // Bulk conversion on the detected SIMD path; bit-identical
+                // to the per-element `f16::from_f32` encode.
+                out.resize(self.data.len() * 2, 0);
+                crate::simd::f32_to_f16_bytes_bulk(KernelPath::active(), &self.data, out);
             }
         }
     }
@@ -131,8 +133,8 @@ impl FlatTensor {
     }
 
     /// Deserialises into an existing tensor, replacing its contents and
-    /// reusing its allocation. The FP16 path decodes through the bulk
-    /// lookup-table conversion ([`crate::f16::to_f32_slice_into`]'s fast path).
+    /// reusing its allocation. The FP16 path decodes through the bulk SIMD
+    /// conversion ([`crate::f16::to_f32_slice_into`]'s fast path).
     ///
     /// # Panics
     ///
@@ -154,14 +156,11 @@ impl FlatTensor {
                 );
             }
             Dtype::F16 => {
-                // Decode each bit pattern through the f16 lookup table —
-                // same fast path as `f16::to_f32_slice_into`, with no
+                // Bulk decode on the detected SIMD path — bit-identical to
+                // decoding each pattern through `f16::to_f32`, with no
                 // intermediate buffer.
-                out.data.extend(
-                    bytes.chunks_exact(2).map(|c| {
-                        f16::from_bits(u16::from_le_bytes([c[0], c[1]])).to_f32_via_table()
-                    }),
-                );
+                out.data.resize(n, 0.0);
+                crate::simd::f16_bytes_to_f32_bulk(KernelPath::active(), bytes, &mut out.data);
             }
         }
     }
@@ -177,9 +176,7 @@ impl FlatTensor {
     /// Panics if `out.len()` differs from the tensor length.
     pub fn roundtrip_f16_into(&self, out: &mut [f32]) {
         assert_eq!(out.len(), self.data.len(), "output buffer length mismatch");
-        for (d, &s) in out.iter_mut().zip(&self.data) {
-            *d = f16::from_f32(s).to_f32_via_table();
-        }
+        f16::roundtrip_slice_into(&self.data, out);
     }
 
     /// In-place `self = alpha * self + beta * other` (the AXPBY primitive the

@@ -222,6 +222,7 @@ impl StorageOffloadTrainer {
             storage_bytes_written: delta.bytes_written,
             compression_kept: None,
             threads: 1,
+            kernel_path: tensorlib::KernelPath::active(),
             stages: None,
         })
     }

@@ -199,8 +199,22 @@ impl PipelinedTrainer {
     /// across. The *lanes* are the unit of parallelism: each lane's kernels
     /// run serially inside it (fanning out twice would oversubscribe the
     /// workers), and results are bit-identical for every thread count.
+    ///
+    /// Lanes are scheduled by the default size-aware work-stealing executor:
+    /// heavier shards are dealt first and idle workers steal queued lanes, so
+    /// one skewed shard does not serialize the pipeline. Use
+    /// [`PipelinedTrainer::with_executor`] to pin the schedule instead.
     pub fn with_threads(mut self, num_threads: usize) -> Self {
         self.pool = ParExecutor::new(num_threads);
+        self
+    }
+
+    /// Sets the lane executor explicitly — e.g.
+    /// [`ParExecutor::deterministic`] for bit-equivalence suites that want
+    /// the lane→worker schedule pinned as well as the results (the results
+    /// are identical in every mode regardless).
+    pub fn with_executor(mut self, pool: ParExecutor) -> Self {
+        self.pool = pool;
         self
     }
 
@@ -290,7 +304,11 @@ impl PipelinedTrainer {
         }
         let active_lanes = lanes.iter().filter(|l| l.shard.len > 0).count();
 
-        let results = self.pool.map(lanes, |_, lane| {
+        // Cost-weighted dispatch: a lane's work is proportional to its shard
+        // size, so heavier shards are scheduled first (and stealable) rather
+        // than letting one skewed shard serialize the step.
+        let weights: Vec<usize> = lanes.iter().map(|l| l.shard.len).collect();
+        let results = self.pool.map_weighted(lanes, &weights, |_, lane| {
             Self::run_lane(lane, grads, compressor, optimizer, subgroup_elems, step)
         });
 
@@ -317,6 +335,7 @@ impl PipelinedTrainer {
             storage_bytes_written,
             compression_kept: compressor.map(|_| kept),
             threads: self.pool.num_threads(),
+            kernel_path: tensorlib::KernelPath::active(),
             stages: Some(stages),
         })
     }
@@ -470,6 +489,48 @@ mod tests {
                 assert_eq!(s.lanes, 1);
                 assert_eq!(r.lanes, threads.min(3));
                 assert_eq!(report.threads, threads);
+            }
+        }
+    }
+
+    #[test]
+    fn work_stealing_matches_the_deterministic_schedule_bit_for_bit() {
+        // Same trainer, same gradients, every thread count, both scheduling
+        // modes — the master copy and FP16 working copy must agree exactly.
+        let n = 4000;
+        let optimizer = Optimizer::adam_default();
+        let initial = FlatTensor::randn(n, 0.05, 21);
+        let run = |pool: ParExecutor| {
+            let mut t = PipelinedTrainer::new(&initial, optimizer, 4, 600)
+                .unwrap()
+                .with_compression(0.05)
+                .unwrap()
+                .with_executor(pool);
+            let mut source = SyntheticGradients::new(n, 0.01, 99);
+            let mut last = StepReport::default();
+            for _ in 0..3 {
+                last = t.step_from(&mut source).unwrap();
+            }
+            (t.master_params().unwrap(), t.params_fp16().clone(), last)
+        };
+        let (ref_master, ref_fp16, _) = run(ParExecutor::deterministic(1));
+        for threads in [1usize, 2, 4, 7] {
+            for pool in [ParExecutor::new(threads), ParExecutor::deterministic(threads)] {
+                let (master, fp16, report) = run(pool);
+                assert_eq!(
+                    master.as_slice(),
+                    ref_master.as_slice(),
+                    "master diverged: threads={threads} mode={:?}",
+                    pool.mode()
+                );
+                assert_eq!(
+                    fp16.as_slice(),
+                    ref_fp16.as_slice(),
+                    "fp16 diverged: threads={threads} mode={:?}",
+                    pool.mode()
+                );
+                // The report pins the runtime-detected SIMD path either way.
+                assert_eq!(report.kernel_path, tensorlib::KernelPath::active());
             }
         }
     }

@@ -95,6 +95,11 @@ pub struct StepReport {
     pub compression_kept: Option<u64>,
     /// Host worker threads the execution backend used for this step.
     pub threads: usize,
+    /// SIMD kernel path the hot loops (optimizer update, f16 conversion,
+    /// candidate filtering) dispatched to this step — `scalar`, `sse2` or
+    /// `avx2`, chosen at runtime by CPU feature detection (see
+    /// [`tensorlib::KernelPath::active`]).
+    pub kernel_path: tensorlib::KernelPath,
     /// Per-stage overlap telemetry of the pipelined execution backend;
     /// `None` for backends that execute the step's phases serially.
     pub stages: Option<StageReport>,
