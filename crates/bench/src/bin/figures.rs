@@ -7,6 +7,7 @@
 //! cargo run -p bench --release --bin figures -- --json results/ all
 //! cargo run -p bench --release --bin figures -- campaign specs/ladder.json
 //! cargo run -p bench --release --bin figures -- --check campaign specs/*.json
+//! cargo run -p bench --release --bin figures -- --checkpoint ckpt.json --halt-after 2 campaign specs/faults.json
 //! cargo run -p bench --release --bin figures -- perf --check BENCH_2.json --tolerance 0.15
 //! cargo run -p bench --release --bin figures -- perf --bless --check BENCH_2.json
 //! ```
@@ -16,7 +17,12 @@
 //! `campaign` loads each given `*.json` spec file, runs every spec in it
 //! concurrently on `parcore` workers and prints the per-spec breakdown;
 //! `--check` only parses and validates the files (the CI guard for the
-//! checked-in `specs/`).
+//! checked-in `specs/`). With `--checkpoint <path>` the campaign becomes
+//! resumable: an existing checkpoint file is loaded and its completed runs
+//! are reused verbatim, and `--halt-after N` stops after N fresh runs and
+//! writes the checkpoint back — killing and re-invoking the same command
+//! finishes the campaign with bit-identical results to an uninterrupted run.
+//! A completed campaign deletes its checkpoint file.
 //!
 //! For the `perf` experiment, `--check <baseline.json>` (the argument must end
 //! in `.json`) turns the run into a regression gate: the fresh snapshot is
@@ -27,7 +33,7 @@
 
 use bench::harness;
 use serde::Serialize;
-use smart_infinity::Campaign;
+use smart_infinity::{Campaign, CampaignCheckpoint, CampaignProgress};
 use std::path::{Path, PathBuf};
 
 const ALL: &[&str] = &[
@@ -43,10 +49,26 @@ fn main() {
     let mut campaign_mode = false;
     let mut quick = false;
     let mut check = false;
+    let mut checkpoint: Option<PathBuf> = None;
+    let mut halt_after: Option<usize> = None;
     let mut gate = PerfGateOpts::default();
     let mut iter = args.into_iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--checkpoint" => {
+                let path = iter.next().unwrap_or_else(|| {
+                    eprintln!("--checkpoint requires a file argument");
+                    std::process::exit(2);
+                });
+                checkpoint = Some(PathBuf::from(path));
+            }
+            "--halt-after" => {
+                let n = iter.next().and_then(|t| t.parse::<usize>().ok()).unwrap_or_else(|| {
+                    eprintln!("--halt-after requires a positive integer argument");
+                    std::process::exit(2);
+                });
+                halt_after = Some(n);
+            }
             "--json" => {
                 let dir = iter.next().unwrap_or_else(|| {
                     eprintln!("--json requires a directory argument");
@@ -82,7 +104,8 @@ fn main() {
         eprintln!(
             "usage: figures [--json DIR] [--quick] <all | fig3a fig3b tab1 tab3 fig9 fig10 \
              fig11 fig12 fig13 fig14 fig15 tab4 fig16 fig17 pipeline perf>\n\
-             \x20      figures [--json DIR] [--check] campaign <spec.json> [spec.json ...]\n\
+             \x20      figures [--json DIR] [--check] [--checkpoint CKPT.json [--halt-after N]] \
+             campaign <spec.json> [spec.json ...]\n\
              \x20      figures [--quick] perf [--check <baseline.json>] [--tolerance 0.15] \
              [--bless]"
         );
@@ -94,8 +117,22 @@ fn main() {
     for id in selected {
         run_one(&id, quick, json_dir.as_deref(), &gate);
     }
+    if halt_after.is_some() && checkpoint.is_none() {
+        eprintln!("--halt-after needs --checkpoint <path> to store the partial progress");
+        std::process::exit(2);
+    }
+    if checkpoint.is_some() && campaign_paths.len() != 1 {
+        eprintln!("--checkpoint tracks exactly one campaign spec file");
+        std::process::exit(2);
+    }
     for path in campaign_paths {
-        run_campaign(Path::new(&path), check, json_dir.as_deref());
+        run_campaign(
+            Path::new(&path),
+            check,
+            json_dir.as_deref(),
+            checkpoint.as_deref(),
+            halt_after,
+        );
     }
 }
 
@@ -115,7 +152,13 @@ impl Default for PerfGateOpts {
     }
 }
 
-fn run_campaign(path: &Path, check: bool, json: Option<&Path>) {
+fn run_campaign(
+    path: &Path,
+    check: bool,
+    json: Option<&Path>,
+    checkpoint: Option<&Path>,
+    halt_after: Option<usize>,
+) {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {}: {e}", path.display());
         std::process::exit(2);
@@ -132,10 +175,51 @@ fn run_campaign(path: &Path, check: bool, json: Option<&Path>) {
         println!("OK {} ({} specs)", path.display(), campaign.specs.len());
         return;
     }
-    let report = campaign.run().unwrap_or_else(|e| {
-        eprintln!("{}: {e}", path.display());
-        std::process::exit(1);
+    // An existing checkpoint file holds the completed leading runs of an
+    // earlier (halted or killed) invocation of the same campaign; resume it.
+    let resume_from = checkpoint.filter(|p| p.exists()).map(|p| {
+        let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("cannot read checkpoint {}: {e}", p.display());
+            std::process::exit(2);
+        });
+        let ckpt: CampaignCheckpoint = serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("invalid campaign checkpoint {}: {e}", p.display());
+            std::process::exit(2);
+        });
+        println!("resuming from {} ({} completed run(s))", p.display(), ckpt.completed.len());
+        ckpt
     });
+    let progress = campaign
+        .run_resumable(&parcore::ParExecutor::current(), resume_from, halt_after)
+        .unwrap_or_else(|e| {
+            eprintln!("{}: {e}", path.display());
+            std::process::exit(1);
+        });
+    let report = match progress {
+        CampaignProgress::Complete(report) => {
+            if let Some(ckpt_path) = checkpoint.filter(|p| p.exists()) {
+                // The checkpoint is consumed: the campaign is complete.
+                let _ = std::fs::remove_file(ckpt_path);
+            }
+            report
+        }
+        CampaignProgress::Halted(ckpt) => {
+            let ckpt_path = checkpoint.expect("--halt-after requires --checkpoint");
+            let pretty = serde_json::to_string_pretty(&ckpt).expect("serialise checkpoint");
+            std::fs::write(ckpt_path, pretty).unwrap_or_else(|e| {
+                eprintln!("cannot write checkpoint {}: {e}", ckpt_path.display());
+                std::process::exit(2);
+            });
+            println!(
+                "halted after {} of {} run(s); checkpoint written to {} — re-invoke the same \
+                 command to resume",
+                ckpt.completed.len(),
+                campaign.specs.len(),
+                ckpt_path.display()
+            );
+            return;
+        }
+    };
     println!("{}", harness::render_campaign(&report));
     let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("campaign");
     write_json(json, &format!("campaign_{stem}"), &report);

@@ -824,6 +824,19 @@ pub struct CampaignPerf {
     /// `serial / parallel`, or `None` on a single-CPU machine (the caveat
     /// recorded by `parallel_valid`).
     pub speedup: Option<f64>,
+    /// How many of the campaign's specs carried a fault-injection axis when
+    /// the snapshot was taken. Fault recovery adds modeled backoff and
+    /// derated bandwidth on purpose, so the gate refuses to compare
+    /// wall-clocks when either side is non-zero. `None` in snapshots blessed
+    /// before fault injection existed (treated as zero).
+    pub fault_specs: Option<usize>,
+}
+
+impl CampaignPerf {
+    /// `true` when the measured campaign injected faults into any spec.
+    pub fn has_faults(&self) -> bool {
+        self.fault_specs.unwrap_or(0) > 0
+    }
 }
 
 /// The tracked performance snapshot of the execution backend (`BENCH_2.json`):
@@ -1007,11 +1020,13 @@ pub fn perf_snapshot(quick: bool) -> PerfSnapshot {
         let report = campaign.run_on(&pool).expect("campaign");
         std::hint::black_box(report.runs.len());
     });
+    let fault_specs = campaign.specs.iter().filter(|s| s.faults.is_some()).count();
     let campaign = CampaignPerf {
         specs: campaign.specs.len(),
         serial_s: campaign_serial,
         parallel_s: campaign_parallel,
         speedup: parallel_valid.then(|| campaign_serial / campaign_parallel),
+        fault_specs: Some(fault_specs),
     };
 
     PerfSnapshot {
@@ -1069,6 +1084,11 @@ pub fn merge_best(a: &PerfSnapshot, b: &PerfSnapshot) -> PerfSnapshot {
     out.campaign.parallel_s = out.campaign.parallel_s.min(b.campaign.parallel_s);
     out.campaign.speedup =
         out.campaign.speedup.map(|_| out.campaign.serial_s / out.campaign.parallel_s);
+    // If either measurement injected faults, the envelope did too.
+    out.campaign.fault_specs = match (out.campaign.fault_specs, b.campaign.fault_specs) {
+        (Some(a_faults), Some(b_faults)) => Some(a_faults.max(b_faults)),
+        (a_faults, b_faults) => a_faults.or(b_faults),
+    };
     out
 }
 
@@ -1196,9 +1216,24 @@ pub fn compare_perf(
 
     // Campaign wall-clock: lower is better. The ladder is a millisecond-scale
     // end-to-end run dominated by thread spawns, so it is gated at double the
-    // kernel tolerance to absorb scheduler noise.
+    // kernel tolerance to absorb scheduler noise. A fault-injected campaign is
+    // slower on purpose (retry backoff, derated links), so its wall-clock says
+    // nothing about the execution backend and must not fail the gate.
+    let faults_injected = baseline.campaign.has_faults() || fresh.campaign.has_faults();
+    if faults_injected {
+        cmp.notes.push(format!(
+            "campaign wall-clock check skipped: fault-injected campaign snapshot \
+             (baseline {} fault spec(s), fresh {}) — recovery backoff and link \
+             derating are intentional slowdown, not a regression",
+            baseline.campaign.fault_specs.unwrap_or(0),
+            fresh.campaign.fault_specs.unwrap_or(0)
+        ));
+    }
     let campaign_ceil = 1.0 + 2.0 * (ceil - 1.0);
-    if paths_match && fresh.campaign.serial_s > baseline.campaign.serial_s * campaign_ceil {
+    if paths_match
+        && !faults_injected
+        && fresh.campaign.serial_s > baseline.campaign.serial_s * campaign_ceil
+    {
         cmp.violations.push(format!(
             "campaign serial: {:.4} s is above baseline {:.4} s + {:.0}%",
             fresh.campaign.serial_s,
@@ -1381,6 +1416,7 @@ mod tests {
                 serial_s: 0.010,
                 parallel_s: 0.004,
                 speedup: parallel_valid.then_some(2.5),
+                fault_specs: Some(0),
             },
         }
     }
@@ -1436,6 +1472,47 @@ mod tests {
             "{:?}",
             cmp.violations
         );
+    }
+
+    #[test]
+    fn perf_gate_skips_fault_campaign_wall_clock_with_a_logged_reason() {
+        let baseline = synthetic_snapshot(true);
+        // A fault-injected campaign is slower on purpose (retry backoff,
+        // derated links): 3x the baseline wall-clock must NOT fail the gate,
+        // and the skip must be visible in the notes rather than silent.
+        let mut fresh = baseline.clone();
+        fresh.campaign.fault_specs = Some(2);
+        fresh.campaign.serial_s = baseline.campaign.serial_s * 3.0;
+        let cmp = compare_perf(&baseline, &fresh, 0.15);
+        assert!(cmp.passed(), "{:?}", cmp.violations);
+        assert!(cmp.notes.iter().any(|n| n.contains("fault-injected campaign")), "{:?}", cmp.notes);
+        assert!(render_comparison(&cmp, 0.15).contains("fault-injected campaign"));
+
+        // A pre-fault-era baseline (no fault_specs field at all) against a
+        // fault-free fresh run still gates the campaign wall-clock.
+        let mut old = baseline.clone();
+        old.campaign.fault_specs = None;
+        let mut slow = baseline.clone();
+        slow.campaign.serial_s = baseline.campaign.serial_s * 3.0;
+        let cmp = compare_perf(&old, &slow, 0.15);
+        assert!(
+            cmp.violations.iter().any(|v| v.contains("campaign serial")),
+            "{:?}",
+            cmp.violations
+        );
+
+        // Kernel regressions are still caught even when the campaign check is
+        // skipped for faults.
+        let mut faulted_and_slow = fresh.clone();
+        faulted_and_slow.kernels[0].serial_elems_per_sec *= 0.5;
+        let cmp = compare_perf(&baseline, &faulted_and_slow, 0.15);
+        assert!(!cmp.passed());
+
+        // The best-rate envelope of a faulted and a clean measurement is
+        // still marked faulted.
+        let merged = merge_best(&baseline, &fresh);
+        assert_eq!(merged.campaign.fault_specs, Some(2));
+        assert!(merged.campaign.has_faults());
     }
 
     #[test]

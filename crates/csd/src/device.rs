@@ -4,6 +4,7 @@
 use crate::decompressor::Decompressor;
 use crate::dram::{DeviceDram, DramError};
 use crate::updater::Updater;
+use faultkit::FaultInjector;
 use gradcomp::{CompressError, CompressedGradient};
 use optim::Optimizer;
 use parcore::ParExecutor;
@@ -28,6 +29,26 @@ pub enum CsdError {
     /// A gradient could not be (de)compressed — e.g. a shard longer than the
     /// u32 index space of the compressed stream.
     Compression(CompressError),
+    /// The device stopped answering (controller hang / surprise removal).
+    /// Every operation fails until the device is rebuilt from its media.
+    Dropout {
+        /// The device name.
+        device: String,
+    },
+}
+
+impl CsdError {
+    /// Whether bounded retry can clear this error (delegates to the wrapped
+    /// SSD error; dropouts and everything else need rebuild or propagation).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CsdError::Ssd(e) if e.is_transient())
+    }
+
+    /// Whether the error means the device is dead until rebuilt (a dropout,
+    /// or worn-out media underneath).
+    pub fn needs_rebuild(&self) -> bool {
+        matches!(self, CsdError::Dropout { .. } | CsdError::Ssd(SsdError::WornOut { .. }))
+    }
 }
 
 impl fmt::Display for CsdError {
@@ -39,6 +60,9 @@ impl fmt::Display for CsdError {
                 write!(f, "shard {shard} has no initialised optimizer state")
             }
             CsdError::Compression(e) => write!(f, "compression error: {e}"),
+            CsdError::Dropout { device } => {
+                write!(f, "device {device} dropped out (not answering; rebuild required)")
+            }
         }
     }
 }
@@ -50,6 +74,7 @@ impl Error for CsdError {
             CsdError::Dram(e) => Some(e),
             CsdError::MissingShard { .. } => None,
             CsdError::Compression(e) => Some(e),
+            CsdError::Dropout { .. } => None,
         }
     }
 }
@@ -119,6 +144,16 @@ pub struct CsdDevice {
     decompressor: Decompressor,
     executor: ParExecutor,
     stats: CsdTrafficStats,
+    dropped: bool,
+    // Device-internal bounded retry for transient faults *inside* a subgroup
+    // update. The update must not be retried whole once its write-back has
+    // partially landed (that would re-apply the optimizer step to an already
+    // updated master), so the device clears transient faults op-by-op — the
+    // FPGA scratch still holds the computed results, exactly like firmware
+    // retrying a failed program operation.
+    retry_budget: u32,
+    fault_retries: u64,
+    fault_backoff_ms: u64,
     // Per-subgroup scratch buffers: the update loop runs every iteration of
     // training, so the working set is reused instead of reallocated.
     io_buf: Vec<u8>,
@@ -140,6 +175,10 @@ impl CsdDevice {
             decompressor: Decompressor::default(),
             executor: ParExecutor::serial(),
             stats: CsdTrafficStats::default(),
+            dropped: false,
+            retry_budget: 0,
+            fault_retries: 0,
+            fault_backoff_ms: 0,
             io_buf: Vec::new(),
             master_scratch: FlatTensor::default(),
             grad_scratch: FlatTensor::default(),
@@ -200,6 +239,105 @@ impl CsdDevice {
         self.ssd.reset_stats();
     }
 
+    /// Installs a deterministic fault injector on the underlying SSD. Faults
+    /// surface as [`CsdError::Ssd`] wrapping [`SsdError::Injected`].
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.ssd.set_fault_injector(injector);
+    }
+
+    /// Sets the device-internal retry budget for transient faults during a
+    /// subgroup update (see the field comment on `retry_budget`).
+    pub fn set_retry_budget(&mut self, budget: u32) {
+        self.retry_budget = budget;
+    }
+
+    /// Drains the device-internal fault-recovery counters accumulated since
+    /// the last call: `(transient retries, modeled backoff in ms)`.
+    pub fn take_fault_events(&mut self) -> (u64, u64) {
+        (std::mem::take(&mut self.fault_retries), std::mem::take(&mut self.fault_backoff_ms))
+    }
+
+    /// Suspends (or resumes) transient-fault injection on the underlying SSD
+    /// — see [`ssd::SsdDevice::suspend_faults`].
+    pub fn suspend_faults(&mut self, suspended: bool) {
+        self.ssd.suspend_faults(suspended);
+    }
+
+    /// Marks the device as dropped out: every operation fails with
+    /// [`CsdError::Dropout`] until [`CsdDevice::rebuild`] is called.
+    pub fn inject_dropout(&mut self) {
+        self.dropped = true;
+    }
+
+    /// Whether the device is currently dropped out.
+    pub fn is_dropped(&self) -> bool {
+        self.dropped
+    }
+
+    /// Wears out the underlying SSD media: reads keep working, writes fail
+    /// with [`SsdError::WornOut`] until the device is rebuilt.
+    pub fn inject_ssd_wearout(&mut self) {
+        self.ssd.inject_wearout();
+    }
+
+    /// Whether the underlying SSD media has worn out.
+    pub fn is_worn_out(&self) -> bool {
+        self.ssd.is_worn_out()
+    }
+
+    /// Rebuilds the device onto replacement hardware: migrates every region
+    /// of the underlying SSD (accounting the rebuild traffic in the SSD
+    /// counters), clears the worn-out flag and brings a dropped-out device
+    /// back online. Returns the number of bytes migrated.
+    pub fn rebuild(&mut self) -> u64 {
+        self.dropped = false;
+        self.ssd.rebuild()
+    }
+
+    fn check_alive(&self) -> Result<(), CsdError> {
+        if self.dropped {
+            return Err(CsdError::Dropout { device: self.name.clone() });
+        }
+        Ok(())
+    }
+
+    /// Reads into `io_buf`, clearing transient faults within the retry budget.
+    fn read_at_into_retrying(
+        &mut self,
+        region: &str,
+        byte_off: usize,
+        byte_len: usize,
+    ) -> Result<(), CsdError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.ssd.read_at_into(region, byte_off, byte_len, &mut self.io_buf) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_transient() && attempt < self.retry_budget => {
+                    attempt += 1;
+                    self.fault_retries += 1;
+                    self.fault_backoff_ms += 1u64 << attempt.min(16);
+                }
+                Err(e) => return Err(CsdError::Ssd(e)),
+            }
+        }
+    }
+
+    /// Writes `io_buf`, clearing transient faults within the retry budget.
+    fn write_at_retrying(&mut self, region: &str, byte_off: usize) -> Result<(), CsdError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.ssd.write_at(region, byte_off, &self.io_buf) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_transient() && attempt < self.retry_budget => {
+                    attempt += 1;
+                    self.fault_retries += 1;
+                    self.fault_backoff_ms += 1u64 << attempt.min(16);
+                }
+                Err(e) => return Err(CsdError::Ssd(e)),
+            }
+        }
+    }
+
     fn master_region(shard: &str) -> String {
         format!("{shard}/master")
     }
@@ -225,6 +363,7 @@ impl CsdDevice {
         params: &FlatTensor,
         optimizer: &Optimizer,
     ) -> Result<(), CsdError> {
+        self.check_alive()?;
         self.ssd.write_region(Self::master_region(shard), params.to_bytes(Dtype::F32))?;
         for i in 0..optimizer.kind().num_aux() {
             let zeros = FlatTensor::zeros(params.len());
@@ -240,6 +379,7 @@ impl CsdDevice {
     ///
     /// Returns a capacity error if the SSD cannot hold the gradients.
     pub fn store_gradients(&mut self, shard: &str, grads: &FlatTensor) -> Result<(), CsdError> {
+        self.check_alive()?;
         self.ssd.write_region(Self::grad_region(shard), grads.to_bytes(Dtype::F32))?;
         Ok(())
     }
@@ -256,7 +396,54 @@ impl CsdDevice {
         offset: usize,
         len: usize,
     ) -> Result<FlatTensor, CsdError> {
+        self.check_alive()?;
         let region = Self::master_region(shard);
+        if !self.ssd.has_region(&region) {
+            return Err(CsdError::MissingShard { shard: shard.to_string() });
+        }
+        let bytes = self.ssd.read_at(&region, offset * 4, len * 4)?;
+        Ok(FlatTensor::from_bytes(&bytes, Dtype::F32))
+    }
+
+    /// Overwrites one whole auxiliary optimizer-state tensor (checkpoint
+    /// restore: the shard must already be initialised via
+    /// [`CsdDevice::store_initial_state`], which zeroes the aux regions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsdError::MissingShard`] if the shard has no auxiliary
+    /// tensor with that index, or a capacity error from the SSD.
+    pub fn store_optimizer_state(
+        &mut self,
+        shard: &str,
+        aux_index: usize,
+        values: &FlatTensor,
+    ) -> Result<(), CsdError> {
+        self.check_alive()?;
+        let region = Self::aux_region(shard, aux_index);
+        if !self.ssd.has_region(&region) {
+            return Err(CsdError::MissingShard { shard: shard.to_string() });
+        }
+        self.ssd.write_region(region, values.to_bytes(Dtype::F32))?;
+        Ok(())
+    }
+
+    /// Reads back a range of one auxiliary optimizer-state tensor (used by
+    /// checkpointing to serialise the exact on-device state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsdError::MissingShard`] if the shard was never initialised
+    /// or has no auxiliary tensor with that index.
+    pub fn load_optimizer_state(
+        &mut self,
+        shard: &str,
+        aux_index: usize,
+        offset: usize,
+        len: usize,
+    ) -> Result<FlatTensor, CsdError> {
+        self.check_alive()?;
+        let region = Self::aux_region(shard, aux_index);
         if !self.ssd.has_region(&region) {
             return Err(CsdError::MissingShard { shard: shard.to_string() });
         }
@@ -275,6 +462,7 @@ impl CsdDevice {
     /// [`CsdError::Dram`] if the working set does not fit in device memory,
     /// or an [`CsdError::Ssd`] error for out-of-range accesses.
     pub fn update_subgroup(&mut self, request: SubgroupUpdate<'_>) -> Result<(), CsdError> {
+        self.check_alive()?;
         let SubgroupUpdate { shard, offset, len, optimizer, step, compressed } = request;
         let master_region = Self::master_region(shard);
         if !self.ssd.has_region(&master_region) {
@@ -314,17 +502,12 @@ impl CsdDevice {
 
         // 1. P2P load: master copy and auxiliary states, decoded into the
         // device's scratch tensors (no per-subgroup allocation).
-        self.ssd.read_at_into(&Self::master_region(shard), byte_off, byte_len, &mut self.io_buf)?;
+        self.read_at_into_retrying(&Self::master_region(shard), byte_off, byte_len)?;
         FlatTensor::from_bytes_into(&self.io_buf, Dtype::F32, &mut self.master_scratch);
         self.stats.p2p_read_bytes += byte_len as u64;
         self.aux_scratch.resize(num_aux, FlatTensor::default());
         for i in 0..num_aux {
-            self.ssd.read_at_into(
-                &Self::aux_region(shard, i),
-                byte_off,
-                byte_len,
-                &mut self.io_buf,
-            )?;
+            self.read_at_into_retrying(&Self::aux_region(shard, i), byte_off, byte_len)?;
             FlatTensor::from_bytes_into(&self.io_buf, Dtype::F32, &mut self.aux_scratch[i]);
             self.stats.p2p_read_bytes += byte_len as u64;
         }
@@ -343,12 +526,7 @@ impl CsdDevice {
                 self.stats.p2p_read_bytes += share;
             }
             None => {
-                self.ssd.read_at_into(
-                    &Self::grad_region(shard),
-                    byte_off,
-                    byte_len,
-                    &mut self.io_buf,
-                )?;
+                self.read_at_into_retrying(&Self::grad_region(shard), byte_off, byte_len)?;
                 FlatTensor::from_bytes_into(&self.io_buf, Dtype::F32, &mut self.grad_scratch);
                 self.stats.p2p_read_bytes += byte_len as u64;
             }
@@ -368,12 +546,15 @@ impl CsdDevice {
         self.stats.elements_updated += len as u64;
 
         // 4. P2P write-back: master first (needed upstream), then auxiliaries.
+        // Transient write faults are cleared device-internally (the scratch
+        // tensors still hold the results), so the caller never observes a
+        // half-written subgroup.
         self.master_scratch.to_bytes_into(Dtype::F32, &mut self.io_buf);
-        self.ssd.write_at(&Self::master_region(shard), byte_off, &self.io_buf)?;
+        self.write_at_retrying(&Self::master_region(shard), byte_off)?;
         self.stats.p2p_write_bytes += byte_len as u64;
         for i in 0..num_aux {
             self.aux_scratch[i].to_bytes_into(Dtype::F32, &mut self.io_buf);
-            self.ssd.write_at(&Self::aux_region(shard, i), byte_off, &self.io_buf)?;
+            self.write_at_retrying(&Self::aux_region(shard, i), byte_off)?;
             self.stats.p2p_write_bytes += byte_len as u64;
         }
         Ok(())
@@ -568,6 +749,116 @@ mod tests {
         assert!(csd.stats().p2p_read_bytes > 0);
         csd.reset_stats();
         assert_eq!(csd.stats(), CsdTrafficStats::default());
+    }
+
+    #[test]
+    fn dropout_blocks_every_operation_until_rebuild() {
+        let mut csd = device();
+        let optimizer = Optimizer::adam_default();
+        let params = FlatTensor::randn(64, 0.02, 41);
+        csd.store_initial_state("s", &params, &optimizer).unwrap();
+        csd.store_gradients("s", &FlatTensor::zeros(64)).unwrap();
+
+        csd.inject_dropout();
+        assert!(csd.is_dropped());
+        let err = csd.load_parameters("s", 0, 64).unwrap_err();
+        assert!(matches!(err, CsdError::Dropout { ref device } if device == "csd0"));
+        assert!(err.needs_rebuild());
+        assert!(!err.is_transient());
+        assert!(csd.store_gradients("s", &FlatTensor::zeros(64)).is_err());
+        assert!(csd
+            .update_subgroup(SubgroupUpdate {
+                shard: "s",
+                offset: 0,
+                len: 64,
+                optimizer,
+                step: 1,
+                compressed: None,
+            })
+            .is_err());
+
+        // Rebuild brings the device back with its media contents intact.
+        let migrated = csd.rebuild();
+        assert!(migrated > 0);
+        assert!(!csd.is_dropped());
+        let back = csd.load_parameters("s", 0, 64).unwrap();
+        assert_eq!(back.as_slice(), params.as_slice());
+    }
+
+    #[test]
+    fn ssd_wearout_propagates_and_rebuild_clears_it() {
+        let mut csd = device();
+        let optimizer = Optimizer::adam_default();
+        csd.store_initial_state("s", &FlatTensor::zeros(32), &optimizer).unwrap();
+        csd.inject_ssd_wearout();
+        assert!(csd.is_worn_out());
+        // Reads still succeed on worn media; writes fail.
+        assert!(csd.load_parameters("s", 0, 32).is_ok());
+        let err = csd.store_gradients("s", &FlatTensor::zeros(32)).unwrap_err();
+        assert!(matches!(err, CsdError::Ssd(SsdError::WornOut { .. })));
+        assert!(err.needs_rebuild());
+        csd.rebuild();
+        assert!(!csd.is_worn_out());
+        csd.store_gradients("s", &FlatTensor::zeros(32)).unwrap();
+    }
+
+    #[test]
+    fn injected_ssd_faults_chain_through_csd_errors() {
+        use faultkit::{FaultPlan, FaultSpec};
+        let mut spec = FaultSpec::empty(11);
+        spec.transient_per_mille = Some(1000); // every op faults once per burst
+        spec.max_transient_burst = Some(1);
+        let plan = FaultPlan::new(spec);
+        let mut csd = device();
+        csd.set_fault_injector(plan.injector(0));
+        let err = csd.store_gradients("s", &FlatTensor::zeros(8)).unwrap_err();
+        assert!(err.is_transient());
+        assert!(matches!(err, CsdError::Ssd(SsdError::Injected { .. })));
+        // The source chain reaches the injected-fault leaf.
+        let ssd_err = err.source().expect("csd error wraps ssd error");
+        assert!(ssd_err.source().is_some(), "ssd error chains to the injected fault");
+        // Retry within the burst cap succeeds.
+        csd.store_gradients("s", &FlatTensor::zeros(8)).unwrap();
+    }
+
+    #[test]
+    fn load_optimizer_state_reads_back_aux_tensors() {
+        let n = 100;
+        let optimizer = Optimizer::adam_default();
+        let params = FlatTensor::randn(n, 0.02, 51);
+        let grads = FlatTensor::randn(n, 0.01, 52);
+        let mut csd = device();
+        csd.store_initial_state("s", &params, &optimizer).unwrap();
+        csd.store_gradients("s", &grads).unwrap();
+        // Before any update the aux tensors are zeroed.
+        let aux0 = csd.load_optimizer_state("s", 0, 0, n).unwrap();
+        assert!(aux0.as_slice().iter().all(|&x| x == 0.0));
+        csd.update_subgroup(SubgroupUpdate {
+            shard: "s",
+            offset: 0,
+            len: n,
+            optimizer,
+            step: 1,
+            compressed: None,
+        })
+        .unwrap();
+        // After an Adam step both moments are non-zero and match the host.
+        let mut host_params = params.clone();
+        let mut host_aux = optimizer.init_aux(n);
+        optimizer.step(host_params.as_mut_slice(), &grads, &mut host_aux, 1);
+        for (i, host) in host_aux.iter().enumerate().take(optimizer.kind().num_aux()) {
+            let aux = csd.load_optimizer_state("s", i, 0, n).unwrap();
+            assert_eq!(aux.as_slice(), host.as_slice(), "aux {i}");
+        }
+        // Unknown shard or aux index is reported as a missing shard.
+        assert!(matches!(
+            csd.load_optimizer_state("nope", 0, 0, 1),
+            Err(CsdError::MissingShard { .. })
+        ));
+        assert!(matches!(
+            csd.load_optimizer_state("s", 9, 0, 1),
+            Err(CsdError::MissingShard { .. })
+        ));
     }
 
     #[test]

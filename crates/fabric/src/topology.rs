@@ -56,6 +56,7 @@ struct Edge {
     b: NodeId,
     bandwidth: f64,
     name: String,
+    failed: bool,
 }
 
 /// An undirected graph of PCIe endpoints, switches and links.
@@ -104,7 +105,7 @@ impl Topology {
             });
         }
         let name = format!("{}<->{}", self.nodes[a.0].name, self.nodes[b.0].name);
-        self.edges.push(Edge { a, b, bandwidth, name });
+        self.edges.push(Edge { a, b, bandwidth, name, failed: false });
         let id = EdgeId(self.edges.len() - 1);
         self.adjacency[a.0].push((b, id));
         self.adjacency[b.0].push((a, id));
@@ -140,6 +141,54 @@ impl Topology {
     pub fn edge_endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
         let e = &self.edges[edge.0];
         (e.a, e.b)
+    }
+
+    /// Degrades an edge to `factor` of its current bandwidth (a flaky or
+    /// retrained PCIe link running at a lower rate). Returns the new
+    /// bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::InvalidEdge`] for an unknown edge or a factor
+    /// outside `(0, 1]`.
+    pub fn degrade_edge(&mut self, edge: EdgeId, factor: f64) -> Result<f64, FabricError> {
+        self.check_edge(edge)?;
+        if !(factor.is_finite() && factor > 0.0 && factor <= 1.0) {
+            return Err(FabricError::InvalidEdge {
+                message: format!("degradation factor must be in (0, 1], got {factor}"),
+            });
+        }
+        let e = &mut self.edges[edge.0];
+        e.bandwidth *= factor;
+        Ok(e.bandwidth)
+    }
+
+    /// Marks an edge as failed: routing refuses to cross it until
+    /// [`Topology::restore_edge`] brings it back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::InvalidEdge`] for an unknown edge.
+    pub fn fail_edge(&mut self, edge: EdgeId) -> Result<(), FabricError> {
+        self.check_edge(edge)?;
+        self.edges[edge.0].failed = true;
+        Ok(())
+    }
+
+    /// Restores a failed edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::InvalidEdge`] for an unknown edge.
+    pub fn restore_edge(&mut self, edge: EdgeId) -> Result<(), FabricError> {
+        self.check_edge(edge)?;
+        self.edges[edge.0].failed = false;
+        Ok(())
+    }
+
+    /// Whether an edge is currently failed.
+    pub fn edge_is_failed(&self, edge: EdgeId) -> bool {
+        self.edges.get(edge.0).is_some_and(|e| e.failed)
     }
 
     /// The edge directly connecting two nodes, if one exists (the first such
@@ -182,7 +231,7 @@ impl Topology {
                 break;
             }
             for &(next, edge) in &self.adjacency[cur.0] {
-                if !visited[next.0] {
+                if !visited[next.0] && !self.edges[edge.index()].failed {
                     visited[next.0] = true;
                     prev[next.0] = Some((cur, edge));
                     queue.push_back(next);
@@ -190,6 +239,11 @@ impl Topology {
             }
         }
         if !visited[to.0] {
+            // Distinguish a genuinely disconnected pair from one that is only
+            // unreachable because links are down.
+            if self.reachable_ignoring_failures(from, to) {
+                return Err(FabricError::Partitioned { from: from.0, to: to.0 });
+            }
             return Err(FabricError::NoRoute { from: from.0, to: to.0 });
         }
         let mut path = Vec::new();
@@ -230,6 +284,34 @@ impl Topology {
         } else {
             Err(FabricError::UnknownNode { index: node.0 })
         }
+    }
+
+    fn check_edge(&self, edge: EdgeId) -> Result<(), FabricError> {
+        if edge.0 < self.edges.len() {
+            Ok(())
+        } else {
+            Err(FabricError::InvalidEdge { message: format!("unknown edge id {}", edge.0) })
+        }
+    }
+
+    /// BFS reachability over the *healthy* graph (failed edges included).
+    fn reachable_ignoring_failures(&self, from: NodeId, to: NodeId) -> bool {
+        let mut visited = vec![false; self.nodes.len()];
+        let mut queue = VecDeque::new();
+        visited[from.0] = true;
+        queue.push_back(from);
+        while let Some(cur) = queue.pop_front() {
+            if cur == to {
+                return true;
+            }
+            for &(next, _) in &self.adjacency[cur.0] {
+                if !visited[next.0] {
+                    visited[next.0] = true;
+                    queue.push_back(next);
+                }
+            }
+        }
+        false
     }
 }
 
@@ -346,6 +428,42 @@ mod tests {
             t.connect(a, NodeId(77), 1.0),
             Err(FabricError::UnknownNode { index: 77 })
         ));
+    }
+
+    #[test]
+    fn degraded_edges_lose_bandwidth_but_keep_routing() {
+        let (mut t, a, b, c) = line_topology();
+        let ab = t.edge_between(a, b).unwrap();
+        let new_bw = t.degrade_edge(ab, 0.25).unwrap();
+        assert_eq!(new_bw, 2.5);
+        assert_eq!(t.edge_bandwidth(ab), 2.5);
+        assert_eq!(t.route(a, c).unwrap().len(), 2);
+        // Invalid factors and unknown edges are rejected.
+        assert!(matches!(t.degrade_edge(ab, 0.0), Err(FabricError::InvalidEdge { .. })));
+        assert!(matches!(t.degrade_edge(ab, 1.5), Err(FabricError::InvalidEdge { .. })));
+        assert!(matches!(t.degrade_edge(EdgeId(99), 0.5), Err(FabricError::InvalidEdge { .. })));
+    }
+
+    #[test]
+    fn failed_links_partition_the_fabric_until_restored() {
+        let (mut t, a, b, c) = line_topology();
+        let bc = t.edge_between(b, c).unwrap();
+        t.fail_edge(bc).unwrap();
+        assert!(t.edge_is_failed(bc));
+        // a<->b still routes; a<->c is partitioned (not "no route": the
+        // healthy fabric connects them).
+        assert!(t.route(a, b).is_ok());
+        assert_eq!(t.route(a, c), Err(FabricError::Partitioned { from: 0, to: 2 }));
+        t.restore_edge(bc).unwrap();
+        assert!(!t.edge_is_failed(bc));
+        assert_eq!(t.route(a, c).unwrap().len(), 2);
+        // A pair with no physical connection still reports NoRoute.
+        let mut t2 = Topology::new();
+        let x = t2.add_node("x", NodeKind::Host);
+        let y = t2.add_node("y", NodeKind::SsdPort);
+        assert_eq!(t2.route(x, y), Err(FabricError::NoRoute { from: 0, to: 1 }));
+        assert!(matches!(t2.fail_edge(EdgeId(0)), Err(FabricError::InvalidEdge { .. })));
+        assert!(!t2.edge_is_failed(EdgeId(0)));
     }
 
     #[test]

@@ -88,6 +88,17 @@ impl ErrorFeedback {
     pub fn reset(&mut self) {
         self.residual.fill(0.0);
     }
+
+    /// Overwrites the residual with checkpointed values, so a restored
+    /// trainer continues with exactly the error-feedback state it saved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `residual.len()` differs from this feedback's length.
+    pub fn restore_residual(&mut self, residual: &FlatTensor) {
+        assert_eq!(residual.len(), self.residual.len(), "residual length mismatch");
+        self.residual.as_mut_slice().copy_from_slice(residual.as_slice());
+    }
 }
 
 #[cfg(test)]
@@ -95,6 +106,24 @@ mod tests {
     use super::*;
     use crate::compressor::Compressor;
     use proptest::prelude::*;
+
+    #[test]
+    fn restore_residual_round_trips_through_a_saved_copy() {
+        let mut fb = ErrorFeedback::new(3);
+        fb.restore_residual(&FlatTensor::from_vec(vec![0.5, -1.5, 2.0]));
+        assert_eq!(fb.residual().as_slice(), &[0.5, -1.5, 2.0]);
+        let saved = fb.residual().clone();
+        fb.reset();
+        assert_eq!(fb.residual().as_slice(), &[0.0, 0.0, 0.0]);
+        fb.restore_residual(&saved);
+        assert_eq!(fb.residual().as_slice(), &[0.5, -1.5, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "residual length mismatch")]
+    fn restore_residual_rejects_wrong_lengths() {
+        ErrorFeedback::new(3).restore_residual(&FlatTensor::zeros(2));
+    }
 
     #[test]
     fn residual_holds_exactly_the_untransmitted_part() {

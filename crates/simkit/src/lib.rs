@@ -49,7 +49,7 @@ mod timeline;
 pub use engine::Simulation;
 pub use error::SimError;
 pub use task::{ComputeSpec, DelaySpec, FlowSpec, LinkId, PhaseId, ResourceId, TaskId, TaskKind};
-pub use timeline::{PhaseBreakdown, TaskRecord, Timeline};
+pub use timeline::{FaultAnnotation, PhaseBreakdown, TaskRecord, Timeline};
 
 /// Convenience constant: one gigabyte in bytes.
 pub const GIB: f64 = 1024.0 * 1024.0 * 1024.0;

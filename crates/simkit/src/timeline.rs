@@ -67,6 +67,21 @@ impl PhaseBreakdown {
     }
 }
 
+/// A fault-model annotation attached to a timeline: a condition that degraded
+/// the timing of the run (a straggling device, a derated link). Engines that
+/// model faults record them here so reports can explain *why* a degraded
+/// run's makespan moved without re-deriving the fault plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultAnnotation {
+    /// Virtual time at which the effect became active (0 for whole-run
+    /// effects).
+    pub time: f64,
+    /// The affected site, e.g. `csd3` or `host-uplink`.
+    pub site: String,
+    /// Human-readable description of the degradation.
+    pub detail: String,
+}
+
 /// Sorts intervals by start time and returns the measure of their union
 /// (overlapping intervals are not double counted).
 fn union_measure(mut intervals: Vec<(f64, f64)>) -> f64 {
@@ -101,6 +116,8 @@ pub struct Timeline {
     /// For every link of the simulation, the flow tasks that crossed it
     /// (the basis of the per-link occupancy queries).
     link_tasks: Vec<Vec<TaskId>>,
+    /// Fault-model degradations that were active during the run.
+    fault_annotations: Vec<FaultAnnotation>,
 }
 
 impl Timeline {
@@ -110,7 +127,29 @@ impl Timeline {
         phase_names: Vec<String>,
         link_tasks: Vec<Vec<TaskId>>,
     ) -> Self {
-        Self { records, makespan, phase_names, link_tasks }
+        Self { records, makespan, phase_names, link_tasks, fault_annotations: Vec::new() }
+    }
+
+    /// Records a fault-model degradation that was active during this run.
+    /// Engines call this after `run()` so downstream reports can tell a
+    /// degraded timeline from a healthy one.
+    pub fn annotate_fault(
+        &mut self,
+        time: f64,
+        site: impl Into<String>,
+        detail: impl Into<String>,
+    ) {
+        self.fault_annotations.push(FaultAnnotation {
+            time,
+            site: site.into(),
+            detail: detail.into(),
+        });
+    }
+
+    /// The fault-model degradations recorded for this run (empty for a
+    /// fault-free simulation).
+    pub fn fault_annotations(&self) -> &[FaultAnnotation] {
+        &self.fault_annotations
     }
 
     /// Virtual time at which the task started.
@@ -290,6 +329,19 @@ mod tests {
         // A cutoff before any work reports zero.
         assert_eq!(tl.phase_busy_time_before(update, 1.0), 0.0);
         assert_eq!(tl.phase_busy_time_before(PhaseId(5), 9.0), 0.0);
+    }
+
+    #[test]
+    fn fault_annotations_attach_and_survive_serialization() {
+        let mut tl = Timeline::new(vec![rec(0.0, 1.0, None)], 1.0, vec![], Vec::new());
+        assert!(tl.fault_annotations().is_empty());
+        tl.annotate_fault(0.0, "csd2", "straggler: compute x3.0 slower");
+        tl.annotate_fault(0.0, "host-uplink", "bandwidth derated to 50%");
+        assert_eq!(tl.fault_annotations().len(), 2);
+        assert_eq!(tl.fault_annotations()[0].site, "csd2");
+        let json = serde_json::to_string(&tl).unwrap();
+        let back: Timeline = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.fault_annotations(), tl.fault_annotations());
     }
 
     #[test]

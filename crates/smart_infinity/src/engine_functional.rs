@@ -2,12 +2,14 @@
 //! updated parameters.
 
 use csd::{CsdDevice, CsdError, CsdTrafficStats, SubgroupUpdate};
+use faultkit::FaultPlan;
 use gradcomp::{CompressedGradient, Compressor, ErrorFeedback};
 use optim::Optimizer;
 use parcore::ParExecutor;
 use tensorlib::{Chunker, Dtype, FlatTensor, Partitioner};
 use ztrain::{
-    aggregate_csd_stats, init_csd_shards, reassemble_master_params, StepReport, TrainError, Trainer,
+    aggregate_csd_stats, bits_to_tensor, init_csd_shards, reassemble_master_params, recover,
+    tensor_to_bits, DegradedReport, StepReport, TrainError, Trainer, TrainerCheckpoint,
 };
 
 /// A functional Smart-Infinity trainer.
@@ -34,6 +36,7 @@ pub struct SmartInfinityTrainer {
     pool: ParExecutor,
     shard_scratch: FlatTensor,
     step: u64,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl SmartInfinityTrainer {
@@ -70,7 +73,44 @@ impl SmartInfinityTrainer {
             pool: ParExecutor::serial(),
             shard_scratch: FlatTensor::default(),
             step: 0,
+            fault_plan: None,
         })
+    }
+
+    /// Installs a fault plan: deterministic per-device injectors and a
+    /// device-internal retry budget on every CSD, plus scheduled wear-out /
+    /// dropout. An empty plan is a no-op, so the fault-free path stays
+    /// bit-identical.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        if !plan.is_empty() {
+            for (i, csd) in self.csds.iter_mut().enumerate() {
+                csd.set_fault_injector(plan.injector(i as u64));
+                csd.set_retry_budget(plan.max_retries());
+            }
+            self.fault_plan = Some(plan);
+        }
+        self
+    }
+
+    fn max_retries(&self) -> u32 {
+        self.fault_plan.as_ref().map_or(0, FaultPlan::max_retries)
+    }
+
+    /// Fires scheduled wear-out / dropout at the start of their planned step.
+    fn trigger_scheduled_faults(&mut self) {
+        if let Some(plan) = &self.fault_plan {
+            if plan.wearout_step() == Some(self.step) {
+                if let Some(d) = plan.wearout_device(self.csds.len()) {
+                    self.csds[d].inject_ssd_wearout();
+                }
+            }
+            if plan.dropout_step() == Some(self.step) {
+                if let Some(d) = plan.dropout_device(self.csds.len()) {
+                    self.csds[d].inject_dropout();
+                }
+            }
+        }
     }
 
     /// Enables SmartComp: gradients are Top-K compressed (with error feedback)
@@ -167,6 +207,12 @@ impl SmartInfinityTrainer {
         let mut gradient_bytes = 0u64;
         let mut kept = 0u64;
         self.step += 1;
+        self.trigger_scheduled_faults();
+        let max_retries = self.max_retries();
+        let optimizer = self.optimizer;
+        let step = self.step;
+        let subgroup_elems = self.subgroup_elems;
+        let mut deg = DegradedReport::default();
         let shards: Vec<_> = self.partitioner.shards().to_vec();
         for shard in shards {
             if shard.len == 0 {
@@ -198,26 +244,44 @@ impl SmartInfinityTrainer {
                 }
             }
             let csd = &mut self.csds[shard.device];
+            let scratch = &self.shard_scratch;
             if compressed.is_none() {
-                // Dense gradients land on the owner CSD's SSD (backward offload).
-                csd.store_gradients("shard", &self.shard_scratch)?;
+                // Dense gradients land on the owner CSD's SSD (backward
+                // offload). Whole-region writes are idempotent, so the
+                // recovery wrapper may retry (or rebuild-then-retry) freely.
+                recover(max_retries, &mut deg, csd, CsdDevice::rebuild, |csd| {
+                    csd.store_gradients("shard", scratch)
+                })?;
             }
-            // SmartUpdate: subgroup-by-subgroup near-storage update.
-            for subgroup in Chunker::new(shard.len, self.subgroup_elems).subgroups() {
-                csd.update_subgroup(SubgroupUpdate {
-                    shard: "shard",
-                    offset: subgroup.offset,
-                    len: subgroup.len,
-                    optimizer: self.optimizer,
-                    step: self.step,
-                    compressed: compressed.as_ref(),
+            // SmartUpdate: subgroup-by-subgroup near-storage update. Transient
+            // faults are cleared *inside* the device (a half-written subgroup
+            // must never be recomputed from already-updated state); the
+            // wrapper here only handles dead devices, whose first failing
+            // operation precedes any write-back.
+            for subgroup in Chunker::new(shard.len, subgroup_elems).subgroups() {
+                recover(max_retries, &mut deg, csd, CsdDevice::rebuild, |csd| {
+                    csd.update_subgroup(SubgroupUpdate {
+                        shard: "shard",
+                        offset: subgroup.offset,
+                        len: subgroup.len,
+                        optimizer,
+                        step,
+                        compressed: compressed.as_ref(),
+                    })
                 })?;
             }
             // Upstream: the refreshed FP16 working copy returns to host
             // memory, rounded directly into the working-copy buffer.
-            let updated = csd.load_parameters("shard", 0, shard.len)?;
+            let updated = recover(max_retries, &mut deg, csd, CsdDevice::rebuild, |csd| {
+                csd.load_parameters("shard", 0, shard.len)
+            })?;
             let dst = &mut self.params_fp16.as_mut_slice()[shard.offset..shard.offset + shard.len];
             updated.roundtrip_f16_into(dst);
+            // Fold the device-internal transient retries into the report.
+            let (retries, backoff_ms) = csd.take_fault_events();
+            deg.transient_faults += retries;
+            deg.retries += retries;
+            deg.backoff_ms += backoff_ms;
         }
         let stats = self.aggregate_stats();
         Ok(StepReport {
@@ -229,6 +293,7 @@ impl SmartInfinityTrainer {
             threads: self.pool.num_threads(),
             kernel_path: tensorlib::KernelPath::active(),
             stages: None,
+            degraded: deg.into_option(),
         })
     }
 
@@ -262,6 +327,94 @@ impl Trainer for SmartInfinityTrainer {
 
     fn steps_completed(&self) -> u64 {
         self.step
+    }
+
+    fn checkpoint(&mut self) -> Result<TrainerCheckpoint, TrainError> {
+        let retries = self.max_retries();
+        let num_aux = self.optimizer.kind().num_aux();
+        let n = self.num_params();
+        let mut master_bits = Vec::with_capacity(n);
+        let mut aux_bits = vec![Vec::with_capacity(n); num_aux];
+        let mut deg = DegradedReport::default();
+        for (csd, shard) in self.csds.iter_mut().zip(self.partitioner.shards()) {
+            if shard.len == 0 {
+                continue;
+            }
+            // Checkpoint reads are maintenance traffic: injection is
+            // suspended so they cannot perturb the deterministic fault
+            // stream of the training ops. Dead devices are still rebuilt.
+            csd.suspend_faults(true);
+            let result = (|| -> Result<(), TrainError> {
+                let t = recover(retries, &mut deg, csd, CsdDevice::rebuild, |csd| {
+                    csd.load_parameters("shard", 0, shard.len)
+                })?;
+                master_bits.extend(tensor_to_bits(&t));
+                for (a, bits) in aux_bits.iter_mut().enumerate() {
+                    let t = recover(retries, &mut deg, csd, CsdDevice::rebuild, |csd| {
+                        csd.load_optimizer_state("shard", a, 0, shard.len)
+                    })?;
+                    bits.extend(tensor_to_bits(&t));
+                }
+                Ok(())
+            })();
+            csd.suspend_faults(false);
+            result?;
+        }
+        let residual_bits = if self.compressor.is_some() {
+            let mut bits = Vec::with_capacity(n);
+            for feedback in &self.feedback {
+                bits.extend(tensor_to_bits(feedback.residual()));
+            }
+            bits
+        } else {
+            Vec::new()
+        };
+        Ok(TrainerCheckpoint {
+            step: self.step,
+            num_params: n as u64,
+            master_bits,
+            aux_bits,
+            residual_bits,
+        })
+    }
+
+    fn restore(&mut self, checkpoint: &TrainerCheckpoint) -> Result<(), TrainError> {
+        checkpoint.check_matches(self.num_params(), self.optimizer.kind().num_aux())?;
+        if self.compressor.is_some() == checkpoint.residual_bits.is_empty() {
+            return Err(TrainError::config(if self.compressor.is_some() {
+                "checkpoint has no error-feedback residuals but compression is enabled"
+            } else {
+                "checkpoint carries error-feedback residuals but compression is disabled"
+            }));
+        }
+        let master = bits_to_tensor(&checkpoint.master_bits);
+        let optimizer = self.optimizer;
+        for (csd, shard) in self.csds.iter_mut().zip(self.partitioner.shards()) {
+            if shard.len == 0 {
+                continue;
+            }
+            csd.suspend_faults(true);
+            let result = (|| -> Result<(), TrainError> {
+                let shard_params = master.slice(shard.offset, shard.len);
+                csd.store_initial_state("shard", &shard_params, &optimizer)?;
+                for (a, bits) in checkpoint.aux_bits.iter().enumerate() {
+                    let aux = bits_to_tensor(&bits[shard.offset..shard.offset + shard.len]);
+                    csd.store_optimizer_state("shard", a, &aux)?;
+                }
+                Ok(())
+            })();
+            csd.suspend_faults(false);
+            result?;
+            if !checkpoint.residual_bits.is_empty() {
+                let residual = bits_to_tensor(
+                    &checkpoint.residual_bits[shard.offset..shard.offset + shard.len],
+                );
+                self.feedback[shard.device].restore_residual(&residual);
+            }
+        }
+        self.params_fp16 = FlatTensor::from_bytes(&master.to_bytes(Dtype::F16), Dtype::F16);
+        self.step = checkpoint.step;
+        Ok(())
     }
 }
 
@@ -388,6 +541,82 @@ mod tests {
                 assert_eq!(fp16.as_slice(), serial_fp16.as_slice(), "{keep:?} t={threads}");
             }
         }
+    }
+
+    #[test]
+    fn injected_faults_are_recovered_and_do_not_change_the_numbers() {
+        let n = 3000;
+        let optimizer = Optimizer::adam_default();
+        let initial = FlatTensor::randn(n, 0.05, 31);
+        let plan = || {
+            let mut spec = faultkit::FaultSpec::empty(17);
+            spec.transient_per_mille = Some(250);
+            spec.ssd_wearout_step = Some(1);
+            spec.csd_dropout_step = Some(2);
+            FaultPlan::new(spec)
+        };
+        let mut clean = SmartInfinityTrainer::new(&initial, optimizer, 3, 500).unwrap();
+        let mut faulted =
+            SmartInfinityTrainer::new(&initial, optimizer, 3, 500).unwrap().with_fault_plan(plan());
+        let mut deg = DegradedReport::default();
+        for step in 0..4u64 {
+            let grads = FlatTensor::randn(n, 0.01, 200 + step);
+            clean.train_step_with_grads(&grads).unwrap();
+            let report = faulted.train_step_with_grads(&grads).unwrap();
+            if let Some(d) = &report.degraded {
+                deg.absorb(d);
+            }
+        }
+        assert!(deg.transient_faults > 0, "250‰ must fire at least once");
+        assert_eq!(deg.devices_rebuilt, 2, "one wear-out plus one dropout");
+        assert!(deg.rebuild_bytes > 0);
+        assert_eq!(
+            clean.master_params().unwrap().as_slice(),
+            faulted.master_params().unwrap().as_slice(),
+            "recovery must be numerically invisible"
+        );
+        assert_eq!(clean.params_fp16().as_slice(), faulted.params_fp16().as_slice());
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        let n = 2000;
+        let optimizer = Optimizer::adam_default();
+        let initial = FlatTensor::randn(n, 0.05, 61);
+        let source = |seed| SyntheticGradients::new(n, 0.01, seed);
+
+        // Straight run: 5 steps.
+        let mut straight =
+            SmartInfinityTrainer::new(&initial, optimizer, 3, 400).unwrap().with_compression(0.1);
+        let mut src = source(71);
+        for _ in 0..5 {
+            straight.train_step(&mut src).unwrap();
+        }
+
+        // Interrupted run: 2 steps, checkpoint (through JSON, the on-disk
+        // form), restore into a fresh trainer, 3 more steps.
+        let mut first =
+            SmartInfinityTrainer::new(&initial, optimizer, 3, 400).unwrap().with_compression(0.1);
+        let mut src = source(71);
+        for _ in 0..2 {
+            first.train_step(&mut src).unwrap();
+        }
+        let checkpoint = Trainer::checkpoint(&mut first).unwrap();
+        assert!(!checkpoint.residual_bits.is_empty(), "compression saves its residuals");
+        let json = checkpoint.to_json().unwrap();
+        let reloaded = TrainerCheckpoint::from_json(&json).unwrap();
+        let mut resumed =
+            SmartInfinityTrainer::new(&initial, optimizer, 3, 400).unwrap().with_compression(0.1);
+        Trainer::restore(&mut resumed, &reloaded).unwrap();
+        assert_eq!(resumed.steps_completed(), 2);
+        for _ in 0..3 {
+            resumed.train_step(&mut src).unwrap();
+        }
+        assert_eq!(
+            resumed.master_params().unwrap().as_slice(),
+            straight.master_params().unwrap().as_slice()
+        );
+        assert_eq!(resumed.params_fp16().as_slice(), straight.params_fp16().as_slice());
     }
 
     #[test]

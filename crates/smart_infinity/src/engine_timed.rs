@@ -69,6 +69,8 @@ pub struct SmartInfinityEngine {
     /// update chain starts as soon as *its own* shard gradients have landed,
     /// instead of waiting for the global end-of-backward barrier.
     pipelined: bool,
+    /// Active fault-plan effects: a straggler FPGA and/or a derated uplink.
+    fault_effects: Option<faultkit::TimedFaultEffects>,
 }
 
 impl SmartInfinityEngine {
@@ -97,7 +99,19 @@ impl SmartInfinityEngine {
             keep_ratio: None,
             subgroup_elems: Self::DEFAULT_SUBGROUP_ELEMS,
             pipelined: false,
+            fault_effects: None,
         }
+    }
+
+    /// Applies a fault plan's timed effects: the straggler device's FPGA
+    /// kernels run slower and/or the shared host uplink is derated. Empty
+    /// effects are a no-op, so the fault-free timing is untouched.
+    #[must_use]
+    pub fn with_fault_effects(mut self, effects: faultkit::TimedFaultEffects) -> Self {
+        if !effects.is_empty() {
+            self.fault_effects = Some(effects);
+        }
+        self
     }
 
     /// Selects the handler mode (naive corresponds to the paper's plain "SU").
@@ -203,7 +217,7 @@ impl SmartInfinityEngine {
     ///
     /// Propagates [`SimError`] from the simulation kernel.
     pub fn simulate_iteration_stages(&self) -> Result<PipelineTiming, SimError> {
-        let mut plat = TimedPlatform::new(&self.machine);
+        let mut plat = TimedPlatform::new_with_faults(&self.machine, self.fault_effects.as_ref());
         let fw_phase = plat.add_phase("forward");
         let bw_phase = plat.add_phase("backward+grad_offload");
         let up_phase = plat.add_phase("update+opt_transfer");

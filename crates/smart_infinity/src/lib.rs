@@ -89,7 +89,7 @@ mod session;
 mod spec;
 mod traffic;
 
-pub use campaign::{Campaign, CampaignReport, RunReport};
+pub use campaign::{Campaign, CampaignCheckpoint, CampaignProgress, CampaignReport, RunReport};
 pub use engine_functional::SmartInfinityTrainer;
 pub use engine_timed::{HandlerMode, PipelineTiming, SmartInfinityEngine};
 pub use experiment::{Experiment, Method, MethodReport};
@@ -108,9 +108,15 @@ pub use llm::{CostModel, GpuSpec, ModelConfig, Workload};
 pub use optim::{HyperParams, Optimizer, OptimizerKind};
 pub use tensorlib::FlatTensor;
 pub use ztrain::{
-    BaselineEngine, GradientSource, IterationReport, MachineConfig, PipelinedTrainer, StageReport,
-    StepReport, StorageOffloadTrainer, SyntheticGradients, TrainError, Trainer,
+    BaselineEngine, DegradedReport, GradientSource, IterationReport, MachineConfig,
+    PipelinedTrainer, StageReport, StepReport, StorageOffloadTrainer, SyntheticGradients,
+    TrainError, Trainer, TrainerCheckpoint,
 };
+
+// The fault-injection axis: specs carry a [`faultkit::FaultSpec`], sessions
+// turn it into per-device injectors and timed effects.
+pub use faultkit::{FaultPlan, FaultSpec, TimedFaultEffects};
+pub use simkit::FaultAnnotation;
 
 #[cfg(test)]
 mod tests {

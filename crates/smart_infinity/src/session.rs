@@ -26,11 +26,13 @@ use crate::experiment::Experiment;
 use crate::spec::MethodSpec;
 use crate::SmartInfinityTrainer;
 use fabric::StorageKind;
+use faultkit::{FaultPlan, FaultSpec, TimedFaultEffects};
 use llm::{ModelConfig, Workload};
 use optim::Optimizer;
 use tensorlib::FlatTensor;
 use ztrain::{
-    IterationReport, MachineConfig, PipelinedTrainer, StorageOffloadTrainer, TrainError, Trainer,
+    BaselineEngine, IterationReport, MachineConfig, PipelinedTrainer, StorageOffloadTrainer,
+    TrainError, Trainer,
 };
 
 /// Builder for a [`Session`]; see [`Session::builder`].
@@ -44,6 +46,7 @@ pub struct SessionBuilder {
     handler: Option<HandlerMode>,
     subgroup_elems: Option<usize>,
     workload: Option<Workload>,
+    faults: Option<FaultSpec>,
 }
 
 impl SessionBuilder {
@@ -93,6 +96,17 @@ impl SessionBuilder {
         self
     }
 
+    /// Installs a seeded fault-injection plan: the functional trainers get
+    /// per-device injectors with bounded-retry recovery, and the timed view
+    /// applies the plan's straggler / uplink degradation. An empty spec is a
+    /// no-op — the run stays byte-identical to a fault-free one. The spec is
+    /// validated (like every other knob) when the session builds a trainer or
+    /// simulates an iteration.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Finalises the session.
     pub fn build(self) -> Session {
         let SessionBuilder {
@@ -104,9 +118,20 @@ impl SessionBuilder {
             handler,
             subgroup_elems,
             workload,
+            faults,
         } = self;
         let workload = workload.unwrap_or_else(|| Workload::paper_default(model.clone()));
-        Session { model, machine, method, optimizer, threads, handler, subgroup_elems, workload }
+        Session {
+            model,
+            machine,
+            method,
+            optimizer,
+            threads,
+            handler,
+            subgroup_elems,
+            workload,
+            faults,
+        }
     }
 }
 
@@ -122,6 +147,7 @@ pub struct Session {
     handler: Option<HandlerMode>,
     subgroup_elems: Option<usize>,
     workload: Workload,
+    faults: Option<FaultSpec>,
 }
 
 impl Session {
@@ -141,6 +167,7 @@ impl Session {
             handler: None,
             subgroup_elems: None,
             workload: None,
+            faults: None,
         }
     }
 
@@ -179,7 +206,22 @@ impl Session {
         if self.subgroup_elems == Some(0) {
             return Err(TrainError::config("subgroup capacity must be positive"));
         }
+        if let Some(faults) = &self.faults {
+            faults.validate().map_err(TrainError::config)?;
+        }
         self.method.validate()
+    }
+
+    /// The fault plan this session injects, if a non-empty spec is installed.
+    fn fault_plan(&self) -> Option<FaultPlan> {
+        self.faults.as_ref().filter(|spec| !spec.is_empty()).map(|s| FaultPlan::new(s.clone()))
+    }
+
+    /// The timed-model side of the fault plan (straggler, uplink derating).
+    fn timed_fault_effects(&self) -> Option<TimedFaultEffects> {
+        self.fault_plan()
+            .map(|plan| plan.timed_effects(self.machine.num_devices))
+            .filter(|effects| !effects.is_empty())
     }
 
     /// Builds the functional trainer this session's capability axes select:
@@ -213,9 +255,13 @@ impl Session {
         }
         let subgroup = self.functional_subgroup_elems(initial_params.len());
         let spec = &self.method;
+        let plan = self.fault_plan();
         if !spec.uses_csds() {
-            let trainer =
+            let mut trainer =
                 StorageOffloadTrainer::new(initial_params, self.optimizer, devices, subgroup)?;
+            if let Some(plan) = plan {
+                trainer = trainer.with_fault_plan(plan);
+            }
             return Ok(Box::new(trainer));
         }
         if spec.pipelined {
@@ -227,11 +273,17 @@ impl Session {
             if self.threads > 1 {
                 trainer = trainer.with_threads(self.threads);
             }
+            if let Some(plan) = plan {
+                trainer = trainer.with_fault_plan(plan);
+            }
             Ok(Box::new(trainer))
         } else {
             let mut trainer = self.smart_trainer(initial_params, devices, subgroup)?;
             if let Some(compression) = &spec.compression {
                 trainer = trainer.with_compressor(compression.compressor());
+            }
+            if let Some(plan) = plan {
+                trainer = trainer.with_fault_plan(plan);
             }
             Ok(Box::new(trainer))
         }
@@ -266,25 +318,40 @@ impl Session {
     /// simulation-kernel failure.
     pub fn simulate_iteration(&self) -> Result<IterationReport, TrainError> {
         self.validate()?;
-        match self.handler {
-            // No override (or a baseline run, which has no CSD handler):
-            // the spec's standard mapping through the experiment front-end.
-            None => self.experiment()?.run_spec(&self.method),
-            Some(_) if !self.method.uses_csds() => self.experiment()?.run_spec(&self.method),
-            // Handler override: build the timed engine from the spec, then
-            // replace the handler it implies (the ablation the knob is for).
-            Some(handler) => {
-                let machine = MachineConfig { storage: StorageKind::Csd, ..self.machine.clone() };
-                let mut engine =
-                    SmartInfinityEngine::new(machine, self.workload.clone(), self.optimizer.kind())
-                        .with_method_spec(&self.method)
-                        .with_handler(handler);
-                if let Some(elems) = self.subgroup_elems {
-                    engine = engine.with_subgroup_elems(elems);
-                }
-                Ok(engine.simulate_iteration()?)
-            }
+        let effects = self.timed_fault_effects();
+        let handler_override = self.handler.filter(|_| self.method.uses_csds());
+        // No fault effects and no handler override: the spec's standard
+        // mapping through the experiment front-end.
+        if effects.is_none() && handler_override.is_none() {
+            return self.experiment()?.run_spec(&self.method);
         }
+        if !self.method.uses_csds() {
+            // Baseline under a fault plan: no in-storage compute to slow, so
+            // only the uplink derating applies.
+            let machine = MachineConfig { storage: StorageKind::PlainSsd, ..self.machine.clone() };
+            let mut engine =
+                BaselineEngine::new(machine, self.workload.clone(), self.optimizer.kind());
+            if let Some(effects) = effects {
+                engine = engine.with_fault_effects(effects);
+            }
+            return Ok(engine.simulate_iteration()?);
+        }
+        // Build the timed engine from the spec, then apply the overrides: the
+        // ablation handler (if any) and the fault plan's timed effects.
+        let machine = MachineConfig { storage: StorageKind::Csd, ..self.machine.clone() };
+        let mut engine =
+            SmartInfinityEngine::new(machine, self.workload.clone(), self.optimizer.kind())
+                .with_method_spec(&self.method);
+        if let Some(handler) = handler_override {
+            engine = engine.with_handler(handler);
+        }
+        if let Some(elems) = self.subgroup_elems {
+            engine = engine.with_subgroup_elems(elems);
+        }
+        if let Some(effects) = effects {
+            engine = engine.with_fault_effects(effects);
+        }
+        Ok(engine.simulate_iteration()?)
     }
 
     /// The timed sweep view of this configuration: an [`Experiment`] with the
@@ -504,6 +571,112 @@ mod tests {
             b.build().simulate_iteration().expect("simulation").total_s()
         };
         assert!(comp(Some(HandlerMode::Naive)) > comp(None));
+    }
+
+    #[test]
+    fn empty_fault_specs_leave_every_view_untouched() {
+        let initial = FlatTensor::randn(900, 0.05, 11);
+        let grads = FlatTensor::randn(900, 0.01, 12);
+        for method in Method::ladder() {
+            let clean = session(method);
+            let faulted = Session::builder(
+                ModelConfig::gpt2_0_34b(),
+                MachineConfig::smart_infinity(3),
+                method,
+            )
+            .with_faults(FaultSpec::empty(42))
+            .build();
+            let mut a = clean.trainer(&initial).expect("trainer");
+            let mut b = faulted.trainer(&initial).expect("trainer");
+            let ra = a.step(&grads).expect("step");
+            let rb = b.step(&grads).expect("step");
+            assert_eq!(ra, rb, "an empty plan must not even show up in telemetry");
+            assert!(rb.degraded.is_none());
+            assert_eq!(a.params_fp16().as_slice(), b.params_fp16().as_slice());
+            assert_eq!(
+                clean.simulate_iteration().expect("timed"),
+                faulted.simulate_iteration().expect("timed"),
+            );
+        }
+    }
+
+    #[test]
+    fn fault_specs_are_validated_like_every_other_knob() {
+        let mut faults = FaultSpec::empty(1);
+        faults.transient_per_mille = Some(2000); // > 1000‰ is nonsense
+        let s = Session::builder(
+            ModelConfig::gpt2_0_34b(),
+            MachineConfig::smart_infinity(3),
+            Method::SmartUpdate,
+        )
+        .with_faults(faults)
+        .build();
+        let err = s.trainer(&FlatTensor::zeros(30)).expect_err("invalid fault spec");
+        assert!(matches!(err, TrainError::Config { .. }), "{err}");
+        let err = s.simulate_iteration().expect_err("invalid fault spec");
+        assert!(matches!(err, TrainError::Config { .. }), "{err}");
+    }
+
+    #[test]
+    fn transient_faults_are_recovered_without_changing_the_numbers() {
+        let initial = FlatTensor::randn(1_200, 0.05, 21);
+        let mut faults = FaultSpec::empty(7);
+        faults.transient_per_mille = Some(300);
+        for method in [
+            Method::Baseline,
+            Method::SmartUpdate,
+            Method::SmartInfinityPipelined { keep_ratio: Some(0.05) },
+        ] {
+            let mut clean = session(method).trainer(&initial).expect("trainer");
+            let mut faulted = Session::builder(
+                ModelConfig::gpt2_0_34b(),
+                MachineConfig::smart_infinity(3),
+                method,
+            )
+            .with_faults(faults.clone())
+            .build()
+            .trainer(&initial)
+            .expect("trainer");
+            let mut src_a = SyntheticGradients::new(1_200, 0.01, 23);
+            let mut src_b = SyntheticGradients::new(1_200, 0.01, 23);
+            let mut degraded_steps = 0;
+            for _ in 0..3 {
+                clean.step_from(&mut src_a).expect("step");
+                let report = faulted.step_from(&mut src_b).expect("faults must be absorbed");
+                degraded_steps += usize::from(report.degraded.is_some());
+            }
+            assert!(degraded_steps > 0, "at 300‰ some step must have seen a fault ({method})");
+            assert_eq!(
+                clean.master_params().expect("params").as_slice(),
+                faulted.master_params().expect("params").as_slice(),
+                "recovery must be numerically invisible ({method})"
+            );
+        }
+    }
+
+    #[test]
+    fn timed_fault_effects_slow_the_simulated_iteration() {
+        let mut faults = FaultSpec::empty(3);
+        faults.straggler_factor = Some(4.0);
+        faults.link_bandwidth_factor = Some(0.25);
+        for method in [Method::Baseline, Method::SmartComp { keep_ratio: 0.01 }] {
+            let clean = session(method).simulate_iteration().expect("timed");
+            let degraded = Session::builder(
+                ModelConfig::gpt2_0_34b(),
+                MachineConfig::smart_infinity(3),
+                method,
+            )
+            .with_faults(faults.clone())
+            .build()
+            .simulate_iteration()
+            .expect("timed");
+            assert!(
+                degraded.total_s() > clean.total_s(),
+                "{method}: degraded {} vs clean {}",
+                degraded.total_s(),
+                clean.total_s()
+            );
+        }
     }
 
     #[test]

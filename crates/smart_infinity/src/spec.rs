@@ -26,6 +26,7 @@
 use crate::engine_timed::HandlerMode;
 use crate::experiment::Method;
 use crate::session::Session;
+use faultkit::FaultSpec;
 use gradcomp::{Compressor, SelectionMethod};
 use llm::{ModelConfig, Workload};
 use optim::{HyperParams, Optimizer, OptimizerKind};
@@ -585,6 +586,10 @@ pub struct RunSpec {
     pub subgroup_elems: Option<usize>,
     /// Workload overrides (batch size, sequence length).
     pub workload: Option<WorkloadSpec>,
+    /// Seeded fault-injection plan: transient storage faults, scheduled
+    /// wear-out / dropout and timed straggler / uplink degradation. Omitted
+    /// (or empty) means the run is byte-identical to a fault-free run.
+    pub faults: Option<FaultSpec>,
 }
 
 impl RunSpec {
@@ -600,6 +605,7 @@ impl RunSpec {
             handler: None,
             subgroup_elems: None,
             workload: None,
+            faults: None,
         }
     }
 
@@ -639,6 +645,12 @@ impl RunSpec {
         self
     }
 
+    /// Installs a fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// The label campaign reports use: the explicit name, or
     /// `"<model> #SSD=<n> <method>"`.
     pub fn label(&self) -> String {
@@ -673,6 +685,9 @@ impl RunSpec {
         }
         if let Some(workload) = &self.workload {
             builder = builder.with_workload(workload.resolve(model)?);
+        }
+        if let Some(faults) = &self.faults {
+            builder = builder.with_faults(faults.clone());
         }
         let session = builder.build();
         session.validate()?;

@@ -1,5 +1,6 @@
 //! Error type for SSD operations.
 
+use faultkit::InjectedFault;
 use std::error::Error;
 use std::fmt;
 
@@ -35,6 +36,28 @@ pub enum SsdError {
     },
     /// The RAID array was configured with zero member devices.
     EmptyArray,
+    /// A fault plan injected a transient failure into this operation.
+    /// Transient faults heal under bounded retry (see `faultkit`).
+    Injected {
+        /// Device name.
+        device: String,
+        /// The injected fault.
+        fault: InjectedFault,
+    },
+    /// The device's flash has worn out: the media is read-only and every
+    /// write fails until the device is rebuilt onto a replacement.
+    WornOut {
+        /// Device name.
+        device: String,
+    },
+}
+
+impl SsdError {
+    /// Whether bounded retry can clear this error (only injected transient
+    /// faults heal on their own; everything else needs a different recovery).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SsdError::Injected { .. })
+    }
 }
 
 impl fmt::Display for SsdError {
@@ -53,11 +76,24 @@ impl fmt::Display for SsdError {
                 offset + len
             ),
             SsdError::EmptyArray => write!(f, "RAID array must contain at least one device"),
+            SsdError::Injected { device, fault } => {
+                write!(f, "transient fault on {device}: {fault}")
+            }
+            SsdError::WornOut { device } => {
+                write!(f, "device {device} has worn out (read-only media; rebuild required)")
+            }
         }
     }
 }
 
-impl Error for SsdError {}
+impl Error for SsdError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SsdError::Injected { fault, .. } => Some(fault),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -72,5 +108,24 @@ mod tests {
         let e = SsdError::OutOfBounds { region: "p".into(), offset: 4, len: 8, region_len: 6 };
         assert!(e.to_string().contains("out of bounds"));
         assert!(SsdError::EmptyArray.to_string().contains("at least one"));
+        let e = SsdError::WornOut { device: "ssd2".into() };
+        assert!(e.to_string().contains("worn out"));
+        assert!(!e.is_transient());
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn injected_faults_are_transient_and_chain_their_source() {
+        let fault = InjectedFault {
+            device: 3,
+            kind: faultkit::FaultOpKind::Write,
+            op_index: 12,
+            remaining: 1,
+        };
+        let e = SsdError::Injected { device: "ssd3".into(), fault };
+        assert!(e.is_transient());
+        assert!(e.to_string().contains("transient fault on ssd3"));
+        let source = e.source().expect("injected fault chains its source");
+        assert!(source.downcast_ref::<InjectedFault>().is_some());
     }
 }

@@ -17,6 +17,12 @@
 //!   so an SSD transfer is limited by both the PCIe path and the NAND media.
 //! * **RAID0**: [`RaidArray`] stripes a logical region across several
 //!   devices, reproducing the baseline's software-RAID configuration.
+//!
+//! Devices are fail-free unless a `faultkit` plan is installed: transient
+//! per-operation faults ([`SsdError::Injected`]), wear-out to read-only media
+//! ([`SsdError::WornOut`]) and RAID-style rebuild onto a replacement
+//! ([`SsdDevice::rebuild`], [`RaidArray::rebuild_member`]) model the failure
+//! scenarios the recovery policies in `ztrain` are tested against.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -9,6 +9,7 @@
 
 use crate::error::SsdError;
 use crate::store::SsdDevice;
+use faultkit::FaultPlan;
 
 /// A point-in-time snapshot of an array's cumulative byte counters.
 ///
@@ -82,6 +83,64 @@ impl RaidArray {
     /// Immutable access to the member devices.
     pub fn devices(&self) -> &[SsdDevice] {
         &self.devices
+    }
+
+    /// Installs a per-member transient-fault injector on every device, with
+    /// the plan's retry budget applied *per member operation*.
+    ///
+    /// Member-level retry matters because logical RAID operations stripe over
+    /// several devices: retrying the whole logical operation would replay
+    /// already-succeeded member ops at fresh op indices where new fault
+    /// bursts can fire, so a bounded outer budget could never be guaranteed
+    /// to converge. A single member op retried in place re-sees the same
+    /// deterministic decision, whose burst is validated to stay below the
+    /// budget.
+    pub fn install_fault_injectors(&mut self, plan: &FaultPlan) {
+        for (i, device) in self.devices.iter_mut().enumerate() {
+            device.set_fault_injector(plan.injector(i as u64));
+            device.set_retry_budget(plan.max_retries());
+        }
+    }
+
+    /// Drains the accumulated `(retries, modeled backoff ms)` every member
+    /// spent absorbing transient faults since the last call.
+    pub fn take_fault_events(&mut self) -> (u64, u64) {
+        self.devices
+            .iter_mut()
+            .map(SsdDevice::take_fault_events)
+            .fold((0, 0), |(retries, backoff), (r, b)| (retries + r, backoff + b))
+    }
+
+    /// Suspends (or resumes) transient-fault injection on every member — see
+    /// [`SsdDevice::suspend_faults`].
+    pub fn suspend_faults(&mut self, suspended: bool) {
+        for device in &mut self.devices {
+            device.suspend_faults(suspended);
+        }
+    }
+
+    /// Wears out member `index` (writes to it fail until it is rebuilt).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn inject_wearout(&mut self, index: usize) {
+        self.devices[index].inject_wearout();
+    }
+
+    /// The lowest-indexed worn-out member, if any.
+    pub fn worn_member(&self) -> Option<usize> {
+        self.devices.iter().position(SsdDevice::is_worn_out)
+    }
+
+    /// Rebuilds member `index` onto a replacement device, migrating its
+    /// regions and accounting the rebuild traffic. Returns the bytes moved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn rebuild_member(&mut self, index: usize) -> u64 {
+        self.devices[index].rebuild()
     }
 
     /// How many bytes of a `total`-byte logical region land on each device.
@@ -224,6 +283,42 @@ mod tests {
         let a = StorageCounters { bytes_read: 0, bytes_written: 0 };
         let b = StorageCounters { bytes_read: 8, bytes_written: 0 };
         let _ = a.delta_since(&b);
+    }
+
+    #[test]
+    fn worn_member_fails_writes_and_rebuild_restores_the_array() {
+        let mut raid = array(3, 8);
+        let data: Vec<u8> = (0..96u8).collect();
+        raid.write_region("r", &data).unwrap();
+        raid.inject_wearout(1);
+        assert_eq!(raid.worn_member(), Some(1));
+        // A striped write crosses the worn member and fails.
+        assert!(matches!(raid.write_region("r", &data), Err(SsdError::WornOut { .. })));
+        // Reads still reassemble (read-only media).
+        assert_eq!(raid.read_region("r").unwrap(), data);
+        let migrated = raid.rebuild_member(1);
+        assert_eq!(migrated, 32);
+        assert_eq!(raid.worn_member(), None);
+        raid.write_region("r", &data).unwrap();
+        assert_eq!(raid.read_region("r").unwrap(), data);
+    }
+
+    #[test]
+    fn fault_injectors_install_per_member_and_heal_inside_the_member() {
+        use faultkit::FaultSpec;
+        let mut raid = array(2, 8);
+        let plan =
+            FaultPlan::new(FaultSpec { transient_per_mille: Some(500), ..FaultSpec::empty(3) });
+        raid.install_fault_injectors(&plan);
+        // Member-level retry absorbs every transient: the striped logical
+        // operations all succeed, and the absorbed events are observable.
+        for i in 0..100 {
+            raid.write_region(&format!("r{i}"), &[0u8; 32]).unwrap();
+        }
+        let (retries, backoff) = raid.take_fault_events();
+        assert!(retries > 0, "injectors did not fire at 50%");
+        assert!(backoff >= 2 * retries, "exponential backoff starts at 2 ms");
+        assert_eq!(raid.take_fault_events(), (0, 0), "events drain on read");
     }
 
     #[test]

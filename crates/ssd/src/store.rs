@@ -1,6 +1,7 @@
 //! Functional SSD model: a named-region byte store with capacity accounting.
 
 use crate::error::SsdError;
+use faultkit::{FaultInjector, FaultOpKind};
 use std::collections::BTreeMap;
 
 /// A byte-accurate model of one NVMe SSD.
@@ -9,6 +10,12 @@ use std::collections::BTreeMap;
 /// tensor per parameter subgroup in the training engines). The device tracks
 /// used capacity and rejects writes that would exceed it, mirroring the
 /// pre-allocation the real system performs before training starts.
+///
+/// Devices are fail-free unless a fault plan opts in: an installed
+/// [`FaultInjector`] makes individual operations fail transiently
+/// ([`SsdError::Injected`]), and [`SsdDevice::inject_wearout`] turns the
+/// media read-only ([`SsdError::WornOut`] on writes) until
+/// [`SsdDevice::rebuild`] migrates it to a replacement.
 #[derive(Debug, Clone, Default)]
 pub struct SsdDevice {
     name: String,
@@ -18,6 +25,13 @@ pub struct SsdDevice {
     writes: u64,
     bytes_read: u64,
     bytes_written: u64,
+    fault: Option<FaultInjector>,
+    worn_out: bool,
+    rebuilds: u32,
+    faults_suspended: bool,
+    retry_budget: u32,
+    fault_retries: u64,
+    fault_backoff_ms: u64,
 }
 
 impl SsdDevice {
@@ -61,6 +75,113 @@ impl SsdDevice {
         self.bytes_written
     }
 
+    /// Installs a per-device transient-fault injector (from a fault plan).
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.fault = Some(injector);
+    }
+
+    /// Sets the device-internal retry budget for injected transient faults.
+    ///
+    /// With a positive budget the device retries a faulted operation in place
+    /// (accumulating modeled backoff) instead of surfacing the error. Retrying
+    /// at single-operation granularity is what makes recovery converge: a
+    /// multi-device caller (e.g. a striped RAID write) that retried the whole
+    /// logical operation would re-execute already-succeeded member ops at
+    /// fresh op indices, where new fault bursts can fire and exhaust any
+    /// outer budget.
+    pub fn set_retry_budget(&mut self, budget: u32) {
+        self.retry_budget = budget;
+    }
+
+    /// Drains the accumulated `(retries, modeled backoff ms)` spent absorbing
+    /// transient faults device-internally since the last call.
+    pub fn take_fault_events(&mut self) -> (u64, u64) {
+        (std::mem::take(&mut self.fault_retries), std::mem::take(&mut self.fault_backoff_ms))
+    }
+
+    /// Suspends (or resumes) transient-fault injection. While suspended, the
+    /// injector neither fires nor advances its operation stream — used by
+    /// checkpoint/restore, whose maintenance traffic must not perturb the
+    /// deterministic fault sequence of the training ops. Wear-out still
+    /// applies.
+    pub fn suspend_faults(&mut self, suspended: bool) {
+        self.faults_suspended = suspended;
+    }
+
+    /// Marks the flash as worn out: reads keep working, writes fail with
+    /// [`SsdError::WornOut`] until the device is [rebuilt](SsdDevice::rebuild).
+    pub fn inject_wearout(&mut self) {
+        self.worn_out = true;
+    }
+
+    /// Whether the media is currently worn out (read-only).
+    pub fn is_worn_out(&self) -> bool {
+        self.worn_out
+    }
+
+    /// How many times this device slot has been rebuilt onto a replacement.
+    pub fn rebuilds(&self) -> u32 {
+        self.rebuilds
+    }
+
+    /// Rebuilds the device onto a replacement: every region is read from the
+    /// still-readable old media and written to fresh flash (the RAID-style
+    /// rebuild traffic shows up in the byte counters), and the worn-out flag
+    /// clears. Returns the number of bytes migrated.
+    pub fn rebuild(&mut self) -> u64 {
+        let bytes = self.used_bytes();
+        let regions = self.regions.len() as u64;
+        self.reads += regions;
+        self.writes += regions;
+        self.bytes_read += bytes;
+        self.bytes_written += bytes;
+        self.worn_out = false;
+        self.rebuilds += 1;
+        bytes
+    }
+
+    /// Fault gate for write ops: permanent wear-out first, then any injected
+    /// transient fault.
+    fn check_write_faults(&mut self) -> Result<(), SsdError> {
+        if self.worn_out {
+            return Err(SsdError::WornOut { device: self.name.clone() });
+        }
+        if self.faults_suspended {
+            return Ok(());
+        }
+        self.check_injected(FaultOpKind::Write)
+    }
+
+    /// Fault gate for read ops (worn-out media still reads).
+    fn check_read_faults(&mut self) -> Result<(), SsdError> {
+        if self.faults_suspended {
+            return Ok(());
+        }
+        self.check_injected(FaultOpKind::Read)
+    }
+
+    /// Consults the injector, absorbing up to `retry_budget` consecutive
+    /// failures in place with exponentially growing modeled backoff.
+    fn check_injected(&mut self, kind: FaultOpKind) -> Result<(), SsdError> {
+        let budget = u64::from(self.retry_budget);
+        let Some(injector) = &mut self.fault else { return Ok(()) };
+        let mut retries = 0u64;
+        let mut backoff = 0u64;
+        let result = loop {
+            match injector.check(kind) {
+                Ok(()) => break Ok(()),
+                Err(fault) if retries >= budget => break Err(fault),
+                Err(_) => {
+                    retries += 1;
+                    backoff += 1u64 << retries.min(16);
+                }
+            }
+        };
+        self.fault_retries += retries;
+        self.fault_backoff_ms += backoff;
+        result.map_err(|fault| SsdError::Injected { device: self.name.clone(), fault })
+    }
+
     /// Whether the named region exists.
     pub fn has_region(&self, region: &str) -> bool {
         self.regions.contains_key(region)
@@ -81,6 +202,7 @@ impl SsdDevice {
         region: impl Into<String>,
         data: Vec<u8>,
     ) -> Result<(), SsdError> {
+        self.check_write_faults()?;
         let region = region.into();
         let existing = self.regions.get(&region).map_or(0, |v| v.len() as u64);
         let new_used = self.used_bytes() - existing + data.len() as u64;
@@ -103,6 +225,7 @@ impl SsdDevice {
     ///
     /// Returns [`SsdError::UnknownRegion`] or [`SsdError::OutOfBounds`].
     pub fn write_at(&mut self, region: &str, offset: usize, data: &[u8]) -> Result<(), SsdError> {
+        self.check_write_faults()?;
         let buf = self.regions.get_mut(region).ok_or_else(|| SsdError::UnknownRegion {
             device: self.name.clone(),
             region: region.to_string(),
@@ -127,6 +250,7 @@ impl SsdDevice {
     ///
     /// Returns [`SsdError::UnknownRegion`] if the region does not exist.
     pub fn read_region(&mut self, region: &str) -> Result<Vec<u8>, SsdError> {
+        self.check_read_faults()?;
         let data = self.regions.get(region).ok_or_else(|| SsdError::UnknownRegion {
             device: self.name.clone(),
             region: region.to_string(),
@@ -167,6 +291,7 @@ impl SsdDevice {
         len: usize,
         out: &mut Vec<u8>,
     ) -> Result<(), SsdError> {
+        self.check_read_faults()?;
         let data = self.regions.get(region).ok_or_else(|| SsdError::UnknownRegion {
             device: self.name.clone(),
             region: region.to_string(),
@@ -266,6 +391,90 @@ mod tests {
         assert!(!ssd.delete_region("a"));
         assert_eq!(ssd.used_bytes(), 0);
         ssd.write_region("b", vec![0; 10]).unwrap();
+    }
+
+    #[test]
+    fn wearout_makes_writes_fail_until_rebuild() {
+        let mut ssd = SsdDevice::new("ssd0", 1024);
+        ssd.write_region("a", vec![7; 100]).unwrap();
+        ssd.inject_wearout();
+        assert!(ssd.is_worn_out());
+        // Reads keep working (read-only media), writes fail.
+        assert_eq!(ssd.read_region("a").unwrap(), vec![7; 100]);
+        assert!(matches!(ssd.write_region("b", vec![0; 4]), Err(SsdError::WornOut { .. })));
+        assert!(matches!(ssd.write_at("a", 0, &[1]), Err(SsdError::WornOut { .. })));
+        let before = (ssd.bytes_read(), ssd.bytes_written());
+        let migrated = ssd.rebuild();
+        assert_eq!(migrated, 100);
+        assert!(!ssd.is_worn_out());
+        assert_eq!(ssd.rebuilds(), 1);
+        // Rebuild traffic shows up in both directions.
+        assert_eq!(ssd.bytes_read(), before.0 + 100);
+        assert_eq!(ssd.bytes_written(), before.1 + 100);
+        // Data survives and writes work again.
+        assert_eq!(ssd.read_region("a").unwrap(), vec![7; 100]);
+        ssd.write_at("a", 0, &[1]).unwrap();
+    }
+
+    #[test]
+    fn injected_faults_heal_on_retry_and_replay_deterministically() {
+        use faultkit::{FaultPlan, FaultSpec};
+        let plan =
+            FaultPlan::new(FaultSpec { transient_per_mille: Some(400), ..FaultSpec::empty(11) });
+        let run = || {
+            let mut ssd = SsdDevice::new("ssd0", 1 << 16);
+            ssd.set_fault_injector(plan.injector(0));
+            let mut failures = Vec::new();
+            for i in 0..200 {
+                let mut attempts = 0;
+                loop {
+                    match ssd.write_region(format!("r{i}"), vec![i as u8; 16]) {
+                        Ok(()) => break,
+                        Err(e) => {
+                            assert!(e.is_transient(), "unexpected error {e}");
+                            attempts += 1;
+                            assert!(attempts <= 4, "transient fault did not heal");
+                        }
+                    }
+                }
+                failures.push(attempts);
+            }
+            failures
+        };
+        let a = run();
+        assert!(a.iter().any(|&n| n > 0), "no faults fired at 40%");
+        assert_eq!(a, run(), "fault schedule must replay bit-identically");
+    }
+
+    #[test]
+    fn suspended_injectors_neither_fire_nor_advance_the_op_stream() {
+        use faultkit::{FaultPlan, FaultSpec};
+        let plan =
+            FaultPlan::new(FaultSpec { transient_per_mille: Some(500), ..FaultSpec::empty(23) });
+        // Reference: the fault pattern over 50 ops with no suspension.
+        let pattern = |maintenance_ops: usize| {
+            let mut ssd = SsdDevice::new("s", 1 << 20);
+            ssd.set_fault_injector(plan.injector(0));
+            // Maintenance traffic (e.g. checkpointing) under suspension must
+            // not consume fault decisions.
+            ssd.suspend_faults(true);
+            for i in 0..maintenance_ops {
+                ssd.write_region(format!("m{i}"), vec![0u8; 8]).unwrap();
+            }
+            ssd.suspend_faults(false);
+            let mut faults = Vec::new();
+            for i in 0..50 {
+                let mut n = 0;
+                while ssd.write_region(format!("r{i}"), vec![1u8; 8]).is_err() {
+                    n += 1;
+                }
+                faults.push(n);
+            }
+            faults
+        };
+        let clean = pattern(0);
+        assert!(clean.iter().any(|&n| n > 0));
+        assert_eq!(pattern(7), clean, "suspended ops must not shift the fault schedule");
     }
 
     proptest! {

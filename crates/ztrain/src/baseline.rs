@@ -3,6 +3,7 @@
 use crate::machine::MachineConfig;
 use crate::platform::TimedPlatform;
 use crate::report::IterationReport;
+use faultkit::TimedFaultEffects;
 use llm::Workload;
 use optim::OptimizerKind;
 use simkit::{PhaseId, SimError, TaskId};
@@ -16,12 +17,24 @@ pub struct BaselineEngine {
     machine: MachineConfig,
     workload: Workload,
     optimizer: OptimizerKind,
+    fault_effects: Option<TimedFaultEffects>,
 }
 
 impl BaselineEngine {
     /// Creates an engine for the given machine, workload and optimizer.
     pub fn new(machine: MachineConfig, workload: Workload, optimizer: OptimizerKind) -> Self {
-        Self { machine, workload, optimizer }
+        Self { machine, workload, optimizer, fault_effects: None }
+    }
+
+    /// Applies a fault plan's timed effects. The baseline has no in-storage
+    /// compute, so only the host-uplink derating can bite; a straggler factor
+    /// is carried but has nothing to slow down.
+    #[must_use]
+    pub fn with_fault_effects(mut self, effects: TimedFaultEffects) -> Self {
+        if !effects.is_empty() {
+            self.fault_effects = Some(effects);
+        }
+        self
     }
 
     /// The machine description.
@@ -41,7 +54,7 @@ impl BaselineEngine {
     /// Propagates [`SimError`] from the simulation kernel (which only occurs
     /// for malformed task graphs and would indicate a bug in this engine).
     pub fn simulate_iteration(&self) -> Result<IterationReport, SimError> {
-        let mut plat = TimedPlatform::new(&self.machine);
+        let mut plat = TimedPlatform::new_with_faults(&self.machine, self.fault_effects.as_ref());
         let fw_phase = plat.add_phase("forward");
         let bw_phase = plat.add_phase("backward+grad_offload");
         let up_phase = plat.add_phase("update+opt_transfer");

@@ -7,10 +7,18 @@
 //! so the per-iteration traffic counters can be checked against the analytic
 //! Table I model.
 
-use crate::trainer::{StepReport, TrainError, Trainer};
+use crate::checkpoint::{bits_to_tensor, tensor_to_bits, TrainerCheckpoint};
+use crate::recover::recover;
+use crate::trainer::{DegradedReport, StepReport, TrainError, Trainer};
+use faultkit::FaultPlan;
 use optim::{Optimizer, OptimizerKind};
 use ssd::{RaidArray, SsdDevice, SsdError};
 use tensorlib::{Chunker, Dtype, FlatTensor};
+
+/// Rebuilds whichever RAID member wore out (no-op if none did).
+fn rebuild_worn(raid: &mut RaidArray) -> u64 {
+    raid.worn_member().map_or(0, |i| raid.rebuild_member(i))
+}
 
 /// Produces the flat gradient for one training step.
 ///
@@ -64,6 +72,7 @@ pub struct StorageOffloadTrainer {
     optimizer: Optimizer,
     chunker: Chunker,
     step: u64,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl StorageOffloadTrainer {
@@ -111,7 +120,34 @@ impl StorageOffloadTrainer {
         // The FP16 working copy is derived from the master copy, exactly as
         // mixed-precision training does.
         let params_fp16 = FlatTensor::from_bytes(&initial_params.to_bytes(Dtype::F16), Dtype::F16);
-        Ok(Self { raid, params_fp16, optimizer, chunker, step: 0 })
+        Ok(Self { raid, params_fp16, optimizer, chunker, step: 0, fault_plan: None })
+    }
+
+    /// Installs a fault plan: deterministic per-device injectors on the RAID
+    /// members, plus scheduled wear-out. An empty plan is a no-op, so the
+    /// fault-free path stays bit-identical.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        if !plan.is_empty() {
+            self.raid.install_fault_injectors(&plan);
+            self.fault_plan = Some(plan);
+        }
+        self
+    }
+
+    fn max_retries(&self) -> u32 {
+        self.fault_plan.as_ref().map_or(0, FaultPlan::max_retries)
+    }
+
+    /// Fires scheduled wear-out at the start of the step it is planned for.
+    fn trigger_scheduled_faults(&mut self) {
+        if let Some(plan) = &self.fault_plan {
+            if plan.wearout_step() == Some(self.step) {
+                if let Some(dev) = plan.wearout_device(self.raid.num_devices()) {
+                    self.raid.inject_wearout(dev);
+                }
+            }
+        }
     }
 
     /// Number of parameters being trained.
@@ -141,6 +177,15 @@ impl StorageOffloadTrainer {
     /// Returns an [`SsdError`] if a block region is missing (which would
     /// indicate a bug in this trainer).
     pub fn master_params(&mut self) -> Result<FlatTensor, SsdError> {
+        // Reassembly is maintenance traffic: it observes state rather than
+        // training, so it must neither fail on nor consume fault decisions.
+        self.raid.suspend_faults(true);
+        let result = self.master_params_inner();
+        self.raid.suspend_faults(false);
+        result
+    }
+
+    fn master_params_inner(&mut self) -> Result<FlatTensor, SsdError> {
         let mut out = FlatTensor::zeros(self.chunker.total());
         for block in self.chunker.subgroups() {
             let bytes = self.raid.read_region(&Self::master_region(block.index))?;
@@ -177,33 +222,56 @@ impl StorageOffloadTrainer {
         assert_eq!(grads.len(), self.num_params(), "gradient length mismatch");
         let counters_before = self.raid.counters();
         self.step += 1;
+        self.trigger_scheduled_faults();
+        let retries = self.max_retries();
+        let mut deg = DegradedReport::default();
         // Backward: offload the gradients of each block to storage (Fig. 1b).
+        // Every storage operation is wrapped in the recovery policy; RAID
+        // region writes are idempotent whole-region writes, so a retry (or a
+        // post-rebuild replay) lands on exactly the same bytes.
         for block in self.chunker.subgroups() {
             let g = grads.slice(block.offset, block.len);
-            self.raid.write_region(&Self::grad_region(block.index), &g.to_bytes(Dtype::F32))?;
+            let bytes = g.to_bytes(Dtype::F32);
+            let region = Self::grad_region(block.index);
+            recover(retries, &mut deg, &mut self.raid, rebuild_worn, |raid| {
+                raid.write_region(&region, &bytes)
+            })?;
         }
         // Update: per block, upload states+gradients, update on the CPU,
         // offload the states and refresh the FP16 working copy (Fig. 1c).
         for block in self.chunker.subgroups() {
-            let master_bytes = self.raid.read_region(&Self::master_region(block.index))?;
+            let region = Self::master_region(block.index);
+            let master_bytes = recover(retries, &mut deg, &mut self.raid, rebuild_worn, |raid| {
+                raid.read_region(&region)
+            })?;
             let mut master = FlatTensor::from_bytes(&master_bytes, Dtype::F32);
             let mut aux = Vec::with_capacity(self.optimizer.kind().num_aux());
             for a in 0..self.optimizer.kind().num_aux() {
-                let bytes = self.raid.read_region(&Self::aux_region(block.index, a))?;
+                let region = Self::aux_region(block.index, a);
+                let bytes = recover(retries, &mut deg, &mut self.raid, rebuild_worn, |raid| {
+                    raid.read_region(&region)
+                })?;
                 aux.push(FlatTensor::from_bytes(&bytes, Dtype::F32));
             }
-            let grad_bytes = self.raid.read_region(&Self::grad_region(block.index))?;
+            let region = Self::grad_region(block.index);
+            let grad_bytes = recover(retries, &mut deg, &mut self.raid, rebuild_worn, |raid| {
+                raid.read_region(&region)
+            })?;
             let block_grads = FlatTensor::from_bytes(&grad_bytes, Dtype::F32);
 
             self.optimizer.step(master.as_mut_slice(), &block_grads, &mut aux, self.step);
 
-            self.raid
-                .write_region(&Self::master_region(block.index), &master.to_bytes(Dtype::F32))?;
+            let region = Self::master_region(block.index);
+            let bytes = master.to_bytes(Dtype::F32);
+            recover(retries, &mut deg, &mut self.raid, rebuild_worn, |raid| {
+                raid.write_region(&region, &bytes)
+            })?;
             for (a, aux_tensor) in aux.iter().enumerate() {
-                self.raid.write_region(
-                    &Self::aux_region(block.index, a),
-                    &aux_tensor.to_bytes(Dtype::F32),
-                )?;
+                let region = Self::aux_region(block.index, a);
+                let bytes = aux_tensor.to_bytes(Dtype::F32);
+                recover(retries, &mut deg, &mut self.raid, rebuild_worn, |raid| {
+                    raid.write_region(&region, &bytes)
+                })?;
             }
             // Refresh the FP16 working copy from the new master values,
             // rounding straight into the working-copy buffer (no intermediate
@@ -211,6 +279,13 @@ impl StorageOffloadTrainer {
             let dst = &mut self.params_fp16.as_mut_slice()[block.offset..block.offset + block.len];
             master.roundtrip_f16_into(dst);
         }
+        // Transient faults are absorbed per member op inside the RAID (see
+        // `RaidArray::install_fault_injectors`); fold the absorbed events into
+        // the step's degradation report.
+        let (fault_retries, backoff_ms) = self.raid.take_fault_events();
+        deg.transient_faults += fault_retries;
+        deg.retries += fault_retries;
+        deg.backoff_ms += backoff_ms;
         let delta = self.raid.counters().delta_since(&counters_before);
         Ok(StepReport {
             step: self.step,
@@ -224,6 +299,7 @@ impl StorageOffloadTrainer {
             threads: 1,
             kernel_path: tensorlib::KernelPath::active(),
             stages: None,
+            degraded: deg.into_option(),
         })
     }
 
@@ -253,6 +329,79 @@ impl Trainer for StorageOffloadTrainer {
 
     fn steps_completed(&self) -> u64 {
         self.step
+    }
+
+    fn checkpoint(&mut self) -> Result<TrainerCheckpoint, TrainError> {
+        let retries = self.max_retries();
+        let mut deg = DegradedReport::default();
+        let num_aux = self.optimizer.kind().num_aux();
+        let n = self.chunker.total();
+        let mut master_bits = Vec::with_capacity(n);
+        let mut aux_bits = vec![Vec::with_capacity(n); num_aux];
+        // Maintenance traffic must not consume fault decisions, or a
+        // checkpointed-then-resumed run would see a shifted fault schedule
+        // relative to an uninterrupted one.
+        self.raid.suspend_faults(true);
+        // Blocks are contiguous chunks in order, so concatenating per-block
+        // reads yields the global tensors.
+        let result: Result<(), SsdError> = (|| {
+            for block in self.chunker.subgroups() {
+                let region = Self::master_region(block.index);
+                let bytes = recover(retries, &mut deg, &mut self.raid, rebuild_worn, |raid| {
+                    raid.read_region(&region)
+                })?;
+                master_bits.extend(tensor_to_bits(&FlatTensor::from_bytes(&bytes, Dtype::F32)));
+                for (a, bits) in aux_bits.iter_mut().enumerate() {
+                    let region = Self::aux_region(block.index, a);
+                    let bytes = recover(retries, &mut deg, &mut self.raid, rebuild_worn, |raid| {
+                        raid.read_region(&region)
+                    })?;
+                    bits.extend(tensor_to_bits(&FlatTensor::from_bytes(&bytes, Dtype::F32)));
+                }
+            }
+            Ok(())
+        })();
+        self.raid.suspend_faults(false);
+        result?;
+        Ok(TrainerCheckpoint {
+            step: self.step,
+            num_params: n as u64,
+            master_bits,
+            aux_bits,
+            // The baseline neither compresses gradients nor keeps residuals.
+            residual_bits: Vec::new(),
+        })
+    }
+
+    fn restore(&mut self, checkpoint: &TrainerCheckpoint) -> Result<(), TrainError> {
+        checkpoint.check_matches(self.num_params(), self.optimizer.kind().num_aux())?;
+        let retries = self.max_retries();
+        let mut deg = DegradedReport::default();
+        let master = bits_to_tensor(&checkpoint.master_bits);
+        self.raid.suspend_faults(true);
+        let result: Result<(), SsdError> = (|| {
+            for block in self.chunker.subgroups() {
+                let region = Self::master_region(block.index);
+                let bytes = master.slice(block.offset, block.len).to_bytes(Dtype::F32);
+                recover(retries, &mut deg, &mut self.raid, rebuild_worn, |raid| {
+                    raid.write_region(&region, &bytes)
+                })?;
+                for (a, bits) in checkpoint.aux_bits.iter().enumerate() {
+                    let region = Self::aux_region(block.index, a);
+                    let aux = bits_to_tensor(&bits[block.offset..block.offset + block.len]);
+                    let bytes = aux.to_bytes(Dtype::F32);
+                    recover(retries, &mut deg, &mut self.raid, rebuild_worn, |raid| {
+                        raid.write_region(&region, &bytes)
+                    })?;
+                }
+            }
+            Ok(())
+        })();
+        self.raid.suspend_faults(false);
+        result?;
+        self.params_fp16 = FlatTensor::from_bytes(&master.to_bytes(Dtype::F16), Dtype::F16);
+        self.step = checkpoint.step;
+        Ok(())
     }
 }
 
@@ -346,6 +495,106 @@ mod tests {
         assert_eq!(report.gradient_bytes, 8 * n as u64);
         assert_eq!(report.compression_kept, None);
         assert_eq!(report.threads, 1);
+    }
+
+    #[test]
+    fn injected_faults_are_recovered_and_do_not_change_the_numbers() {
+        let n = 1024;
+        let optimizer = Optimizer::adam_default();
+        let initial = FlatTensor::randn(n, 0.05, 15);
+        let grads: Vec<FlatTensor> = (0..4).map(|s| FlatTensor::randn(n, 0.01, 60 + s)).collect();
+
+        let mut clean = StorageOffloadTrainer::new(&initial, optimizer, 3, 256).unwrap();
+        let mut faulty = StorageOffloadTrainer::new(&initial, optimizer, 3, 256)
+            .unwrap()
+            .with_fault_plan(faultkit::FaultPlan::new({
+                let mut s = faultkit::FaultSpec::empty(9);
+                s.transient_per_mille = Some(150);
+                s.ssd_wearout_step = Some(3);
+                s
+            }));
+        let mut saw_transient = false;
+        let mut saw_rebuild = false;
+        for (i, g) in grads.iter().enumerate() {
+            let clean_report = clean.train_step_with_grads(g).unwrap();
+            assert!(clean_report.degraded.is_none());
+            let report = faulty.train_step_with_grads(g).unwrap();
+            if let Some(d) = report.degraded {
+                saw_transient |= d.transient_faults > 0;
+                if (i + 1) as u64 == 3 {
+                    saw_rebuild |= d.devices_rebuilt > 0;
+                }
+            }
+        }
+        assert!(saw_transient, "a 15% fault rate over many ops must fire");
+        assert!(saw_rebuild, "the scheduled wear-out at step 3 must trigger a rebuild");
+        // Recovery is invisible to the training numbers.
+        assert_eq!(
+            faulty.master_params().unwrap().as_slice(),
+            clean.master_params().unwrap().as_slice()
+        );
+        assert_eq!(faulty.params_fp16().as_slice(), clean.params_fp16().as_slice());
+    }
+
+    #[test]
+    fn empty_fault_plan_is_a_no_op() {
+        let n = 256;
+        let optimizer = Optimizer::adam_default();
+        let initial = FlatTensor::randn(n, 0.05, 16);
+        let grads = FlatTensor::randn(n, 0.01, 17);
+        let mut plain = StorageOffloadTrainer::new(&initial, optimizer, 2, 64).unwrap();
+        let mut with_empty = StorageOffloadTrainer::new(&initial, optimizer, 2, 64)
+            .unwrap()
+            .with_fault_plan(faultkit::FaultPlan::new(faultkit::FaultSpec::empty(99)));
+        let a = plain.train_step_with_grads(&grads).unwrap();
+        let b = with_empty.train_step_with_grads(&grads).unwrap();
+        assert_eq!(a, b, "step reports must be bit-identical");
+        assert_eq!(
+            plain.master_params().unwrap().as_slice(),
+            with_empty.master_params().unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        let n = 900;
+        let optimizer = Optimizer::adam_default();
+        let initial = FlatTensor::randn(n, 0.05, 21);
+        let grads: Vec<FlatTensor> = (0..6).map(|s| FlatTensor::randn(n, 0.01, 80 + s)).collect();
+
+        // Uninterrupted run.
+        let mut straight = StorageOffloadTrainer::new(&initial, optimizer, 2, 200).unwrap();
+        for g in &grads {
+            straight.train_step_with_grads(g).unwrap();
+        }
+
+        // Interrupted run: checkpoint after 3 steps, restore into a *fresh*
+        // trainer (different device count), continue.
+        let mut first = StorageOffloadTrainer::new(&initial, optimizer, 2, 200).unwrap();
+        for g in &grads[..3] {
+            first.train_step_with_grads(g).unwrap();
+        }
+        let ckpt = Trainer::checkpoint(&mut first).unwrap();
+        let json = ckpt.to_json().unwrap();
+        let parsed = crate::TrainerCheckpoint::from_json(&json).unwrap();
+        assert_eq!(parsed, ckpt);
+
+        let mut resumed = StorageOffloadTrainer::new(&initial, optimizer, 4, 200).unwrap();
+        Trainer::restore(&mut resumed, &parsed).unwrap();
+        assert_eq!(resumed.steps_completed(), 3);
+        for g in &grads[3..] {
+            resumed.train_step_with_grads(g).unwrap();
+        }
+        assert_eq!(
+            resumed.master_params().unwrap().as_slice(),
+            straight.master_params().unwrap().as_slice()
+        );
+        assert_eq!(resumed.params_fp16().as_slice(), straight.params_fp16().as_slice());
+
+        // A mismatched checkpoint is rejected.
+        let mut wrong =
+            StorageOffloadTrainer::new(&FlatTensor::zeros(10), optimizer, 1, 10).unwrap();
+        assert!(Trainer::restore(&mut wrong, &parsed).is_err());
     }
 
     #[test]

@@ -35,25 +35,29 @@
 #![warn(missing_docs)]
 
 mod baseline;
+mod checkpoint;
 mod functional;
 mod machine;
 mod pipeline;
 mod platform;
 pub mod realtrain;
+mod recover;
 mod report;
 mod trainer;
 
 pub use baseline::{
     build_backward_compute, build_backward_with_raid_offload, build_forward, BaselineEngine,
 };
+pub use checkpoint::{bits_to_tensor, tensor_to_bits, TrainerCheckpoint};
 pub use functional::{GradientSource, StorageOffloadTrainer, SyntheticGradients};
 pub use machine::MachineConfig;
 pub use pipeline::{
     aggregate_csd_stats, init_csd_shards, reassemble_master_params, PipelinedTrainer,
 };
 pub use platform::TimedPlatform;
+pub use recover::{recover, Recoverable};
 pub use report::IterationReport;
-pub use trainer::{StageReport, StepReport, TrainError, Trainer};
+pub use trainer::{DegradedReport, StageReport, StepReport, TrainError, Trainer};
 
 #[cfg(test)]
 mod tests {

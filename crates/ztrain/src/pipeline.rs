@@ -27,8 +27,11 @@
 //! (`smart_infinity::Session`), where a bad knob must be an error, not an
 //! abort.
 
-use crate::trainer::{StageReport, StepReport, TrainError, Trainer};
+use crate::checkpoint::{bits_to_tensor, tensor_to_bits, TrainerCheckpoint};
+use crate::recover::recover;
+use crate::trainer::{DegradedReport, StageReport, StepReport, TrainError, Trainer};
 use csd::{CsdDevice, CsdError, CsdTrafficStats, SubgroupUpdate};
+use faultkit::FaultPlan;
 use gradcomp::{Compressor, ErrorFeedback};
 use optim::Optimizer;
 use parcore::ParExecutor;
@@ -70,8 +73,12 @@ pub fn reassemble_master_params(
         if shard.len == 0 {
             continue;
         }
-        let t = csd.load_parameters("shard", 0, shard.len)?;
-        out.write_slice(shard.offset, t.as_slice());
+        // Reassembly is maintenance traffic: it observes state rather than
+        // training, so it must neither fail on nor consume fault decisions.
+        csd.suspend_faults(true);
+        let result = csd.load_parameters("shard", 0, shard.len);
+        csd.suspend_faults(false);
+        out.write_slice(shard.offset, result?.as_slice());
     }
     Ok(out)
 }
@@ -107,6 +114,7 @@ struct LaneReport {
     update_read_bytes: u64,
     update_write_bytes: u64,
     read_back_bytes: u64,
+    degraded: DegradedReport,
 }
 
 /// A functional Smart-Infinity trainer whose per-device stages overlap.
@@ -130,6 +138,7 @@ pub struct PipelinedTrainer {
     subgroup_elems: usize,
     pool: ParExecutor,
     step: u64,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl PipelinedTrainer {
@@ -169,7 +178,44 @@ impl PipelinedTrainer {
             subgroup_elems,
             pool: ParExecutor::serial(),
             step: 0,
+            fault_plan: None,
         })
+    }
+
+    /// Installs a fault plan: deterministic per-device injectors and a
+    /// device-internal retry budget on every CSD, plus scheduled wear-out /
+    /// dropout. An empty plan is a no-op, so the fault-free path stays
+    /// bit-identical.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        if !plan.is_empty() {
+            for (i, csd) in self.csds.iter_mut().enumerate() {
+                csd.set_fault_injector(plan.injector(i as u64));
+                csd.set_retry_budget(plan.max_retries());
+            }
+            self.fault_plan = Some(plan);
+        }
+        self
+    }
+
+    fn max_retries(&self) -> u32 {
+        self.fault_plan.as_ref().map_or(0, FaultPlan::max_retries)
+    }
+
+    /// Fires scheduled wear-out / dropout at the start of their planned step.
+    fn trigger_scheduled_faults(&mut self) {
+        if let Some(plan) = &self.fault_plan {
+            if plan.wearout_step() == Some(self.step) {
+                if let Some(d) = plan.wearout_device(self.csds.len()) {
+                    self.csds[d].inject_ssd_wearout();
+                }
+            }
+            if plan.dropout_step() == Some(self.step) {
+                if let Some(d) = plan.dropout_device(self.csds.len()) {
+                    self.csds[d].inject_dropout();
+                }
+            }
+        }
     }
 
     /// Enables SmartComp: each lane Top-K-compresses its shard's gradients
@@ -278,10 +324,12 @@ impl PipelinedTrainer {
     pub fn train_step_with_grads(&mut self, grads: &FlatTensor) -> Result<StepReport, TrainError> {
         assert_eq!(grads.len(), self.num_params(), "gradient length mismatch");
         self.step += 1;
+        self.trigger_scheduled_faults();
         let step = self.step;
         let optimizer = self.optimizer;
         let subgroup_elems = self.subgroup_elems;
         let compressor = self.compressor;
+        let max_retries = self.max_retries();
 
         // Carve the step into lanes: shard i owns csds[i], feedback[i],
         // scratch[i] and its contiguous slice of the FP16 working copy.
@@ -309,7 +357,7 @@ impl PipelinedTrainer {
         // than letting one skewed shard serialize the step.
         let weights: Vec<usize> = lanes.iter().map(|l| l.shard.len).collect();
         let results = self.pool.map_weighted(lanes, &weights, |_, lane| {
-            Self::run_lane(lane, grads, compressor, optimizer, subgroup_elems, step)
+            Self::run_lane(lane, grads, compressor, optimizer, subgroup_elems, step, max_retries)
         });
 
         let mut stages = StageReport {
@@ -319,6 +367,7 @@ impl PipelinedTrainer {
         let mut kept = 0u64;
         let mut storage_bytes_read = 0u64;
         let mut storage_bytes_written = 0u64;
+        let mut degraded = DegradedReport::default();
         for result in results {
             let lane = result.map_err(TrainError::from)?;
             stages.write_bytes += lane.write_bytes;
@@ -327,6 +376,7 @@ impl PipelinedTrainer {
             storage_bytes_read += lane.update_read_bytes;
             storage_bytes_written += lane.update_write_bytes;
             kept += lane.kept;
+            degraded.absorb(&lane.degraded);
         }
         Ok(StepReport {
             step,
@@ -337,6 +387,7 @@ impl PipelinedTrainer {
             threads: self.pool.num_threads(),
             kernel_path: tensorlib::KernelPath::active(),
             stages: Some(stages),
+            degraded: degraded.into_option(),
         })
     }
 
@@ -349,12 +400,17 @@ impl PipelinedTrainer {
         optimizer: Optimizer,
         subgroup_elems: usize,
         step: u64,
+        max_retries: u32,
     ) -> Result<LaneReport, CsdError> {
         let Lane { shard, csd, feedback, scratch, fp16_out } = lane;
         if shard.len == 0 {
             return Ok(LaneReport::default());
         }
         let before = csd.stats();
+        // Recovery is lane-local: each lane owns its device, so retry and
+        // rebuild decisions are deterministic regardless of how the lanes are
+        // scheduled across worker threads.
+        let mut deg = DegradedReport::default();
 
         // Stage 1 — write: the shard's gradient crosses the host interconnect
         // downstream, dense or as the Top-K stream (identical math to the
@@ -375,26 +431,43 @@ impl PipelinedTrainer {
             Some(c) => (c.compressed_bytes() as u64, c.num_selected() as u64),
         };
         if compressed.is_none() {
-            csd.store_gradients("shard", scratch)?;
+            // Whole-region gradient writes are idempotent, so the recovery
+            // wrapper may retry them freely.
+            recover(max_retries, &mut deg, csd, CsdDevice::rebuild, |csd| {
+                csd.store_gradients("shard", scratch)
+            })?;
         }
 
         // Stage 2 — update: subgroup-by-subgroup near-storage optimizer step
-        // over CSD-internal P2P.
+        // over CSD-internal P2P. Transient faults are cleared *inside* the
+        // device (a half-written subgroup must never be recomputed from
+        // already-updated state); the wrapper here only handles dead devices,
+        // whose first failing operation precedes any write-back.
         for subgroup in Chunker::new(shard.len, subgroup_elems).subgroups() {
-            csd.update_subgroup(SubgroupUpdate {
-                shard: "shard",
-                offset: subgroup.offset,
-                len: subgroup.len,
-                optimizer,
-                step,
-                compressed: compressed.as_ref(),
+            recover(max_retries, &mut deg, csd, CsdDevice::rebuild, |csd| {
+                csd.update_subgroup(SubgroupUpdate {
+                    shard: "shard",
+                    offset: subgroup.offset,
+                    len: subgroup.len,
+                    optimizer,
+                    step,
+                    compressed: compressed.as_ref(),
+                })
             })?;
         }
 
         // Stage 3 — read-back: the refreshed FP16 working copy returns to
         // host memory, rounded straight into this lane's output slice.
-        let updated = csd.load_parameters("shard", 0, shard.len)?;
+        let updated = recover(max_retries, &mut deg, csd, CsdDevice::rebuild, |csd| {
+            csd.load_parameters("shard", 0, shard.len)
+        })?;
         updated.roundtrip_f16_into(fp16_out);
+
+        // Fold the device-internal transient retries into the lane's report.
+        let (retries, backoff_ms) = csd.take_fault_events();
+        deg.transient_faults += retries;
+        deg.retries += retries;
+        deg.backoff_ms += backoff_ms;
 
         let after = csd.stats();
         Ok(LaneReport {
@@ -403,6 +476,7 @@ impl PipelinedTrainer {
             update_read_bytes: after.p2p_read_bytes - before.p2p_read_bytes,
             update_write_bytes: after.p2p_write_bytes - before.p2p_write_bytes,
             read_back_bytes: 2 * shard.len as u64,
+            degraded: deg,
         })
     }
 }
@@ -422,6 +496,94 @@ impl Trainer for PipelinedTrainer {
 
     fn steps_completed(&self) -> u64 {
         self.step
+    }
+
+    fn checkpoint(&mut self) -> Result<TrainerCheckpoint, TrainError> {
+        let retries = self.max_retries();
+        let num_aux = self.optimizer.kind().num_aux();
+        let n = self.num_params();
+        let mut master_bits = Vec::with_capacity(n);
+        let mut aux_bits = vec![Vec::with_capacity(n); num_aux];
+        let mut deg = DegradedReport::default();
+        for (csd, shard) in self.csds.iter_mut().zip(self.partitioner.shards()) {
+            if shard.len == 0 {
+                continue;
+            }
+            // Checkpoint reads are maintenance traffic: injection is
+            // suspended so they cannot perturb the deterministic fault
+            // stream of the training ops. Dead devices are still rebuilt.
+            csd.suspend_faults(true);
+            let result = (|| -> Result<(), TrainError> {
+                let t = recover(retries, &mut deg, csd, CsdDevice::rebuild, |csd| {
+                    csd.load_parameters("shard", 0, shard.len)
+                })?;
+                master_bits.extend(tensor_to_bits(&t));
+                for (a, bits) in aux_bits.iter_mut().enumerate() {
+                    let t = recover(retries, &mut deg, csd, CsdDevice::rebuild, |csd| {
+                        csd.load_optimizer_state("shard", a, 0, shard.len)
+                    })?;
+                    bits.extend(tensor_to_bits(&t));
+                }
+                Ok(())
+            })();
+            csd.suspend_faults(false);
+            result?;
+        }
+        let residual_bits = if self.compressor.is_some() {
+            let mut bits = Vec::with_capacity(n);
+            for feedback in &self.feedback {
+                bits.extend(tensor_to_bits(feedback.residual()));
+            }
+            bits
+        } else {
+            Vec::new()
+        };
+        Ok(TrainerCheckpoint {
+            step: self.step,
+            num_params: n as u64,
+            master_bits,
+            aux_bits,
+            residual_bits,
+        })
+    }
+
+    fn restore(&mut self, checkpoint: &TrainerCheckpoint) -> Result<(), TrainError> {
+        checkpoint.check_matches(self.num_params(), self.optimizer.kind().num_aux())?;
+        if self.compressor.is_some() == checkpoint.residual_bits.is_empty() {
+            return Err(TrainError::config(if self.compressor.is_some() {
+                "checkpoint has no error-feedback residuals but compression is enabled"
+            } else {
+                "checkpoint carries error-feedback residuals but compression is disabled"
+            }));
+        }
+        let master = bits_to_tensor(&checkpoint.master_bits);
+        let optimizer = self.optimizer;
+        for (csd, shard) in self.csds.iter_mut().zip(self.partitioner.shards()) {
+            if shard.len == 0 {
+                continue;
+            }
+            csd.suspend_faults(true);
+            let result = (|| -> Result<(), TrainError> {
+                let shard_params = master.slice(shard.offset, shard.len);
+                csd.store_initial_state("shard", &shard_params, &optimizer)?;
+                for (a, bits) in checkpoint.aux_bits.iter().enumerate() {
+                    let aux = bits_to_tensor(&bits[shard.offset..shard.offset + shard.len]);
+                    csd.store_optimizer_state("shard", a, &aux)?;
+                }
+                Ok(())
+            })();
+            csd.suspend_faults(false);
+            result?;
+            if !checkpoint.residual_bits.is_empty() {
+                let residual = bits_to_tensor(
+                    &checkpoint.residual_bits[shard.offset..shard.offset + shard.len],
+                );
+                self.feedback[shard.device].restore_residual(&residual);
+            }
+        }
+        self.params_fp16 = FlatTensor::from_bytes(&master.to_bytes(Dtype::F16), Dtype::F16);
+        self.step = checkpoint.step;
+        Ok(())
     }
 }
 
@@ -597,6 +759,170 @@ mod tests {
             narrow.master_params().unwrap().as_slice()
         );
         assert_eq!(report.stages.unwrap().lanes, 3, "only non-empty shards count as lanes");
+    }
+
+    #[test]
+    fn faults_are_recovered_without_changing_results_for_any_thread_count() {
+        let n = 3000;
+        let optimizer = Optimizer::adam_default();
+        let initial = FlatTensor::randn(n, 0.05, 31);
+        let plan = || {
+            faultkit::FaultPlan::new({
+                let mut s = faultkit::FaultSpec::empty(13);
+                s.transient_per_mille = Some(120);
+                s.ssd_wearout_step = Some(2);
+                s.csd_dropout_step = Some(3);
+                s
+            })
+        };
+        let run = |threads: usize, faults: bool, keep: Option<f64>| {
+            let mut t = PipelinedTrainer::new(&initial, optimizer, 3, 500).unwrap();
+            if let Some(k) = keep {
+                t = t.with_compression(k).unwrap();
+            }
+            t = t.with_threads(threads);
+            if faults {
+                t = t.with_fault_plan(plan());
+            }
+            let mut degraded_steps = 0;
+            for step in 0..4u64 {
+                let grads = FlatTensor::randn(n, 0.01, 300 + step);
+                let report = t.train_step_with_grads(&grads).unwrap();
+                if report.is_degraded() {
+                    degraded_steps += 1;
+                }
+            }
+            (t.master_params().unwrap(), t.params_fp16().clone(), degraded_steps)
+        };
+        for keep in [None, Some(0.05)] {
+            let (clean_master, clean_fp16, clean_degraded) = run(1, false, keep);
+            assert_eq!(clean_degraded, 0);
+            let (faulty_master, faulty_fp16, faulty_degraded) = run(1, true, keep);
+            assert!(faulty_degraded > 0, "scheduled wear-out and dropout must fire");
+            assert_eq!(faulty_master.as_slice(), clean_master.as_slice(), "{keep:?}");
+            assert_eq!(faulty_fp16.as_slice(), clean_fp16.as_slice(), "{keep:?}");
+            // Fault recovery is deterministic across thread counts too.
+            for threads in [2usize, 4] {
+                let (master, fp16, degraded) = run(threads, true, keep);
+                assert_eq!(master.as_slice(), clean_master.as_slice(), "{keep:?} t={threads}");
+                assert_eq!(fp16.as_slice(), clean_fp16.as_slice(), "{keep:?} t={threads}");
+                assert_eq!(degraded, faulty_degraded, "{keep:?} t={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically_with_residuals() {
+        let n = 2400;
+        let optimizer = Optimizer::adam_default();
+        let initial = FlatTensor::randn(n, 0.05, 41);
+        let grads: Vec<FlatTensor> = (0..6).map(|s| FlatTensor::randn(n, 0.01, 400 + s)).collect();
+        let make = |csds: usize| {
+            PipelinedTrainer::new(&initial, optimizer, csds, 500)
+                .unwrap()
+                .with_compression(0.05)
+                .unwrap()
+                .with_threads(2)
+        };
+
+        let mut straight = make(3);
+        for g in &grads {
+            straight.train_step_with_grads(g).unwrap();
+        }
+
+        let mut first = make(3);
+        for g in &grads[..3] {
+            first.train_step_with_grads(g).unwrap();
+        }
+        let ckpt = Trainer::checkpoint(&mut first).unwrap();
+        assert_eq!(ckpt.step, 3);
+        assert!(!ckpt.residual_bits.is_empty(), "compression must checkpoint its residuals");
+        let json = ckpt.to_json().unwrap();
+        let parsed = TrainerCheckpoint::from_json(&json).unwrap();
+
+        // Resume on the same fleet shape. Top-K selection happens per shard,
+        // so under compression the shard boundaries participate in the
+        // numbers; only an uncompressed checkpoint is portable across device
+        // counts (exercised below).
+        let mut resumed = make(3);
+        Trainer::restore(&mut resumed, &parsed).unwrap();
+        assert_eq!(resumed.steps_completed(), 3);
+        for g in &grads[3..] {
+            resumed.train_step_with_grads(g).unwrap();
+        }
+        assert_eq!(
+            resumed.master_params().unwrap().as_slice(),
+            straight.master_params().unwrap().as_slice()
+        );
+        assert_eq!(resumed.params_fp16().as_slice(), straight.params_fp16().as_slice());
+
+        // Without compression the checkpoint is a global tensor snapshot and
+        // the elementwise optimizer is shard-agnostic, so a resume may change
+        // the device count: 3 CSDs checkpointed, 4 CSDs resumed.
+        let make_plain =
+            |csds: usize| PipelinedTrainer::new(&initial, optimizer, csds, 500).unwrap();
+        let mut plain_straight = make_plain(3);
+        let mut plain_first = make_plain(3);
+        for g in &grads {
+            plain_straight.train_step_with_grads(g).unwrap();
+        }
+        for g in &grads[..3] {
+            plain_first.train_step_with_grads(g).unwrap();
+        }
+        let plain_ckpt = Trainer::checkpoint(&mut plain_first).unwrap();
+        assert!(plain_ckpt.residual_bits.is_empty());
+        let mut plain_resumed = make_plain(4);
+        Trainer::restore(&mut plain_resumed, &plain_ckpt).unwrap();
+        for g in &grads[3..] {
+            plain_resumed.train_step_with_grads(g).unwrap();
+        }
+        assert_eq!(
+            plain_resumed.master_params().unwrap().as_slice(),
+            plain_straight.master_params().unwrap().as_slice()
+        );
+
+        // Residual/compression mismatches are rejected.
+        let mut uncompressed = PipelinedTrainer::new(&initial, optimizer, 2, 500).unwrap();
+        let err = Trainer::restore(&mut uncompressed, &parsed).unwrap_err();
+        assert!(err.to_string().contains("residuals"), "{err}");
+        let mut no_residuals = parsed.clone();
+        no_residuals.residual_bits = Vec::new();
+        let err = Trainer::restore(&mut make(2), &no_residuals).unwrap_err();
+        assert!(err.to_string().contains("residuals"), "{err}");
+    }
+
+    #[test]
+    fn checkpointing_under_an_active_fault_plan_does_not_shift_the_schedule() {
+        // Two identical fault-laden runs; one checkpoints mid-run. Because
+        // maintenance traffic suspends injection, both must see the same
+        // fault schedule and produce identical results.
+        let n = 1200;
+        let optimizer = Optimizer::adam_default();
+        let initial = FlatTensor::randn(n, 0.05, 51);
+        let plan = || {
+            faultkit::FaultPlan::new({
+                let mut s = faultkit::FaultSpec::empty(17);
+                s.transient_per_mille = Some(200);
+                s
+            })
+        };
+        let run = |checkpoint_after: Option<u64>| {
+            let mut t =
+                PipelinedTrainer::new(&initial, optimizer, 2, 300).unwrap().with_fault_plan(plan());
+            let mut reports = Vec::new();
+            for step in 0..4u64 {
+                let grads = FlatTensor::randn(n, 0.01, 500 + step);
+                reports.push(t.train_step_with_grads(&grads).unwrap());
+                if checkpoint_after == Some(step + 1) {
+                    Trainer::checkpoint(&mut t).unwrap();
+                }
+            }
+            (t.master_params().unwrap(), reports)
+        };
+        let (plain_master, plain_reports) = run(None);
+        let (ckpt_master, ckpt_reports) = run(Some(2));
+        assert_eq!(plain_master.as_slice(), ckpt_master.as_slice());
+        assert_eq!(plain_reports, ckpt_reports, "fault telemetry must match step for step");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::machine::MachineConfig;
 use fabric::{InstalledFabric, Platform};
+use faultkit::TimedFaultEffects;
 use simkit::{
     ComputeSpec, FlowSpec, LinkId, PhaseId, ResourceId, SimError, Simulation, TaskId, Timeline,
 };
@@ -27,6 +28,7 @@ pub struct TimedPlatform {
     fpga_update: Vec<ResourceId>,
     fpga_decompress: Vec<ResourceId>,
     config: MachineConfig,
+    fault_effects: TimedFaultEffects,
 }
 
 impl TimedPlatform {
@@ -37,7 +39,36 @@ impl TimedPlatform {
     /// Panics if the machine's platform spec cannot be built (which only
     /// happens for non-positive link bandwidths).
     pub fn new(config: &MachineConfig) -> Self {
-        let platform = config.platform_spec().build().expect("machine link rates must be positive");
+        Self::new_with_faults(config, None)
+    }
+
+    /// Builds the simulation scaffold with a fault plan's timed effects
+    /// applied: the straggler device's FPGA kernels run at `1/factor` of
+    /// their configured rate, and the shared host uplink edge is derated to
+    /// the remaining-bandwidth fraction *before* the fabric is installed.
+    /// `None` (or empty effects) builds exactly the same platform as
+    /// [`TimedPlatform::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine's platform spec cannot be built (which only
+    /// happens for non-positive link bandwidths) or if the effects carry an
+    /// out-of-range bandwidth factor (plans built from a validated
+    /// `FaultSpec` never do).
+    pub fn new_with_faults(config: &MachineConfig, effects: Option<&TimedFaultEffects>) -> Self {
+        let effects = effects.copied().unwrap_or_default();
+        let mut platform =
+            config.platform_spec().build().expect("machine link rates must be positive");
+        if let Some(factor) = effects.uplink_bandwidth_factor {
+            let edge = platform
+                .topology
+                .edge_between(platform.host, platform.expansion)
+                .expect("host and expansion switch are always directly connected");
+            platform
+                .topology
+                .degrade_edge(edge, factor)
+                .expect("fault spec validation bounds the bandwidth factor");
+        }
         let mut sim = Simulation::new();
         let fabric = platform.topology.install(&mut sim);
         let media = (0..config.num_devices)
@@ -53,7 +84,7 @@ impl TimedPlatform {
                     .map(|d| {
                         sim.add_resource(
                             format!("fpga{d}-updater"),
-                            config.fpga_update_bytes_per_sec,
+                            config.fpga_update_bytes_per_sec / effects.compute_slowdown(d),
                         )
                     })
                     .collect(),
@@ -61,7 +92,7 @@ impl TimedPlatform {
                     .map(|d| {
                         sim.add_resource(
                             format!("fpga{d}-decompressor"),
-                            config.fpga_decompress_bytes_per_sec,
+                            config.fpga_decompress_bytes_per_sec / effects.compute_slowdown(d),
                         )
                     })
                     .collect(),
@@ -79,7 +110,14 @@ impl TimedPlatform {
             fpga_update,
             fpga_decompress,
             config: config.clone(),
+            fault_effects: effects,
         }
+    }
+
+    /// The timed fault effects this platform was built with (empty when
+    /// fault-free).
+    pub fn fault_effects(&self) -> &TimedFaultEffects {
+        &self.fault_effects
     }
 
     /// The machine this platform was built from.
@@ -132,13 +170,30 @@ impl TimedPlatform {
         self.sim.delay(simkit::DelaySpec::new(seconds).after(deps).phase(phase))
     }
 
-    /// Runs the simulation and returns the timeline.
+    /// Runs the simulation and returns the timeline. Active fault effects are
+    /// recorded as [`simkit::FaultAnnotation`]s on the timeline, so reports
+    /// can tell a degraded run from a healthy one.
     ///
     /// # Errors
     ///
     /// Propagates [`SimError`] from the simulation kernel.
     pub fn run(&mut self) -> Result<Timeline, SimError> {
-        self.sim.run()
+        let mut timeline = self.sim.run()?;
+        if let Some((dev, factor)) = self.fault_effects.straggler {
+            timeline.annotate_fault(
+                0.0,
+                format!("dev{dev}"),
+                format!("straggler: in-storage compute {factor}x slower"),
+            );
+        }
+        if let Some(factor) = self.fault_effects.uplink_bandwidth_factor {
+            timeline.annotate_fault(
+                0.0,
+                "host-uplink",
+                format!("bandwidth derated to {:.1}% of nominal", factor * 100.0),
+            );
+        }
+        Ok(timeline)
     }
 
     // ---- compute helpers ---------------------------------------------------
@@ -439,5 +494,68 @@ mod tests {
         let default_t = run(MachineConfig::smart_infinity(1));
         let congested_t = run(MachineConfig::congested_multi_gpu(1, 1));
         assert!(congested_t > default_t * 1.05, "{congested_t} vs {default_t}");
+    }
+
+    #[test]
+    fn empty_fault_effects_leave_the_timed_model_untouched() {
+        let config = MachineConfig::smart_infinity(2);
+        let run = |plat: &mut TimedPlatform| {
+            let p = plat.add_phase("x");
+            let u = plat.fpga_update(0, 7.3e9, &[], p);
+            plat.host_to_ssd(1, 4.0e9, &[u], p);
+            plat.run().unwrap()
+        };
+        let clean = run(&mut TimedPlatform::new(&config));
+        let faulted =
+            run(&mut TimedPlatform::new_with_faults(&config, Some(&TimedFaultEffects::default())));
+        assert_eq!(clean.makespan(), faulted.makespan());
+        assert!(faulted.fault_annotations().is_empty());
+    }
+
+    #[test]
+    fn straggler_slows_only_its_own_fpga() {
+        let config = MachineConfig::smart_infinity(2);
+        let effects =
+            TimedFaultEffects { straggler: Some((0, 2.0)), ..TimedFaultEffects::default() };
+        let mut plat = TimedPlatform::new_with_faults(&config, Some(&effects));
+        let p = plat.add_phase("update");
+        let slow = plat.fpga_update(0, 7.3e9, &[], p);
+        let fast = plat.fpga_update(1, 7.3e9, &[], p);
+        let tl = plat.run().unwrap();
+        // Device 0 runs its updater at half rate; device 1 is unaffected.
+        assert!((tl.finish_time(slow) - 2.0 * tl.finish_time(fast)).abs() < 1e-6);
+        assert_eq!(tl.fault_annotations().len(), 1);
+        assert_eq!(tl.fault_annotations()[0].site, "dev0");
+    }
+
+    #[test]
+    fn uplink_derating_slows_host_traffic_and_is_annotated() {
+        let config = MachineConfig::smart_infinity(1);
+        let run = |effects: Option<&TimedFaultEffects>| {
+            let mut plat = TimedPlatform::new_with_faults(&config, effects);
+            let p = plat.add_phase("x");
+            plat.host_to_ssd(0, 16.0e9, &[], p);
+            plat.run().unwrap()
+        };
+        let clean = run(None);
+        // The transfer is normally bottlenecked by the SSD media write rate,
+        // so derate the 16 GB/s uplink hard enough (to 1.6 GB/s) that it
+        // becomes the binding constraint: 16 GB / 1.6 GB/s = 10 s.
+        let effects = TimedFaultEffects {
+            uplink_bandwidth_factor: Some(0.1),
+            ..TimedFaultEffects::default()
+        };
+        let derated = run(Some(&effects));
+        assert!(
+            (derated.makespan() - 10.0).abs() < 1e-6,
+            "derated {} vs clean {}",
+            derated.makespan(),
+            clean.makespan()
+        );
+        assert!(derated.makespan() > clean.makespan() * 1.5);
+        let notes = derated.fault_annotations();
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].site, "host-uplink");
+        assert!(notes[0].detail.contains("10.0%"));
     }
 }

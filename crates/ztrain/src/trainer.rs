@@ -18,6 +18,7 @@
 //!   to the device that actually failed.
 
 use csd::CsdError;
+use fabric::FabricError;
 use gradcomp::CompressError;
 use serde::Serialize;
 use simkit::SimError;
@@ -62,6 +63,56 @@ impl StageReport {
     }
 }
 
+/// Recovery telemetry of one step that survived injected faults.
+///
+/// Every counter records *modeled* recovery work, so the report is
+/// deterministic for a given fault plan: `backoff_ms` is the exponential
+/// backoff a production host would have slept, not wall-clock time, and
+/// `rebuild_bytes` is the data migrated off worn or dropped devices. A step
+/// with no fault events carries `None` in [`StepReport::degraded`], keeping
+/// fault-free telemetry bit-identical to a run without any fault plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct DegradedReport {
+    /// Injected transient faults that were absorbed by retry.
+    pub transient_faults: u64,
+    /// Total operation retries (transient retries + post-rebuild retries).
+    pub retries: u64,
+    /// Modeled exponential-backoff delay accumulated across retries, in
+    /// milliseconds.
+    pub backoff_ms: u64,
+    /// Devices rebuilt after wear-out or dropout during this step.
+    pub devices_rebuilt: u64,
+    /// Bytes migrated onto replacement hardware by those rebuilds.
+    pub rebuild_bytes: u64,
+}
+
+impl DegradedReport {
+    /// Whether any recovery work actually happened.
+    pub fn is_degraded(&self) -> bool {
+        *self != DegradedReport::default()
+    }
+
+    /// Merges another report's counters into this one (used when a step is
+    /// assembled from several recovered operations).
+    pub fn absorb(&mut self, other: &DegradedReport) {
+        self.transient_faults += other.transient_faults;
+        self.retries += other.retries;
+        self.backoff_ms += other.backoff_ms;
+        self.devices_rebuilt += other.devices_rebuilt;
+        self.rebuild_bytes += other.rebuild_bytes;
+    }
+
+    /// Converts to the optional form used on [`StepReport`]: `None` when no
+    /// recovery happened, so fault-free reports stay bit-identical.
+    pub fn into_option(self) -> Option<DegradedReport> {
+        if self.is_degraded() {
+            Some(self)
+        } else {
+            None
+        }
+    }
+}
+
 /// Per-step telemetry returned by [`Trainer::step`].
 ///
 /// The byte counters mirror what the substrate-specific accessors used to
@@ -103,6 +154,9 @@ pub struct StepReport {
     /// Per-stage overlap telemetry of the pipelined execution backend;
     /// `None` for backends that execute the step's phases serially.
     pub stages: Option<StageReport>,
+    /// Recovery telemetry when injected faults fired during this step;
+    /// `None` when the step ran fault-free.
+    pub degraded: Option<DegradedReport>,
 }
 
 impl StepReport {
@@ -122,6 +176,11 @@ impl StepReport {
     pub fn is_pipelined(&self) -> bool {
         self.stages.is_some()
     }
+
+    /// Whether injected faults fired (and were recovered from) this step.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
 }
 
 /// The workspace-level training error: one type for every substrate, so a
@@ -136,6 +195,9 @@ pub enum TrainError {
     Device(CsdError),
     /// The discrete-event simulation of the timed stack failed.
     Simulation(SimError),
+    /// A PCIe-fabric topology or routing operation failed (degraded or
+    /// partitioned links).
+    Fabric(FabricError),
     /// The requested training configuration is invalid.
     Config {
         /// What was wrong with the configuration.
@@ -148,6 +210,27 @@ impl TrainError {
     pub fn config(message: impl Into<String>) -> Self {
         TrainError::Config { message: message.into() }
     }
+
+    /// Whether bounded retry with backoff can clear this error — true only
+    /// for injected transient faults surfacing from the storage or device
+    /// layer.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            TrainError::Storage(e) => e.is_transient(),
+            TrainError::Device(e) => e.is_transient(),
+            _ => false,
+        }
+    }
+
+    /// Whether the error means a device is dead (dropped out or worn-out
+    /// media) and must be rebuilt before the operation can succeed.
+    pub fn needs_rebuild(&self) -> bool {
+        match self {
+            TrainError::Storage(e) => matches!(e, SsdError::WornOut { .. }),
+            TrainError::Device(e) => e.needs_rebuild(),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for TrainError {
@@ -156,6 +239,7 @@ impl fmt::Display for TrainError {
             TrainError::Storage(e) => write!(f, "storage error: {e}"),
             TrainError::Device(e) => write!(f, "device error: {e}"),
             TrainError::Simulation(e) => write!(f, "simulation error: {e}"),
+            TrainError::Fabric(e) => write!(f, "fabric error: {e}"),
             TrainError::Config { message } => write!(f, "invalid configuration: {message}"),
         }
     }
@@ -167,6 +251,7 @@ impl Error for TrainError {
             TrainError::Storage(e) => Some(e),
             TrainError::Device(e) => Some(e),
             TrainError::Simulation(e) => Some(e),
+            TrainError::Fabric(e) => Some(e),
             TrainError::Config { .. } => None,
         }
     }
@@ -187,6 +272,12 @@ impl From<CsdError> for TrainError {
 impl From<SimError> for TrainError {
     fn from(e: SimError) -> Self {
         TrainError::Simulation(e)
+    }
+}
+
+impl From<FabricError> for TrainError {
+    fn from(e: FabricError) -> Self {
+        TrainError::Fabric(e)
     }
 }
 
@@ -231,6 +322,33 @@ pub trait Trainer: fmt::Debug {
     /// Number of parameters being trained.
     fn num_params(&self) -> usize {
         self.params_fp16().len()
+    }
+
+    /// Serialises the trainer's resumable state — step counter, FP32 master
+    /// parameters, optimizer auxiliary state and (when gradient compression
+    /// is on) the error-feedback residuals — into a portable
+    /// [`TrainerCheckpoint`](crate::TrainerCheckpoint).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::Config`] for substrates that do not support
+    /// checkpointing, or a substrate error if reading the state back fails.
+    fn checkpoint(&mut self) -> Result<crate::TrainerCheckpoint, TrainError> {
+        Err(TrainError::config("this trainer does not support checkpointing"))
+    }
+
+    /// Restores the trainer's state from a checkpoint taken by
+    /// [`Trainer::checkpoint`], after which continued training is
+    /// bit-identical to a run that was never interrupted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::Config`] if the checkpoint does not match this
+    /// trainer (wrong parameter count or state shape) or the substrate does
+    /// not support restore.
+    fn restore(&mut self, checkpoint: &crate::TrainerCheckpoint) -> Result<(), TrainError> {
+        let _ = checkpoint;
+        Err(TrainError::config("this trainer does not support checkpoint restore"))
     }
 
     /// Runs one training step pulling gradients from a
@@ -333,5 +451,72 @@ mod tests {
     fn trainer_is_object_safe() {
         // Compiles only if `dyn Trainer` is a valid type.
         fn _takes_dyn(_t: &mut dyn Trainer) {}
+    }
+
+    #[test]
+    fn fabric_errors_convert_and_chain() {
+        let e: TrainError = FabricError::Partitioned { from: 0, to: 5 }.into();
+        assert!(e.to_string().starts_with("fabric error"));
+        let origin = e.source().expect("fabric layer");
+        assert_eq!(
+            origin.downcast_ref::<FabricError>(),
+            Some(&FabricError::Partitioned { from: 0, to: 5 })
+        );
+        assert!(!e.is_transient());
+        assert!(!e.needs_rebuild());
+    }
+
+    #[test]
+    fn fault_classification_spans_every_layer() {
+        let injected = faultkit::FaultPlan::new({
+            let mut s = faultkit::FaultSpec::empty(1);
+            s.transient_per_mille = Some(1000);
+            s.max_transient_burst = Some(1);
+            s
+        })
+        .injector(0)
+        .check(faultkit::FaultOpKind::Write)
+        .unwrap_err();
+        let transient: TrainError =
+            SsdError::Injected { device: "d".into(), fault: injected }.into();
+        assert!(transient.is_transient() && !transient.needs_rebuild());
+        // The source chain reaches the injected-fault leaf three layers down.
+        let ssd = transient.source().expect("storage layer");
+        assert!(ssd
+            .source()
+            .expect("fault leaf")
+            .downcast_ref::<faultkit::InjectedFault>()
+            .is_some());
+
+        let worn: TrainError = SsdError::WornOut { device: "d".into() }.into();
+        assert!(!worn.is_transient() && worn.needs_rebuild());
+        let dropped: TrainError = CsdError::Dropout { device: "c".into() }.into();
+        assert!(!dropped.is_transient() && dropped.needs_rebuild());
+        let wrapped: TrainError = CsdError::Ssd(SsdError::WornOut { device: "d".into() }).into();
+        assert!(wrapped.needs_rebuild());
+        assert!(!TrainError::config("x").is_transient());
+    }
+
+    #[test]
+    fn degraded_report_helpers() {
+        let mut d = DegradedReport::default();
+        assert!(!d.is_degraded());
+        assert_eq!(d.into_option(), None);
+        d.transient_faults = 2;
+        d.retries = 2;
+        d.backoff_ms = 6;
+        assert!(d.is_degraded());
+        let mut total =
+            DegradedReport { devices_rebuilt: 1, rebuild_bytes: 64, ..Default::default() };
+        total.absorb(&d);
+        assert_eq!(total.transient_faults, 2);
+        assert_eq!(total.retries, 2);
+        assert_eq!(total.backoff_ms, 6);
+        assert_eq!(total.devices_rebuilt, 1);
+        assert_eq!(total.rebuild_bytes, 64);
+        assert_eq!(total.into_option(), Some(total));
+        let report = StepReport { degraded: Some(total), ..StepReport::default() };
+        assert!(report.is_degraded());
+        assert!(!StepReport::default().is_degraded());
     }
 }

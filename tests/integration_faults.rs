@@ -1,0 +1,206 @@
+//! Fault-injection integration tests across the whole stack, through the
+//! [`Session`] front door:
+//!
+//! * an omitted or empty [`FaultSpec`] leaves every trainer and the timed
+//!   engine bit-identical to the fault-free build, across devices × worker
+//!   threads × execution modes (the "numerically invisible" baseline);
+//! * the same `RunSpec` + `FaultSpec` seed reproduces the same fault events,
+//!   the same recovery work and the same final parameters regardless of how
+//!   many worker threads the execution backend uses;
+//! * recovered transients, wear-outs and dropouts never change the numbers.
+
+use proptest::prelude::*;
+use smart_infinity::{
+    FaultSpec, MachineConfig, Method, MethodSpec, ModelConfig, Session, SessionBuilder,
+};
+use tensorlib::FlatTensor;
+
+const N: usize = 1500;
+
+// Two builders on purpose: the functional trainers want a small subgroup so
+// a 1500-element tensor spreads over several subgroups per shard, but the
+// same override applied to the timed model of a 0.34B-parameter workload
+// would explode it into millions of per-subgroup events.
+fn builder(method: impl Into<MethodSpec>, devices: usize, threads: usize) -> SessionBuilder {
+    timed_builder(method, devices, threads).with_subgroup_elems(300)
+}
+
+fn timed_builder(method: impl Into<MethodSpec>, devices: usize, threads: usize) -> SessionBuilder {
+    Session::builder(ModelConfig::gpt2_0_34b(), MachineConfig::smart_infinity(devices), method)
+        .with_threads(threads)
+}
+
+fn exec_modes() -> Vec<MethodSpec> {
+    vec![
+        MethodSpec::from(Method::Baseline),
+        MethodSpec::from(Method::SmartUpdate),
+        MethodSpec::from(Method::SmartComp { keep_ratio: 0.05 }),
+        MethodSpec::pipelined(None),
+        MethodSpec::pipelined(Some(0.05)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Satellite invariant: an empty fault plan is not merely "few faults" —
+    /// it is bit-identical to never having had the fault axis at all, for
+    /// every execution mode, device count and worker count.
+    #[test]
+    fn empty_fault_plans_are_bit_identical_to_no_fault_axis(
+        devices in 1usize..6,
+        threads in 1usize..5,
+        mode in 0usize..5,
+        seed in 0u64..1000,
+    ) {
+        let method = exec_modes().remove(mode);
+        let initial = FlatTensor::randn(N, 0.05, seed);
+        let grads = FlatTensor::randn(N, 0.01, seed + 1);
+
+        let mut plain = builder(method, devices, threads).build().trainer(&initial).unwrap();
+        let mut empty = builder(method, devices, threads)
+            .with_faults(FaultSpec::empty(seed))
+            .build()
+            .trainer(&initial)
+            .unwrap();
+
+        for _ in 0..2 {
+            let a = plain.step(&grads).unwrap();
+            let b = empty.step(&grads).unwrap();
+            prop_assert!(b.degraded.is_none(), "empty plan must not report degradation");
+            prop_assert_eq!(a, b);
+        }
+        let plain_params = plain.master_params().unwrap();
+        let empty_params = empty.master_params().unwrap();
+        prop_assert_eq!(plain_params.as_slice(), empty_params.as_slice());
+        prop_assert_eq!(plain.params_fp16().as_slice(), empty.params_fp16().as_slice());
+
+        // The timed view too: an empty spec must not perturb the makespan.
+        let timed_plain =
+            timed_builder(method, devices, threads).build().simulate_iteration().unwrap();
+        let timed_empty = timed_builder(method, devices, threads)
+            .with_faults(FaultSpec::empty(seed))
+            .build()
+            .simulate_iteration()
+            .unwrap();
+        prop_assert_eq!(timed_plain, timed_empty);
+    }
+
+    /// Recovered faults are numerically invisible: a run peppered with
+    /// transient storage faults (plus one wear-out and one dropout) produces
+    /// bit-identical parameters to the fault-free run, in every mode.
+    #[test]
+    fn recovered_faults_never_change_the_numbers(
+        mode in 0usize..5,
+        seed in 0u64..1000,
+    ) {
+        let method = exec_modes().remove(mode);
+        let initial = FlatTensor::randn(N, 0.05, seed);
+        let grads = FlatTensor::randn(N, 0.01, seed + 1);
+        let mut faults = FaultSpec::empty(seed);
+        faults.transient_per_mille = Some(250);
+        faults.ssd_wearout_step = Some(1);
+        faults.csd_dropout_step = Some(2);
+
+        let mut clean = builder(method, 3, 2).build().trainer(&initial).unwrap();
+        let mut faulted =
+            builder(method, 3, 2).with_faults(faults).build().trainer(&initial).unwrap();
+
+        let mut degraded_steps = 0;
+        for _ in 0..3 {
+            let a = clean.step(&grads).unwrap();
+            let b = faulted.step(&grads).unwrap();
+            degraded_steps += usize::from(b.degraded.is_some());
+            // Telemetry differs (the faulted run did recovery work), but the
+            // numbers must not.
+            prop_assert_eq!(a.step, b.step);
+            prop_assert_eq!(a.gradient_bytes, b.gradient_bytes);
+        }
+        prop_assert!(degraded_steps > 0, "a 25% transient rate must fire within 3 steps");
+        let clean_params = clean.master_params().unwrap();
+        let faulted_params = faulted.master_params().unwrap();
+        prop_assert_eq!(clean_params.as_slice(), faulted_params.as_slice());
+        prop_assert_eq!(clean.params_fp16().as_slice(), faulted.params_fp16().as_slice());
+    }
+}
+
+/// The same `RunSpec` + `FaultSpec` seed reproduces the same fault events,
+/// the same recovery work and the same final parameters for every worker
+/// count of the pipelined execution backend.
+#[test]
+fn seeded_faults_are_deterministic_across_worker_counts() {
+    let initial = FlatTensor::randn(N, 0.05, 17);
+    let grads = FlatTensor::randn(N, 0.01, 18);
+    let mut faults = FaultSpec::empty(99);
+    faults.transient_per_mille = Some(300);
+    faults.ssd_wearout_step = Some(1);
+
+    let run = |threads: usize| {
+        let mut trainer = builder(MethodSpec::pipelined(Some(0.1)), 4, threads)
+            .with_faults(faults.clone())
+            .build()
+            .trainer(&initial)
+            .unwrap();
+        let reports: Vec<_> = (0..3).map(|_| trainer.step(&grads).unwrap()).collect();
+        (reports, trainer.master_params().unwrap())
+    };
+
+    let (reports_1, params_1) = run(1);
+    assert!(
+        reports_1.iter().any(|r| r.degraded.is_some()),
+        "a 30% transient rate must fire within 3 steps"
+    );
+    for threads in [2, 4] {
+        let (reports_n, params_n) = run(threads);
+        for (a, b) in reports_1.iter().zip(&reports_n) {
+            // Identical fault events and recovery work, not just identical
+            // parameters — only the worker-count telemetry may differ.
+            assert_eq!(a.degraded, b.degraded, "{threads} workers, step {}", a.step);
+            assert_eq!(a.storage_bytes_read, b.storage_bytes_read, "{threads} workers");
+            assert_eq!(a.storage_bytes_written, b.storage_bytes_written, "{threads} workers");
+        }
+        assert_eq!(params_1.as_slice(), params_n.as_slice(), "{threads} workers");
+    }
+}
+
+/// Timed fault effects (a straggler CSD, a derated host uplink) slow the
+/// simulated iteration down and do so deterministically.
+#[test]
+fn timed_fault_effects_slow_the_iteration_deterministically() {
+    let mut faults = FaultSpec::empty(5);
+    faults.straggler_factor = Some(3.0);
+    faults.link_bandwidth_factor = Some(0.25);
+
+    for method in [MethodSpec::from(Method::Baseline), MethodSpec::from(Method::SmartUpdate)] {
+        let clean = timed_builder(method, 4, 1).build().simulate_iteration().unwrap();
+        let degraded = timed_builder(method, 4, 1)
+            .with_faults(faults.clone())
+            .build()
+            .simulate_iteration()
+            .unwrap();
+        let again = timed_builder(method, 4, 1)
+            .with_faults(faults.clone())
+            .build()
+            .simulate_iteration()
+            .unwrap();
+        assert!(
+            degraded.total_s() > clean.total_s(),
+            "faults must cost time: {} vs {}",
+            degraded.total_s(),
+            clean.total_s()
+        );
+        assert_eq!(degraded, again, "the timed fault model is deterministic");
+    }
+}
+
+/// Invalid fault specs are rejected up front with a configuration error,
+/// like every other spec axis — not discovered mid-run.
+#[test]
+fn invalid_fault_specs_are_rejected_up_front() {
+    let initial = FlatTensor::randn(64, 0.05, 1);
+    let mut faults = FaultSpec::empty(1);
+    faults.transient_per_mille = Some(1001);
+    let err =
+        builder(Method::Baseline, 1, 1).with_faults(faults).build().trainer(&initial).unwrap_err();
+    assert!(err.to_string().contains("per_mille"), "{err}");
+}
