@@ -8,6 +8,8 @@
 //! cargo run -p bench --release --bin figures -- campaign specs/ladder.json
 //! cargo run -p bench --release --bin figures -- --check campaign specs/*.json
 //! cargo run -p bench --release --bin figures -- --checkpoint ckpt.json --halt-after 2 campaign specs/faults.json
+//! cargo run -p bench --release --bin figures -- serve specs/serve.json --clients 3
+//! cargo run -p bench --release --bin figures -- --clients 2 --passes 2 --expect-dedup serve specs/ladder.json
 //! cargo run -p bench --release --bin figures -- perf --check BENCH_2.json --tolerance 0.15
 //! cargo run -p bench --release --bin figures -- perf --bless --check BENCH_2.json
 //! ```
@@ -23,6 +25,15 @@
 //! writes the checkpoint back — killing and re-invoking the same command
 //! finishes the campaign with bit-identical results to an uninterrupted run.
 //! A completed campaign deletes its checkpoint file.
+//!
+//! `serve` drives the same spec files through the `campaignd` service
+//! instead: `--clients N` simulated clients each submit the full list
+//! `--passes P` times against one `CampaignService`, and the report shows
+//! per-pass cache-hit rates, the executions-vs-unique-specs dedup proof,
+//! per-client fairness and queue-wait/run-time latency distributions.
+//! `--expect-dedup` turns the run into a gate (the CI smoke): exactly one
+//! execution per unique spec, 100% cache hits on every pass after the first,
+//! and no starved client.
 //!
 //! For the `perf` experiment, `--check <baseline.json>` (the argument must end
 //! in `.json`) turns the run into a regression gate: the fresh snapshot is
@@ -47,6 +58,10 @@ fn main() {
     let mut selected: Vec<String> = Vec::new();
     let mut campaign_paths: Vec<String> = Vec::new();
     let mut campaign_mode = false;
+    let mut serve_paths: Vec<String> = Vec::new();
+    let mut serve_mode = false;
+    let mut serve = harness::ServeOpts::default();
+    let mut expect_dedup = false;
     let mut quick = false;
     let mut check = false;
     let mut checkpoint: Option<PathBuf> = None;
@@ -94,18 +109,35 @@ fn main() {
                 gate.tolerance = value;
             }
             "--bless" => gate.bless = true,
-            "campaign" => campaign_mode = true,
+            "campaign" => {
+                campaign_mode = true;
+                serve_mode = false;
+            }
+            "serve" => {
+                serve_mode = true;
+                campaign_mode = false;
+            }
+            "--clients" => serve.clients = required_usize(&mut iter, "--clients"),
+            "--passes" => serve.passes = required_usize(&mut iter, "--passes"),
+            "--queue-depth" => serve.queue_depth = required_usize(&mut iter, "--queue-depth"),
+            "--admission-batch" => {
+                serve.admission_batch = required_usize(&mut iter, "--admission-batch");
+            }
+            "--expect-dedup" => expect_dedup = true,
             "all" => selected.extend(ALL.iter().map(|s| s.to_string())),
             other if campaign_mode => campaign_paths.push(other.to_string()),
+            other if serve_mode => serve_paths.push(other.to_string()),
             other => selected.push(other.to_string()),
         }
     }
-    if selected.is_empty() && campaign_paths.is_empty() {
+    if selected.is_empty() && campaign_paths.is_empty() && serve_paths.is_empty() {
         eprintln!(
             "usage: figures [--json DIR] [--quick] <all | fig3a fig3b tab1 tab3 fig9 fig10 \
              fig11 fig12 fig13 fig14 fig15 tab4 fig16 fig17 pipeline perf>\n\
              \x20      figures [--json DIR] [--check] [--checkpoint CKPT.json [--halt-after N]] \
              campaign <spec.json> [spec.json ...]\n\
+             \x20      figures [--json DIR] [--clients N] [--passes N] [--queue-depth N] \
+             [--admission-batch N] [--expect-dedup] serve <spec.json> [spec.json ...]\n\
              \x20      figures [--quick] perf [--check <baseline.json>] [--tolerance 0.15] \
              [--bless]"
         );
@@ -134,6 +166,78 @@ fn main() {
             halt_after,
         );
     }
+    for path in serve_paths {
+        run_serve(Path::new(&path), &serve, expect_dedup, json_dir.as_deref());
+    }
+}
+
+/// Consumes the next token as a positive integer or exits with usage help.
+fn required_usize(iter: &mut std::iter::Peekable<std::vec::IntoIter<String>>, flag: &str) -> usize {
+    iter.next().and_then(|t| t.parse::<usize>().ok()).filter(|&n| n > 0).unwrap_or_else(|| {
+        eprintln!("{flag} requires a positive integer argument");
+        std::process::exit(2);
+    })
+}
+
+/// Drives one spec file through the `campaignd` service with N simulated
+/// clients ([`harness::serve_campaign`]) and renders hit rates, fairness and
+/// latency. With `--expect-dedup` the run becomes a gate: exactly one
+/// execution per unique spec, 100% cache hits on every pass after the first,
+/// and no starved client — or the process exits non-zero.
+fn run_serve(path: &Path, opts: &harness::ServeOpts, expect_dedup: bool, json: Option<&Path>) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    let campaign = Campaign::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("{}: {e}", path.display());
+        std::process::exit(1);
+    });
+    let outcome = harness::serve_campaign(&campaign, opts, &parcore::ParExecutor::current())
+        .unwrap_or_else(|e| {
+            eprintln!("{}: {e}", path.display());
+            std::process::exit(1);
+        });
+    println!("{}", harness::render_serve(&outcome));
+    if expect_dedup {
+        let mut failures: Vec<String> = Vec::new();
+        if outcome.executions != outcome.unique_specs as u64 {
+            failures.push(format!(
+                "{} execution(s) for {} unique spec(s): dedup did not hold",
+                outcome.executions, outcome.unique_specs
+            ));
+        }
+        for pass in outcome.passes.iter().skip(1) {
+            if pass.cache_hits != pass.submitted {
+                failures.push(format!(
+                    "pass {}: only {} of {} submissions were cache hits",
+                    pass.pass, pass.cache_hits, pass.submitted
+                ));
+            }
+        }
+        let per_client = (outcome.specs_per_pass * outcome.passes.len()) as u64;
+        for (client, stats) in outcome.report.clients.iter().enumerate() {
+            if stats.completed != per_client {
+                failures.push(format!(
+                    "client {client} completed {} of {per_client} job(s): starved",
+                    stats.completed
+                ));
+            }
+        }
+        if !failures.is_empty() {
+            for failure in &failures {
+                eprintln!("serve gate: {failure}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "serve gate OK: {} unique spec(s) executed once each, every later pass 100% \
+             cached, all {} client(s) completed {per_client} job(s)",
+            outcome.unique_specs, outcome.clients
+        );
+    }
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("serve");
+    write_json(json, &format!("serve_{stem}"), &outcome);
 }
 
 /// Options for the `perf` regression gate (`--check/--tolerance/--bless`).

@@ -5,10 +5,12 @@
 
 use llm::{CostModel, GpuSpec, ModelConfig, Workload};
 use optim::OptimizerKind;
+use parcore::ParExecutor;
 use serde::{Deserialize, Serialize};
 use smart_infinity::{
-    Campaign, CampaignReport, Experiment, MachineSpec, Method, MethodSpec, ModelSpec, RunSpec,
-    Session, SmartInfinityEngine, TrafficMethod, TrafficModel,
+    Campaign, CampaignReport, CampaignService, Experiment, MachineSpec, Method, MethodSpec,
+    ModelSpec, RunSpec, ServiceConfig, ServiceError, ServiceReport, Session, SmartInfinityEngine,
+    TrafficMethod, TrafficModel,
 };
 use tensorlib::KernelPath;
 use ztrain::realtrain::{train_classifier, Dataset, MlpModel, TrainConfig};
@@ -772,6 +774,235 @@ pub fn render_campaign(report: &CampaignReport) -> String {
             r.speedup_over_first
         ));
     }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// campaignd: the serve driver (`figures -- serve`)
+// ---------------------------------------------------------------------------
+
+/// Options of the [`serve_campaign`] driver.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOpts {
+    /// Number of simulated client threads submitting concurrently.
+    pub clients: usize,
+    /// Full passes over the spec list each client submits (pass 2+ of an
+    /// unchanged list must be 100% cache hits).
+    pub passes: usize,
+    /// Service queue depth ([`ServiceConfig::queue_depth`]).
+    pub queue_depth: usize,
+    /// Admission batch size ([`ServiceConfig::admission_batch`]).
+    pub admission_batch: usize,
+}
+
+impl Default for ServeOpts {
+    /// 2 clients, 2 passes, default service knobs.
+    fn default() -> Self {
+        let config = ServiceConfig::default();
+        ServeOpts {
+            clients: 2,
+            passes: 2,
+            queue_depth: config.queue_depth,
+            admission_batch: config.admission_batch,
+        }
+    }
+}
+
+/// Offered load and cache behaviour of one pass over the spec list.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ServePass {
+    /// 1-based pass number.
+    pub pass: usize,
+    /// Submissions accepted during this pass (all clients).
+    pub submitted: u64,
+    /// Of those, answered from the content-addressed cache.
+    pub cache_hits: u64,
+}
+
+/// The result of driving a campaign through the `campaignd` service.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeOutcome {
+    /// The campaign's name, if any.
+    pub campaign: Option<String>,
+    /// Simulated clients.
+    pub clients: usize,
+    /// Specs each client submitted per pass (the spec-list length, which may
+    /// contain canonical duplicates on purpose).
+    pub specs_per_pass: usize,
+    /// Distinct canonical specs in the list — the ceiling on executions.
+    pub unique_specs: usize,
+    /// Unique-spec executions actually run; equals `unique_specs` when dedup
+    /// held (every duplicate was coalesced or served from cache).
+    pub executions: u64,
+    /// Per-pass offered load and cache hits.
+    pub passes: Vec<ServePass>,
+    /// CPUs available to the process when the serve ran.
+    pub num_cpus: usize,
+    /// Worker threads of the executor the service dispatched on.
+    pub threads: usize,
+    /// Whether concurrent execution could actually help on this host (same
+    /// caveat as [`CampaignReport::parallel_valid`]: on a 1-CPU box the
+    /// latency numbers time-slice one core, so wall-clock comparisons — and
+    /// the dormant speedup-ratio perf gate — are not meaningful there).
+    pub parallel_valid: bool,
+    /// The service-wide telemetry (counters, per-client fairness, latency
+    /// distributions).
+    pub report: ServiceReport,
+}
+
+/// Drives `campaign` through a fresh [`CampaignService`]: `opts.clients`
+/// threads each submit the full spec list `opts.passes` times (each client
+/// starts at a rotated offset so the overlap is in-flight, not only cached)
+/// and await every result. Pass boundaries are barriers — every job of a
+/// pass completes before the next pass starts — so with an unchanged spec
+/// list every pass after the first is answered entirely from cache. A
+/// [`ServiceError::QueueFull`] rejection makes the client settle its oldest
+/// outstanding job (draining the queue) and resubmit.
+///
+/// # Errors
+///
+/// Returns the first [`ServiceError`] a client hit that back-pressure cannot
+/// resolve: an invalid spec, or a failed execution.
+pub fn serve_campaign(
+    campaign: &Campaign,
+    opts: &ServeOpts,
+    pool: &ParExecutor,
+) -> Result<ServeOutcome, ServiceError> {
+    let service = CampaignService::new(ServiceConfig::new(opts.queue_depth, opts.admission_batch));
+    let clients = opts.clients.max(1);
+    let specs_per_pass = campaign.specs.len();
+    let unique_specs = {
+        let mut canon: Vec<String> =
+            campaign.specs.iter().map(smart_infinity::RunSpec::canonical_json).collect();
+        canon.sort();
+        canon.dedup();
+        canon.len()
+    };
+    let mut passes = Vec::new();
+    for pass in 1..=opts.passes.max(1) {
+        let before = service.report();
+        std::thread::scope(|scope| -> Result<(), ServiceError> {
+            let handles: Vec<_> = (0..clients)
+                .map(|client| {
+                    let service = &service;
+                    scope.spawn(move || -> Result<(), ServiceError> {
+                        let mut outstanding = std::collections::VecDeque::new();
+                        for k in 0..specs_per_pass {
+                            let spec = &campaign.specs[(client + k) % specs_per_pass];
+                            loop {
+                                match service.submit(client, spec) {
+                                    Ok(id) => {
+                                        outstanding.push_back(id);
+                                        break;
+                                    }
+                                    Err(ServiceError::QueueFull { .. }) => {
+                                        match outstanding.pop_front() {
+                                            Some(id) => {
+                                                service.await_result(id, pool)?;
+                                            }
+                                            None => {
+                                                service.tick(pool);
+                                            }
+                                        }
+                                    }
+                                    Err(error) => return Err(error),
+                                }
+                            }
+                        }
+                        for id in outstanding {
+                            service.await_result(id, pool)?;
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle.join().expect("serve client panicked")?;
+            }
+            Ok(())
+        })?;
+        let after = service.report();
+        passes.push(ServePass {
+            pass,
+            submitted: after.submitted - before.submitted,
+            cache_hits: after.cache_hits - before.cache_hits,
+        });
+    }
+    let num_cpus = ParExecutor::current().num_threads();
+    Ok(ServeOutcome {
+        campaign: campaign.name.clone(),
+        clients,
+        specs_per_pass,
+        unique_specs,
+        executions: service.executions(),
+        passes,
+        num_cpus,
+        threads: pool.num_threads(),
+        parallel_valid: num_cpus > 1 && pool.num_threads() > 1,
+        report: service.report(),
+    })
+}
+
+/// Renders a serve outcome as text: per-pass hit rates, the dedup proof,
+/// per-client fairness and the latency distributions.
+pub fn render_serve(outcome: &ServeOutcome) -> String {
+    let mut out = format!(
+        "campaignd serve{}: {} client(s) x {} pass(es) x {} spec(s) ({} unique) \
+         on {} worker(s), {} CPU(s)\n",
+        outcome.campaign.as_deref().map(|n| format!(" `{n}`")).unwrap_or_default(),
+        outcome.clients,
+        outcome.passes.len(),
+        outcome.specs_per_pass,
+        outcome.unique_specs,
+        outcome.threads,
+        outcome.num_cpus
+    );
+    if !outcome.parallel_valid {
+        out.push_str(
+            "NOTE: dispatched without real concurrency (1 worker or 1 CPU); dedup and cache\n\
+             behaviour are identical — only the latency numbers are not comparable across\n\
+             machines (the same caveat that keeps the BENCH_2 speedup-ratio gate dormant).\n",
+        );
+    }
+    for pass in &outcome.passes {
+        let pct = if pass.submitted == 0 {
+            0.0
+        } else {
+            100.0 * pass.cache_hits as f64 / pass.submitted as f64
+        };
+        out.push_str(&format!(
+            "pass {}: {} submitted, {} cache hit(s) ({pct:.0}%)\n",
+            pass.pass, pass.submitted, pass.cache_hits
+        ));
+    }
+    let r = &outcome.report;
+    out.push_str(&format!(
+        "executions {} (unique specs {}), coalesced {}, rejected {}, failed {}\n",
+        outcome.executions, outcome.unique_specs, r.coalesced, r.rejected, r.failed
+    ));
+    out.push_str(&format!(
+        "{:<8} {:>10} {:>10} {:>10} {:>9} {:>12}\n",
+        "client", "submitted", "completed", "hits", "rejected", "max wait (s)"
+    ));
+    for (client, stats) in r.clients.iter().enumerate() {
+        out.push_str(&format!(
+            "{:<8} {:>10} {:>10} {:>10} {:>9} {:>12.4}\n",
+            client,
+            stats.submitted,
+            stats.completed,
+            stats.cache_hits,
+            stats.rejected,
+            stats.max_queue_wait_s
+        ));
+    }
+    out.push_str(&format!(
+        "queue wait (s): mean {:.4}  p50 {:.4}  p95 {:.4}  max {:.4}\n",
+        r.queue_wait.mean_s, r.queue_wait.p50_s, r.queue_wait.p95_s, r.queue_wait.max_s
+    ));
+    out.push_str(&format!(
+        "run time  (s): mean {:.4}  p50 {:.4}  p95 {:.4}  max {:.4}\n",
+        r.run_time.mean_s, r.run_time.p50_s, r.run_time.p95_s, r.run_time.max_s
+    ));
     out
 }
 

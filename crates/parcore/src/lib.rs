@@ -190,6 +190,25 @@ impl ParExecutor {
         self.run(queues, n, &f)
     }
 
+    /// [`ParExecutor::map`] with per-item wall-clock timing: returns
+    /// `(result, seconds)` for every item, in item order. The clock wraps
+    /// only the closure body, on whichever worker ran it — queueing and
+    /// re-assembly are excluded — which is what a service wants for per-job
+    /// run-time telemetry. Results are identical to [`ParExecutor::map`];
+    /// only the timings vary run to run.
+    pub fn map_timed<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<(R, f64)>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        self.map(items, move |i, item| {
+            let start = std::time::Instant::now();
+            let result = f(i, item);
+            (result, start.elapsed().as_secs_f64())
+        })
+    }
+
     /// [`ParExecutor::map`] with a per-item cost estimate: `weights[i]` is
     /// the relative cost of item `i` (any monotone proxy works — element
     /// count, byte size). Items are assigned heaviest-first to the least
@@ -506,6 +525,18 @@ mod tests {
                 x * 2
             });
             assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_timed_returns_results_in_order_with_nonnegative_timings() {
+        let items: Vec<usize> = (0..17).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x + 10).collect();
+        for threads in [1usize, 3, 8] {
+            let out = ParExecutor::new(threads).map_timed(items.clone(), |_, x| x + 10);
+            let (results, timings): (Vec<usize>, Vec<f64>) = out.into_iter().unzip();
+            assert_eq!(results, expected, "threads={threads}");
+            assert!(timings.iter().all(|&t| t >= 0.0 && t.is_finite()));
         }
     }
 

@@ -87,14 +87,16 @@ pub enum CampaignProgress {
     Halted(CampaignCheckpoint),
 }
 
-/// Prefixes a configuration error with the spec it came from (without
-/// stacking "invalid configuration:" prefixes). Substrate errors pass
-/// through unchanged so their variant and `source()` chain survive —
-/// a caller matching `TrainError::Simulation` must still hit that arm.
-fn label_error(spec: &RunSpec, error: TrainError) -> TrainError {
+/// Prefixes a configuration error with the spec it came from — its
+/// zero-based position *and* its label, so spec lists with duplicate labels
+/// stay debuggable (without stacking "invalid configuration:" prefixes).
+/// Substrate errors pass through unchanged so their variant and `source()`
+/// chain survive — a caller matching `TrainError::Simulation` must still hit
+/// that arm.
+fn label_error(index: usize, spec: &RunSpec, error: TrainError) -> TrainError {
     match error {
         TrainError::Config { message } => {
-            TrainError::config(format!("run spec `{}`: {message}", spec.label()))
+            TrainError::config(format!("run spec [{index}] `{}`: {message}", spec.label()))
         }
         other => other,
     }
@@ -138,8 +140,8 @@ impl Campaign {
         if self.specs.is_empty() {
             return Err(TrainError::config("a campaign needs at least one run spec"));
         }
-        for spec in &self.specs {
-            spec.session().map_err(|e| label_error(spec, e))?;
+        for (index, spec) in self.specs.iter().enumerate() {
+            spec.session().map_err(|e| label_error(index, spec, e))?;
         }
         Ok(())
     }
@@ -228,7 +230,8 @@ impl Campaign {
         let sessions = self
             .specs
             .iter()
-            .map(|spec| spec.session().map_err(|e| label_error(spec, e)))
+            .enumerate()
+            .map(|(index, spec)| spec.session().map_err(|e| label_error(index, spec, e)))
             .collect::<Result<Vec<_>, TrainError>>()?;
         let done = completed.len();
         let remaining = self.specs.len() - done;
@@ -245,8 +248,8 @@ impl Campaign {
         let results = pool.map(batch_sessions, |_, session| session.simulate_iteration());
         let reports = results
             .into_iter()
-            .zip(&self.specs[done..])
-            .map(|(result, spec)| result.map_err(|e| label_error(spec, e)))
+            .zip(self.specs[done..].iter().enumerate())
+            .map(|(result, (offset, spec))| result.map_err(|e| label_error(done + offset, spec, e)))
             .collect::<Result<Vec<_>, TrainError>>()?;
         // The speedup reference is the campaign's first report — reused from
         // the checkpoint when resuming (f64s survive the JSON round trip
@@ -375,13 +378,28 @@ mod tests {
         // it and walk its source() chain.
         let spec = ladder_campaign().specs[0].clone();
         let sim = TrainError::from(simkit::SimError::UnknownId { kind: "task", index: 7 });
-        assert!(matches!(label_error(&spec, sim), TrainError::Simulation(_)));
+        assert!(matches!(label_error(0, &spec, sim), TrainError::Simulation(_)));
         let config = TrainError::config("keep ratio out of range");
-        let labelled = label_error(&spec, config);
+        let labelled = label_error(2, &spec, config);
         let message = labelled.to_string();
         assert!(matches!(labelled, TrainError::Config { .. }));
+        assert!(message.contains("[2]"), "{message}");
         assert!(message.contains("GPT2-4.0B #SSD=6"), "{message}");
         assert_eq!(message.matches("invalid configuration").count(), 1, "{message}");
+    }
+
+    #[test]
+    fn validation_errors_carry_the_spec_index_for_duplicate_labels() {
+        // Two specs share a label; only the second is invalid. The index in
+        // the error is the only way to tell them apart.
+        let mut campaign = ladder_campaign();
+        campaign.specs[1] = campaign.specs[1].clone().with_name("twin");
+        campaign.specs[2] = campaign.specs[2].clone().with_name("twin");
+        campaign.specs[2].method = MethodSpec::smart_comp(7.0);
+        let err = campaign.validate().expect_err("second twin is invalid");
+        assert!(err.to_string().contains("[2] `twin`"), "{err}");
+        let err = campaign.run().expect_err("run validates too");
+        assert!(err.to_string().contains("[2] `twin`"), "{err}");
     }
 
     #[test]

@@ -38,6 +38,10 @@
 //! both speak [`TrainError`], so `?` works across the whole stack. Every
 //! configuration is also plain data: a [`RunSpec`] loads from JSON, and a
 //! [`Campaign`] sweeps a list of specs concurrently on `parcore` workers.
+//! For service-shaped traffic — many clients, overlapping spec lists —
+//! [`CampaignService`] (`campaignd`) adds a bounded work queue with in-flight
+//! dedup and a content-addressed result cache keyed on
+//! [`RunSpec::canonical_json`].
 //!
 //! ```
 //! use smart_infinity::{Campaign, FlatTensor, RunSpec, TrainError};
@@ -82,17 +86,24 @@
 #![warn(missing_docs)]
 
 mod campaign;
+mod canon;
 mod engine_functional;
 mod engine_timed;
 mod experiment;
+mod service;
 mod session;
 mod spec;
 mod traffic;
 
 pub use campaign::{Campaign, CampaignCheckpoint, CampaignProgress, CampaignReport, RunReport};
+pub use canon::{canonical_json, fnv1a};
 pub use engine_functional::SmartInfinityTrainer;
 pub use engine_timed::{HandlerMode, PipelineTiming, SmartInfinityEngine};
 pub use experiment::{Experiment, Method, MethodReport};
+pub use service::{
+    CampaignService, ClientReport, CompletedJob, JobId, JobStatus, JobTelemetry, LatencyStats,
+    ServiceConfig, ServiceError, ServiceReport,
+};
 pub use session::{Session, SessionBuilder};
 pub use spec::{CompressionSpec, MachineSpec, MethodSpec, ModelSpec, RunSpec, WorkloadSpec};
 pub use traffic::{InterconnectTraffic, TrafficMethod, TrafficModel};

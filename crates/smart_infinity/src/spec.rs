@@ -704,6 +704,32 @@ impl RunSpec {
         serde_json::from_str(text).map_err(|e| TrainError::config(format!("invalid run spec: {e}")))
     }
 
+    /// The spec's canonical serialization — the content the
+    /// [`crate::CampaignService`] result cache is addressed by.
+    ///
+    /// Canonical form is key-order- and whitespace-insensitive (object keys
+    /// sorted, re-rendered with no whitespace), treats omitted optionals and
+    /// explicit `null`s identically (null entries are dropped, as are knob
+    /// groups whose every knob is unset), normalizes number spellings, and
+    /// excludes the presentation-only `name` field — two specs that differ
+    /// only in their label run the exact same simulation, so they share a
+    /// cache entry. Every *semantic* knob participates.
+    pub fn canonical_json(&self) -> String {
+        let mut semantic = self.clone();
+        semantic.name = None;
+        let text = semantic.to_json();
+        let value = serde_json::parse(&text).expect("spec serialization is valid JSON");
+        crate::canon::canonical_json(&value)
+    }
+
+    /// The 64-bit content address of this spec: the FNV-1a hash of
+    /// [`RunSpec::canonical_json`]. Stable across processes and platforms;
+    /// the service keys its cache on the canonical text and uses this hash
+    /// as the compact address it reports, so collisions cannot alias specs.
+    pub fn cache_key(&self) -> u64 {
+        crate::canon::fnv1a(self.canonical_json().as_bytes())
+    }
+
     /// The spec as compact JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("spec serialization is infallible")
@@ -865,6 +891,29 @@ mod tests {
         assert!(matches!(bad_batch.session(), Err(TrainError::Config { .. })));
         let bad_model = RunSpec { model: ModelSpec::preset("nope"), ..good };
         assert!(matches!(bad_model.session(), Err(TrainError::Config { .. })));
+    }
+
+    #[test]
+    fn cache_keys_track_semantics_not_presentation() {
+        let spec = RunSpec::new(
+            ModelSpec::preset("GPT2-4.0B"),
+            MachineSpec::devices(6),
+            MethodSpec::smart_comp(0.01),
+        );
+        // The label is presentation, not content.
+        assert_eq!(spec.cache_key(), spec.clone().with_name("renamed").cache_key());
+        // An explicit all-null workload group is the same configuration as an
+        // omitted one.
+        let explicit = spec.clone().with_workload(WorkloadSpec { batch_size: None, seq_len: None });
+        assert_eq!(explicit.canonical_json(), spec.canonical_json());
+        // Any semantic knob change moves the key.
+        let mut devices = spec.clone();
+        devices.machine.devices = 7;
+        assert_ne!(spec.cache_key(), devices.cache_key());
+        let ratio = RunSpec { method: MethodSpec::smart_comp(0.02), ..spec.clone() };
+        assert_ne!(spec.cache_key(), ratio.cache_key());
+        let threads = spec.clone().with_threads(4);
+        assert_ne!(spec.cache_key(), threads.cache_key());
     }
 
     #[test]

@@ -264,7 +264,7 @@ fn checked_in_ladder_campaign_runs_concurrently_on_parcore() {
 
 #[test]
 fn every_checked_in_spec_file_parses_validates_and_runs() {
-    for file in ["ladder.json", "scaling.json", "compression.json"] {
+    for file in ["ladder.json", "scaling.json", "compression.json", "serve.json"] {
         let campaign = Campaign::from_json(&spec_json(file)).unwrap_or_else(|e| {
             panic!("{file}: {e}");
         });
