@@ -8,6 +8,7 @@
 //! cargo run -p bench --release --bin figures -- campaign specs/ladder.json
 //! cargo run -p bench --release --bin figures -- --check campaign specs/*.json
 //! cargo run -p bench --release --bin figures -- --checkpoint ckpt.json --halt-after 2 campaign specs/faults.json
+//! cargo run -p bench --release --bin figures -- sched specs/ladder.json
 //! cargo run -p bench --release --bin figures -- serve specs/serve.json --clients 3
 //! cargo run -p bench --release --bin figures -- --clients 2 --passes 2 --expect-dedup serve specs/ladder.json
 //! cargo run -p bench --release --bin figures -- perf --check BENCH_2.json --tolerance 0.15
@@ -25,6 +26,12 @@
 //! writes the checkpoint back — killing and re-invoking the same command
 //! finishes the campaign with bit-identical results to an uninterrupted run.
 //! A completed campaign deletes its checkpoint file.
+//!
+//! `sched` loads the same spec files and runs every spec's model / machine /
+//! workload under *each* of the four method schedulers (`host-update`,
+//! `serial-naive`, `serial-overlap`, `pipelined`), printing the per-phase
+//! breakdown and the speedup over the host-update baseline — the ladder as a
+//! scheduler comparison rather than a method sweep.
 //!
 //! `serve` drives the same spec files through the `campaignd` service
 //! instead: `--clients N` simulated clients each submit the full list
@@ -60,6 +67,8 @@ fn main() {
     let mut campaign_mode = false;
     let mut serve_paths: Vec<String> = Vec::new();
     let mut serve_mode = false;
+    let mut sched_paths: Vec<String> = Vec::new();
+    let mut sched_mode = false;
     let mut serve = harness::ServeOpts::default();
     let mut expect_dedup = false;
     let mut quick = false;
@@ -112,10 +121,17 @@ fn main() {
             "campaign" => {
                 campaign_mode = true;
                 serve_mode = false;
+                sched_mode = false;
             }
             "serve" => {
                 serve_mode = true;
                 campaign_mode = false;
+                sched_mode = false;
+            }
+            "sched" => {
+                sched_mode = true;
+                campaign_mode = false;
+                serve_mode = false;
             }
             "--clients" => serve.clients = required_usize(&mut iter, "--clients"),
             "--passes" => serve.passes = required_usize(&mut iter, "--passes"),
@@ -127,15 +143,21 @@ fn main() {
             "all" => selected.extend(ALL.iter().map(|s| s.to_string())),
             other if campaign_mode => campaign_paths.push(other.to_string()),
             other if serve_mode => serve_paths.push(other.to_string()),
+            other if sched_mode => sched_paths.push(other.to_string()),
             other => selected.push(other.to_string()),
         }
     }
-    if selected.is_empty() && campaign_paths.is_empty() && serve_paths.is_empty() {
+    if selected.is_empty()
+        && campaign_paths.is_empty()
+        && serve_paths.is_empty()
+        && sched_paths.is_empty()
+    {
         eprintln!(
             "usage: figures [--json DIR] [--quick] <all | fig3a fig3b tab1 tab3 fig9 fig10 \
              fig11 fig12 fig13 fig14 fig15 tab4 fig16 fig17 pipeline perf>\n\
              \x20      figures [--json DIR] [--check] [--checkpoint CKPT.json [--halt-after N]] \
              campaign <spec.json> [spec.json ...]\n\
+             \x20      figures [--json DIR] sched <spec.json> [spec.json ...]\n\
              \x20      figures [--json DIR] [--clients N] [--passes N] [--queue-depth N] \
              [--admission-batch N] [--expect-dedup] serve <spec.json> [spec.json ...]\n\
              \x20      figures [--quick] perf [--check <baseline.json>] [--tolerance 0.15] \
@@ -169,6 +191,69 @@ fn main() {
     for path in serve_paths {
         run_serve(Path::new(&path), &serve, expect_dedup, json_dir.as_deref());
     }
+    for path in sched_paths {
+        run_sched(Path::new(&path), json_dir.as_deref());
+    }
+}
+
+/// One spec's scheduler comparison, as written by `--json`.
+#[derive(Serialize)]
+struct SchedOutput {
+    /// The spec's display label.
+    spec: String,
+    /// One row per method scheduler.
+    rows: Vec<smart_infinity::sched::SchedulerRun>,
+}
+
+/// Runs every spec of the given file (a campaign file or a single run spec)
+/// under each of the four method schedulers and prints the per-phase
+/// comparison with speedups over the `host-update` baseline.
+fn run_sched(path: &Path, json: Option<&Path>) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    // Accept both a campaign file and a bare run spec.
+    let specs = match Campaign::from_json(&text) {
+        Ok(campaign) => campaign.specs,
+        Err(_) => vec![smart_infinity::RunSpec::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("{}: {e}", path.display());
+            std::process::exit(1);
+        })],
+    };
+    let mut outputs = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        let rows = smart_infinity::sched::compare_schedulers(spec).unwrap_or_else(|e| {
+            eprintln!("{} [{}]: {e}", path.display(), spec.label());
+            std::process::exit(1);
+        });
+        let baseline_total = rows
+            .iter()
+            .find(|r| r.scheduler == "host-update")
+            .map(|r| r.report.total_s())
+            .unwrap_or(f64::NAN);
+        println!("{} — scheduler comparison", spec.label());
+        println!(
+            "{:<16} {:<13} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "scheduler", "method", "fw (s)", "bw (s)", "up (s)", "total", "speedup"
+        );
+        for row in &rows {
+            println!(
+                "{:<16} {:<13} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>8.2}x",
+                row.scheduler,
+                row.method,
+                row.report.forward_s,
+                row.report.backward_s,
+                row.report.update_s,
+                row.report.total_s(),
+                baseline_total / row.report.total_s()
+            );
+        }
+        println!();
+        outputs.push(SchedOutput { spec: spec.label(), rows });
+    }
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("sched");
+    write_json(json, &format!("sched_{stem}"), &outputs);
 }
 
 /// Consumes the next token as a positive integer or exits with usage help.

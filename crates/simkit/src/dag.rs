@@ -1,0 +1,378 @@
+//! Task graphs: typed work items connected by data items and ordering edges.
+//!
+//! A [`Dag`] describes *what* an application does — computes, transfers,
+//! delays and joins, plus the data items flowing between them — without
+//! fixing *when* or *where* each piece runs. A [`crate::Scheduler`] walks the
+//! graph and emits placement + ordering decisions, which a
+//! [`crate::Lowering`] turns into concrete tasks on the flat
+//! [`crate::Simulation`] substrate (see [`crate::execute`]).
+//!
+//! Two kinds of edges coexist:
+//!
+//! - **Hard inputs** ([`Dag::connect`]) and **after-edges**
+//!   ([`Dag::add_after`]) are structural: every scheduler must honour them,
+//!   and the executor resolves them into simulation dependencies
+//!   automatically.
+//! - **Soft inputs** ([`Dag::connect_soft`]) declare dataflow whose physical
+//!   synchronisation is a *policy choice*: the scheduler decides which
+//!   concrete events realise the edge (e.g. a global barrier vs per-device
+//!   completion) and supplies them as [`crate::Anchor`]s on its decisions.
+
+use crate::error::SimError;
+use crate::task::PhaseId;
+
+/// Identifier for a task in a [`Dag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DagTaskId(pub(crate) usize);
+
+impl DagTaskId {
+    /// Zero-based position of this task in the graph.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier for a data item produced by a task in a [`Dag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DataId(pub(crate) usize);
+
+impl DataId {
+    /// Zero-based position of this data item in the graph.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Site index meaning "the storage class as a whole": the scheduler chooses
+/// the concrete device targets via a [`crate::ScatterPlan`].
+pub const SITE_STORAGE: usize = usize::MAX;
+
+/// The work a DAG task performs, in site-relative terms.
+///
+/// Sites are small integers whose meaning is fixed by the [`crate::Lowering`]
+/// in use (e.g. host = 0, GPUs next, then storage devices). The special site
+/// [`SITE_STORAGE`] stands for the storage class; transfers touching it are
+/// placed onto concrete devices by the scheduler's [`crate::ScatterPlan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DagWork {
+    /// Computation of `amount` work units on the resource at `site`.
+    Compute {
+        /// Processing site the computation is bound to.
+        site: usize,
+        /// Work in the site's units (FLOPs, bytes, ...).
+        amount: f64,
+    },
+    /// Moving `bytes` from one site to another.
+    Transfer {
+        /// Originating site.
+        from: usize,
+        /// Destination site (possibly [`SITE_STORAGE`]).
+        to: usize,
+        /// Payload size in bytes.
+        bytes: f64,
+    },
+    /// A fixed latency (setup cost, software overhead).
+    Delay {
+        /// Duration in seconds.
+        seconds: f64,
+    },
+    /// A zero-cost synchronisation point.
+    Join,
+}
+
+/// A task in the graph: its work, phase attribution and edges.
+#[derive(Debug, Clone)]
+pub struct DagTask {
+    /// Human-readable name for debugging and error messages.
+    pub name: String,
+    /// The work this task performs.
+    pub work: DagWork,
+    /// Phase the lowered simulation task is attributed to.
+    pub phase: Option<PhaseId>,
+    /// Hard data inputs: producers must be scheduled first, and the executor
+    /// wires the producers' lowered tasks in as dependencies.
+    pub inputs: Vec<DataId>,
+    /// Soft data inputs: dataflow whose synchronisation the scheduler
+    /// realises through decision anchors instead of structural edges.
+    pub soft_inputs: Vec<DataId>,
+    /// Structural ordering edges with no data attached.
+    pub after: Vec<DagTaskId>,
+    /// Data items this task produces.
+    pub outputs: Vec<DataId>,
+}
+
+/// A data item: a named payload produced by one task.
+#[derive(Debug, Clone)]
+pub struct DataItem {
+    /// Human-readable name.
+    pub name: String,
+    /// Size in bytes (informational; transfer sizing lives in [`DagWork`]).
+    pub bytes: f64,
+    /// The task that produces this item.
+    pub producer: DagTaskId,
+    /// Site the item lives at once produced, when meaningful. Items scattered
+    /// across storage carry `None`; per-site availability is resolved through
+    /// [`crate::Anchor::TaskAtSite`].
+    pub site: Option<usize>,
+}
+
+/// A task graph under construction.
+///
+/// Malformed references (unknown task or data ids) poison the graph rather
+/// than panicking; the first error is reported by [`Dag::validate`] and by
+/// [`crate::execute`].
+#[derive(Debug, Default)]
+pub struct Dag {
+    tasks: Vec<DagTask>,
+    data: Vec<DataItem>,
+    poison: Option<SimError>,
+}
+
+impl Dag {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn poison(&mut self, err: SimError) {
+        if self.poison.is_none() {
+            self.poison = Some(err);
+        }
+    }
+
+    fn check_task(&mut self, id: DagTaskId) -> bool {
+        if id.0 < self.tasks.len() {
+            true
+        } else {
+            self.poison(SimError::UnknownId { kind: "dag task", index: id.0 });
+            false
+        }
+    }
+
+    fn check_data(&mut self, id: DataId) -> bool {
+        if id.0 < self.data.len() {
+            true
+        } else {
+            self.poison(SimError::UnknownId { kind: "data item", index: id.0 });
+            false
+        }
+    }
+
+    /// Adds a task with no edges and returns its id.
+    pub fn add_task(&mut self, name: impl Into<String>, work: DagWork) -> DagTaskId {
+        let id = DagTaskId(self.tasks.len());
+        if let DagWork::Compute { amount, .. } = work {
+            if !(amount.is_finite() && amount >= 0.0) {
+                self.poison(SimError::InvalidParameter {
+                    message: format!(
+                        "dag compute amount must be non-negative and finite, got {amount}"
+                    ),
+                });
+            }
+        }
+        if let DagWork::Transfer { bytes, .. } = work {
+            if !(bytes.is_finite() && bytes >= 0.0) {
+                self.poison(SimError::InvalidParameter {
+                    message: format!(
+                        "dag transfer bytes must be non-negative and finite, got {bytes}"
+                    ),
+                });
+            }
+        }
+        if let DagWork::Delay { seconds } = work {
+            if !(seconds.is_finite() && seconds >= 0.0) {
+                self.poison(SimError::InvalidParameter {
+                    message: format!("dag delay must be non-negative and finite, got {seconds}"),
+                });
+            }
+        }
+        self.tasks.push(DagTask {
+            name: name.into(),
+            work,
+            phase: None,
+            inputs: Vec::new(),
+            soft_inputs: Vec::new(),
+            after: Vec::new(),
+            outputs: Vec::new(),
+        });
+        id
+    }
+
+    /// Attributes a task's lowered work to a simulation phase.
+    pub fn set_phase(&mut self, task: DagTaskId, phase: PhaseId) {
+        if self.check_task(task) {
+            self.tasks[task.0].phase = Some(phase);
+        }
+    }
+
+    /// Registers a data item produced by `task` and returns its id.
+    pub fn add_output(
+        &mut self,
+        task: DagTaskId,
+        name: impl Into<String>,
+        bytes: f64,
+        site: Option<usize>,
+    ) -> DataId {
+        let id = DataId(self.data.len());
+        self.data.push(DataItem { name: name.into(), bytes, producer: task, site });
+        if self.check_task(task) {
+            self.tasks[task.0].outputs.push(id);
+        }
+        id
+    }
+
+    /// Declares a hard data input: `consumer` structurally depends on the
+    /// item's producer.
+    pub fn connect(&mut self, consumer: DagTaskId, item: DataId) {
+        if self.check_task(consumer) && self.check_data(item) {
+            self.tasks[consumer.0].inputs.push(item);
+        }
+    }
+
+    /// Declares a soft data input: the dataflow exists, but the scheduler
+    /// chooses the synchronisation realising it (via decision anchors).
+    pub fn connect_soft(&mut self, consumer: DagTaskId, item: DataId) {
+        if self.check_task(consumer) && self.check_data(item) {
+            self.tasks[consumer.0].soft_inputs.push(item);
+        }
+    }
+
+    /// Adds a structural ordering edge: `task` runs after `pred`.
+    pub fn add_after(&mut self, task: DagTaskId, pred: DagTaskId) {
+        if self.check_task(task) && self.check_task(pred) {
+            self.tasks[task.0].after.push(pred);
+        }
+    }
+
+    /// Number of tasks in the graph.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The task with the given id, if it exists.
+    pub fn task(&self, id: DagTaskId) -> Option<&DagTask> {
+        self.tasks.get(id.0)
+    }
+
+    /// The data item with the given id, if it exists.
+    pub fn data(&self, id: DataId) -> Option<&DataItem> {
+        self.data.get(id.0)
+    }
+
+    /// All tasks, in id order.
+    pub fn tasks(&self) -> &[DagTask] {
+        &self.tasks
+    }
+
+    /// Structural predecessors of a task: hard-input producers first (in
+    /// declaration order), then after-edges. May contain duplicates.
+    pub fn predecessors(&self, id: DagTaskId) -> Vec<DagTaskId> {
+        let Some(task) = self.tasks.get(id.0) else {
+            return Vec::new();
+        };
+        let mut preds: Vec<DagTaskId> =
+            task.inputs.iter().map(|d| self.data[d.0].producer).collect();
+        preds.extend(task.after.iter().copied());
+        preds
+    }
+
+    /// Checks the graph is well-formed: no poisoned references, and no cycle
+    /// through structural edges.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if let Some(err) = &self.poison {
+            return Err(err.clone());
+        }
+        // Kahn's algorithm over hard edges.
+        let n = self.tasks.len();
+        let mut indegree = vec![0usize; n];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (id, degree) in indegree.iter_mut().enumerate() {
+            for pred in self.predecessors(DagTaskId(id)) {
+                *degree += 1;
+                dependents[pred.0].push(id);
+            }
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut visited = 0usize;
+        while let Some(t) = ready.pop() {
+            visited += 1;
+            for &d in &dependents[t] {
+                indegree[d] -= 1;
+                if indegree[d] == 0 {
+                    ready.push(d);
+                }
+            }
+        }
+        if visited != n {
+            let stuck: Vec<usize> = (0..n).filter(|&i| indegree[i] > 0).collect();
+            return Err(SimError::DependencyCycle { stuck_tasks: stuck });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query_a_small_graph() {
+        let mut dag = Dag::new();
+        let a = dag.add_task("a", DagWork::Compute { site: 0, amount: 1.0 });
+        let out = dag.add_output(a, "a.out", 8.0, Some(0));
+        let b = dag.add_task("b", DagWork::Transfer { from: 0, to: 1, bytes: 8.0 });
+        dag.connect(b, out);
+        let c = dag.add_task("c", DagWork::Join);
+        dag.add_after(c, b);
+
+        assert_eq!(dag.len(), 3);
+        assert_eq!(dag.predecessors(b), vec![a]);
+        assert_eq!(dag.predecessors(c), vec![b]);
+        assert_eq!(dag.task(a).unwrap().outputs, vec![out]);
+        dag.validate().expect("well-formed graph");
+    }
+
+    #[test]
+    fn unknown_data_reference_poisons_the_graph() {
+        let mut dag = Dag::new();
+        let a = dag.add_task("a", DagWork::Join);
+        dag.connect(a, DataId(7));
+        let err = dag.validate().expect_err("poisoned graph must not validate");
+        assert!(matches!(err, SimError::UnknownId { kind: "data item", index: 7 }));
+    }
+
+    #[test]
+    fn structural_cycle_is_detected() {
+        let mut dag = Dag::new();
+        let a = dag.add_task("a", DagWork::Join);
+        let b = dag.add_task("b", DagWork::Join);
+        dag.add_after(a, b);
+        dag.add_after(b, a);
+        let err = dag.validate().expect_err("cycle must not validate");
+        assert!(matches!(err, SimError::DependencyCycle { .. }));
+    }
+
+    #[test]
+    fn negative_transfer_bytes_poison_the_graph() {
+        let mut dag = Dag::new();
+        dag.add_task("t", DagWork::Transfer { from: 0, to: 1, bytes: -4.0 });
+        let err = dag.validate().expect_err("negative bytes must poison");
+        assert!(matches!(err, SimError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn soft_inputs_do_not_create_structural_edges() {
+        let mut dag = Dag::new();
+        let a = dag.add_task("a", DagWork::Compute { site: 0, amount: 1.0 });
+        let out = dag.add_output(a, "a.out", 8.0, None);
+        let b = dag.add_task("b", DagWork::Join);
+        dag.connect_soft(b, out);
+        assert!(dag.predecessors(b).is_empty());
+        assert_eq!(dag.task(b).unwrap().soft_inputs, vec![out]);
+    }
+}

@@ -38,6 +38,12 @@ enum TaskState {
 
 /// A discrete-event simulation: links, resources, phases and a task DAG.
 ///
+/// Malformed graphs — non-positive link bandwidths, unknown dependency or
+/// link or resource ids, negative work amounts — do not panic. The first
+/// such error *poisons* the simulation and is returned by
+/// [`Simulation::run`]; the builder methods stay infallible so that id
+/// allocation remains consistent even after an error.
+///
 /// See the [crate-level documentation](crate) for an overview and an example.
 #[derive(Debug, Default)]
 pub struct Simulation {
@@ -45,6 +51,7 @@ pub struct Simulation {
     resources: Vec<Resource>,
     phases: Vec<String>,
     tasks: Vec<Task>,
+    poison: Option<SimError>,
 }
 
 impl Simulation {
@@ -53,16 +60,22 @@ impl Simulation {
         Self::default()
     }
 
+    fn poison(&mut self, err: SimError) {
+        if self.poison.is_none() {
+            self.poison = Some(err);
+        }
+    }
+
     /// Registers a shared link with the given bandwidth in bytes per second.
     ///
-    /// # Panics
-    ///
-    /// Panics if `bandwidth` is not strictly positive and finite.
+    /// A non-positive or non-finite bandwidth poisons the simulation; the
+    /// error is reported by [`Simulation::run`].
     pub fn add_link(&mut self, name: impl Into<String>, bandwidth: f64) -> LinkId {
-        assert!(
-            bandwidth.is_finite() && bandwidth > 0.0,
-            "link bandwidth must be positive and finite"
-        );
+        if !(bandwidth.is_finite() && bandwidth > 0.0) {
+            self.poison(SimError::InvalidParameter {
+                message: format!("link bandwidth must be positive and finite, got {bandwidth}"),
+            });
+        }
         self.links.push(Link { name: name.into(), bandwidth });
         LinkId(self.links.len() - 1)
     }
@@ -70,11 +83,14 @@ impl Simulation {
     /// Registers a serial compute resource with the given processing rate
     /// (work units per second).
     ///
-    /// # Panics
-    ///
-    /// Panics if `rate` is not strictly positive and finite.
+    /// A non-positive or non-finite rate poisons the simulation; the error
+    /// is reported by [`Simulation::run`].
     pub fn add_resource(&mut self, name: impl Into<String>, rate: f64) -> ResourceId {
-        assert!(rate.is_finite() && rate > 0.0, "resource rate must be positive and finite");
+        if !(rate.is_finite() && rate > 0.0) {
+            self.poison(SimError::InvalidParameter {
+                message: format!("resource rate must be positive and finite, got {rate}"),
+            });
+        }
         self.resources.push(Resource { name: name.into(), rate });
         ResourceId(self.resources.len() - 1)
     }
@@ -107,14 +123,18 @@ impl Simulation {
 
     /// Adds a flow task (bytes over a path of shared links).
     ///
-    /// # Panics
-    ///
-    /// Panics if the spec references an unknown link, an unknown dependency,
-    /// or a negative byte count.
+    /// Referencing an unknown link or dependency, or a negative byte count,
+    /// poisons the simulation; the error is reported by [`Simulation::run`].
     pub fn flow(&mut self, spec: FlowSpec) -> TaskId {
-        assert!(spec.bytes >= 0.0 && spec.bytes.is_finite(), "flow bytes must be non-negative");
+        if !(spec.bytes >= 0.0 && spec.bytes.is_finite()) {
+            self.poison(SimError::InvalidParameter {
+                message: format!("flow bytes must be non-negative, got {}", spec.bytes),
+            });
+        }
         for l in &spec.path {
-            assert!(l.0 < self.links.len(), "unknown link id {}", l.0);
+            if l.0 >= self.links.len() {
+                self.poison(SimError::UnknownId { kind: "link", index: l.0 });
+            }
         }
         self.validate_deps(&spec.deps);
         self.push(Task {
@@ -127,13 +147,18 @@ impl Simulation {
 
     /// Adds a compute task (work units on a serial resource).
     ///
-    /// # Panics
-    ///
-    /// Panics if the spec references an unknown resource, an unknown
-    /// dependency, or a negative work amount.
+    /// Referencing an unknown resource or dependency, or a negative work
+    /// amount, poisons the simulation; the error is reported by
+    /// [`Simulation::run`].
     pub fn compute(&mut self, spec: ComputeSpec) -> TaskId {
-        assert!(spec.work >= 0.0 && spec.work.is_finite(), "compute work must be non-negative");
-        assert!(spec.resource.0 < self.resources.len(), "unknown resource id {}", spec.resource.0);
+        if !(spec.work >= 0.0 && spec.work.is_finite()) {
+            self.poison(SimError::InvalidParameter {
+                message: format!("compute work must be non-negative, got {}", spec.work),
+            });
+        }
+        if spec.resource.0 >= self.resources.len() {
+            self.poison(SimError::UnknownId { kind: "resource", index: spec.resource.0 });
+        }
         self.validate_deps(&spec.deps);
         self.push(Task {
             kind: TaskKind::Compute { resource: spec.resource, work: spec.work },
@@ -145,11 +170,14 @@ impl Simulation {
 
     /// Adds a fixed delay task.
     ///
-    /// # Panics
-    ///
-    /// Panics if the delay is negative or references an unknown dependency.
+    /// A negative delay or unknown dependency poisons the simulation; the
+    /// error is reported by [`Simulation::run`].
     pub fn delay(&mut self, spec: DelaySpec) -> TaskId {
-        assert!(spec.seconds >= 0.0 && spec.seconds.is_finite(), "delay must be non-negative");
+        if !(spec.seconds >= 0.0 && spec.seconds.is_finite()) {
+            self.poison(SimError::InvalidParameter {
+                message: format!("delay must be non-negative, got {}", spec.seconds),
+            });
+        }
         self.validate_deps(&spec.deps);
         self.push(Task {
             kind: TaskKind::Delay { seconds: spec.seconds },
@@ -161,9 +189,8 @@ impl Simulation {
 
     /// Adds a zero-duration barrier that completes when all `deps` have completed.
     ///
-    /// # Panics
-    ///
-    /// Panics if any dependency id is unknown.
+    /// An unknown dependency id poisons the simulation; the error is
+    /// reported by [`Simulation::run`].
     pub fn barrier(&mut self, deps: &[TaskId]) -> TaskId {
         self.validate_deps(deps);
         self.push(Task { kind: TaskKind::Barrier, deps: deps.to_vec(), phase: None, label: None })
@@ -187,9 +214,11 @@ impl Simulation {
         Ok(())
     }
 
-    fn validate_deps(&self, deps: &[TaskId]) {
+    fn validate_deps(&mut self, deps: &[TaskId]) {
         for &d in deps {
-            assert!(d < self.tasks.len(), "unknown dependency task id {d}");
+            if d >= self.tasks.len() {
+                self.poison(SimError::UnknownId { kind: "task", index: d });
+            }
         }
     }
 
@@ -202,9 +231,14 @@ impl Simulation {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::DependencyCycle`] if some tasks can never become
-    /// ready (their dependencies form a cycle).
+    /// Returns the first error recorded while building the graph (an
+    /// [`SimError::InvalidParameter`] or [`SimError::UnknownId`]), or
+    /// [`SimError::DependencyCycle`] if some tasks can never become ready
+    /// (their dependencies form a cycle).
     pub fn run(&mut self) -> Result<Timeline, SimError> {
+        if let Some(err) = &self.poison {
+            return Err(err.clone());
+        }
         Runner::new(self).run()
     }
 }
@@ -630,17 +664,43 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bandwidth must be positive")]
-    fn zero_bandwidth_link_panics() {
+    fn zero_bandwidth_link_is_a_typed_error() {
         let mut sim = Simulation::new();
-        sim.add_link("bad", 0.0);
+        let l = sim.add_link("bad", 0.0);
+        // Id allocation stays consistent even after the error.
+        sim.flow(FlowSpec::new(vec![l], 1.0));
+        let err = sim.run().unwrap_err();
+        match err {
+            SimError::InvalidParameter { message } => {
+                assert!(message.contains("bandwidth must be positive"), "got: {message}");
+            }
+            other => panic!("expected InvalidParameter, got {other:?}"),
+        }
     }
 
     #[test]
-    #[should_panic(expected = "unknown dependency")]
-    fn unknown_dependency_panics() {
+    fn unknown_dependency_is_a_typed_error() {
         let mut sim = Simulation::new();
         let l = sim.add_link("l", 1.0);
         sim.flow(FlowSpec::new(vec![l], 1.0).after(&[42]));
+        let err = sim.run().unwrap_err();
+        assert_eq!(err, SimError::UnknownId { kind: "task", index: 42 });
+    }
+
+    #[test]
+    fn unknown_link_in_flow_path_is_a_typed_error() {
+        let mut sim = Simulation::new();
+        sim.flow(FlowSpec::new(vec![LinkId(3)], 1.0));
+        let err = sim.run().unwrap_err();
+        assert_eq!(err, SimError::UnknownId { kind: "link", index: 3 });
+    }
+
+    #[test]
+    fn first_poison_error_wins() {
+        let mut sim = Simulation::new();
+        sim.add_link("bad", f64::NAN);
+        sim.flow(FlowSpec::new(vec![LinkId(9)], -1.0));
+        let err = sim.run().unwrap_err();
+        assert!(matches!(err, SimError::InvalidParameter { .. }), "got {err:?}");
     }
 }

@@ -18,6 +18,14 @@
 //! training iterations, run it, and read the resulting [`Timeline`]: per-task
 //! start/finish times, the makespan, and per-phase busy time.
 //!
+//! On top of the flat substrate sits a scheduling layer: a [`Dag`] of typed
+//! work items connected by data items, [`Resource`] descriptions (cores,
+//! speed, memory, speedup-vs-cores), and an object-safe [`Scheduler`] trait
+//! whose placement + ordering decisions are lowered deterministically onto a
+//! [`Simulation`] by [`execute`] through a [`Lowering`]. The four
+//! Smart-Infinity method schedules are `Scheduler` implementations over one
+//! shared iteration DAG; see the `ztrain` and `smart_infinity` crates.
+//!
 //! # Example
 //!
 //! ```
@@ -41,13 +49,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dag;
 mod engine;
 mod error;
+mod resource;
+mod scheduler;
 mod task;
 mod timeline;
 
+pub use dag::{Dag, DagTask, DagTaskId, DagWork, DataId, DataItem, SITE_STORAGE};
 pub use engine::Simulation;
 pub use error::SimError;
+pub use resource::{Resource, SpeedupCurve};
+pub use scheduler::{
+    execute, Anchor, Decision, DirectLowering, FifoScheduler, Lowered, Lowering, ScatterPlan,
+    ScheduleDecision, ScheduleOutcome, Scheduler, SetupDelay, SystemView,
+};
 pub use task::{ComputeSpec, DelaySpec, FlowSpec, LinkId, PhaseId, ResourceId, TaskId, TaskKind};
 pub use timeline::{FaultAnnotation, PhaseBreakdown, TaskRecord, Timeline};
 

@@ -1,0 +1,931 @@
+//! Pluggable scheduling: an object-safe [`Scheduler`] trait over a [`Dag`],
+//! plus the deterministic executor that lowers its decisions onto the flat
+//! [`Simulation`] substrate.
+//!
+//! The division of labour:
+//!
+//! - The **[`Dag`]** holds the policy-invariant structure: tasks, hard data
+//!   edges, after-edges, and soft (policy-realised) dataflow.
+//! - The **[`Scheduler`]** is called back as tasks become ready (and, when it
+//!   defers work, as resources free up) and answers with [`Decision`]s:
+//!   which task to schedule, which extra synchronisation [`Anchor`]s to wait
+//!   on, how to scatter storage-class transfers across concrete devices
+//!   ([`ScatterPlan`]), and any setup latency to charge first
+//!   ([`SetupDelay`]).
+//! - The **[`Lowering`]** translates each scheduled DAG task into concrete
+//!   flow/compute/delay/barrier tasks on a [`Simulation`] (or any richer
+//!   platform wrapper around one), so `Timeline`, link occupancy and phase
+//!   accounting keep working unchanged.
+//!
+//! [`execute`] drives the three together deterministically: tasks are
+//! offered to the scheduler in ascending id order among ready tasks, and
+//! decisions are lowered in the order the scheduler emits them. Two runs
+//! over the same graph with the same scheduler therefore produce the same
+//! simulation, task id for task id.
+
+use crate::dag::{Dag, DagTaskId, DagWork, SITE_STORAGE};
+use crate::engine::Simulation;
+use crate::error::SimError;
+use crate::resource::Resource;
+use crate::task::{ComputeSpec, DelaySpec, FlowSpec, LinkId, PhaseId, ResourceId, TaskId};
+
+/// A synchronisation point a scheduling decision can wait on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Anchor {
+    /// The main lowered task of a DAG task (its barrier when it lowered to a
+    /// joined scatter, otherwise the task itself).
+    Task(DagTaskId),
+    /// A per-site sub-result of a DAG task — e.g. the write flow a scatter
+    /// issued towards one particular device.
+    TaskAtSite(DagTaskId, usize),
+}
+
+/// Placement of a storage-class transfer onto concrete sites.
+///
+/// Each entry issues one flow of `bytes` towards (or from) `site`. With
+/// `join` set, a barrier over all flows becomes the lowered task's main
+/// result; without it, the flows complete independently and downstream
+/// decisions synchronise on individual sites via [`Anchor::TaskAtSite`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScatterPlan {
+    /// `(site, bytes)` pairs, one flow each, issued in order.
+    pub transfers: Vec<(usize, f64)>,
+    /// Whether to join the flows behind a barrier.
+    pub join: bool,
+}
+
+/// A fixed latency charged immediately before a task starts — e.g. a
+/// software handler's buffer-allocation overhead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetupDelay {
+    /// Duration in seconds.
+    pub seconds: f64,
+    /// What the setup itself waits on.
+    pub after: Vec<Anchor>,
+}
+
+/// A fully specified placement + ordering choice for one DAG task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleDecision {
+    /// The task being scheduled.
+    pub task: DagTaskId,
+    /// Extra synchronisation beyond the task's structural edges, resolved in
+    /// order and appended after the structural dependencies.
+    pub after: Vec<Anchor>,
+    /// Placement for storage-class transfers; `None` for everything else.
+    pub scatter: Option<ScatterPlan>,
+    /// Setup latency charged before the task.
+    pub setup: Option<SetupDelay>,
+}
+
+impl ScheduleDecision {
+    /// Schedules `task` with structural dependencies only.
+    pub fn new(task: DagTaskId) -> Self {
+        Self { task, after: Vec::new(), scatter: None, setup: None }
+    }
+
+    /// Appends a synchronisation anchor.
+    pub fn after(mut self, anchor: Anchor) -> Self {
+        self.after.push(anchor);
+        self
+    }
+
+    /// Appends several synchronisation anchors.
+    pub fn after_all(mut self, anchors: impl IntoIterator<Item = Anchor>) -> Self {
+        self.after.extend(anchors);
+        self
+    }
+
+    /// Sets the scatter placement.
+    pub fn scatter(mut self, plan: ScatterPlan) -> Self {
+        self.scatter = Some(plan);
+        self
+    }
+
+    /// Sets the setup delay.
+    pub fn setup(mut self, delay: SetupDelay) -> Self {
+        self.setup = Some(delay);
+        self
+    }
+}
+
+/// What a scheduler answers when called back.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decision {
+    /// Lower this task now, with the given placement and ordering.
+    Schedule(ScheduleDecision),
+    /// Hold this task back; the scheduler will be re-consulted via
+    /// [`Scheduler::on_resource_free`] once scheduling stalls.
+    Defer(DagTaskId),
+}
+
+/// Read-only view of scheduling state handed to scheduler callbacks.
+pub struct SystemView<'a> {
+    resources: &'a [Resource],
+    scheduled: &'a [bool],
+}
+
+impl SystemView<'_> {
+    /// The resource descriptions the executor was given.
+    pub fn resources(&self) -> &[Resource] {
+        self.resources
+    }
+
+    /// Whether a DAG task has already been scheduled.
+    pub fn is_scheduled(&self, task: DagTaskId) -> bool {
+        self.scheduled.get(task.index()).copied().unwrap_or(false)
+    }
+
+    /// How many DAG tasks have been scheduled so far.
+    pub fn scheduled_count(&self) -> usize {
+        self.scheduled.iter().filter(|&&s| s).count()
+    }
+}
+
+/// A scheduling policy over a [`Dag`]. Object-safe: engines select one at
+/// run time from method axes and pass it as `&mut dyn Scheduler`.
+pub trait Scheduler {
+    /// Short policy name, used in reports and comparison tables.
+    fn name(&self) -> &'static str;
+
+    /// Called once per task when its structural predecessors are all
+    /// scheduled. May answer with decisions for this task, for other ready
+    /// tasks, or defer.
+    fn on_task_ready(
+        &mut self,
+        task: DagTaskId,
+        dag: &Dag,
+        system: &SystemView<'_>,
+    ) -> Vec<Decision>;
+
+    /// Called for each site when scheduling stalls with deferred tasks
+    /// outstanding — the hook where a deferring policy releases held work.
+    fn on_resource_free(
+        &mut self,
+        site: usize,
+        dag: &Dag,
+        system: &SystemView<'_>,
+    ) -> Vec<Decision> {
+        let _ = (site, dag, system);
+        Vec::new()
+    }
+}
+
+/// The concrete simulation tasks one DAG task lowered to.
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    /// The task downstream structural edges attach to.
+    pub main: TaskId,
+    /// Per-site sub-results (scatter flows), for [`Anchor::TaskAtSite`].
+    pub per_site: Vec<(usize, TaskId)>,
+}
+
+impl Lowered {
+    /// A lowering with a single concrete task and no per-site parts.
+    pub fn single(main: TaskId) -> Self {
+        Self { main, per_site: Vec::new() }
+    }
+
+    /// The sub-result at `site`, if any.
+    pub fn at_site(&self, site: usize) -> Option<TaskId> {
+        self.per_site.iter().find(|(s, _)| *s == site).map(|(_, t)| *t)
+    }
+}
+
+/// Translates scheduled DAG tasks into concrete simulation tasks.
+pub trait Lowering {
+    /// Lowers `task` with the given scatter placement and resolved
+    /// dependency list.
+    fn lower(
+        &mut self,
+        dag: &Dag,
+        task: DagTaskId,
+        scatter: Option<&ScatterPlan>,
+        deps: &[TaskId],
+    ) -> Result<Lowered, SimError>;
+
+    /// Lowers a setup delay attributed to `phase`.
+    fn lower_delay(
+        &mut self,
+        seconds: f64,
+        deps: &[TaskId],
+        phase: Option<PhaseId>,
+    ) -> Result<TaskId, SimError>;
+}
+
+/// The result of [`execute`]: a map from DAG tasks to their lowered
+/// simulation tasks.
+#[derive(Debug)]
+pub struct ScheduleOutcome {
+    lowered: Vec<Lowered>,
+}
+
+impl ScheduleOutcome {
+    /// The main lowered task of a DAG task.
+    pub fn task(&self, id: DagTaskId) -> Option<TaskId> {
+        self.lowered.get(id.index()).map(|l| l.main)
+    }
+
+    /// The per-site sub-result of a DAG task.
+    pub fn at_site(&self, id: DagTaskId, site: usize) -> Option<TaskId> {
+        self.lowered.get(id.index()).and_then(|l| l.at_site(site))
+    }
+}
+
+struct Executor<'a> {
+    dag: &'a Dag,
+    resources: &'a [Resource],
+    lowered: Vec<Option<Lowered>>,
+    scheduled: Vec<bool>,
+    deferred: Vec<bool>,
+    done: usize,
+}
+
+impl<'a> Executor<'a> {
+    fn is_ready(&self, task: usize) -> bool {
+        self.dag
+            .predecessors(DagTaskId(task))
+            .iter()
+            .all(|p| self.scheduled.get(p.index()).copied().unwrap_or(false))
+    }
+
+    fn resolve_anchor(&self, anchor: Anchor) -> Result<TaskId, SimError> {
+        match anchor {
+            Anchor::Task(t) => match self.lowered.get(t.index()).and_then(|l| l.as_ref()) {
+                Some(l) => Ok(l.main),
+                None => Err(SimError::InvalidParameter {
+                    message: format!("anchor references unscheduled dag task {}", t.index()),
+                }),
+            },
+            Anchor::TaskAtSite(t, site) => {
+                let Some(l) = self.lowered.get(t.index()).and_then(|l| l.as_ref()) else {
+                    return Err(SimError::InvalidParameter {
+                        message: format!("anchor references unscheduled dag task {}", t.index()),
+                    });
+                };
+                l.at_site(site).ok_or_else(|| SimError::InvalidParameter {
+                    message: format!(
+                        "dag task {} has no lowered sub-result at site {site}",
+                        t.index()
+                    ),
+                })
+            }
+        }
+    }
+
+    /// Resolves the full dependency list for a decision: hard inputs (with
+    /// per-site refinement), then after-edges, then decision anchors.
+    fn resolve_deps(&self, decision: &ScheduleDecision) -> Result<Vec<TaskId>, SimError> {
+        let task = self.dag.task(decision.task).expect("validated id");
+        let mut deps = Vec::new();
+        for &input in &task.inputs {
+            let item = self.dag.data(input).expect("validated id");
+            let produced = self.lowered[item.producer.index()].as_ref().ok_or_else(|| {
+                SimError::InvalidParameter {
+                    message: format!(
+                        "task '{}' scheduled before producer of its input '{}'",
+                        task.name, item.name
+                    ),
+                }
+            })?;
+            let dep = match item.site {
+                Some(site) => produced.at_site(site).unwrap_or(produced.main),
+                None => produced.main,
+            };
+            deps.push(dep);
+        }
+        for &pred in &task.after {
+            let produced =
+                self.lowered[pred.index()].as_ref().ok_or_else(|| SimError::InvalidParameter {
+                    message: format!("task '{}' scheduled before its predecessor", task.name),
+                })?;
+            deps.push(produced.main);
+        }
+        for &anchor in &decision.after {
+            deps.push(self.resolve_anchor(anchor)?);
+        }
+        Ok(deps)
+    }
+
+    fn apply(
+        &mut self,
+        decisions: Vec<Decision>,
+        lowering: &mut dyn Lowering,
+    ) -> Result<bool, SimError> {
+        let mut progress = false;
+        for decision in decisions {
+            match decision {
+                Decision::Defer(t) => {
+                    if t.index() >= self.dag.len() {
+                        return Err(SimError::UnknownId { kind: "dag task", index: t.index() });
+                    }
+                    if !self.scheduled[t.index()] {
+                        self.deferred[t.index()] = true;
+                    }
+                }
+                Decision::Schedule(sd) => {
+                    let idx = sd.task.index();
+                    if idx >= self.dag.len() {
+                        return Err(SimError::UnknownId { kind: "dag task", index: idx });
+                    }
+                    if self.scheduled[idx] {
+                        return Err(SimError::InvalidParameter {
+                            message: format!(
+                                "scheduler scheduled dag task {idx} ('{}') twice",
+                                self.dag.task(sd.task).expect("validated id").name
+                            ),
+                        });
+                    }
+                    if !self.is_ready(idx) {
+                        return Err(SimError::InvalidParameter {
+                            message: format!(
+                                "scheduler scheduled dag task {idx} ('{}') before its \
+                                 structural predecessors",
+                                self.dag.task(sd.task).expect("validated id").name
+                            ),
+                        });
+                    }
+                    let mut deps = self.resolve_deps(&sd)?;
+                    if let Some(setup) = &sd.setup {
+                        let mut setup_deps = Vec::new();
+                        for &anchor in &setup.after {
+                            setup_deps.push(self.resolve_anchor(anchor)?);
+                        }
+                        let phase = self.dag.task(sd.task).expect("validated id").phase;
+                        let delay = lowering.lower_delay(setup.seconds, &setup_deps, phase)?;
+                        deps.push(delay);
+                    }
+                    let lowered = lowering.lower(self.dag, sd.task, sd.scatter.as_ref(), &deps)?;
+                    self.lowered[idx] = Some(lowered);
+                    self.scheduled[idx] = true;
+                    self.deferred[idx] = false;
+                    self.done += 1;
+                    progress = true;
+                }
+            }
+        }
+        Ok(progress)
+    }
+}
+
+/// Runs `scheduler` over `dag`, lowering its decisions through `lowering`.
+///
+/// Ready tasks are offered to the scheduler in ascending id order; when a
+/// sweep makes no progress and tasks remain, each site is offered via
+/// [`Scheduler::on_resource_free`] before the executor gives up with
+/// [`SimError::SchedulerStalled`].
+pub fn execute(
+    dag: &Dag,
+    resources: &[Resource],
+    scheduler: &mut dyn Scheduler,
+    lowering: &mut dyn Lowering,
+) -> Result<ScheduleOutcome, SimError> {
+    dag.validate()?;
+    let n = dag.len();
+    let mut exec = Executor {
+        dag,
+        resources,
+        lowered: (0..n).map(|_| None).collect(),
+        scheduled: vec![false; n],
+        deferred: vec![false; n],
+        done: 0,
+    };
+    // All sites mentioned by the graph, for resource-free sweeps.
+    let mut sites: Vec<usize> = dag
+        .tasks()
+        .iter()
+        .flat_map(|t| match t.work {
+            DagWork::Compute { site, .. } => vec![site],
+            DagWork::Transfer { from, to, .. } => vec![from, to],
+            _ => Vec::new(),
+        })
+        .filter(|&s| s != SITE_STORAGE)
+        .collect();
+    sites.sort_unstable();
+    sites.dedup();
+
+    while exec.done < n {
+        let mut progress = false;
+        for t in 0..n {
+            if exec.scheduled[t] || exec.deferred[t] || !exec.is_ready(t) {
+                continue;
+            }
+            let decisions = {
+                let view = SystemView { resources: exec.resources, scheduled: &exec.scheduled };
+                scheduler.on_task_ready(DagTaskId(t), dag, &view)
+            };
+            progress |= exec.apply(decisions, lowering)?;
+        }
+        if exec.done == n || progress {
+            continue;
+        }
+        // Stalled: sweep resource-free callbacks to release deferred work.
+        let mut freed = false;
+        for &site in &sites {
+            let decisions = {
+                let view = SystemView { resources: exec.resources, scheduled: &exec.scheduled };
+                scheduler.on_resource_free(site, dag, &view)
+            };
+            freed |= exec.apply(decisions, lowering)?;
+        }
+        if !freed {
+            let pending: Vec<usize> = (0..n).filter(|&t| !exec.scheduled[t]).collect();
+            return Err(SimError::SchedulerStalled { pending_tasks: pending });
+        }
+    }
+    Ok(ScheduleOutcome {
+        lowered: exec.lowered.into_iter().map(|l| l.expect("all tasks scheduled")).collect(),
+    })
+}
+
+/// The default policy: schedules every task the moment it is offered,
+/// realising soft inputs as dependencies on their producers' main results.
+/// Storage-class transfers are not placed (no scatter plan), so graphs using
+/// [`SITE_STORAGE`] need a placement-aware scheduler.
+#[derive(Debug, Default)]
+pub struct FifoScheduler;
+
+impl Scheduler for FifoScheduler {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn on_task_ready(
+        &mut self,
+        task: DagTaskId,
+        dag: &Dag,
+        system: &SystemView<'_>,
+    ) -> Vec<Decision> {
+        let node = dag.task(task).expect("offered tasks exist");
+        let soft_ok = node
+            .soft_inputs
+            .iter()
+            .all(|&d| dag.data(d).map(|item| system.is_scheduled(item.producer)).unwrap_or(false));
+        if !soft_ok {
+            // Wait until the producers of soft inputs are scheduled too.
+            return Vec::new();
+        }
+        let anchors: Vec<Anchor> = node
+            .soft_inputs
+            .iter()
+            .filter_map(|&d| dag.data(d).map(|item| Anchor::Task(item.producer)))
+            .collect();
+        vec![Decision::Schedule(ScheduleDecision::new(task).after_all(anchors))]
+    }
+}
+
+/// A direct lowering onto a plain [`Simulation`]: sites index straight into
+/// registered compute resources and transfers ride per-route link paths.
+///
+/// Suited to synthetic graphs and flat topologies; richer platforms (media
+/// links, fault annotations) implement [`Lowering`] themselves.
+pub struct DirectLowering<'a> {
+    sim: &'a mut Simulation,
+    compute: Vec<Option<ResourceId>>,
+    routes: Vec<((usize, usize), Vec<LinkId>)>,
+}
+
+impl<'a> DirectLowering<'a> {
+    /// Wraps a simulation with empty site and route maps.
+    pub fn new(sim: &'a mut Simulation) -> Self {
+        Self { sim, compute: Vec::new(), routes: Vec::new() }
+    }
+
+    /// Maps a site index to a compute resource.
+    pub fn map_site(&mut self, site: usize, resource: ResourceId) {
+        if self.compute.len() <= site {
+            self.compute.resize(site + 1, None);
+        }
+        self.compute[site] = Some(resource);
+    }
+
+    /// Maps a directed route between two sites to a link path.
+    pub fn map_route(&mut self, from: usize, to: usize, path: Vec<LinkId>) {
+        self.routes.push(((from, to), path));
+    }
+
+    fn route(&self, from: usize, to: usize) -> Result<Vec<LinkId>, SimError> {
+        self.routes
+            .iter()
+            .find(|((f, t), _)| *f == from && *t == to)
+            .map(|(_, p)| p.clone())
+            .ok_or_else(|| SimError::InvalidParameter {
+                message: format!("no route mapped from site {from} to site {to}"),
+            })
+    }
+
+    fn site_resource(&self, site: usize) -> Result<ResourceId, SimError> {
+        self.compute
+            .get(site)
+            .copied()
+            .flatten()
+            .ok_or(SimError::UnknownId { kind: "site", index: site })
+    }
+}
+
+impl Lowering for DirectLowering<'_> {
+    fn lower(
+        &mut self,
+        dag: &Dag,
+        task: DagTaskId,
+        scatter: Option<&ScatterPlan>,
+        deps: &[TaskId],
+    ) -> Result<Lowered, SimError> {
+        let node =
+            dag.task(task).ok_or(SimError::UnknownId { kind: "dag task", index: task.index() })?;
+        match node.work {
+            DagWork::Join => Ok(Lowered::single(self.sim.barrier(deps))),
+            DagWork::Delay { seconds } => {
+                let mut spec = DelaySpec::new(seconds).after(deps).label(node.name.clone());
+                if let Some(p) = node.phase {
+                    spec = spec.phase(p);
+                }
+                Ok(Lowered::single(self.sim.delay(spec)))
+            }
+            DagWork::Compute { site, amount } => {
+                let resource = self.site_resource(site)?;
+                let mut spec =
+                    ComputeSpec::new(resource, amount).after(deps).label(node.name.clone());
+                if let Some(p) = node.phase {
+                    spec = spec.phase(p);
+                }
+                Ok(Lowered::single(self.sim.compute(spec)))
+            }
+            DagWork::Transfer { from, to, bytes } => match scatter {
+                None => {
+                    if from == SITE_STORAGE || to == SITE_STORAGE {
+                        return Err(SimError::InvalidParameter {
+                            message: format!(
+                                "storage-class transfer '{}' requires a scatter plan",
+                                node.name
+                            ),
+                        });
+                    }
+                    let path = self.route(from, to)?;
+                    let mut spec = FlowSpec::new(path, bytes).after(deps).label(node.name.clone());
+                    if let Some(p) = node.phase {
+                        spec = spec.phase(p);
+                    }
+                    Ok(Lowered::single(self.sim.flow(spec)))
+                }
+                Some(plan) => {
+                    let mut per_site = Vec::new();
+                    let mut flows = Vec::new();
+                    for &(site, part_bytes) in &plan.transfers {
+                        let path = if to == SITE_STORAGE {
+                            self.route(from, site)?
+                        } else {
+                            self.route(site, to)?
+                        };
+                        let mut spec = FlowSpec::new(path, part_bytes)
+                            .after(deps)
+                            .label(format!("{}@{site}", node.name));
+                        if let Some(p) = node.phase {
+                            spec = spec.phase(p);
+                        }
+                        let flow = self.sim.flow(spec);
+                        per_site.push((site, flow));
+                        flows.push(flow);
+                    }
+                    let main = if flows.is_empty() {
+                        self.sim.barrier(deps)
+                    } else if plan.join {
+                        self.sim.barrier(&flows)
+                    } else {
+                        *flows.last().expect("non-empty")
+                    };
+                    Ok(Lowered { main, per_site })
+                }
+            },
+        }
+    }
+
+    fn lower_delay(
+        &mut self,
+        seconds: f64,
+        deps: &[TaskId],
+        phase: Option<PhaseId>,
+    ) -> Result<TaskId, SimError> {
+        let mut spec = DelaySpec::new(seconds).after(deps).label("setup");
+        if let Some(p) = phase {
+            spec = spec.phase(p);
+        }
+        Ok(self.sim.delay(spec))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::DataId;
+
+    /// A two-site test bed: compute resources at sites 0 and 1 plus three
+    /// storage device sites (2, 3, 4), each behind its own link.
+    fn testbed(sim: &mut Simulation) -> DirectLowering<'_> {
+        let r0 = sim.add_resource("site0", 2.0);
+        let r1 = sim.add_resource("site1", 3.0);
+        let l01 = sim.add_link("l01", 4.0);
+        let dev_links: Vec<LinkId> =
+            (0..3).map(|d| sim.add_link(format!("dev{d}"), 10.0)).collect();
+        let mut lowering = DirectLowering::new(sim);
+        lowering.map_site(0, r0);
+        lowering.map_site(1, r1);
+        lowering.map_route(0, 1, vec![l01]);
+        lowering.map_route(1, 0, vec![l01]);
+        for (d, link) in dev_links.iter().enumerate() {
+            lowering.map_route(0, 2 + d, vec![*link]);
+            lowering.map_route(2 + d, 0, vec![*link]);
+        }
+        lowering
+    }
+
+    #[test]
+    fn chain_dag_matches_golden_timeline() {
+        // compute 10 units @ 2/s (5 s) -> transfer 40 B @ 4 B/s (10 s)
+        // -> compute 6 units @ 3/s (2 s): finishes at 5, 15, 17.
+        let mut dag = Dag::new();
+        let a = dag.add_task("a", DagWork::Compute { site: 0, amount: 10.0 });
+        let out_a = dag.add_output(a, "a.out", 40.0, Some(0));
+        let b = dag.add_task("b", DagWork::Transfer { from: 0, to: 1, bytes: 40.0 });
+        dag.connect(b, out_a);
+        let out_b = dag.add_output(b, "b.out", 40.0, Some(1));
+        let c = dag.add_task("c", DagWork::Compute { site: 1, amount: 6.0 });
+        dag.connect(c, out_b);
+
+        let mut sim = Simulation::new();
+        let mut lowering = testbed(&mut sim);
+        let outcome =
+            execute(&dag, &[], &mut FifoScheduler, &mut lowering).expect("schedules cleanly");
+        let tl = sim.run().expect("runs cleanly");
+        assert_eq!(tl.finish_time(outcome.task(a).unwrap()).to_bits(), 5.0f64.to_bits());
+        assert_eq!(tl.finish_time(outcome.task(b).unwrap()).to_bits(), 15.0f64.to_bits());
+        assert_eq!(tl.finish_time(outcome.task(c).unwrap()).to_bits(), 17.0f64.to_bits());
+        assert_eq!(tl.makespan().to_bits(), 17.0f64.to_bits());
+    }
+
+    #[test]
+    fn diamond_dag_joins_on_the_slower_branch() {
+        // a (2 s) fans out to transfers b (back-to-back on the shared link
+        // with c under max-min fairness), joined by d.
+        let mut dag = Dag::new();
+        let a = dag.add_task("a", DagWork::Compute { site: 0, amount: 4.0 });
+        let out_a = dag.add_output(a, "act", 1.0, Some(0));
+        let b = dag.add_task("b", DagWork::Transfer { from: 0, to: 1, bytes: 8.0 });
+        let c = dag.add_task("c", DagWork::Transfer { from: 0, to: 1, bytes: 16.0 });
+        dag.connect(b, out_a);
+        dag.connect(c, out_a);
+        let d = dag.add_task("d", DagWork::Join);
+        dag.add_after(d, b);
+        dag.add_after(d, c);
+
+        let mut sim = Simulation::new();
+        let mut lowering = testbed(&mut sim);
+        let outcome =
+            execute(&dag, &[], &mut FifoScheduler, &mut lowering).expect("schedules cleanly");
+        let tl = sim.run().expect("runs cleanly");
+        // a: 2 s. Shared 4 B/s link: both flows at 2 B/s; b (8 B) done at
+        // t=6, c then gets 4 B/s for its remaining 8 B -> t=8.
+        assert_eq!(tl.finish_time(outcome.task(b).unwrap()).to_bits(), 6.0f64.to_bits());
+        assert_eq!(tl.finish_time(outcome.task(c).unwrap()).to_bits(), 8.0f64.to_bits());
+        assert_eq!(tl.finish_time(outcome.task(d).unwrap()).to_bits(), 8.0f64.to_bits());
+    }
+
+    /// A placement-aware policy for the fan-out test: scatters the storage
+    /// write across the given sites and realises the consumer's soft input
+    /// either as a join barrier or as per-site anchors.
+    struct ScatterPolicy {
+        sites: Vec<usize>,
+        join: bool,
+    }
+
+    impl Scheduler for ScatterPolicy {
+        fn name(&self) -> &'static str {
+            "scatter-test"
+        }
+
+        fn on_task_ready(
+            &mut self,
+            task: DagTaskId,
+            dag: &Dag,
+            _system: &SystemView<'_>,
+        ) -> Vec<Decision> {
+            let node = dag.task(task).unwrap();
+            let mut decision = ScheduleDecision::new(task);
+            if let DagWork::Transfer { to: SITE_STORAGE, bytes, .. } = node.work {
+                let per_site = bytes / self.sites.len() as f64;
+                decision = decision.scatter(ScatterPlan {
+                    transfers: self.sites.iter().map(|&s| (s, per_site)).collect(),
+                    join: self.join,
+                });
+            }
+            if !node.soft_inputs.is_empty() {
+                // Realise soft inputs: anchor on the producer (its main is the
+                // join barrier when joined) or on each per-site write.
+                for &item in &node.soft_inputs {
+                    let producer = dag.data(item).unwrap().producer;
+                    if self.join {
+                        decision = decision.after(Anchor::Task(producer));
+                    } else {
+                        decision = decision
+                            .after_all(self.sites.iter().map(|&s| Anchor::TaskAtSite(producer, s)));
+                    }
+                }
+            }
+            vec![Decision::Schedule(decision)]
+        }
+    }
+
+    fn fanout_dag() -> (Dag, DagTaskId, DagTaskId, DagTaskId) {
+        let mut dag = Dag::new();
+        let a = dag.add_task("produce", DagWork::Compute { site: 0, amount: 2.0 });
+        let grad = dag.add_output(a, "grad", 90.0, None);
+        let w =
+            dag.add_task("offload", DagWork::Transfer { from: 0, to: SITE_STORAGE, bytes: 90.0 });
+        dag.connect(w, grad);
+        let stored = dag.add_output(w, "stored", 90.0, None);
+        let done = dag.add_task("done", DagWork::Join);
+        dag.connect_soft(done, stored);
+        (dag, a, w, done)
+    }
+
+    #[test]
+    fn fanout_scatter_golden_timeline_and_per_site_anchors() {
+        // 90 B striped over 3 device links of 10 B/s each: 3 s after the
+        // 1 s producer compute, under either synchronisation policy.
+        for join in [true, false] {
+            let (dag, a, w, done) = fanout_dag();
+            let mut sim = Simulation::new();
+            let mut lowering = testbed(&mut sim);
+            let mut policy = ScatterPolicy { sites: vec![2, 3, 4], join };
+            let outcome =
+                execute(&dag, &[], &mut policy, &mut lowering).expect("schedules cleanly");
+            let tl = sim.run().expect("runs cleanly");
+            assert_eq!(tl.finish_time(outcome.task(a).unwrap()).to_bits(), 1.0f64.to_bits());
+            for site in [2, 3, 4] {
+                let flow = outcome.at_site(w, site).expect("per-site write exists");
+                assert_eq!(tl.finish_time(flow).to_bits(), 4.0f64.to_bits());
+            }
+            assert_eq!(
+                tl.finish_time(outcome.task(done).unwrap()).to_bits(),
+                4.0f64.to_bits(),
+                "join={join}"
+            );
+        }
+    }
+
+    #[test]
+    fn owner_routed_scatter_uses_only_the_chosen_sites() {
+        let (dag, _a, w, _done) = fanout_dag();
+        let mut sim = Simulation::new();
+        let mut lowering = testbed(&mut sim);
+        let mut policy = ScatterPolicy { sites: vec![3], join: false };
+        let outcome = execute(&dag, &[], &mut policy, &mut lowering).expect("schedules cleanly");
+        let tl = sim.run().expect("runs cleanly");
+        assert!(outcome.at_site(w, 2).is_none());
+        assert!(outcome.at_site(w, 4).is_none());
+        let flow = outcome.at_site(w, 3).expect("owner write exists");
+        // All 90 B over one 10 B/s link: 9 s after the 1 s compute.
+        assert_eq!(tl.finish_time(flow).to_bits(), 10.0f64.to_bits());
+    }
+
+    /// Defers every non-compute task until the stall sweep fires.
+    struct DeferUntilFree {
+        releases: usize,
+    }
+
+    impl Scheduler for DeferUntilFree {
+        fn name(&self) -> &'static str {
+            "defer-test"
+        }
+
+        fn on_task_ready(
+            &mut self,
+            task: DagTaskId,
+            dag: &Dag,
+            _system: &SystemView<'_>,
+        ) -> Vec<Decision> {
+            match dag.task(task).unwrap().work {
+                DagWork::Compute { .. } => {
+                    vec![Decision::Schedule(ScheduleDecision::new(task))]
+                }
+                _ => vec![Decision::Defer(task)],
+            }
+        }
+
+        fn on_resource_free(
+            &mut self,
+            _site: usize,
+            dag: &Dag,
+            system: &SystemView<'_>,
+        ) -> Vec<Decision> {
+            // Release the first deferred-and-ready task.
+            for idx in 0..dag.len() {
+                let id = DagTaskId(idx);
+                let ready = dag.predecessors(id).iter().all(|&p| system.is_scheduled(p));
+                if !system.is_scheduled(id) && ready {
+                    self.releases += 1;
+                    return vec![Decision::Schedule(ScheduleDecision::new(id))];
+                }
+            }
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn deferred_tasks_are_released_via_resource_free() {
+        let mut dag = Dag::new();
+        let a = dag.add_task("a", DagWork::Compute { site: 0, amount: 2.0 });
+        let out = dag.add_output(a, "a.out", 8.0, Some(0));
+        let b = dag.add_task("b", DagWork::Transfer { from: 0, to: 1, bytes: 8.0 });
+        dag.connect(b, out);
+
+        let mut sim = Simulation::new();
+        let mut lowering = testbed(&mut sim);
+        let mut policy = DeferUntilFree { releases: 0 };
+        let outcome = execute(&dag, &[], &mut policy, &mut lowering).expect("schedules cleanly");
+        assert_eq!(policy.releases, 1, "transfer released by the stall sweep");
+        let tl = sim.run().expect("runs cleanly");
+        assert_eq!(tl.finish_time(outcome.task(b).unwrap()).to_bits(), 3.0f64.to_bits());
+    }
+
+    /// Defers everything forever.
+    struct Staller;
+
+    impl Scheduler for Staller {
+        fn name(&self) -> &'static str {
+            "staller"
+        }
+
+        fn on_task_ready(
+            &mut self,
+            task: DagTaskId,
+            _dag: &Dag,
+            _system: &SystemView<'_>,
+        ) -> Vec<Decision> {
+            vec![Decision::Defer(task)]
+        }
+    }
+
+    #[test]
+    fn scheduler_that_never_releases_work_stalls_with_typed_error() {
+        let mut dag = Dag::new();
+        dag.add_task("a", DagWork::Compute { site: 0, amount: 1.0 });
+        let mut sim = Simulation::new();
+        let mut lowering = testbed(&mut sim);
+        let err = execute(&dag, &[], &mut Staller, &mut lowering).unwrap_err();
+        assert_eq!(err, SimError::SchedulerStalled { pending_tasks: vec![0] });
+    }
+
+    /// Schedules the same task twice.
+    struct DoubleScheduler;
+
+    impl Scheduler for DoubleScheduler {
+        fn name(&self) -> &'static str {
+            "double"
+        }
+
+        fn on_task_ready(
+            &mut self,
+            task: DagTaskId,
+            _dag: &Dag,
+            _system: &SystemView<'_>,
+        ) -> Vec<Decision> {
+            vec![
+                Decision::Schedule(ScheduleDecision::new(task)),
+                Decision::Schedule(ScheduleDecision::new(task)),
+            ]
+        }
+    }
+
+    #[test]
+    fn double_scheduling_is_rejected() {
+        let mut dag = Dag::new();
+        dag.add_task("a", DagWork::Compute { site: 0, amount: 1.0 });
+        let mut sim = Simulation::new();
+        let mut lowering = testbed(&mut sim);
+        let err = execute(&dag, &[], &mut DoubleScheduler, &mut lowering).unwrap_err();
+        assert!(matches!(err, SimError::InvalidParameter { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn storage_transfer_without_scatter_plan_is_rejected() {
+        let mut dag = Dag::new();
+        let t = dag.add_task("w", DagWork::Transfer { from: 0, to: SITE_STORAGE, bytes: 8.0 });
+        let _ = t;
+        let mut sim = Simulation::new();
+        let mut lowering = testbed(&mut sim);
+        let err = execute(&dag, &[], &mut FifoScheduler, &mut lowering).unwrap_err();
+        assert!(matches!(err, SimError::InvalidParameter { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn poisoned_dag_fails_before_scheduling() {
+        let mut dag = Dag::new();
+        let a = dag.add_task("a", DagWork::Join);
+        dag.connect(a, DataId(9));
+        let mut sim = Simulation::new();
+        let mut lowering = testbed(&mut sim);
+        let err = execute(&dag, &[], &mut FifoScheduler, &mut lowering).unwrap_err();
+        assert!(matches!(err, SimError::UnknownId { kind: "data item", index: 9 }));
+    }
+}

@@ -1,0 +1,451 @@
+//! Multi-host data-parallel training over the scheduler stack.
+//!
+//! One Smart-Infinity server is the paper's unit of evaluation; this module
+//! scales the timed model *out*: `hosts` identical servers each run the
+//! single-host iteration (simulated by the method schedulers as usual), and
+//! a cluster-level task graph layers the data-parallel gradient allreduce on
+//! top — per-host NICs into an oversubscribed backplane, a shared reduction
+//! stage, and the per-host in-storage update once the reduced gradient
+//! lands.
+//!
+//! The cluster layer is expressed *entirely* through the pluggable DAG
+//! machinery ([`simkit::Dag`], [`simkit::Scheduler`], [`simkit::execute`]
+//! and [`simkit::DirectLowering`]); the pre-refactor bespoke schedule
+//! builders had no way to say "every host's exchange must land before the
+//! reduction, but each host's update chases only its own broadcast". That
+//! asymmetric synchronisation — all-in on the way up, per-host on the way
+//! down — is the [`ClusterScheduler`]'s placement decision, and what lets a
+//! straggler host delay the reduction without serialising the other hosts'
+//! updates behind the slowest one.
+
+use crate::spec::MethodSpec;
+use serde::{Deserialize, Serialize};
+use simkit::{
+    execute, Anchor, Dag, DagTaskId, DagWork, Decision, DirectLowering, Resource, ScheduleDecision,
+    Scheduler, SimError, Simulation, SpeedupCurve, SystemView, GB,
+};
+use ztrain::{IterationReport, TrainError};
+
+/// Default per-host NIC bandwidth, in gigabits per second.
+const DEFAULT_INTERCONNECT_GBPS: f64 = 100.0;
+/// Default core count of the shared gradient-reduction stage.
+const DEFAULT_REDUCE_CORES: usize = 4;
+/// Default Amdahl serial fraction of the reduction kernel.
+const DEFAULT_SERIAL_FRACTION: f64 = 0.05;
+/// Per-core gradient-reduction rate, in bytes per second.
+const REDUCE_BYTES_PER_CORE: f64 = 8.0 * GB;
+/// The backplane carries the sum of the NIC rates divided by this factor
+/// (a 2:1 oversubscribed top-of-rack switch).
+const BACKPLANE_OVERSUBSCRIPTION: f64 = 2.0;
+
+/// One deliberately slow host: its compute (forward, backward, update) runs
+/// `factor`× slower than its peers — the cluster-level straggler scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StragglerSpec {
+    /// Which host lags (0-based).
+    pub host: usize,
+    /// Slowdown factor (≥ 1; 1 means no straggler).
+    pub factor: f64,
+}
+
+/// The cluster half of a machine description: how many single-server
+/// replicas train data-parallel, and the interconnect between them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of hosts (≥ 2); each is one full single-server machine.
+    pub hosts: usize,
+    /// Per-host NIC bandwidth in Gb/s (default 100).
+    pub interconnect_gbps: Option<f64>,
+    /// Cores of the shared gradient-reduction stage (default 4).
+    pub reduce_cores: Option<usize>,
+    /// Amdahl serial fraction of the reduction kernel (default 0.05).
+    pub serial_fraction: Option<f64>,
+    /// Optional straggler host.
+    pub straggler: Option<StragglerSpec>,
+}
+
+impl ClusterSpec {
+    /// A cluster of `hosts` identical servers with default interconnect.
+    pub fn hosts(hosts: usize) -> Self {
+        ClusterSpec {
+            hosts,
+            interconnect_gbps: None,
+            reduce_cores: None,
+            serial_fraction: None,
+            straggler: None,
+        }
+    }
+
+    /// Marks one host as a straggler.
+    #[must_use]
+    pub fn with_straggler(mut self, host: usize, factor: f64) -> Self {
+        self.straggler = Some(StragglerSpec { host, factor });
+        self
+    }
+
+    /// The per-host NIC rate in bytes per second.
+    fn nic_bytes_per_sec(&self) -> f64 {
+        self.interconnect_gbps.unwrap_or(DEFAULT_INTERCONNECT_GBPS) * 1e9 / 8.0
+    }
+
+    /// The shared reduction stage as a [`Resource`] description: a
+    /// multi-core unit whose throughput follows an Amdahl speedup curve.
+    fn reducer(&self) -> Resource {
+        let cores = self.reduce_cores.unwrap_or(DEFAULT_REDUCE_CORES) as u32;
+        let serial_fraction = self.serial_fraction.unwrap_or(DEFAULT_SERIAL_FRACTION);
+        Resource::new(
+            "reducer",
+            cores,
+            REDUCE_BYTES_PER_CORE,
+            f64::INFINITY,
+            SpeedupCurve::Amdahl { serial_fraction },
+        )
+    }
+
+    /// Checks the cluster shape and its compatibility with the method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::Config`] for fewer than two hosts, a
+    /// non-positive interconnect, invalid reduction knobs, a straggler
+    /// outside the cluster or with a factor below 1, and for methods without
+    /// `in_storage_update` — the cluster layer reduces gradients *between*
+    /// the hosts' in-storage updates, so the host-CPU baseline cannot be
+    /// scaled out this way.
+    pub fn validate(&self, method: &MethodSpec) -> Result<(), TrainError> {
+        if self.hosts < 2 {
+            return Err(TrainError::config("a cluster needs at least two hosts"));
+        }
+        if let Some(gbps) = self.interconnect_gbps {
+            if !(gbps.is_finite() && gbps > 0.0) {
+                return Err(TrainError::config(format!(
+                    "cluster interconnect must be positive and finite, got {gbps} Gb/s"
+                )));
+            }
+        }
+        if self.reduce_cores == Some(0) {
+            return Err(TrainError::config("the reduction stage needs at least one core"));
+        }
+        if let Some(serial) = self.serial_fraction {
+            if !(serial.is_finite() && (0.0..1.0).contains(&serial)) {
+                return Err(TrainError::config(format!(
+                    "reduction serial fraction must be in [0, 1), got {serial}"
+                )));
+            }
+        }
+        if let Some(straggler) = &self.straggler {
+            if straggler.host >= self.hosts {
+                return Err(TrainError::config(format!(
+                    "straggler host {} is outside the cluster of {} host(s)",
+                    straggler.host, self.hosts
+                )));
+            }
+            if !(straggler.factor.is_finite() && straggler.factor >= 1.0) {
+                return Err(TrainError::config(format!(
+                    "straggler factor must be at least 1, got {}",
+                    straggler.factor
+                )));
+            }
+        }
+        if !method.in_storage_update {
+            return Err(TrainError::config(
+                "cluster training layers the gradient allreduce over the in-storage update \
+                 path: enable in_storage_update",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The cluster allreduce schedule: the reduction waits on *every* host's
+/// gradient exchange (realised as decision anchors over the graph's soft
+/// dataflow), while each host's broadcast and update chase only their own
+/// structural inputs.
+#[derive(Debug)]
+pub struct ClusterScheduler {
+    reduce: DagTaskId,
+    exchanges: Vec<DagTaskId>,
+}
+
+impl Scheduler for ClusterScheduler {
+    fn name(&self) -> &'static str {
+        "cluster-allreduce"
+    }
+
+    fn on_task_ready(
+        &mut self,
+        task: DagTaskId,
+        _dag: &Dag,
+        _system: &SystemView<'_>,
+    ) -> Vec<Decision> {
+        let mut decision = ScheduleDecision::new(task);
+        if task == self.reduce {
+            decision = decision.after_all(self.exchanges.iter().map(|&t| Anchor::Task(t)));
+        }
+        vec![Decision::Schedule(decision)]
+    }
+}
+
+/// The report-relevant landmarks of a cluster iteration graph.
+struct ClusterLayout {
+    fw_end: DagTaskId,
+    allreduce_end: DagTaskId,
+    iter_end: DagTaskId,
+    reduce: DagTaskId,
+    exchanges: Vec<DagTaskId>,
+}
+
+/// Phase handles of a cluster simulation.
+struct ClusterPhases {
+    forward: simkit::PhaseId,
+    backward: simkit::PhaseId,
+    update: simkit::PhaseId,
+}
+
+/// Builds the cluster-level iteration graph: per-host forward/backward (as
+/// single compute blocks costed by the single-host simulation), gradient
+/// exchange into the shared reducer, per-host broadcast and update.
+fn build_cluster_graph(
+    hosts: usize,
+    per_host: &IterationReport,
+    grad_bytes: f64,
+    phases: &ClusterPhases,
+) -> (Dag, ClusterLayout) {
+    let mut dag = Dag::new();
+    let hub = hosts; // site index of the switch-attached reduction stage
+    let mut fw_tasks = Vec::with_capacity(hosts);
+    let mut acts = Vec::with_capacity(hosts);
+    for h in 0..hosts {
+        let t = dag
+            .add_task(format!("fw.h{h}"), DagWork::Compute { site: h, amount: per_host.forward_s });
+        dag.set_phase(t, phases.forward);
+        acts.push(dag.add_output(t, format!("acts.h{h}"), 0.0, Some(h)));
+        fw_tasks.push(t);
+    }
+    let fw_end = dag.add_task("fw.end", DagWork::Join);
+    for &t in &fw_tasks {
+        dag.add_after(fw_end, t);
+    }
+    let mut grads = Vec::with_capacity(hosts);
+    for (h, &act) in acts.iter().enumerate() {
+        let t = dag.add_task(
+            format!("bw.h{h}"),
+            DagWork::Compute { site: h, amount: per_host.backward_s },
+        );
+        dag.set_phase(t, phases.backward);
+        dag.connect(t, act);
+        grads.push(dag.add_output(t, format!("grads.h{h}"), grad_bytes, Some(h)));
+    }
+    let mut exchanges = Vec::with_capacity(hosts);
+    let mut shards = Vec::with_capacity(hosts);
+    for (h, &grad) in grads.iter().enumerate() {
+        let t = dag.add_task(
+            format!("exchange.h{h}"),
+            DagWork::Transfer { from: h, to: hub, bytes: grad_bytes },
+        );
+        dag.set_phase(t, phases.backward);
+        dag.connect(t, grad);
+        shards.push(dag.add_output(t, format!("shard.h{h}"), grad_bytes, Some(hub)));
+        exchanges.push(t);
+    }
+    // The reduction's dataflow from the exchanges is soft: the scheduler
+    // decides the synchronisation realising the allreduce barrier.
+    let reduce =
+        dag.add_task("reduce", DagWork::Compute { site: hub, amount: grad_bytes * hosts as f64 });
+    dag.set_phase(reduce, phases.backward);
+    for &shard in &shards {
+        dag.connect_soft(reduce, shard);
+    }
+    let reduced = dag.add_output(reduce, "reduced", grad_bytes, Some(hub));
+    let mut bcasts = Vec::with_capacity(hosts);
+    let mut summed = Vec::with_capacity(hosts);
+    for h in 0..hosts {
+        let t = dag.add_task(
+            format!("bcast.h{h}"),
+            DagWork::Transfer { from: hub, to: h, bytes: grad_bytes },
+        );
+        dag.set_phase(t, phases.backward);
+        dag.connect(t, reduced);
+        summed.push(dag.add_output(t, format!("summed.h{h}"), grad_bytes, Some(h)));
+        bcasts.push(t);
+    }
+    let allreduce_end = dag.add_task("allreduce.end", DagWork::Join);
+    for &t in &bcasts {
+        dag.add_after(allreduce_end, t);
+    }
+    let mut updates = Vec::with_capacity(hosts);
+    for (h, &sum) in summed.iter().enumerate() {
+        let t = dag.add_task(
+            format!("update.h{h}"),
+            DagWork::Compute { site: h, amount: per_host.update_s },
+        );
+        dag.set_phase(t, phases.update);
+        dag.connect(t, sum);
+        updates.push(t);
+    }
+    let iter_end = dag.add_task("iter.end", DagWork::Join);
+    for &t in &updates {
+        dag.add_after(iter_end, t);
+    }
+    (dag, ClusterLayout { fw_end, allreduce_end, iter_end, reduce, exchanges })
+}
+
+/// Simulates one data-parallel cluster iteration: every host runs the given
+/// single-host iteration, gradients of `grad_bytes` are all-reduced over the
+/// cluster interconnect, and the per-host updates follow their broadcasts.
+///
+/// The returned breakdown attributes the allreduce to the backward phase:
+/// `forward_s` is the slowest host's forward pass, `backward_s` spans
+/// backward + exchange + reduction + broadcast, and `update_s` is the tail
+/// the per-host updates add after the allreduce completes.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulation kernel (which only occurs for
+/// malformed graphs and would indicate a bug in this module).
+pub fn simulate_allreduce(
+    cluster: &ClusterSpec,
+    per_host: &IterationReport,
+    grad_bytes: f64,
+) -> Result<IterationReport, SimError> {
+    let hosts = cluster.hosts;
+    let hub = hosts;
+    let mut sim = Simulation::new();
+    let phases = ClusterPhases {
+        forward: sim.add_phase("cluster.forward"),
+        backward: sim.add_phase("cluster.backward+allreduce"),
+        update: sim.add_phase("cluster.update"),
+    };
+    let nic_rate = cluster.nic_bytes_per_sec();
+    let backplane = sim.add_link("backplane", nic_rate * hosts as f64 / BACKPLANE_OVERSUBSCRIPTION);
+    // Host compute amounts are *seconds* from the single-host simulation, so
+    // host resources run at unit rate — except the straggler, whose rate
+    // drops by its factor.
+    let mut resources = Vec::with_capacity(hosts + 1);
+    let mut host_res = Vec::with_capacity(hosts);
+    let mut nics = Vec::with_capacity(hosts);
+    for h in 0..hosts {
+        let slowdown = match &cluster.straggler {
+            Some(s) if s.host == h => s.factor,
+            _ => 1.0,
+        };
+        let desc = Resource::serial(format!("host{h}"), 1.0 / slowdown);
+        host_res.push(sim.add_resource(desc.name.clone(), desc.full_rate()));
+        resources.push(desc);
+        nics.push(sim.add_link(format!("nic{h}"), nic_rate));
+    }
+    let reducer_desc = cluster.reducer();
+    let reducer = sim.add_resource(reducer_desc.name.clone(), reducer_desc.full_rate());
+    resources.push(reducer_desc);
+
+    let (dag, layout) = build_cluster_graph(hosts, per_host, grad_bytes, &phases);
+    let mut scheduler =
+        ClusterScheduler { reduce: layout.reduce, exchanges: layout.exchanges.clone() };
+    let outcome = {
+        let mut lowering = DirectLowering::new(&mut sim);
+        for h in 0..hosts {
+            lowering.map_site(h, host_res[h]);
+            lowering.map_route(h, hub, vec![nics[h], backplane]);
+            lowering.map_route(hub, h, vec![backplane, nics[h]]);
+        }
+        lowering.map_site(hub, reducer);
+        execute(&dag, &resources, &mut scheduler, &mut lowering)?
+    };
+    let timeline = sim.run()?;
+    let finish = |id| {
+        let task = outcome.task(id).expect("executor schedules every cluster task");
+        timeline.finish_time(task)
+    };
+    let t_fw = finish(layout.fw_end);
+    let t_allreduce = finish(layout.allreduce_end);
+    let t_end = finish(layout.iter_end);
+    Ok(IterationReport::new(t_fw, t_allreduce - t_fw, t_end - t_allreduce))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn per_host() -> IterationReport {
+        IterationReport::new(1.0, 2.0, 3.0)
+    }
+
+    #[test]
+    fn cluster_validation_rejects_bad_shapes() {
+        let method = MethodSpec::smart_update_optimized();
+        assert!(ClusterSpec::hosts(1).validate(&method).is_err());
+        assert!(ClusterSpec::hosts(4).validate(&method).is_ok());
+        assert!(ClusterSpec::hosts(4).with_straggler(4, 2.0).validate(&method).is_err());
+        assert!(ClusterSpec::hosts(4).with_straggler(1, 0.5).validate(&method).is_err());
+        let mut slow_net = ClusterSpec::hosts(4);
+        slow_net.interconnect_gbps = Some(0.0);
+        assert!(slow_net.validate(&method).is_err());
+        let mut bad_serial = ClusterSpec::hosts(4);
+        bad_serial.serial_fraction = Some(1.5);
+        assert!(bad_serial.validate(&method).is_err());
+        let mut no_cores = ClusterSpec::hosts(4);
+        no_cores.reduce_cores = Some(0);
+        assert!(no_cores.validate(&method).is_err());
+        // The host-CPU baseline has no in-storage update to overlap with.
+        let err = ClusterSpec::hosts(4).validate(&MethodSpec::baseline()).expect_err("baseline");
+        assert!(err.to_string().contains("in_storage_update"), "{err}");
+    }
+
+    #[test]
+    fn allreduce_adds_to_the_single_host_iteration() {
+        let report = simulate_allreduce(&ClusterSpec::hosts(4), &per_host(), 8.0 * GB).unwrap();
+        let single = per_host();
+        // Forward and update are unchanged; the allreduce lengthens backward.
+        assert!((report.forward_s - single.forward_s).abs() < 1e-9);
+        assert!(report.backward_s > single.backward_s);
+        assert!((report.update_s - single.update_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn straggler_delays_the_reduction_but_not_other_hosts_updates() {
+        let base = simulate_allreduce(&ClusterSpec::hosts(4), &per_host(), 8.0 * GB).unwrap();
+        let straggled = simulate_allreduce(
+            &ClusterSpec::hosts(4).with_straggler(2, 3.0),
+            &per_host(),
+            8.0 * GB,
+        )
+        .unwrap();
+        // The slowest host's forward gates the cluster forward phase...
+        assert!((straggled.forward_s - 3.0 * per_host().forward_s).abs() < 1e-9);
+        // ...and the allreduce barrier makes the whole iteration pay for it.
+        assert!(straggled.total_s() > base.total_s());
+        // But the iteration does not pay 3x end to end: only the straggler's
+        // compute stretches, and the fast hosts' updates complete inside the
+        // straggler's update tail instead of queueing behind it.
+        assert!(straggled.total_s() < 3.0 * base.total_s());
+        assert!(straggled.update_s <= 3.0 * per_host().update_s + 1e-9);
+    }
+
+    #[test]
+    fn faster_interconnects_shrink_the_allreduce() {
+        let mut slow = ClusterSpec::hosts(4);
+        slow.interconnect_gbps = Some(25.0);
+        let mut fast = ClusterSpec::hosts(4);
+        fast.interconnect_gbps = Some(200.0);
+        let t_slow = simulate_allreduce(&slow, &per_host(), 8.0 * GB).unwrap();
+        let t_fast = simulate_allreduce(&fast, &per_host(), 8.0 * GB).unwrap();
+        assert!(t_slow.backward_s > t_fast.backward_s);
+    }
+
+    #[test]
+    fn reduction_stage_follows_its_amdahl_curve() {
+        let mut one_core = ClusterSpec::hosts(4);
+        one_core.reduce_cores = Some(1);
+        let mut many_cores = ClusterSpec::hosts(4);
+        many_cores.reduce_cores = Some(16);
+        // A big gradient makes the reduction the bottleneck.
+        let grad = 256.0 * GB;
+        let t1 = simulate_allreduce(&one_core, &per_host(), grad).unwrap();
+        let t16 = simulate_allreduce(&many_cores, &per_host(), grad).unwrap();
+        assert!(t16.backward_s < t1.backward_s);
+        // Amdahl: 16 cores are faster, but nowhere near 16x.
+        let r1 = one_core.reducer().full_rate();
+        let r16 = many_cores.reducer().full_rate();
+        assert!(r16 / r1 > 4.0 && r16 / r1 < 16.0, "Amdahl speedup {}", r16 / r1);
+    }
+}

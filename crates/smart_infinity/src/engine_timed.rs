@@ -6,11 +6,9 @@ use crate::spec::MethodSpec;
 use llm::Workload;
 use optim::OptimizerKind;
 use serde::{Deserialize, Serialize};
-use simkit::{PhaseId, SimError, TaskId};
-use tensorlib::{Chunker, Partitioner};
-use ztrain::{
-    build_backward_compute, build_forward, IterationReport, MachineConfig, TimedPlatform,
-};
+use simkit::SimError;
+use ztrain::schedule::{build_iteration_graph, GraphKnobs, IterPhases, PlatformLowering, SiteMap};
+use ztrain::{IterationReport, MachineConfig, TimedPlatform};
 
 /// How the CSD-internal data transfer handler schedules tasklets
 /// (paper Section IV-B, Fig. 5).
@@ -218,36 +216,36 @@ impl SmartInfinityEngine {
     /// Propagates [`SimError`] from the simulation kernel.
     pub fn simulate_iteration_stages(&self) -> Result<PipelineTiming, SimError> {
         let mut plat = TimedPlatform::new_with_faults(&self.machine, self.fault_effects.as_ref());
-        let fw_phase = plat.add_phase("forward");
-        let bw_phase = plat.add_phase("backward+grad_offload");
-        let up_phase = plat.add_phase("update+opt_transfer");
-
-        let fw_end = build_forward(&mut plat, &self.workload, fw_phase, &[]);
-        let (bw_end, dev_grad_writes) =
-            self.build_backward_with_csd_offload(&mut plat, bw_phase, &[fw_end]);
-        // Serial schedule: every device waits for the global end of backward.
-        // Pipelined schedule: device d waits only for its own gradient writes.
-        let dev_deps: Vec<Vec<TaskId>> = if self.pipelined {
-            dev_grad_writes
-                .into_iter()
-                .map(|mut writes| {
-                    if writes.is_empty() {
-                        writes.push(bw_end);
-                    }
-                    writes
-                })
-                .collect()
-        } else {
-            vec![vec![bw_end]; plat.num_devices()]
+        let phases = IterPhases {
+            forward: plat.add_phase("forward"),
+            backward: plat.add_phase("backward+grad_offload"),
+            update: plat.add_phase("update+opt_transfer"),
         };
-        let up_end = self.build_smart_update(&mut plat, up_phase, &dev_deps);
-        let phase_end = plat.barrier(&[bw_end, up_end]);
+        let bw_phase = phases.backward;
+        let up_phase = phases.update;
+        let sites = SiteMap::new(plat.num_gpus(), plat.num_devices());
+        let knobs = GraphKnobs::in_storage(self.keep_ratio, self.subgroup_elems);
+        let graph = build_iteration_graph(&self.workload, sites, self.optimizer, &knobs, phases);
+        let resources = plat.resource_catalog();
+        // The method schedule: striped vs owner-routed gradient scatters,
+        // sequential vs overlapped tasklet chains — see `crate::sched`.
+        let mut scheduler =
+            crate::sched::method_scheduler(self.handler, self.pipelined, &graph.layout);
+        let outcome = {
+            let mut lowering = PlatformLowering::new(&mut plat);
+            simkit::execute(&graph.dag, &resources, scheduler.as_mut(), &mut lowering)?
+        };
         let (uplink_down, uplink_up) = plat.host_uplink_links();
 
         let timeline = plat.run()?;
-        let t_fw = timeline.finish_time(fw_end);
-        let t_bw = timeline.finish_time(bw_end);
-        let t_end = timeline.finish_time(phase_end);
+        let finish = |id| {
+            let task = outcome.task(id).expect("executor schedules every DAG task");
+            timeline.finish_time(task)
+        };
+        let t_fw = finish(graph.layout.fw_end);
+        let t_bw = finish(graph.layout.bw_end);
+        let t_end =
+            finish(graph.layout.phase_end.expect("in-storage graphs carry an iteration end"));
         Ok(PipelineTiming {
             report: IterationReport::new(t_fw, t_bw - t_fw, t_end - t_bw),
             uplink_write_busy_s: timeline.link_busy_time_in_phase(uplink_down, bw_phase),
@@ -257,195 +255,6 @@ impl SmartInfinityEngine {
             // window since the first update task started.
             update_overlap_s: timeline.phase_busy_time_before(up_phase, t_bw),
         })
-    }
-
-    /// Fraction of the dense gradient volume that crosses the interconnect
-    /// during gradient offload (1.0 without SmartComp, `2·keep_ratio` with it).
-    fn gradient_transfer_ratio(&self) -> f64 {
-        self.keep_ratio.map_or(1.0, |k| (2.0 * k).min(1.0))
-    }
-
-    /// Backward pass with gradient offload to the owner CSDs. With SmartComp
-    /// the GPU first compresses each block's gradients (a GPU compute task)
-    /// and only the compressed stream is offloaded.
-    ///
-    /// Returns the end-of-phase barrier plus, per device, the gradient-write
-    /// flows that landed on it (the pipelined schedule's per-device
-    /// dependencies). The serial schedule stripes every block's gradients
-    /// evenly across all devices; the pipelined schedule routes each block's
-    /// bytes to the devices that own its flattened parameter range, exactly
-    /// like the functional backend's per-shard streams — same total bytes
-    /// over the shared uplink, but each device's last dependency is its own.
-    fn build_backward_with_csd_offload(
-        &self,
-        plat: &mut TimedPlatform,
-        phase: PhaseId,
-        deps: &[TaskId],
-    ) -> (TaskId, Vec<Vec<TaskId>>) {
-        let compute_end = build_backward_compute(plat, &self.workload, phase, deps);
-        let n_dev = plat.num_devices();
-        let transfer_ratio = self.gradient_transfer_ratio();
-        let blocks = self.workload.block_bytes_fp16();
-        let total_params = self.workload.model().num_params() as usize;
-        let partitioner = Partitioner::contiguous(total_params, n_dev);
-        let mut per_device_writes: Vec<Vec<TaskId>> = vec![Vec::new(); n_dev];
-        // Serial: the next block's staging waits for the previous block's
-        // writes to land (one staging buffer). Pipelined: staging chains on
-        // the previous *stage* only, and the SSD writes drain asynchronously
-        // from pre-allocated per-device buffers — the same buffer-reuse trick
-        // the optimized internal handler plays, applied to the host side.
-        let mut prev: Option<TaskId> = None;
-        let mut all = vec![compute_end];
-        let mut cursor = 0usize; // flattened-parameter offset of the block
-        for block_m in blocks {
-            let block_params = (block_m / 2) as usize;
-            let block_start = cursor.min(total_params);
-            let block_end = (cursor + block_params).min(total_params);
-            cursor += block_params;
-            let block_m = block_m as f64;
-            let dense_grad_bytes = 2.0 * block_m;
-            let mut stage_deps: Vec<TaskId> = deps.to_vec();
-            if let Some(p) = prev {
-                stage_deps.push(p);
-            }
-            // SmartComp: sort/select on the GPU before offloading. The cost is
-            // modelled as a few extra passes over the block's gradients at the
-            // GPU's effective throughput.
-            let stage_src = if self.keep_ratio.is_some() {
-                let sort_flops = 16.0 * (block_m / 2.0);
-                let compress = plat.gpu_compute(0, sort_flops, &stage_deps, phase);
-                plat.gpu_to_host(0, block_m * transfer_ratio.max(0.02), &[compress], phase)
-            } else {
-                plat.gpu_to_host(0, block_m, &stage_deps, phase)
-            };
-            // The (possibly compressed) gradients are scattered to the CSDs
-            // that own the corresponding flattened parameters.
-            if self.pipelined {
-                // Owner-routed: only the devices whose contiguous shard
-                // intersects this block's flattened range receive bytes,
-                // proportionally to the intersection. Writes to different
-                // devices drain concurrently while later blocks stage.
-                for (d, dev_writes) in per_device_writes.iter_mut().enumerate() {
-                    let shard = partitioner.shard(d);
-                    let lo = block_start.max(shard.offset);
-                    let hi = block_end.min(shard.offset + shard.len);
-                    if hi <= lo {
-                        continue;
-                    }
-                    let bytes = 4.0 * (hi - lo) as f64 * transfer_ratio;
-                    let write = plat.host_to_ssd(d, bytes, &[stage_src], phase);
-                    dev_writes.push(write);
-                    all.push(write);
-                }
-                prev = Some(stage_src);
-            } else {
-                let writes: Vec<TaskId> = (0..n_dev)
-                    .map(|d| {
-                        let write = plat.host_to_ssd(
-                            d,
-                            dense_grad_bytes * transfer_ratio / n_dev as f64,
-                            &[stage_src],
-                            phase,
-                        );
-                        per_device_writes[d].push(write);
-                        write
-                    })
-                    .collect();
-                let done = plat.barrier(&writes);
-                prev = Some(done);
-                all.push(done);
-            }
-        }
-        (plat.barrier(&all), per_device_writes)
-    }
-
-    /// The SmartUpdate phase: every CSD updates its shard of the flattened
-    /// parameters subgroup by subgroup using CSD-internal P2P transfers, and
-    /// streams the refreshed FP16 parameters upstream to host memory.
-    ///
-    /// `dev_deps[d]` is what device `d`'s first tasklet must wait for — the
-    /// global end-of-backward barrier in the serial schedule, the device's
-    /// own gradient writes in the pipelined one. Returns the end-of-phase
-    /// barrier.
-    fn build_smart_update(
-        &self,
-        plat: &mut TimedPlatform,
-        phase: PhaseId,
-        dev_deps: &[Vec<TaskId>],
-    ) -> TaskId {
-        let n_dev = plat.num_devices();
-        let total_params = self.workload.model().num_params() as usize;
-        let partitioner = Partitioner::contiguous(total_params, n_dev);
-        let state_bytes_per_param = self.optimizer.state_bytes_per_param() as f64;
-        let transfer_ratio = self.gradient_transfer_ratio();
-        let mut phase_end_tasks: Vec<TaskId> = Vec::new();
-
-        for (dev, deps) in dev_deps.iter().enumerate().take(n_dev) {
-            let shard = partitioner.shard(dev);
-            if shard.len == 0 {
-                continue;
-            }
-            let chunker = Chunker::new(shard.len, self.subgroup_elems);
-            let mut prev_update: Option<TaskId> = None;
-            let mut prev_chain_end: Option<TaskId> = None;
-            for subgroup in chunker.subgroups() {
-                let elems = subgroup.len as f64;
-                let state_bytes = elems * state_bytes_per_param;
-                let grad_load_bytes = elems * 4.0 * transfer_ratio;
-                let dense_grad_bytes = elems * 4.0;
-                let param_writeback_bytes = elems * 4.0; // FP32 master copy (urgent)
-                let deferred_state_bytes = state_bytes - param_writeback_bytes; // momentum, variance, ...
-                let upstream_bytes = elems * 2.0; // FP16 parameters to host memory
-
-                // When can this subgroup's load start?
-                let mut load_deps: Vec<TaskId> = deps.to_vec();
-                match self.handler {
-                    HandlerMode::Optimized => {
-                        // Buffer reuse: load as soon as the previous update freed the buffers.
-                        if let Some(p) = prev_update {
-                            load_deps.push(p);
-                        }
-                    }
-                    HandlerMode::Naive => {
-                        // Fresh buffers per tasklet: wait for the whole previous
-                        // chain to drain, then pay the device-buffer
-                        // (re)allocation and kernel-launch overhead.
-                        let mut alloc_deps: Vec<TaskId> = deps.to_vec();
-                        if let Some(p) = prev_chain_end {
-                            alloc_deps.push(p);
-                        }
-                        let alloc = plat.delay(Self::NAIVE_TASKLET_OVERHEAD_S, &alloc_deps, phase);
-                        load_deps.push(alloc);
-                    }
-                }
-
-                // 1. P2P load of gradients + optimizer states (SSD -> FPGA).
-                let load = plat.ssd_to_fpga(dev, state_bytes + grad_load_bytes, &load_deps, phase);
-                // 2. Decompression (SmartComp only), then the update kernel.
-                let update_dep = if self.keep_ratio.is_some() {
-                    plat.fpga_decompress(dev, dense_grad_bytes, &[load], phase)
-                } else {
-                    load
-                };
-                let update =
-                    plat.fpga_update(dev, state_bytes + dense_grad_bytes, &[update_dep], phase);
-                // 3. Urgent write-back of the parameters, then upstream to host.
-                let wb_param = plat.fpga_to_ssd(dev, param_writeback_bytes, &[update], phase);
-                let upstream = plat.ssd_to_host(dev, upstream_bytes, &[wb_param], phase);
-                // 4. Deferred write-back of the remaining optimizer states.
-                let wb_state_deps = match self.handler {
-                    HandlerMode::Optimized => vec![update],
-                    HandlerMode::Naive => vec![wb_param],
-                };
-                let wb_state = plat.fpga_to_ssd(dev, deferred_state_bytes, &wb_state_deps, phase);
-
-                let chain_end = plat.barrier(&[upstream, wb_state]);
-                prev_update = Some(update);
-                prev_chain_end = Some(chain_end);
-                phase_end_tasks.push(chain_end);
-            }
-        }
-        plat.barrier(&phase_end_tasks)
     }
 }
 

@@ -87,9 +87,11 @@
 
 mod campaign;
 mod canon;
+pub mod cluster;
 mod engine_functional;
 mod engine_timed;
 mod experiment;
+pub mod sched;
 mod service;
 mod session;
 mod spec;
@@ -97,9 +99,14 @@ mod traffic;
 
 pub use campaign::{Campaign, CampaignCheckpoint, CampaignProgress, CampaignReport, RunReport};
 pub use canon::{canonical_json, fnv1a};
+pub use cluster::{ClusterScheduler, ClusterSpec, StragglerSpec};
 pub use engine_functional::SmartInfinityTrainer;
 pub use engine_timed::{HandlerMode, PipelineTiming, SmartInfinityEngine};
 pub use experiment::{Experiment, Method, MethodReport};
+pub use sched::{
+    compare_schedulers, method_scheduler, PipelinedScheduler, SchedulerRun, SerialNaiveScheduler,
+    SerialOverlapScheduler,
+};
 pub use service::{
     CampaignService, ClientReport, CompletedJob, JobId, JobStatus, JobTelemetry, LatencyStats,
     ServiceConfig, ServiceError, ServiceReport,

@@ -1,0 +1,242 @@
+//! The Smart-Infinity method schedules as named [`Scheduler`]s, plus the
+//! scheduler comparison harness behind `figures -- sched`.
+//!
+//! The timed engines all execute the *same* iteration graph
+//! ([`ztrain::schedule::build_iteration_graph`]); what the paper's ladder
+//! varies is the schedule. Each rung is a thin named wrapper around
+//! [`MethodPolicy`] with the routing/synchronisation pair that method uses:
+//!
+//! | scheduler        | method | routing      | tasklet chain |
+//! |------------------|--------|--------------|---------------|
+//! | `host-update`    | BASE   | striped      | — (host CPU)  |
+//! | `serial-naive`   | SU     | striped      | sequential    |
+//! | `serial-overlap` | SU+O   | striped      | overlapped    |
+//! | `pipelined`      | SU+O+P | owner-routed | overlapped    |
+//!
+//! (`pipelined-naive` — owner routing under the sequential handler — exists
+//! as the ablation the session's handler override reaches.)
+
+use crate::engine_timed::SmartInfinityEngine;
+use crate::spec::{MethodSpec, RunSpec};
+use crate::HandlerMode;
+use serde::Serialize;
+use simkit::{Dag, DagTaskId, Decision, Scheduler, SystemView};
+use ztrain::schedule::{ChainSync, IterLayout, MethodPolicy, OffloadRouting};
+use ztrain::{IterationReport, TrainError};
+
+/// `SU`: striped gradient offload, sequential tasklet chains with the naive
+/// handler's per-tasklet buffer-allocation overhead.
+#[derive(Debug)]
+pub struct SerialNaiveScheduler<'a>(MethodPolicy<'a>);
+
+impl<'a> SerialNaiveScheduler<'a> {
+    /// A serial-naive scheduler over an in-storage iteration layout.
+    pub fn new(layout: &'a IterLayout) -> Self {
+        Self(MethodPolicy::in_storage(
+            layout,
+            OffloadRouting::Striped,
+            ChainSync::Sequential { setup_s: SmartInfinityEngine::NAIVE_TASKLET_OVERHEAD_S },
+            "serial-naive",
+        ))
+    }
+}
+
+/// `SU+O`: striped gradient offload, overlapped tasklet chains (buffer
+/// reuse).
+#[derive(Debug)]
+pub struct SerialOverlapScheduler<'a>(MethodPolicy<'a>);
+
+impl<'a> SerialOverlapScheduler<'a> {
+    /// A serial-overlap scheduler over an in-storage iteration layout.
+    pub fn new(layout: &'a IterLayout) -> Self {
+        Self(MethodPolicy::in_storage(
+            layout,
+            OffloadRouting::Striped,
+            ChainSync::Overlapped,
+            "serial-overlap",
+        ))
+    }
+}
+
+/// `SU+O+P`: owner-routed gradient offload — each device's update chain
+/// starts as soon as *its own* shard gradients have landed — with the
+/// tasklet chain synchronisation of the given handler.
+#[derive(Debug)]
+pub struct PipelinedScheduler<'a>(MethodPolicy<'a>);
+
+impl<'a> PipelinedScheduler<'a> {
+    /// A pipelined scheduler over an in-storage iteration layout.
+    pub fn new(layout: &'a IterLayout, handler: HandlerMode) -> Self {
+        let (chain, name) = match handler {
+            HandlerMode::Optimized => (ChainSync::Overlapped, "pipelined"),
+            HandlerMode::Naive => (
+                ChainSync::Sequential { setup_s: SmartInfinityEngine::NAIVE_TASKLET_OVERHEAD_S },
+                "pipelined-naive",
+            ),
+        };
+        Self(MethodPolicy::in_storage(layout, OffloadRouting::OwnerRouted, chain, name))
+    }
+}
+
+macro_rules! delegate_scheduler {
+    ($ty:ident) => {
+        impl Scheduler for $ty<'_> {
+            fn name(&self) -> &'static str {
+                self.0.name()
+            }
+
+            fn on_task_ready(
+                &mut self,
+                task: DagTaskId,
+                dag: &Dag,
+                system: &SystemView<'_>,
+            ) -> Vec<Decision> {
+                self.0.on_task_ready(task, dag, system)
+            }
+        }
+    };
+}
+
+delegate_scheduler!(SerialNaiveScheduler);
+delegate_scheduler!(SerialOverlapScheduler);
+delegate_scheduler!(PipelinedScheduler);
+
+/// Selects the method scheduler the engine's `(handler, pipelined)` axes
+/// imply, boxed for uniform dispatch.
+pub fn method_scheduler<'a>(
+    handler: HandlerMode,
+    pipelined: bool,
+    layout: &'a IterLayout,
+) -> Box<dyn Scheduler + 'a> {
+    match (handler, pipelined) {
+        (_, true) => Box::new(PipelinedScheduler::new(layout, handler)),
+        (HandlerMode::Naive, false) => Box::new(SerialNaiveScheduler::new(layout)),
+        (HandlerMode::Optimized, false) => Box::new(SerialOverlapScheduler::new(layout)),
+    }
+}
+
+/// One row of a scheduler comparison: a scheduler's name, the method axes it
+/// corresponds to, and the per-phase breakdown it produced.
+#[derive(Debug, Clone, Serialize)]
+pub struct SchedulerRun {
+    /// Scheduler name (`host-update`, `serial-naive`, ...).
+    pub scheduler: &'static str,
+    /// The ladder label of the corresponding method axes.
+    pub method: String,
+    /// Per-phase timing under this scheduler.
+    pub report: IterationReport,
+}
+
+/// Runs one spec's model/machine/workload under *every* method scheduler and
+/// returns the per-phase comparison (the `figures -- sched` table).
+///
+/// The spec's method axes are replaced row by row — `host-update` runs the
+/// plain-SSD baseline machine resolution, the smart rows keep the spec's
+/// compression setting — while model, machine, workload, optimizer, subgroup
+/// capacity and fault plan are carried through unchanged. A handler override
+/// in the spec is dropped: each scheduler *is* a handler choice.
+///
+/// # Errors
+///
+/// Returns [`TrainError::Config`] if the carried-through knobs do not
+/// validate for some rung (e.g. a cluster machine, which requires the
+/// in-storage update path and so cannot run `host-update`).
+pub fn compare_schedulers(spec: &RunSpec) -> Result<Vec<SchedulerRun>, TrainError> {
+    let keep = spec.method.keep_ratio();
+    let rungs: [(&'static str, MethodSpec); 4] = [
+        ("host-update", MethodSpec::baseline()),
+        ("serial-naive", carry_compression(MethodSpec::smart_update(), keep)),
+        ("serial-overlap", carry_compression(MethodSpec::smart_update_optimized(), keep)),
+        ("pipelined", MethodSpec::pipelined(keep)),
+    ];
+    let mut rows = Vec::with_capacity(rungs.len());
+    for (scheduler, method) in rungs {
+        let mut run = spec.clone();
+        run.method = method;
+        run.handler = None;
+        let report = run.session()?.simulate_iteration()?;
+        rows.push(SchedulerRun { scheduler, method: method.to_string(), report });
+    }
+    Ok(rows)
+}
+
+fn carry_compression(method: MethodSpec, keep_ratio: Option<f64>) -> MethodSpec {
+    match keep_ratio {
+        Some(k) => method.with_compression(crate::spec::CompressionSpec::top_k(k)),
+        None => method,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{MachineSpec, ModelSpec};
+
+    #[test]
+    fn scheduler_names_cover_the_ladder() {
+        let spec = RunSpec::new(
+            ModelSpec::preset("GPT2-0.34B"),
+            MachineSpec::devices(2),
+            MethodSpec::smart_update_optimized(),
+        );
+        let session = spec.session().unwrap();
+        let engine = SmartInfinityEngine::new(
+            session.machine().clone(),
+            session.workload().clone(),
+            optim::OptimizerKind::Adam,
+        );
+        // Build the shared graph once and check each wrapper reports its name.
+        let mut plat = ztrain::TimedPlatform::new(engine.machine());
+        let phases = ztrain::schedule::IterPhases {
+            forward: plat.add_phase("fw"),
+            backward: plat.add_phase("bw"),
+            update: plat.add_phase("up"),
+        };
+        let graph = ztrain::schedule::build_iteration_graph(
+            engine.workload(),
+            ztrain::schedule::SiteMap::new(plat.num_gpus(), plat.num_devices()),
+            optim::OptimizerKind::Adam,
+            &ztrain::schedule::GraphKnobs::in_storage(None, 100_000_000),
+            phases,
+        );
+        assert_eq!(SerialNaiveScheduler::new(&graph.layout).name(), "serial-naive");
+        assert_eq!(SerialOverlapScheduler::new(&graph.layout).name(), "serial-overlap");
+        assert_eq!(
+            PipelinedScheduler::new(&graph.layout, HandlerMode::Optimized).name(),
+            "pipelined"
+        );
+        assert_eq!(
+            PipelinedScheduler::new(&graph.layout, HandlerMode::Naive).name(),
+            "pipelined-naive"
+        );
+        assert_eq!(
+            method_scheduler(HandlerMode::Naive, false, &graph.layout).name(),
+            "serial-naive"
+        );
+        assert_eq!(
+            method_scheduler(HandlerMode::Optimized, true, &graph.layout).name(),
+            "pipelined"
+        );
+    }
+
+    #[test]
+    fn comparison_orders_the_ladder() {
+        let spec = RunSpec::new(
+            ModelSpec::preset("GPT2-4.0B"),
+            MachineSpec::devices(4),
+            MethodSpec::smart_update_optimized(),
+        );
+        let rows = compare_schedulers(&spec).unwrap();
+        assert_eq!(rows.len(), 4);
+        let by_name: std::collections::HashMap<&str, f64> =
+            rows.iter().map(|r| (r.scheduler, r.report.total_s())).collect();
+        // The naive handler's per-tasklet overhead erases the in-storage gain
+        // (paper Fig. 12) — it loses even to the host-update baseline.
+        assert!(by_name["serial-naive"] > by_name["host-update"]);
+        // From there each optimisation rung is at least as fast as the last,
+        // and the full method beats the baseline at this scale.
+        assert!(by_name["serial-overlap"] <= by_name["serial-naive"] * 1.001);
+        assert!(by_name["pipelined"] <= by_name["serial-overlap"] * 1.001);
+        assert!(by_name["pipelined"] < by_name["host-update"]);
+    }
+}

@@ -14,7 +14,11 @@
 //!   canonical serialization ([`RunSpec::canonical_json`]; the FNV-1a
 //!   [`RunSpec::cache_key`] is the compact address reported in telemetry).
 //!   A resubmitted spec is answered from cache with a bit-identical report,
-//!   whatever its JSON spelling or label was.
+//!   whatever its JSON spelling or label was. The cache is **bounded**: at
+//!   most [`ServiceConfig::cache_capacity`] entries are retained, evicting
+//!   the least-recently-used spec (hits refresh recency); evictions are
+//!   counted in [`ServiceReport::cache_evictions`] and an evicted spec
+//!   simply re-executes on resubmission.
 //! * **In-flight dedup** — a spec that is already queued or running is
 //!   *coalesced*: the new job attaches to the existing execution instead of
 //!   enqueuing a second one. Each unique spec executes at most once, ever
@@ -67,20 +71,36 @@ pub struct ServiceConfig {
     /// Maximum unique work items admitted per dispatch cycle (the batch that
     /// runs concurrently on the executor's workers).
     pub admission_batch: usize,
+    /// Maximum entries retained in the content-addressed result cache.
+    /// Inserting beyond this evicts the least-recently-used entry (cache
+    /// hits refresh recency); evictions are counted in
+    /// [`ServiceReport::cache_evictions`].
+    pub cache_capacity: usize,
 }
 
 impl Default for ServiceConfig {
-    /// 64 queued unique specs, 8-wide admission batches.
+    /// 64 queued unique specs, 8-wide admission batches, 256 cached results.
     fn default() -> Self {
-        ServiceConfig { queue_depth: 64, admission_batch: 8 }
+        ServiceConfig { queue_depth: 64, admission_batch: 8, cache_capacity: 256 }
     }
 }
 
 impl ServiceConfig {
     /// A config with the given queue depth and admission batch (both clamped
-    /// to at least 1).
+    /// to at least 1) and the default cache capacity.
     pub fn new(queue_depth: usize, admission_batch: usize) -> Self {
-        ServiceConfig { queue_depth: queue_depth.max(1), admission_batch: admission_batch.max(1) }
+        ServiceConfig {
+            queue_depth: queue_depth.max(1),
+            admission_batch: admission_batch.max(1),
+            ..ServiceConfig::default()
+        }
+    }
+
+    /// Replaces the result-cache capacity (clamped to at least 1).
+    #[must_use]
+    pub fn with_cache_capacity(mut self, cache_capacity: usize) -> Self {
+        self.cache_capacity = cache_capacity.max(1);
+        self
     }
 }
 
@@ -259,8 +279,12 @@ pub struct ServiceReport {
     pub rejected: u64,
     /// Executions that failed (their jobs report [`JobStatus::Failed`]).
     pub failed: u64,
-    /// Distinct canonical specs currently held in the result cache.
+    /// Distinct canonical specs currently held in the result cache (never
+    /// exceeds [`ServiceConfig::cache_capacity`]).
     pub cached_specs: usize,
+    /// Results evicted from the cache to stay within
+    /// [`ServiceConfig::cache_capacity`] (least-recently-used first).
+    pub cache_evictions: u64,
     /// Unique work items still waiting or running.
     pub in_flight: usize,
     /// Per-client aggregates, indexed by client id.
@@ -312,6 +336,9 @@ struct CacheEntry {
     method: String,
     devices: usize,
     report: IterationReport,
+    /// Recency stamp for LRU eviction: the value of `State::cache_tick` at
+    /// the last insert or hit.
+    last_used: u64,
 }
 
 impl CacheEntry {
@@ -336,6 +363,7 @@ struct Counters {
     coalesced: u64,
     rejected: u64,
     failed: u64,
+    cache_evictions: u64,
 }
 
 struct State {
@@ -351,8 +379,12 @@ struct State {
     queued_items: usize,
     /// Canonical spec -> in-flight (queued or running) item index.
     in_flight: HashMap<String, usize>,
-    /// Canonical spec -> completed result.
+    /// Canonical spec -> completed result, LRU-bounded by `cache_capacity`.
     cache: HashMap<String, CacheEntry>,
+    /// Retention bound on `cache` ([`ServiceConfig::cache_capacity`]).
+    cache_capacity: usize,
+    /// Monotone recency clock for the cache's LRU order.
+    cache_tick: u64,
     /// Whether a dispatch cycle is currently executing outside the lock.
     dispatching: bool,
     counters: Counters,
@@ -362,7 +394,7 @@ struct State {
 }
 
 impl State {
-    fn new() -> Self {
+    fn new(cache_capacity: usize) -> Self {
         State {
             jobs: Vec::new(),
             items: Vec::new(),
@@ -371,6 +403,8 @@ impl State {
             queued_items: 0,
             in_flight: HashMap::new(),
             cache: HashMap::new(),
+            cache_capacity,
+            cache_tick: 0,
             dispatching: false,
             counters: Counters::default(),
             clients: Vec::new(),
@@ -435,6 +469,7 @@ impl State {
                     method: item.spec.method.to_string(),
                     devices: item.spec.machine.devices,
                     report,
+                    last_used: 0, // stamped by `cache_insert`
                 };
                 let coalesced_with = jobs.len().saturating_sub(1);
                 for job in &jobs {
@@ -457,7 +492,8 @@ impl State {
                         },
                     });
                 }
-                self.cache.insert(item.canon.clone(), entry);
+                let canon = item.canon.clone();
+                self.cache_insert(canon, entry);
             }
             Err(error) => {
                 // Failures are not cached: the error is recorded on every
@@ -471,6 +507,24 @@ impl State {
         }
     }
 
+    /// Inserts a freshly-computed result, then evicts least-recently-used
+    /// entries until the cache is back within its capacity.
+    fn cache_insert(&mut self, canon: String, mut entry: CacheEntry) {
+        self.cache_tick += 1;
+        entry.last_used = self.cache_tick;
+        self.cache.insert(canon, entry);
+        while self.cache.len() > self.cache_capacity {
+            let lru = self
+                .cache
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("over-capacity cache is non-empty");
+            self.cache.remove(&lru);
+            self.counters.cache_evictions += 1;
+        }
+    }
+
     fn snapshot(&self) -> ServiceReport {
         ServiceReport {
             submitted: self.counters.submitted,
@@ -480,6 +534,7 @@ impl State {
             rejected: self.counters.rejected,
             failed: self.counters.failed,
             cached_specs: self.cache.len(),
+            cache_evictions: self.counters.cache_evictions,
             in_flight: self.in_flight.len(),
             clients: self.clients.clone(),
             queue_wait: LatencyStats::from_samples(&self.queue_wait_samples),
@@ -512,9 +567,11 @@ impl Default for CampaignService {
 impl CampaignService {
     /// An empty service with the given knobs.
     pub fn new(config: ServiceConfig) -> Self {
+        let config = ServiceConfig::new(config.queue_depth, config.admission_batch)
+            .with_cache_capacity(config.cache_capacity);
         CampaignService {
-            config: ServiceConfig::new(config.queue_depth, config.admission_batch),
-            state: Mutex::new(State::new()),
+            config,
+            state: Mutex::new(State::new(config.cache_capacity)),
             cycle_done: Condvar::new(),
         }
     }
@@ -547,8 +604,12 @@ impl CampaignService {
         let label = spec.label();
         let mut st = self.lock();
         st.ensure_client(client);
+        st.cache_tick += 1;
+        let tick = st.cache_tick;
         let id = JobId(st.jobs.len() as u64);
-        if let Some(entry) = st.cache.get(&canon) {
+        if let Some(entry) = st.cache.get_mut(&canon) {
+            // LRU touch: a hit keeps the entry hot.
+            entry.last_used = tick;
             let completed = CompletedJob {
                 id,
                 client,
@@ -892,6 +953,36 @@ mod tests {
         for client in &report.clients {
             assert_eq!(client.completed, 3, "no client may be starved");
         }
+    }
+
+    #[test]
+    fn result_cache_evicts_least_recently_used_and_re_executes() {
+        let service = CampaignService::new(ServiceConfig::default().with_cache_capacity(2));
+        let pool = ParExecutor::serial();
+        let a = spec(1, MethodSpec::baseline());
+        let b = spec(2, MethodSpec::baseline());
+        let c = spec(3, MethodSpec::baseline());
+        for s in [&a, &b] {
+            let id = service.submit(0, s).expect("submit");
+            service.await_result(id, &pool).expect("await");
+        }
+        // Touch `a` (cache hit) so `b` is the least-recently-used entry.
+        let hit = service.submit(0, &a).expect("hit");
+        assert!(matches!(service.poll(hit).expect("poll"), JobStatus::Done(_)));
+        // Inserting `c` overflows capacity 2: `b` must be evicted, not `a`.
+        let id = service.submit(0, &c).expect("submit");
+        service.await_result(id, &pool).expect("await");
+        let report = service.report();
+        assert_eq!(report.cached_specs, 2, "cache stays within capacity");
+        assert_eq!(report.cache_evictions, 1);
+        // `a` survived eviction; `b` re-executes on resubmission.
+        let again_a = service.submit(1, &a).expect("resubmit a");
+        assert!(matches!(service.poll(again_a).expect("poll"), JobStatus::Done(_)));
+        assert_eq!(service.executions(), 3, "a is still cached");
+        let again_b = service.submit(1, &b).expect("resubmit b");
+        service.await_result(again_b, &pool).expect("await");
+        assert_eq!(service.executions(), 4, "evicted b runs again");
+        assert_eq!(service.report().cache_evictions, 2, "re-inserting b evicts again");
     }
 
     #[test]

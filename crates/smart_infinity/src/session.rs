@@ -21,6 +21,7 @@
 //! Sessions can also be described entirely as data — see [`crate::RunSpec`]
 //! and the JSON-driven [`crate::Campaign`] runner.
 
+use crate::cluster::ClusterSpec;
 use crate::engine_timed::{HandlerMode, SmartInfinityEngine};
 use crate::experiment::Experiment;
 use crate::spec::MethodSpec;
@@ -47,6 +48,7 @@ pub struct SessionBuilder {
     subgroup_elems: Option<usize>,
     workload: Option<Workload>,
     faults: Option<FaultSpec>,
+    cluster: Option<ClusterSpec>,
 }
 
 impl SessionBuilder {
@@ -107,6 +109,16 @@ impl SessionBuilder {
         self
     }
 
+    /// Scales the timed view out to a data-parallel cluster: every host runs
+    /// this session's single-server iteration and
+    /// [`crate::cluster::simulate_allreduce`] layers the gradient allreduce
+    /// on top. Requires an in-storage method (validated on use); ignored by
+    /// the functional trainers, which model one server.
+    pub fn with_cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
+
     /// Finalises the session.
     pub fn build(self) -> Session {
         let SessionBuilder {
@@ -119,6 +131,7 @@ impl SessionBuilder {
             subgroup_elems,
             workload,
             faults,
+            cluster,
         } = self;
         let workload = workload.unwrap_or_else(|| Workload::paper_default(model.clone()));
         Session {
@@ -131,6 +144,7 @@ impl SessionBuilder {
             subgroup_elems,
             workload,
             faults,
+            cluster,
         }
     }
 }
@@ -148,6 +162,7 @@ pub struct Session {
     subgroup_elems: Option<usize>,
     workload: Workload,
     faults: Option<FaultSpec>,
+    cluster: Option<ClusterSpec>,
 }
 
 impl Session {
@@ -168,6 +183,7 @@ impl Session {
             subgroup_elems: None,
             workload: None,
             faults: None,
+            cluster: None,
         }
     }
 
@@ -208,6 +224,9 @@ impl Session {
         }
         if let Some(faults) = &self.faults {
             faults.validate().map_err(TrainError::config)?;
+        }
+        if let Some(cluster) = &self.cluster {
+            cluster.validate(&self.method)?;
         }
         self.method.validate()
     }
@@ -318,6 +337,16 @@ impl Session {
     /// simulation-kernel failure.
     pub fn simulate_iteration(&self) -> Result<IterationReport, TrainError> {
         self.validate()?;
+        if let Some(cluster) = self.cluster {
+            // Per-host iteration with the cluster layer stripped; the
+            // cluster DAG then wraps it in the data-parallel allreduce of
+            // one iteration's fp16 gradients.
+            let mut single = self.clone();
+            single.cluster = None;
+            let per_host = single.simulate_iteration()?;
+            let grad_bytes = 2.0 * self.model.num_params() as f64;
+            return Ok(crate::cluster::simulate_allreduce(&cluster, &per_host, grad_bytes)?);
+        }
         let effects = self.timed_fault_effects();
         let handler_override = self.handler.filter(|_| self.method.uses_csds());
         // No fault effects and no handler override: the spec's standard

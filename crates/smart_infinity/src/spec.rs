@@ -443,12 +443,22 @@ pub struct MachineSpec {
     /// Use the congested topology of paper Fig. 17, where the GPUs share the
     /// expansion switch with the storage devices (default false).
     pub congested: Option<bool>,
+    /// Scale out to a data-parallel cluster of identical servers; each host
+    /// is one machine as described by the fields above.
+    pub cluster: Option<crate::cluster::ClusterSpec>,
 }
 
 impl MachineSpec {
     /// The paper's test-bed with `devices` storage devices.
     pub fn devices(devices: usize) -> Self {
-        MachineSpec { devices, gpu: None, num_gpus: None, congested: None }
+        MachineSpec { devices, gpu: None, num_gpus: None, congested: None, cluster: None }
+    }
+
+    /// Scales the machine out to a data-parallel cluster.
+    #[must_use]
+    pub fn with_cluster(mut self, cluster: crate::cluster::ClusterSpec) -> Self {
+        self.cluster = Some(cluster);
+        self
     }
 
     /// Overrides the GPU preset by name.
@@ -689,6 +699,9 @@ impl RunSpec {
         if let Some(faults) = &self.faults {
             builder = builder.with_faults(faults.clone());
         }
+        if let Some(cluster) = self.machine.cluster {
+            builder = builder.with_cluster(cluster);
+        }
         let session = builder.build();
         session.validate()?;
         Ok(session)
@@ -914,6 +927,34 @@ mod tests {
         assert_ne!(spec.cache_key(), ratio.cache_key());
         let threads = spec.clone().with_threads(4);
         assert_ne!(spec.cache_key(), threads.cache_key());
+        // Scaling out to a cluster is a semantic change too.
+        let mut cluster = spec.clone();
+        cluster.machine = cluster.machine.with_cluster(crate::cluster::ClusterSpec::hosts(4));
+        assert_ne!(spec.cache_key(), cluster.cache_key());
+    }
+
+    #[test]
+    fn cluster_specs_parse_run_and_reject_the_host_update_method() {
+        let text = r#"{
+            "model": "GPT2-4.0B",
+            "machine": {"devices": 6, "cluster": {"hosts": 4, "straggler": {"host": 1, "factor": 2.0}}},
+            "method": {"offload": true, "in_storage_update": true, "overlap": true, "pipelined": false}
+        }"#;
+        let spec = RunSpec::from_json(text).expect("cluster spec parses");
+        let cluster = spec.machine.cluster.expect("cluster carried");
+        assert_eq!(cluster.hosts, 4);
+        let clustered = spec.session().expect("session").simulate_iteration().expect("cluster run");
+        // The same machine without the cluster layer: one host's iteration.
+        let mut single = spec.clone();
+        single.machine.cluster = None;
+        let alone = single.session().unwrap().simulate_iteration().unwrap();
+        assert!(clustered.total_s() > alone.total_s(), "allreduce and straggler add time");
+        // JSON round trip keeps the cluster shape.
+        assert_eq!(RunSpec::from_json(&spec.to_json()).expect("round trip"), spec);
+        // The host-update baseline has no in-storage path to scale out.
+        let baseline = RunSpec { method: MethodSpec::baseline(), ..spec };
+        let err = baseline.session().expect_err("baseline cluster rejected");
+        assert!(err.to_string().contains("in_storage_update"), "{err}");
     }
 
     #[test]

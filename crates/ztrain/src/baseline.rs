@@ -3,10 +3,13 @@
 use crate::machine::MachineConfig;
 use crate::platform::TimedPlatform;
 use crate::report::IterationReport;
+use crate::schedule::{
+    build_iteration_graph, GraphKnobs, HostUpdateScheduler, IterPhases, PlatformLowering, SiteMap,
+};
 use faultkit::TimedFaultEffects;
 use llm::Workload;
 use optim::OptimizerKind;
-use simkit::{PhaseId, SimError, TaskId};
+use simkit::SimError;
 
 /// The storage-offloaded training baseline: forward and backward passes on
 /// the GPU with block-wise parameter streaming, gradient offload to RAID0
@@ -55,168 +58,36 @@ impl BaselineEngine {
     /// for malformed task graphs and would indicate a bug in this engine).
     pub fn simulate_iteration(&self) -> Result<IterationReport, SimError> {
         let mut plat = TimedPlatform::new_with_faults(&self.machine, self.fault_effects.as_ref());
-        let fw_phase = plat.add_phase("forward");
-        let bw_phase = plat.add_phase("backward+grad_offload");
-        let up_phase = plat.add_phase("update+opt_transfer");
-
-        let fw_end = build_forward(&mut plat, &self.workload, fw_phase, &[]);
-        let bw_end =
-            build_backward_with_raid_offload(&mut plat, &self.workload, bw_phase, &[fw_end]);
-        let up_end = self.build_update(&mut plat, up_phase, &[bw_end]);
+        let phases = IterPhases {
+            forward: plat.add_phase("forward"),
+            backward: plat.add_phase("backward+grad_offload"),
+            update: plat.add_phase("update+opt_transfer"),
+        };
+        let sites = SiteMap::new(plat.num_gpus(), plat.num_devices());
+        let graph = build_iteration_graph(
+            &self.workload,
+            sites,
+            self.optimizer,
+            &GraphKnobs::host_update(),
+            phases,
+        );
+        let resources = plat.resource_catalog();
+        let mut scheduler = HostUpdateScheduler::new(&graph.layout);
+        let outcome = {
+            let mut lowering = PlatformLowering::new(&mut plat);
+            simkit::execute(&graph.dag, &resources, &mut scheduler, &mut lowering)?
+        };
 
         let timeline = plat.run()?;
-        let t_fw = timeline.finish_time(fw_end);
-        let t_bw = timeline.finish_time(bw_end);
-        let t_up = timeline.finish_time(up_end);
+        let finish = |id| {
+            let task = outcome.task(id).expect("executor schedules every DAG task");
+            timeline.finish_time(task)
+        };
+        let t_fw = finish(graph.layout.fw_end);
+        let t_bw = finish(graph.layout.bw_end);
+        let t_up = finish(graph.layout.up_end);
         Ok(IterationReport::new(t_fw, t_bw - t_fw, t_up - t_bw))
     }
-
-    /// The baseline update phase: for every block, upload gradients and
-    /// optimizer states from the RAID0 array, update on the CPU, offload the
-    /// states back. Uploads of the next block overlap with the CPU update and
-    /// offload of the previous one (DeepSpeed's double-buffered pipeline).
-    fn build_update(&self, plat: &mut TimedPlatform, phase: PhaseId, deps: &[TaskId]) -> TaskId {
-        let n_dev = plat.num_devices();
-        let blocks = self.workload.block_bytes_fp16();
-        let state_per_m = self.optimizer.state_size_in_m(); // 6 for Adam, 4 for SGD/AdaGrad
-        let mut prev_upload: Option<TaskId> = None;
-        let mut last_tasks: Vec<TaskId> = Vec::new();
-        for block_m in blocks {
-            let block_m = block_m as f64; // FP16 bytes of this block = "1M" for the block
-            let upload_bytes = (state_per_m + 2.0) * block_m; // states + FP32 gradients
-            let offload_bytes = state_per_m * block_m;
-            // Striped upload from every device.
-            let mut upload_deps: Vec<TaskId> = deps.to_vec();
-            if let Some(prev) = prev_upload {
-                upload_deps.push(prev);
-            }
-            let uploads: Vec<TaskId> = (0..n_dev)
-                .map(|d| plat.ssd_to_host(d, upload_bytes / n_dev as f64, &upload_deps, phase))
-                .collect();
-            let upload_done = plat.barrier(&uploads);
-            prev_upload = Some(upload_done);
-            // CPU update streams the states + gradients through the AVX kernel.
-            let update = plat.cpu_update(upload_bytes, &[upload_done], phase);
-            // Striped offload of the refreshed optimizer states.
-            let offloads: Vec<TaskId> = (0..n_dev)
-                .map(|d| plat.host_to_ssd(d, offload_bytes / n_dev as f64, &[update], phase))
-                .collect();
-            last_tasks = offloads;
-            last_tasks.push(update);
-        }
-        plat.barrier(&last_tasks)
-    }
-}
-
-/// Builds the forward pass: for each block, stream the FP16 parameters from
-/// host memory to the GPU(s) and run the block's forward compute, overlapping
-/// the next block's transfer with the current block's compute. With tensor
-/// parallelism each GPU receives its slice of the block and exchanges
-/// activations with its peers.
-///
-/// Returns a barrier task marking the end of the phase.
-pub fn build_forward(
-    plat: &mut TimedPlatform,
-    workload: &Workload,
-    phase: PhaseId,
-    deps: &[TaskId],
-) -> TaskId {
-    build_pass(plat, workload, phase, deps, 1.0)
-}
-
-/// Builds the backward pass *without* gradient offload (compute and parameter
-/// re-streaming only). Returns the end-of-compute barrier.
-pub fn build_backward_compute(
-    plat: &mut TimedPlatform,
-    workload: &Workload,
-    phase: PhaseId,
-    deps: &[TaskId],
-) -> TaskId {
-    build_pass(plat, workload, phase, deps, 2.0)
-}
-
-fn build_pass(
-    plat: &mut TimedPlatform,
-    workload: &Workload,
-    phase: PhaseId,
-    deps: &[TaskId],
-    flops_multiplier: f64,
-) -> TaskId {
-    let n_gpus = plat.num_gpus();
-    let blocks = workload.block_bytes_fp16();
-    let total_fp16: u64 = blocks.iter().sum();
-    let flops_per_byte = flops_multiplier * workload.forward_flops() / total_fp16 as f64;
-    let act_bytes_per_block =
-        2.0 * (workload.batch_size() * workload.seq_len() * workload.model().hidden_size()) as f64;
-
-    let mut prev_compute: Vec<Option<TaskId>> = vec![None; n_gpus];
-    let mut prev_load: Vec<Option<TaskId>> = vec![None; n_gpus];
-    let mut last: Vec<TaskId> = Vec::new();
-    for block_bytes in blocks {
-        let block_bytes = block_bytes as f64;
-        let block_flops = block_bytes * flops_per_byte;
-        let mut block_tasks = Vec::new();
-        for gpu in 0..n_gpus {
-            let mut load_deps: Vec<TaskId> = deps.to_vec();
-            if let Some(p) = prev_load[gpu] {
-                load_deps.push(p);
-            }
-            // Tensor parallelism: each GPU streams 1/n of the block weights.
-            let load = plat.host_to_gpu(gpu, block_bytes / n_gpus as f64, &load_deps, phase);
-            prev_load[gpu] = Some(load);
-            let mut compute_deps = vec![load];
-            if let Some(p) = prev_compute[gpu] {
-                compute_deps.push(p);
-            }
-            let compute = plat.gpu_compute(gpu, block_flops / n_gpus as f64, &compute_deps, phase);
-            prev_compute[gpu] = Some(compute);
-            block_tasks.push(compute);
-            // Tensor-parallel activation exchange with GPU 0 after the block.
-            if n_gpus > 1 && gpu != 0 {
-                let xfer = plat.gpu_to_gpu(gpu, 0, act_bytes_per_block, &[compute], phase);
-                block_tasks.push(xfer);
-            }
-        }
-        last = block_tasks;
-    }
-    plat.barrier(&last)
-}
-
-/// Builds the backward pass with RAID0 gradient offload: the block's FP32
-/// gradients are staged to host memory and striped across all SSDs.
-pub fn build_backward_with_raid_offload(
-    plat: &mut TimedPlatform,
-    workload: &Workload,
-    phase: PhaseId,
-    deps: &[TaskId],
-) -> TaskId {
-    let compute_end = build_backward_compute(plat, workload, phase, deps);
-    let n_dev = plat.num_devices();
-    let blocks = workload.block_bytes_fp16();
-    // Gradient offload overlaps with backward compute in DeepSpeed; modelling it
-    // as starting when the backward compute of the corresponding block region
-    // finishes is approximated by letting the whole offload stream overlap the
-    // backward compute tail: the offload of block i depends only on `deps` plus
-    // the previous offload, and the phase ends when both compute and offload end.
-    let mut prev: Option<TaskId> = None;
-    let mut all = vec![compute_end];
-    for block_m in blocks {
-        // FP32 gradients = 2 x FP16 block bytes.
-        let grad_bytes = 2.0 * block_m as f64;
-        // Stage from GPU to host memory (FP16 on the wire), then stripe to SSDs.
-        let mut stage_deps: Vec<TaskId> = deps.to_vec();
-        if let Some(p) = prev {
-            stage_deps.push(p);
-        }
-        let stage = plat.gpu_to_host(0, block_m as f64, &stage_deps, phase);
-        let writes: Vec<TaskId> = (0..n_dev)
-            .map(|d| plat.host_to_ssd(d, grad_bytes / n_dev as f64, &[stage], phase))
-            .collect();
-        let done = plat.barrier(&writes);
-        prev = Some(done);
-        all.push(done);
-    }
-    plat.barrier(&all)
 }
 
 #[cfg(test)]

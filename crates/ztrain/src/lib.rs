@@ -12,9 +12,16 @@
 //!   simulation pre-populated with the PCIe fabric, SSD media links and GPU /
 //!   CPU / FPGA compute resources, plus path helpers so engines can express
 //!   "offload this block's gradients to SSD 3" as one call.
+//! * [`schedule`] — the shared iteration task graph
+//!   ([`schedule::build_iteration_graph`]) every timed engine runs, plus the
+//!   method schedules over it: [`schedule::MethodPolicy`] implements
+//!   [`simkit::Scheduler`], choosing gradient-scatter placement and tasklet
+//!   synchronisation, and [`schedule::PlatformLowering`] lowers the scheduled
+//!   graph onto a [`TimedPlatform`].
 //! * [`BaselineEngine`] — the timed model of ZeRO-Infinity + RAID0: forward,
 //!   backward + gradient offload, and the CPU update with optimizer-state
-//!   upload/offload (paper Fig. 1), producing the per-phase
+//!   upload/offload (paper Fig. 1), expressed as the
+//!   [`schedule::HostUpdateScheduler`] policy and producing the per-phase
 //!   [`IterationReport`] breakdowns of Fig. 3(a) and Fig. 9.
 //! * [`StorageOffloadTrainer`] — a *functional* baseline that actually moves
 //!   bytes through [`ssd::RaidArray`] and runs the real optimizer kernels, so
@@ -43,11 +50,10 @@ mod platform;
 pub mod realtrain;
 mod recover;
 mod report;
+pub mod schedule;
 mod trainer;
 
-pub use baseline::{
-    build_backward_compute, build_backward_with_raid_offload, build_forward, BaselineEngine,
-};
+pub use baseline::BaselineEngine;
 pub use checkpoint::{bits_to_tensor, tensor_to_bits, TrainerCheckpoint};
 pub use functional::{GradientSource, StorageOffloadTrainer, SyntheticGradients};
 pub use machine::MachineConfig;

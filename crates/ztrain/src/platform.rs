@@ -140,6 +140,72 @@ impl TimedPlatform {
         self.sim.add_phase(name)
     }
 
+    /// Describes the machine's processing sites as [`simkit::Resource`]s, in
+    /// the site order used by the iteration DAGs (host, GPUs, storage
+    /// devices, FPGA updaters, FPGA decompressors). Schedulers consult this
+    /// catalog through [`simkit::SystemView::resources`]; FPGA entries of a
+    /// plain-SSD machine carry zero speed (there is nothing to run on).
+    pub fn resource_catalog(&self) -> Vec<simkit::Resource> {
+        use simkit::{Resource, SpeedupCurve};
+        let c = &self.config;
+        let mut out = Vec::with_capacity(1 + c.num_gpus + 3 * c.num_devices);
+        out.push(Resource::new(
+            c.cpu.name.clone(),
+            1,
+            c.cpu.update_bytes_per_sec,
+            c.cpu.memory_bytes as f64,
+            SpeedupCurve::Flat,
+        ));
+        for g in 0..c.num_gpus {
+            out.push(Resource::new(
+                format!("{}#{g}", c.gpu.name),
+                1,
+                c.gpu.effective_flops,
+                c.gpu.memory_bytes as f64,
+                SpeedupCurve::Flat,
+            ));
+        }
+        for d in 0..c.num_devices {
+            out.push(Resource::new(
+                format!("dev{d}"),
+                1,
+                c.ssd.read_bytes_per_sec,
+                f64::INFINITY,
+                SpeedupCurve::Flat,
+            ));
+        }
+        let csd = c.is_csd();
+        for d in 0..c.num_devices {
+            let rate = if csd {
+                c.fpga_update_bytes_per_sec / self.fault_effects.compute_slowdown(d)
+            } else {
+                0.0
+            };
+            out.push(Resource::new(
+                format!("fpga{d}-updater"),
+                1,
+                rate,
+                4.0 * simkit::GB,
+                SpeedupCurve::Flat,
+            ));
+        }
+        for d in 0..c.num_devices {
+            let rate = if csd {
+                c.fpga_decompress_bytes_per_sec / self.fault_effects.compute_slowdown(d)
+            } else {
+                0.0
+            };
+            out.push(Resource::new(
+                format!("fpga{d}-decompressor"),
+                1,
+                rate,
+                4.0 * simkit::GB,
+                SpeedupCurve::Flat,
+            ));
+        }
+        out
+    }
+
     /// The two directional simulation links of the *shared host interconnect*
     /// (the host ↔ expansion-switch edge every storage device funnels
     /// through), as `(host→devices, devices→host)`. Pipelined engines pass
