@@ -59,6 +59,56 @@ const ALL: &[&str] = &[
     "tab4", "fig16", "fig17", "pipeline", "perf",
 ];
 
+/// The one authoritative usage table: every subcommand, every experiment id,
+/// every flag. Printed to stdout on `--help` and to stderr (before a non-zero
+/// exit) on any argument error.
+fn usage() -> String {
+    format!(
+        "usage: figures [--json DIR] [--quick] <all | experiment id ...>\n\
+         \x20      figures [--json DIR] [--check] [--checkpoint CKPT.json [--halt-after N]] \
+         campaign <spec.json> [spec.json ...]\n\
+         \x20      figures [--json DIR] sched <spec.json> [spec.json ...]\n\
+         \x20      figures [--json DIR] [--clients N] [--passes N] [--queue-depth N] \
+         [--admission-batch N] [--expect-dedup] serve <spec.json> [spec.json ...]\n\
+         \x20      figures [--quick] perf [--check <baseline.json>] [--tolerance 0.15] [--bless]\n\
+         \n\
+         subcommands:\n\
+         \x20 campaign    run every spec of each campaign file concurrently\n\
+         \x20             (--check validates only; --checkpoint makes the run resumable)\n\
+         \x20 sched       run each spec under all four method schedulers and compare\n\
+         \x20 serve       drive spec files through the campaignd service and report\n\
+         \x20             dedup, cache-hit rate, queue depth and latency distributions\n\
+         \x20 perf        microbenchmark snapshot; with --check it is a regression gate\n\
+         \x20 all         every experiment id below\n\
+         \n\
+         experiment ids:\n\
+         \x20 {}\n\
+         \n\
+         flags:\n\
+         \x20 --json DIR            also write each experiment's raw data as JSON\n\
+         \x20 --quick               smaller sweeps for smoke runs\n\
+         \x20 --check               campaign: parse + validate spec files only\n\
+         \x20 --check FILE.json     perf: compare against the checked-in baseline\n\
+         \x20 --tolerance F         perf gate tolerance (default 0.15)\n\
+         \x20 --bless               perf: overwrite the baseline with a fresh snapshot\n\
+         \x20 --checkpoint FILE     campaign: load/store resumable progress\n\
+         \x20 --halt-after N        campaign: stop after N fresh runs (needs --checkpoint)\n\
+         \x20 --clients N           serve: number of simulated clients\n\
+         \x20 --passes N            serve: submissions of the full spec list per client\n\
+         \x20 --queue-depth N       serve: service queue depth\n\
+         \x20 --admission-batch N   serve: admissions per drain step\n\
+         \x20 --expect-dedup        serve: turn the run into a dedup/cache gate\n\
+         \x20 --help, -h            print this table",
+        ALL.join(" ")
+    )
+}
+
+/// Prints `message` and the usage table to stderr, then exits with status 2.
+fn usage_error(message: &str) -> ! {
+    eprintln!("figures: {message}\n{}", usage());
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_dir: Option<PathBuf> = None;
@@ -79,25 +129,26 @@ fn main() {
     let mut iter = args.into_iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
             "--checkpoint" => {
-                let path = iter.next().unwrap_or_else(|| {
-                    eprintln!("--checkpoint requires a file argument");
-                    std::process::exit(2);
-                });
+                let path = iter
+                    .next()
+                    .unwrap_or_else(|| usage_error("--checkpoint requires a file argument"));
                 checkpoint = Some(PathBuf::from(path));
             }
             "--halt-after" => {
                 let n = iter.next().and_then(|t| t.parse::<usize>().ok()).unwrap_or_else(|| {
-                    eprintln!("--halt-after requires a positive integer argument");
-                    std::process::exit(2);
+                    usage_error("--halt-after requires a positive integer argument")
                 });
                 halt_after = Some(n);
             }
             "--json" => {
-                let dir = iter.next().unwrap_or_else(|| {
-                    eprintln!("--json requires a directory argument");
-                    std::process::exit(2);
-                });
+                let dir = iter
+                    .next()
+                    .unwrap_or_else(|| usage_error("--json requires a directory argument"));
                 json_dir = Some(PathBuf::from(dir));
             }
             "--quick" => quick = true,
@@ -112,8 +163,7 @@ fn main() {
             },
             "--tolerance" => {
                 let value = iter.next().and_then(|t| t.parse::<f64>().ok()).unwrap_or_else(|| {
-                    eprintln!("--tolerance requires a fractional argument, e.g. 0.15");
-                    std::process::exit(2);
+                    usage_error("--tolerance requires a fractional argument, e.g. 0.15")
                 });
                 gate.tolerance = value;
             }
@@ -141,6 +191,9 @@ fn main() {
             }
             "--expect-dedup" => expect_dedup = true,
             "all" => selected.extend(ALL.iter().map(|s| s.to_string())),
+            other if other.starts_with('-') => {
+                usage_error(&format!("unknown option `{other}`"));
+            }
             other if campaign_mode => campaign_paths.push(other.to_string()),
             other if serve_mode => serve_paths.push(other.to_string()),
             other if sched_mode => sched_paths.push(other.to_string()),
@@ -152,32 +205,25 @@ fn main() {
         && serve_paths.is_empty()
         && sched_paths.is_empty()
     {
-        eprintln!(
-            "usage: figures [--json DIR] [--quick] <all | fig3a fig3b tab1 tab3 fig9 fig10 \
-             fig11 fig12 fig13 fig14 fig15 tab4 fig16 fig17 pipeline perf>\n\
-             \x20      figures [--json DIR] [--check] [--checkpoint CKPT.json [--halt-after N]] \
-             campaign <spec.json> [spec.json ...]\n\
-             \x20      figures [--json DIR] sched <spec.json> [spec.json ...]\n\
-             \x20      figures [--json DIR] [--clients N] [--passes N] [--queue-depth N] \
-             [--admission-batch N] [--expect-dedup] serve <spec.json> [spec.json ...]\n\
-             \x20      figures [--quick] perf [--check <baseline.json>] [--tolerance 0.15] \
-             [--bless]"
-        );
-        std::process::exit(2);
+        usage_error("no experiment, campaign, sched or serve argument given");
+    }
+    // Reject unknown experiment ids up front, before any experiment runs:
+    // a typo in the middle of `figures fig9 fg11 tab4` must not burn time on
+    // fig9 first and then die halfway through.
+    if let Some(bad) = selected.iter().find(|id| !ALL.contains(&id.as_str())) {
+        usage_error(&format!("unknown experiment id `{bad}`"));
+    }
+    if halt_after.is_some() && checkpoint.is_none() {
+        usage_error("--halt-after needs --checkpoint <path> to store the partial progress");
+    }
+    if checkpoint.is_some() && campaign_paths.len() != 1 {
+        usage_error("--checkpoint tracks exactly one campaign spec file");
     }
     if let Some(dir) = &json_dir {
         std::fs::create_dir_all(dir).expect("create json output directory");
     }
     for id in selected {
         run_one(&id, quick, json_dir.as_deref(), &gate);
-    }
-    if halt_after.is_some() && checkpoint.is_none() {
-        eprintln!("--halt-after needs --checkpoint <path> to store the partial progress");
-        std::process::exit(2);
-    }
-    if checkpoint.is_some() && campaign_paths.len() != 1 {
-        eprintln!("--checkpoint tracks exactly one campaign spec file");
-        std::process::exit(2);
     }
     for path in campaign_paths {
         run_campaign(

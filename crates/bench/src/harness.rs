@@ -981,6 +981,13 @@ pub fn render_serve(outcome: &ServeOutcome) -> String {
         outcome.executions, outcome.unique_specs, r.coalesced, r.rejected, r.failed
     ));
     out.push_str(&format!(
+        "service totals: {} submitted, {} cache hit(s) ({:.0}% hit rate), queue depth {}\n",
+        r.submitted,
+        r.cache_hits,
+        100.0 * r.cache_hit_rate(),
+        r.queue_depth
+    ));
+    out.push_str(&format!(
         "{:<8} {:>10} {:>10} {:>10} {:>9} {:>12}\n",
         "client", "submitted", "completed", "hits", "rejected", "max wait (s)"
     ));

@@ -1,0 +1,48 @@
+//! The crate-wide error type.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Everything that can go wrong planning or running an experiment.
+#[derive(Debug)]
+pub enum LabError {
+    /// A filesystem operation failed; the path it failed on.
+    Io {
+        /// The file or directory the operation targeted.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A configuration, parse, or contract violation, rendered for humans.
+    Config(String),
+}
+
+impl LabError {
+    /// A configuration error with the given message.
+    pub fn config(message: impl Into<String>) -> Self {
+        LabError::Config(message.into())
+    }
+
+    /// Wraps an I/O error with the path it occurred on.
+    pub fn io(path: impl AsRef<Path>, source: std::io::Error) -> Self {
+        LabError::Io { path: path.as_ref().to_path_buf(), source }
+    }
+}
+
+impl fmt::Display for LabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            LabError::Config(message) => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for LabError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LabError::Io { source, .. } => Some(source),
+            LabError::Config(_) => None,
+        }
+    }
+}

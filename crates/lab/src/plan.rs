@@ -1,0 +1,200 @@
+//! Deterministic trial planning: the matrix of tasks × variants × repeats,
+//! each trial addressed by a stable content hash.
+
+use crate::contract::Task;
+use crate::{ExperimentConfig, LabError};
+use serde::{Number, Value};
+use smart_infinity::{canonical_json, fnv1a};
+
+/// One planned trial: a (task, variant, repeat) cell of the experiment
+/// matrix plus its stable id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedTrial {
+    /// The trial's position in the flat plan (task-major, then variant,
+    /// then repeat) — the index sharding partitions on.
+    pub index: usize,
+    /// The trial's content address: the 16-hex-digit FNV-1a hash of the
+    /// canonical JSON of `{defaults, repeat, seed, task, variant}`. A pure
+    /// function of the experiment inputs — invariant to key order,
+    /// whitespace, and number spelling — and the key the journal dedups on.
+    pub trial_id: String,
+    /// The task's id.
+    pub task_id: String,
+    /// The task's raw payload (spec or campaign ref), unresolved.
+    pub payload: Value,
+    /// The variant's name.
+    pub variant: String,
+    /// The variant's merge delta, if any.
+    pub delta: Option<Value>,
+    /// The repeat index, `0..repeats`.
+    pub repeat: usize,
+}
+
+fn unsigned(n: u64) -> Value {
+    Value::Number(Number::from_literal(n.to_string()))
+}
+
+/// The trial id of one matrix cell (see [`PlannedTrial::trial_id`]).
+fn trial_id(config: &ExperimentConfig, task: &Task, variant_index: usize, repeat: usize) -> String {
+    let variant = &config.variants[variant_index];
+    let doc = Value::Object(vec![
+        ("defaults".to_string(), config.defaults.clone().unwrap_or(Value::Null)),
+        ("repeat".to_string(), unsigned(repeat as u64)),
+        ("seed".to_string(), unsigned(config.seed())),
+        ("task".to_string(), task.document()),
+        (
+            "variant".to_string(),
+            Value::Object(vec![
+                ("delta".to_string(), variant.delta.clone().unwrap_or(Value::Null)),
+                ("name".to_string(), Value::String(variant.name.clone())),
+            ]),
+        ),
+    ]);
+    format!("{:016x}", fnv1a(canonical_json(&doc).as_bytes()))
+}
+
+/// Plans the full trial matrix: for each task (file order), for each variant
+/// (config order), for each repeat — a pure function of `(tasks, config)`,
+/// no filesystem access, no clock, no randomness.
+pub fn plan_trials(tasks: &[Task], config: &ExperimentConfig) -> Vec<PlannedTrial> {
+    let mut trials = Vec::with_capacity(tasks.len() * config.variants.len() * config.repeats());
+    for task in tasks {
+        for (variant_index, variant) in config.variants.iter().enumerate() {
+            for repeat in 0..config.repeats() {
+                trials.push(PlannedTrial {
+                    index: trials.len(),
+                    trial_id: trial_id(config, task, variant_index, repeat),
+                    task_id: task.task_id.clone(),
+                    payload: task.payload.clone(),
+                    variant: variant.name.clone(),
+                    delta: variant.delta.clone(),
+                    repeat,
+                });
+            }
+        }
+    }
+    trials
+}
+
+/// A `--shard i/N` selector: process `i` of `N` owns the trials whose flat
+/// index is congruent to `i` modulo `N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This process's shard index, `0..count`.
+    pub index: usize,
+    /// The total number of shards.
+    pub count: usize,
+}
+
+impl Shard {
+    /// Parses the `i/N` CLI form.
+    ///
+    /// # Errors
+    ///
+    /// [`LabError::Config`] for malformed selectors and `i >= N`.
+    pub fn parse(text: &str) -> Result<Self, LabError> {
+        let invalid =
+            || LabError::config(format!("invalid shard `{text}` (expected i/N with 0 <= i < N)"));
+        let (index, count) = text.split_once('/').ok_or_else(invalid)?;
+        let index: usize = index.trim().parse().map_err(|_| invalid())?;
+        let count: usize = count.trim().parse().map_err(|_| invalid())?;
+        if count == 0 || index >= count {
+            return Err(invalid());
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// Whether this shard owns the trial at flat plan index `index`.
+    pub fn owns(&self, index: usize) -> bool {
+        index % self.count == self.index
+    }
+}
+
+impl std::fmt::Display for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini_config() -> ExperimentConfig {
+        ExperimentConfig::from_value(
+            &serde_json::parse(
+                r#"{"name": "t", "repeats": 2,
+                    "variants": [{"name": "a"},
+                                 {"name": "b", "delta": {"machine": {"devices": 4}}}]}"#,
+            )
+            .expect("test JSON parses"),
+        )
+        .expect("valid")
+    }
+
+    fn tasks() -> Vec<Task> {
+        [
+            r#"{"task_id": "t1", "model": "GPT2-0.34B"}"#,
+            r#"{"task_id": "t2", "model": "GPT2-0.77B"}"#,
+        ]
+        .iter()
+        .map(|line| Task::parse_line(line).expect("task parses"))
+        .collect()
+    }
+
+    #[test]
+    fn plan_is_task_major_and_ids_are_unique() {
+        let plan = plan_trials(&tasks(), &mini_config());
+        assert_eq!(plan.len(), 8);
+        let order: Vec<_> =
+            plan.iter().map(|t| (t.task_id.as_str(), t.variant.as_str(), t.repeat)).collect();
+        assert_eq!(
+            order,
+            vec![
+                ("t1", "a", 0),
+                ("t1", "a", 1),
+                ("t1", "b", 0),
+                ("t1", "b", 1),
+                ("t2", "a", 0),
+                ("t2", "a", 1),
+                ("t2", "b", 0),
+                ("t2", "b", 1),
+            ]
+        );
+        let mut ids: Vec<_> = plan.iter().map(|t| t.trial_id.clone()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 8, "trial ids must be unique");
+        assert!(plan.iter().all(|t| t.trial_id.len() == 16));
+    }
+
+    #[test]
+    fn ids_depend_on_seed_and_defaults() {
+        let base = plan_trials(&tasks(), &mini_config());
+        let mut reseeded_config = mini_config();
+        reseeded_config.seed = Some(7);
+        let reseeded = plan_trials(&tasks(), &reseeded_config);
+        assert!(base.iter().zip(&reseeded).all(|(a, b)| a.trial_id != b.trial_id));
+        let mut defaulted_config = mini_config();
+        defaulted_config.defaults = Some(serde_json::parse(r#"{"threads": 2}"#).expect("parses"));
+        let defaulted = plan_trials(&tasks(), &defaulted_config);
+        assert!(base.iter().zip(&defaulted).all(|(a, b)| a.trial_id != b.trial_id));
+    }
+
+    #[test]
+    fn shards_partition_the_plan() {
+        let plan = plan_trials(&tasks(), &mini_config());
+        for count in 1..=5 {
+            let mut seen = 0;
+            for index in 0..count {
+                let shard = Shard { index, count };
+                seen += plan.iter().filter(|t| shard.owns(t.index)).count();
+            }
+            assert_eq!(seen, plan.len());
+        }
+        assert!(Shard::parse("2/3").is_ok());
+        assert!(Shard::parse("3/3").is_err());
+        assert!(Shard::parse("0/0").is_err());
+        assert!(Shard::parse("x").is_err());
+    }
+}

@@ -1,0 +1,479 @@
+//! The experiment runner: resolve specs, execute trials through the
+//! campaign service, journal results, resume, shard, merge.
+
+use crate::contract::{resolve_payload, to_value, Objective, Task, TrialRecord};
+use crate::{
+    analysis_tables, json_merge, plan_trials, ExperimentPaths, LabError, PlannedTrial, Shard,
+};
+use parcore::ParExecutor;
+use serde::{Serialize, Value};
+use smart_infinity::{CampaignService, RunSpec, ServiceConfig, ServiceReport};
+use std::collections::{HashMap, HashSet};
+use std::io::Write as _;
+use std::path::Path;
+use ztrain::IterationReport;
+
+/// The name of the append-only journal inside an output directory.
+pub const JOURNAL_FILE: &str = "trials.jsonl";
+
+/// The name of the analysis subdirectory inside an output directory.
+pub const ANALYSIS_DIR: &str = "analysis";
+
+// ---------------------------------------------------------------------------
+// Executors
+// ---------------------------------------------------------------------------
+
+/// A successful trial execution: the method label plus the phase breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// The method's figure label (`BASE`, `SU+O`, ...).
+    pub method: String,
+    /// The simulated iteration's phase breakdown.
+    pub report: IterationReport,
+}
+
+/// The execution seam of the runner: turns resolved specs into outcomes.
+/// The production implementation is [`ServiceExecutor`]; [`FixedExecutor`]
+/// is a pure synthetic stand-in for plan-level tests and dry runs.
+pub trait Executor {
+    /// Executes one batch of resolved trials, returning one result per
+    /// entry, in order. Errors are per-trial strings (they become `error`
+    /// journal records, not run aborts).
+    fn execute(&mut self, batch: &[(PlannedTrial, RunSpec)]) -> Vec<Result<RunOutcome, String>>;
+}
+
+/// The production executor: every spec goes through a
+/// [`CampaignService`], so canonically equal specs (repeats, overlapping
+/// variants) are executed once and answered from the content-addressed
+/// cache thereafter.
+pub struct ServiceExecutor {
+    service: CampaignService,
+    pool: ParExecutor,
+}
+
+impl ServiceExecutor {
+    /// An executor running on `threads` workers with the default service
+    /// config.
+    pub fn new(threads: usize) -> Self {
+        ServiceExecutor {
+            service: CampaignService::new(ServiceConfig::default()),
+            pool: ParExecutor::new(threads.max(1)),
+        }
+    }
+
+    /// The service's telemetry (dedup/cache counters, queue depth).
+    pub fn report(&self) -> ServiceReport {
+        self.service.report()
+    }
+}
+
+impl Executor for ServiceExecutor {
+    fn execute(&mut self, batch: &[(PlannedTrial, RunSpec)]) -> Vec<Result<RunOutcome, String>> {
+        let mut results = Vec::with_capacity(batch.len());
+        // Submit in waves of at most `queue_depth` unique items so a large
+        // batch can never hit QueueFull (cache hits and coalesced
+        // submissions don't enqueue, so the bound is conservative).
+        for wave in batch.chunks(self.service.config().queue_depth) {
+            let ids: Vec<_> = wave
+                .iter()
+                .map(|(_, spec)| self.service.submit(0, spec).map_err(|e| e.to_string()))
+                .collect();
+            self.service.drain(&self.pool);
+            for id in ids {
+                results.push(id.and_then(|id| {
+                    self.service
+                        .await_result(id, &self.pool)
+                        .map(|job| RunOutcome {
+                            method: job.report.method,
+                            report: job.report.report,
+                        })
+                        .map_err(|e| e.to_string())
+                }));
+            }
+        }
+        results
+    }
+}
+
+/// A pure synthetic executor: the outcome is a deterministic function of
+/// the spec's content address, so tests can exercise planning, journaling,
+/// sharding, and analysis without paying for real simulations.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FixedExecutor;
+
+impl Executor for FixedExecutor {
+    fn execute(&mut self, batch: &[(PlannedTrial, RunSpec)]) -> Vec<Result<RunOutcome, String>> {
+        batch
+            .iter()
+            .map(|(_, spec)| {
+                let key = spec.cache_key();
+                let base = 0.5 + (key % 1000) as f64 / 1000.0;
+                Ok(RunOutcome {
+                    method: spec.method.to_string(),
+                    report: IterationReport::new(base, 2.0 * base, 3.0 * base),
+                })
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tasks and journal I/O
+// ---------------------------------------------------------------------------
+
+/// Loads and validates a `tasks.jsonl` file (unique non-empty ids, one JSON
+/// object per non-blank line).
+///
+/// # Errors
+///
+/// [`LabError`] for unreadable files, malformed lines, and duplicate ids.
+pub fn load_tasks(path: &Path) -> Result<Vec<Task>, LabError> {
+    let text = std::fs::read_to_string(path).map_err(|e| LabError::io(path, e))?;
+    let mut tasks: Vec<Task> = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let task = Task::parse_line(line)
+            .map_err(|e| LabError::config(format!("{}:{}: {e}", path.display(), index + 1)))?;
+        if tasks.iter().any(|t| t.task_id == task.task_id) {
+            return Err(LabError::config(format!(
+                "{}:{}: duplicate task_id `{}`",
+                path.display(),
+                index + 1,
+                task.task_id
+            )));
+        }
+        tasks.push(task);
+    }
+    if tasks.is_empty() {
+        return Err(LabError::config(format!("{}: no tasks", path.display())));
+    }
+    Ok(tasks)
+}
+
+/// Reads a `trials.jsonl` journal. A missing file is an empty journal. A
+/// malformed *final* line is tolerated as the torn tail of a killed run —
+/// it is dropped and reported in the returned warning — while a malformed
+/// line anywhere else is corruption and errors out.
+///
+/// # Errors
+///
+/// [`LabError`] for unreadable files and non-final malformed lines.
+pub fn read_journal(path: &Path) -> Result<(Vec<TrialRecord>, Option<String>), LabError> {
+    if !path.exists() {
+        return Ok((Vec::new(), None));
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| LabError::io(path, e))?;
+    let lines: Vec<(usize, &str)> =
+        text.lines().enumerate().filter(|(_, line)| !line.trim().is_empty()).collect();
+    let mut records = Vec::with_capacity(lines.len());
+    let mut warning = None;
+    for (position, (number, line)) in lines.iter().enumerate() {
+        match TrialRecord::parse_line(line) {
+            Ok(record) => records.push(record),
+            Err(e) if position + 1 == lines.len() => {
+                warning = Some(format!(
+                    "{}:{}: dropping torn final journal line ({e})",
+                    path.display(),
+                    number + 1
+                ));
+            }
+            Err(e) => {
+                return Err(LabError::config(format!(
+                    "{}:{}: corrupt journal: {e}",
+                    path.display(),
+                    number + 1
+                )))
+            }
+        }
+    }
+    Ok((records, warning))
+}
+
+/// Rewrites the journal to exactly `records` (used to repair a torn tail
+/// before appending resumes).
+fn rewrite_journal(path: &Path, records: &[TrialRecord]) -> Result<(), LabError> {
+    let mut text = String::new();
+    for record in records {
+        text.push_str(&record.to_line());
+        text.push('\n');
+    }
+    std::fs::write(path, text).map_err(|e| LabError::io(path, e))
+}
+
+/// Appends `records` to the journal, one canonical line each, creating the
+/// file if needed.
+///
+/// # Errors
+///
+/// [`LabError::Io`] when the file cannot be opened or written.
+pub fn append_records(path: &Path, records: &[TrialRecord]) -> Result<(), LabError> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| LabError::io(path, e))?;
+    for record in records {
+        writeln!(file, "{}", record.to_line()).map_err(|e| LabError::io(path, e))?;
+    }
+    file.flush().map_err(|e| LabError::io(path, e))
+}
+
+/// Merges journal files: the union of their records, deduplicated by trial
+/// id, in canonical (byte-wise sorted) line order. Merging the journals of
+/// an `i/N`-sharded run reproduces the single-process journal's canonical
+/// sort bit-identically.
+///
+/// # Errors
+///
+/// [`LabError::Config`] when two inputs disagree about a trial id's record
+/// (same id, different bytes) or any line is malformed.
+pub fn merge_journal_lines(inputs: &[(String, String)]) -> Result<Vec<String>, LabError> {
+    let mut by_id: HashMap<String, String> = HashMap::new();
+    let mut lines = Vec::new();
+    for (source, text) in inputs {
+        for (index, raw) in text.lines().enumerate() {
+            if raw.trim().is_empty() {
+                continue;
+            }
+            let record = TrialRecord::parse_line(raw)
+                .map_err(|e| LabError::config(format!("{source}:{}: {e}", index + 1)))?;
+            let line = record.to_line();
+            match by_id.get(&record.trial_id) {
+                None => {
+                    by_id.insert(record.trial_id.clone(), line.clone());
+                    lines.push(line);
+                }
+                Some(existing) if *existing == line => {}
+                Some(_) => {
+                    return Err(LabError::config(format!(
+                        "{source}:{}: conflicting records for trial {}",
+                        index + 1,
+                        record.trial_id
+                    )))
+                }
+            }
+        }
+    }
+    lines.sort();
+    Ok(lines)
+}
+
+// ---------------------------------------------------------------------------
+// Spec resolution
+// ---------------------------------------------------------------------------
+
+/// Resolves one planned trial into its effective [`RunSpec`]:
+/// `defaults ⊕ resolved-task-spec ⊕ variant.delta` under RFC 7386 merge,
+/// named `task/variant#repeat` (presentation only — the name is excluded
+/// from the spec's cache key, so repeats share one service execution).
+///
+/// # Errors
+///
+/// [`LabError`] for unresolvable campaign refs and specs the merge leaves
+/// malformed.
+pub fn resolve_trial_spec(
+    trial: &PlannedTrial,
+    defaults: Option<&Value>,
+    base_dir: &Path,
+) -> Result<RunSpec, LabError> {
+    let context = |e: LabError| {
+        LabError::config(format!(
+            "trial {} (task `{}`, variant `{}`): {e}",
+            trial.trial_id, trial.task_id, trial.variant
+        ))
+    };
+    let spec = resolve_payload(&trial.payload, base_dir).map_err(context)?;
+    // The canonical form drops unset optionals; merging the raw serialized
+    // form instead would let its explicit nulls delete defaults (RFC 7386
+    // treats null as removal).
+    let task_value = serde_json::parse(&spec.canonical_json()).expect("canonical JSON parses");
+    let mut effective = task_value;
+    if let Some(defaults) = defaults {
+        effective = json_merge(defaults, &effective);
+    }
+    if let Some(delta) = &trial.delta {
+        effective = json_merge(&effective, delta);
+    }
+    let spec: RunSpec = serde_json::from_value(&effective)
+        .map_err(|e| context(LabError::config(format!("merged spec is invalid: {e}"))))?;
+    Ok(spec.with_name(format!("{}/{}#{}", trial.task_id, trial.variant, trial.repeat)))
+}
+
+// ---------------------------------------------------------------------------
+// The run itself
+// ---------------------------------------------------------------------------
+
+/// Options of one `lab run` invocation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Restrict execution to one shard of the plan.
+    pub shard: Option<Shard>,
+    /// Stop after this many newly executed trials (the kill half of the
+    /// kill-and-resume contract, in controllable form).
+    pub halt_after: Option<usize>,
+}
+
+/// What one `lab run` invocation did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Trials in the full plan.
+    pub planned: usize,
+    /// Trials this invocation was responsible for (the shard's slice).
+    pub in_scope: usize,
+    /// Of those, already journaled before this invocation.
+    pub journaled: usize,
+    /// Newly executed (and journaled) by this invocation.
+    pub executed: usize,
+    /// Of the newly executed, how many recorded an `error` outcome.
+    pub errors: usize,
+    /// Whether the run stopped at `halt_after` with work remaining.
+    pub halted: bool,
+    /// Whether analysis tables were (re)written — true only when the
+    /// journal covers the *full* plan, so shard journals never emit
+    /// partial tables.
+    pub analysis_written: bool,
+    /// Non-fatal warnings (e.g. a repaired torn journal line).
+    pub warnings: Vec<String>,
+}
+
+/// Phase metrics of the built-in harness, journaled per successful trial.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+struct PhaseMetrics {
+    method: String,
+    forward_s: f64,
+    backward_s: f64,
+    update_s: f64,
+    total_s: f64,
+}
+
+/// The journal record of one executed trial.
+pub(crate) fn record_for(trial: &PlannedTrial, result: Result<RunOutcome, String>) -> TrialRecord {
+    match result {
+        Ok(outcome) => TrialRecord {
+            trial_id: trial.trial_id.clone(),
+            task_id: trial.task_id.clone(),
+            variant: trial.variant.clone(),
+            repeat: trial.repeat,
+            outcome: "success".to_string(),
+            objective: Some(Objective {
+                name: "iteration_s".to_string(),
+                value: outcome.report.total_s(),
+            }),
+            metrics: to_value(&PhaseMetrics {
+                method: outcome.method,
+                forward_s: outcome.report.forward_s,
+                backward_s: outcome.report.backward_s,
+                update_s: outcome.report.update_s,
+                total_s: outcome.report.total_s(),
+            }),
+            error: None,
+        },
+        Err(message) => TrialRecord {
+            trial_id: trial.trial_id.clone(),
+            task_id: trial.task_id.clone(),
+            variant: trial.variant.clone(),
+            repeat: trial.repeat,
+            outcome: "error".to_string(),
+            objective: None,
+            metrics: Value::Object(Vec::new()),
+            error: Some(message),
+        },
+    }
+}
+
+/// Runs (or resumes) an experiment: plans the matrix, skips journaled
+/// trials, executes the rest through `executor`, appends journal records,
+/// and — when the journal covers the whole plan — writes the analysis
+/// tables under `out_dir/analysis/`.
+///
+/// # Errors
+///
+/// [`LabError`] for unloadable inputs, corrupt journals, and output I/O
+/// failures. Per-trial failures do *not* error the run; they are journaled
+/// as `error` records and counted in [`RunSummary::errors`].
+pub fn run_experiment(
+    experiment: &Path,
+    out_dir: &Path,
+    options: &RunOptions,
+    executor: &mut dyn Executor,
+) -> Result<RunSummary, LabError> {
+    let (paths, config) = ExperimentPaths::resolve(experiment)?;
+    let tasks = load_tasks(&paths.tasks)?;
+    let plan = plan_trials(&tasks, &config);
+
+    std::fs::create_dir_all(out_dir).map_err(|e| LabError::io(out_dir, e))?;
+    let journal_path = out_dir.join(JOURNAL_FILE);
+    let (mut records, torn) = read_journal(&journal_path)?;
+    let mut warnings = Vec::new();
+    if let Some(message) = torn {
+        rewrite_journal(&journal_path, &records)?;
+        warnings.push(message);
+    }
+    let done: HashSet<String> = records.iter().map(|r| r.trial_id.clone()).collect();
+
+    let in_scope: Vec<&PlannedTrial> =
+        plan.iter().filter(|t| options.shard.map_or(true, |s| s.owns(t.index))).collect();
+    let journaled = in_scope.iter().filter(|t| done.contains(&t.trial_id)).count();
+    let mut pending: Vec<&PlannedTrial> =
+        in_scope.iter().copied().filter(|t| !done.contains(&t.trial_id)).collect();
+    let halted = match options.halt_after {
+        Some(limit) if pending.len() > limit => {
+            pending.truncate(limit);
+            true
+        }
+        _ => false,
+    };
+
+    // Resolve every pending trial's spec; resolution failures become error
+    // records right away, successes go to the executor.
+    let mut executed = Vec::with_capacity(pending.len());
+    let mut batch = Vec::new();
+    for trial in &pending {
+        match resolve_trial_spec(trial, config.defaults.as_ref(), &paths.base_dir) {
+            Ok(spec) => batch.push(((*trial).clone(), spec)),
+            Err(e) => executed.push(record_for(trial, Err(e.to_string()))),
+        }
+    }
+    let outcomes = if batch.is_empty() { Vec::new() } else { executor.execute(&batch) };
+    debug_assert_eq!(outcomes.len(), batch.len(), "executor must answer every trial");
+    for ((trial, _), outcome) in batch.iter().zip(outcomes) {
+        executed.push(record_for(trial, outcome));
+    }
+    // Journal in plan order so straight-through journals need no sort to
+    // compare; the resume/shard comparisons go through canonical sort.
+    executed.sort_by_key(|record| {
+        pending
+            .iter()
+            .position(|t| t.trial_id == record.trial_id)
+            .expect("executed records come from the pending list")
+    });
+    append_records(&journal_path, &executed)?;
+    let errors = executed.iter().filter(|r| !r.is_success()).count();
+    records.extend(executed.iter().cloned());
+
+    // Analysis: only once the journal covers the full plan (a shard run of
+    // N > 1 never does on its own; merge the journals first).
+    let by_id: HashMap<&str, &TrialRecord> =
+        records.iter().map(|r| (r.trial_id.as_str(), r)).collect();
+    let complete = plan.iter().all(|t| by_id.contains_key(t.trial_id.as_str()));
+    let analysis_written = if complete {
+        let tables = analysis_tables(&plan, &records)?;
+        crate::write_analysis(&out_dir.join(ANALYSIS_DIR), &tables)?;
+        true
+    } else {
+        false
+    };
+
+    Ok(RunSummary {
+        planned: plan.len(),
+        in_scope: in_scope.len(),
+        journaled,
+        executed: executed.len(),
+        errors,
+        halted,
+        analysis_written,
+        warnings,
+    })
+}

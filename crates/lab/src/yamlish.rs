@@ -1,0 +1,269 @@
+//! A strict YAML-subset reader for `experiment.yaml` files.
+//!
+//! This is deliberately *not* YAML: it accepts exactly the indentation-based
+//! subset an experiment config needs and rejects everything else with a
+//! line-numbered error, so a config that parses here means one thing on
+//! every machine. The accepted grammar:
+//!
+//! * block mappings of `key: value` / `key:` + nested block (bare keys,
+//!   no quoting),
+//! * block sequences of `- value` / `-` + nested block / `- key: value`
+//!   opening a nested mapping,
+//! * scalars parsed as JSON when they are valid JSON (numbers, booleans,
+//!   `null`, quoted strings, and inline `{...}` / `[...]` flow values —
+//!   which is how variant deltas stay one-liners) and as plain strings
+//!   otherwise,
+//! * blank lines and full-line `#` comments.
+//!
+//! Not accepted: tabs, trailing comments, anchors/aliases, multi-document
+//! streams, multi-line strings, and quoted keys.
+
+use crate::LabError;
+use serde::Value;
+
+/// One significant (non-blank, non-comment) input line.
+struct Line {
+    number: usize,
+    indent: usize,
+    content: String,
+}
+
+/// Parses the YAML-subset `text` into a JSON [`Value`].
+///
+/// # Errors
+///
+/// [`LabError::Config`] with a `line N:` prefix for anything outside the
+/// subset.
+pub fn parse(text: &str) -> Result<Value, LabError> {
+    let lines = significant_lines(text)?;
+    if lines.is_empty() {
+        return Err(LabError::config("empty document"));
+    }
+    if lines[0].indent != 0 {
+        return Err(err(&lines[0], "the top-level block must start at column 0"));
+    }
+    let mut pos = 0;
+    let value = parse_block(&lines, &mut pos, 0)?;
+    if pos < lines.len() {
+        return Err(err(&lines[pos], "inconsistent indentation"));
+    }
+    Ok(value)
+}
+
+fn significant_lines(text: &str) -> Result<Vec<Line>, LabError> {
+    let mut lines = Vec::new();
+    for (index, raw) in text.lines().enumerate() {
+        let number = index + 1;
+        let trimmed = raw.trim_end();
+        let stripped = trimmed.trim_start();
+        if stripped.is_empty() || stripped.starts_with('#') {
+            continue;
+        }
+        let indent = trimmed.len() - stripped.len();
+        if trimmed[..indent].contains('\t') {
+            return Err(LabError::config(format!(
+                "line {number}: tabs are not allowed in indentation"
+            )));
+        }
+        lines.push(Line { number, indent, content: stripped.to_string() });
+    }
+    Ok(lines)
+}
+
+fn err(line: &Line, message: &str) -> LabError {
+    LabError::config(format!("line {}: {message}", line.number))
+}
+
+fn is_seq_item(content: &str) -> bool {
+    content == "-" || content.starts_with("- ")
+}
+
+/// Splits `content` into a bare key and the rest after `:`; the colon must
+/// be followed by a space or end the line (so `http://x` stays a scalar).
+fn split_key(content: &str) -> Option<(&str, &str)> {
+    let colon = content.find(':')?;
+    let key = content[..colon].trim_end();
+    let rest = &content[colon + 1..];
+    if key.is_empty() || key.contains(' ') || key.starts_with(['"', '\'']) {
+        return None;
+    }
+    if rest.is_empty() {
+        Some((key, ""))
+    } else if let Some(stripped) = rest.strip_prefix(' ') {
+        Some((key, stripped.trim_start()))
+    } else {
+        None
+    }
+}
+
+fn parse_scalar(text: &str) -> Value {
+    match serde_json::parse(text) {
+        Ok(value) => value,
+        Err(_) => Value::String(text.to_string()),
+    }
+}
+
+fn parse_block(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Value, LabError> {
+    if is_seq_item(&lines[*pos].content) {
+        parse_sequence(lines, pos, indent)
+    } else {
+        parse_mapping(lines, pos, indent)
+    }
+}
+
+/// Parses the value after a `key:` / `- ` introducer: a nested block when
+/// the next line is deeper than `indent`, `null` otherwise.
+fn parse_nested(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Value, LabError> {
+    if *pos < lines.len() && lines[*pos].indent > indent {
+        let nested = lines[*pos].indent;
+        parse_block(lines, pos, nested)
+    } else {
+        Ok(Value::Null)
+    }
+}
+
+fn parse_mapping(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Value, LabError> {
+    let mut pairs: Vec<(String, Value)> = Vec::new();
+    while *pos < lines.len() {
+        let line = &lines[*pos];
+        if line.indent < indent {
+            break;
+        }
+        if line.indent > indent {
+            return Err(err(line, "inconsistent indentation"));
+        }
+        if is_seq_item(&line.content) {
+            return Err(err(line, "sequence item inside a mapping block"));
+        }
+        let Some((key, rest)) = split_key(&line.content) else {
+            return Err(err(line, "expected `key: value` or `key:`"));
+        };
+        if pairs.iter().any(|(k, _)| k == key) {
+            return Err(err(line, &format!("duplicate key `{key}`")));
+        }
+        *pos += 1;
+        let value =
+            if rest.is_empty() { parse_nested(lines, pos, indent)? } else { parse_scalar(rest) };
+        pairs.push((key.to_string(), value));
+    }
+    Ok(Value::Object(pairs))
+}
+
+fn parse_sequence(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Value, LabError> {
+    let mut items = Vec::new();
+    while *pos < lines.len() {
+        let line = &lines[*pos];
+        if line.indent < indent {
+            break;
+        }
+        if line.indent > indent {
+            return Err(err(line, "inconsistent indentation"));
+        }
+        if !is_seq_item(&line.content) {
+            return Err(err(line, "mapping key inside a sequence block"));
+        }
+        let rest = if line.content == "-" { "" } else { line.content[2..].trim_start() };
+        if rest.is_empty() {
+            *pos += 1;
+            items.push(parse_nested(lines, pos, indent)?);
+        } else if let Some((key, value_rest)) = split_key(rest) {
+            // `- key: ...` opens a mapping whose first entry sits on the
+            // item line; the remaining entries are indented two past the
+            // dash (the conventional YAML layout).
+            let entry_indent = indent + 2;
+            let number = line.number;
+            *pos += 1;
+            let first_value = if value_rest.is_empty() {
+                parse_nested(lines, pos, entry_indent)?
+            } else {
+                parse_scalar(value_rest)
+            };
+            let mut pairs = vec![(key.to_string(), first_value)];
+            if *pos < lines.len()
+                && lines[*pos].indent == entry_indent
+                && !is_seq_item(&lines[*pos].content)
+            {
+                match parse_mapping(lines, pos, entry_indent)? {
+                    Value::Object(rest_pairs) => {
+                        for (k, v) in rest_pairs {
+                            if pairs.iter().any(|(existing, _)| *existing == k) {
+                                return Err(LabError::config(format!(
+                                    "line {number}: duplicate key `{k}` in sequence item"
+                                )));
+                            }
+                            pairs.push((k, v));
+                        }
+                    }
+                    _ => unreachable!("parse_mapping returns an object"),
+                }
+            }
+            items.push(Value::Object(pairs));
+        } else {
+            *pos += 1;
+            items.push(parse_scalar(rest));
+        }
+    }
+    Ok(Value::Array(items))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(text: &str) -> Value {
+        serde_json::parse(text).expect("test JSON parses")
+    }
+
+    #[test]
+    fn scalars_numbers_and_flow_json_parse() {
+        let doc = parse(
+            "name: mini\nrepeats: 2\nseed: 42\nratio: 0.02\nflag: true\nnothing: null\nquoted: \"a b\"\ndelta: {\"method\": {\"smart_update\": true}}\n",
+        )
+        .expect("parses");
+        assert_eq!(
+            doc,
+            v(r#"{"name": "mini", "repeats": 2, "seed": 42, "ratio": 0.02, "flag": true,
+                 "nothing": null, "quoted": "a b",
+                 "delta": {"method": {"smart_update": true}}}"#)
+        );
+    }
+
+    #[test]
+    fn nested_blocks_and_sequences() {
+        let doc = parse(
+            "# an experiment\nname: demo\nvariants:\n  - name: su\n    delta:\n      method:\n        smart_update: true\n  - name: base\ntags:\n  - fast\n  - 3\n",
+        )
+        .expect("parses");
+        assert_eq!(
+            doc,
+            v(r#"{"name": "demo",
+                 "variants": [{"name": "su", "delta": {"method": {"smart_update": true}}},
+                              {"name": "base"}],
+                 "tags": ["fast", 3]}"#)
+        );
+    }
+
+    #[test]
+    fn url_like_scalars_stay_strings() {
+        let doc = parse("link: http://example.com/x\n").expect("parses");
+        assert_eq!(doc, v(r#"{"link": "http://example.com/x"}"#));
+    }
+
+    #[test]
+    fn empty_key_yields_null() {
+        assert_eq!(parse("a:\nb: 1\n").expect("parses"), v(r#"{"a": null, "b": 1}"#));
+    }
+
+    #[test]
+    fn rejects_out_of_subset_documents() {
+        assert!(parse("").is_err());
+        assert!(parse("\tkey: 1\n").is_err());
+        assert!(parse("  indented: 1\n").is_err());
+        assert!(parse("a: 1\na: 2\n").is_err());
+        assert!(parse("a: 1\n- item\n").is_err());
+        assert!(parse("- item\nkey: 1\n").is_err());
+        assert!(parse("a: 1\n    b: 2\n").is_err());
+        let err = parse("a: 1\nnot a key\n").expect_err("rejects");
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+}

@@ -1,0 +1,256 @@
+//! End-to-end contract tests of the `lab` experiment runner: plan purity,
+//! shard-union bit-identity, kill-and-resume byte-identity, and agreement
+//! with the pre-existing `Campaign` front door over the checked-in specs.
+
+use lab::{
+    merge_journal_lines, plan_trials, run_experiment, ExperimentConfig, FixedExecutor, RunOptions,
+    Shard, Task,
+};
+use proptest::prelude::*;
+use smart_infinity::{Campaign, MachineSpec};
+use std::path::{Path, PathBuf};
+
+const MINI: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/experiments/mini");
+const LADDER: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/experiments/ladder");
+const HETERO: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/experiments/hetero");
+const LADDER_CAMPAIGN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/ladder.json");
+
+/// A fresh per-test scratch directory under the system temp dir (the
+/// workspace has no tempfile crate; the process id plus a per-test tag keeps
+/// parallel test binaries apart).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lab-it-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn sorted_lines(text: &str) -> Vec<String> {
+    let mut lines: Vec<String> =
+        text.lines().filter(|l| !l.trim().is_empty()).map(str::to_string).collect();
+    lines.sort();
+    lines
+}
+
+// ---------------------------------------------------------------------------
+// Plan purity
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Planning is a pure function of the experiment inputs: re-planning
+    /// yields the same ids, and so does re-expressing the same task and
+    /// config documents with their keys in a different order.
+    #[test]
+    fn plan_is_pure_and_key_order_invariant(
+        seed in 0u64..1_000_000,
+        repeats in 1usize..4,
+        devices in 1usize..64,
+    ) {
+        let task_a = Task::parse_line(&format!(
+            r#"{{"task_id": "t", "model": "GPT2-0.34B", "machine": {{"devices": {devices}}}}}"#
+        )).expect("task parses");
+        let task_b = Task::parse_line(&format!(
+            r#"{{"machine": {{"devices": {devices}}}, "model": "GPT2-0.34B", "task_id": "t"}}"#
+        )).expect("reordered task parses");
+
+        let config_a = ExperimentConfig::from_value(&serde_json::parse(&format!(
+            r#"{{"name": "p", "seed": {seed}, "repeats": {repeats},
+                 "defaults": {{"threads": 2}},
+                 "variants": [{{"name": "v", "delta": {{"method": {{"overlap": true}}}}}}]}}"#
+        )).expect("json")).expect("config");
+        let config_b = ExperimentConfig::from_value(&serde_json::parse(&format!(
+            r#"{{"variants": [{{"delta": {{"method": {{"overlap": true}}}}, "name": "v"}}],
+                 "defaults": {{"threads": 2}},
+                 "repeats": {repeats}, "seed": {seed}, "name": "p"}}"#
+        )).expect("json")).expect("reordered config");
+
+        let ids = |tasks: &[Task], config: &ExperimentConfig| -> Vec<String> {
+            plan_trials(tasks, config).into_iter().map(|t| t.trial_id).collect()
+        };
+        let reference = ids(std::slice::from_ref(&task_a), &config_a);
+        prop_assert_eq!(reference.len(), repeats);
+        // Purity: same inputs, same plan.
+        prop_assert_eq!(&reference, &ids(std::slice::from_ref(&task_a), &config_a));
+        // Key order of the task and config documents is immaterial.
+        prop_assert_eq!(&reference, &ids(std::slice::from_ref(&task_b), &config_a));
+        prop_assert_eq!(&reference, &ids(&[task_a], &config_b));
+        prop_assert_eq!(&reference, &ids(&[task_b], &config_b));
+    }
+
+    /// For every shard count the ISSUE pins (N ∈ {1, 2, 3, 5}), the shards'
+    /// slices are disjoint and their union is exactly the full plan.
+    #[test]
+    fn shards_partition_every_plan(
+        tasks_n in 1usize..4,
+        variants_n in 1usize..4,
+        repeats in 1usize..4,
+    ) {
+        let tasks: Vec<Task> = (0..tasks_n)
+            .map(|i| {
+                Task::parse_line(&format!(r#"{{"task_id": "t{i}", "model": "GPT2-0.34B"}}"#))
+                    .expect("task parses")
+            })
+            .collect();
+        let variants: Vec<String> =
+            (0..variants_n).map(|i| format!(r#"{{"name": "v{i}"}}"#)).collect();
+        let config = ExperimentConfig::from_value(&serde_json::parse(&format!(
+            r#"{{"name": "p", "repeats": {repeats}, "variants": [{}]}}"#,
+            variants.join(", ")
+        )).expect("json")).expect("config");
+        let plan = plan_trials(&tasks, &config);
+        prop_assert_eq!(plan.len(), tasks_n * variants_n * repeats);
+        for count in [1usize, 2, 3, 5] {
+            let mut owned = vec![0usize; plan.len()];
+            for index in 0..count {
+                let shard = Shard { index, count };
+                for trial in plan.iter().filter(|t| shard.owns(t.index)) {
+                    owned[trial.index] += 1;
+                }
+            }
+            prop_assert!(owned.iter().all(|&n| n == 1), "shards {count}: {owned:?}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Journal-level shard and resume identity (synthetic executor)
+// ---------------------------------------------------------------------------
+
+/// Runs the checked-in mini experiment straight through, then as N shard
+/// processes for each N the ISSUE pins; the merged shard journals must be
+/// bit-identical to the canonical sort of the single-process journal.
+#[test]
+fn shard_journals_merge_bit_identical_to_straight_run() {
+    let straight = scratch("shard-straight");
+    let summary =
+        run_experiment(Path::new(MINI), &straight, &RunOptions::default(), &mut FixedExecutor)
+            .expect("straight run");
+    assert_eq!(summary.executed, summary.planned);
+    assert_eq!(summary.errors, 0);
+    assert!(summary.analysis_written);
+    let reference = sorted_lines(&read(&straight.join("trials.jsonl")));
+
+    for count in [1usize, 2, 3, 5] {
+        let mut inputs = Vec::new();
+        for index in 0..count {
+            let out = scratch(&format!("shard-{index}of{count}"));
+            let options = RunOptions { shard: Some(Shard { index, count }), halt_after: None };
+            let summary = run_experiment(Path::new(MINI), &out, &options, &mut FixedExecutor)
+                .expect("shard run");
+            assert_eq!(summary.executed, summary.in_scope);
+            // A shard of a multi-process run must never write partial tables.
+            assert_eq!(summary.analysis_written, count == 1);
+            inputs.push((format!("{index}/{count}"), read(&out.join("trials.jsonl"))));
+        }
+        let merged = merge_journal_lines(&inputs).expect("merge");
+        assert_eq!(merged, reference, "merge of {count} shard journals");
+    }
+}
+
+/// Kill-and-resume: a run halted after 4 fresh trials, resumed to completion,
+/// and re-invoked once more must re-execute zero trials, and both the journal
+/// and the analysis tables must be byte-identical to an uninterrupted run.
+#[test]
+fn resume_reexecutes_nothing_and_reproduces_analysis_bytes() {
+    let straight = scratch("resume-straight");
+    run_experiment(Path::new(MINI), &straight, &RunOptions::default(), &mut FixedExecutor)
+        .expect("straight run");
+
+    let resumed = scratch("resume-killed");
+    let halted = run_experiment(
+        Path::new(MINI),
+        &resumed,
+        &RunOptions { shard: None, halt_after: Some(4) },
+        &mut FixedExecutor,
+    )
+    .expect("halted run");
+    assert!(halted.halted);
+    assert_eq!(halted.executed, 4);
+    assert!(!halted.analysis_written);
+
+    let finish =
+        run_experiment(Path::new(MINI), &resumed, &RunOptions::default(), &mut FixedExecutor)
+            .expect("resume run");
+    assert_eq!(finish.journaled, 4);
+    assert_eq!(finish.executed, finish.planned - 4);
+    assert!(finish.analysis_written);
+
+    let idle =
+        run_experiment(Path::new(MINI), &resumed, &RunOptions::default(), &mut FixedExecutor)
+            .expect("idempotent re-run");
+    assert_eq!(idle.executed, 0, "a finished journal must re-execute zero trials");
+    assert_eq!(idle.journaled, idle.planned);
+
+    // The resumed journal is plan-ordered like the straight one — identical
+    // without any sort — and the analysis tables match byte for byte.
+    assert_eq!(read(&resumed.join("trials.jsonl")), read(&straight.join("trials.jsonl")));
+    for table in ["variants.jsonl", "variant_tasks.jsonl"] {
+        assert_eq!(
+            read(&resumed.join("analysis").join(table)),
+            read(&straight.join("analysis").join(table)),
+            "analysis table {table}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Agreement with the existing front doors (real executor)
+// ---------------------------------------------------------------------------
+
+/// The ladder experiment re-expresses `specs/ladder.json` through the harness
+/// contract (each task a campaign ref); its journaled objectives must be
+/// bit-identical to `Campaign::run` over the same file.
+#[test]
+fn lab_ladder_objectives_match_campaign_run_bit_for_bit() {
+    let out = scratch("ladder");
+    let mut executor = lab::ServiceExecutor::new(2);
+    let summary = run_experiment(Path::new(LADDER), &out, &RunOptions::default(), &mut executor)
+        .expect("ladder run");
+    assert_eq!(summary.errors, 0);
+    assert!(summary.analysis_written);
+
+    let campaign = Campaign::from_json(&read(Path::new(LADDER_CAMPAIGN))).expect("campaign");
+    let report = campaign.run().expect("campaign runs");
+    assert_eq!(report.runs.len(), summary.planned);
+
+    let (records, warning) = lab::read_journal(&out.join("trials.jsonl")).expect("journal");
+    assert!(warning.is_none());
+    // The tasks file lists the rungs in campaign order (indices 0..6), and
+    // the plan is task-major, so record i corresponds to campaign run i.
+    for (record, run) in records.iter().zip(&report.runs) {
+        let objective = record.objective.as_ref().expect("success record");
+        assert_eq!(objective.name, "iteration_s");
+        assert_eq!(
+            objective.value,
+            run.report.total_s(),
+            "task `{}` vs campaign `{}`",
+            record.task_id,
+            run.label
+        );
+    }
+}
+
+/// The hetero tasks file must stay pinned to the machine presets: drifting
+/// the checked-in JSON away from `preset_sg2042` / `preset_sakuraone_cluster`
+/// would silently change what the experiment measures.
+#[test]
+fn hetero_tasks_pin_the_machine_presets() {
+    let tasks =
+        lab::runner::load_tasks(&Path::new(HETERO).join("tasks.jsonl")).expect("tasks load");
+    let expected: &[(&str, MachineSpec)] = &[
+        ("sg2042", MachineSpec::preset_sg2042()),
+        ("sakuraone", MachineSpec::preset_sakuraone_cluster()),
+    ];
+    assert_eq!(tasks.len(), expected.len());
+    for ((task, (id, machine)), base_dir) in
+        tasks.iter().zip(expected).zip(std::iter::repeat(Path::new(HETERO)))
+    {
+        assert_eq!(task.task_id, *id);
+        let spec = lab::contract::resolve_payload(&task.payload, base_dir).expect("resolves");
+        assert_eq!(&spec.machine, machine, "task `{id}`");
+    }
+}

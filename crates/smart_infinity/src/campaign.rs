@@ -87,6 +87,80 @@ pub enum CampaignProgress {
     Halted(CampaignCheckpoint),
 }
 
+/// A reference to one spec inside a campaign document — the second task
+/// payload the `lab` harness contract accepts (the first is an inline
+/// [`RunSpec`]). Instead of repeating a spec, a task points at a checked-in
+/// `specs/*.json` campaign file and selects one of its specs by zero-based
+/// index or by label. Loading the referenced file is the caller's job (this
+/// crate does no filesystem I/O); [`CampaignRef::select`] then picks the spec
+/// out of the parsed [`Campaign`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignRef {
+    /// Path of the campaign JSON document, resolved by the caller (the `lab`
+    /// runner resolves it relative to the task file's directory).
+    pub campaign: String,
+    /// Zero-based index into the campaign's spec list.
+    pub index: Option<usize>,
+    /// Label of the referenced spec ([`RunSpec::label`]); must match exactly
+    /// one spec. Exactly one of `index` and `label` must be given.
+    pub label: Option<String>,
+}
+
+impl CampaignRef {
+    /// References `campaign` by spec index.
+    pub fn by_index(campaign: impl Into<String>, index: usize) -> Self {
+        CampaignRef { campaign: campaign.into(), index: Some(index), label: None }
+    }
+
+    /// References `campaign` by spec label.
+    pub fn by_label(campaign: impl Into<String>, label: impl Into<String>) -> Self {
+        CampaignRef { campaign: campaign.into(), index: None, label: Some(label.into()) }
+    }
+
+    /// Selects the referenced spec out of the loaded campaign.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::Config`] when neither or both selectors are
+    /// given, the index is out of range, or the label matches no spec or more
+    /// than one.
+    pub fn select(&self, campaign: &Campaign) -> Result<RunSpec, TrainError> {
+        match (self.index, &self.label) {
+            (Some(_), Some(_)) | (None, None) => Err(TrainError::config(format!(
+                "campaign ref `{}` must select exactly one of `index` or `label`",
+                self.campaign
+            ))),
+            (Some(index), None) => campaign.specs.get(index).cloned().ok_or_else(|| {
+                TrainError::config(format!(
+                    "campaign ref `{}`: index {index} out of range ({} specs)",
+                    self.campaign,
+                    campaign.specs.len()
+                ))
+            }),
+            (None, Some(label)) => {
+                let mut matches = campaign.specs.iter().filter(|spec| &spec.label() == label);
+                match (matches.next(), matches.next()) {
+                    (Some(spec), None) => Ok(spec.clone()),
+                    (Some(_), Some(_)) => Err(TrainError::config(format!(
+                        "campaign ref `{}`: label `{label}` is ambiguous; select by index",
+                        self.campaign
+                    ))),
+                    _ => Err(TrainError::config(format!(
+                        "campaign ref `{}`: no spec labelled `{label}` (labels: {})",
+                        self.campaign,
+                        campaign
+                            .specs
+                            .iter()
+                            .map(|s| format!("`{}`", s.label()))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ))),
+                }
+            }
+        }
+    }
+}
+
 /// Prefixes a configuration error with the spec it came from — its
 /// zero-based position *and* its label, so spec lists with duplicate labels
 /// stay debuggable (without stacking "invalid configuration:" prefixes).

@@ -83,6 +83,13 @@ impl ClusterSpec {
         self
     }
 
+    /// Sets the per-host NIC bandwidth in Gb/s.
+    #[must_use]
+    pub fn with_interconnect_gbps(mut self, gbps: f64) -> Self {
+        self.interconnect_gbps = Some(gbps);
+        self
+    }
+
     /// The per-host NIC rate in bytes per second.
     fn nic_bytes_per_sec(&self) -> f64 {
         self.interconnect_gbps.unwrap_or(DEFAULT_INTERCONNECT_GBPS) * 1e9 / 8.0

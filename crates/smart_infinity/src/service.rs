@@ -287,12 +287,27 @@ pub struct ServiceReport {
     pub cache_evictions: u64,
     /// Unique work items still waiting or running.
     pub in_flight: usize,
+    /// Work items currently sitting in the admission queue (not yet running).
+    /// Always ≤ [`ServiceConfig::queue_depth`].
+    pub queue_depth: usize,
     /// Per-client aggregates, indexed by client id.
     pub clients: Vec<ClientReport>,
     /// Admission-wait distribution over executed (non-cache-hit) jobs.
     pub queue_wait: LatencyStats,
     /// Run-time distribution over unique-spec executions.
     pub run_time: LatencyStats,
+}
+
+impl ServiceReport {
+    /// Fraction of accepted submissions answered from the result cache,
+    /// in `[0, 1]`; `0.0` before anything has been submitted.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.submitted as f64
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -536,6 +551,7 @@ impl State {
             cached_specs: self.cache.len(),
             cache_evictions: self.counters.cache_evictions,
             in_flight: self.in_flight.len(),
+            queue_depth: self.queued_items,
             clients: self.clients.clone(),
             queue_wait: LatencyStats::from_samples(&self.queue_wait_samples),
             run_time: LatencyStats::from_samples(&self.run_time_samples),

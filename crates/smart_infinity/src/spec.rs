@@ -454,6 +454,22 @@ impl MachineSpec {
         MachineSpec { devices, gpu: None, num_gpus: None, congested: None, cluster: None }
     }
 
+    /// A many-core single-host box in the SG2042/SG2044 class: one dense
+    /// node with a deep storage shelf (16 CSDs) behind the expansion switch.
+    /// Heterogeneous-machine leg of the roadmap; exercised through the
+    /// `lab` runner by `specs/experiments/hetero/`.
+    pub fn preset_sg2042() -> Self {
+        MachineSpec::devices(16)
+    }
+
+    /// A SAKURAONE-like cluster: 4 hosts of 8 CSDs each, data-parallel over
+    /// a 400 Gb/s interconnect. The counterpart preset to
+    /// [`MachineSpec::preset_sg2042`] for the heterogeneous-machine leg.
+    pub fn preset_sakuraone_cluster() -> Self {
+        MachineSpec::devices(8)
+            .with_cluster(crate::cluster::ClusterSpec::hosts(4).with_interconnect_gbps(400.0))
+    }
+
     /// Scales the machine out to a data-parallel cluster.
     #[must_use]
     pub fn with_cluster(mut self, cluster: crate::cluster::ClusterSpec) -> Self {
